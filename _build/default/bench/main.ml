@@ -1,0 +1,165 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, then times the flow's stages with Bechamel.
+
+   Environment:
+     TQEC_EFFORT = quick | normal | full   (default normal)
+     TQEC_SCALE  = integer divisor for instance sizes (default 1)
+     TQEC_SEED   = random seed (default 42)
+     TQEC_BENCHMARKS = comma-separated subset of benchmark names *)
+
+module Suite = Tqec_circuit.Suite
+module Experiments = Tqec_compress.Experiments
+module Report = Tqec_compress.Report
+module Pipeline = Tqec_compress.Pipeline
+module Baselines = Tqec_compress.Baselines
+
+let config () =
+  let base = Experiments.config_from_env () in
+  let effort =
+    match Sys.getenv_opt "TQEC_EFFORT" with
+    | Some _ -> base.Experiments.effort
+    | None -> Tqec_place.Placer.Normal
+  in
+  let benchmarks =
+    match Sys.getenv_opt "TQEC_BENCHMARKS" with
+    | Some s -> String.split_on_char ',' s |> List.map String.trim
+    | None -> base.Experiments.benchmarks
+  in
+  { base with Experiments.effort; benchmarks }
+
+let regenerate_tables config =
+  let rows =
+    Suite.all
+    |> List.filter (fun (e : Suite.entry) ->
+           List.mem e.Suite.spec.Tqec_circuit.Generator.name
+             config.Experiments.benchmarks)
+    |> List.map (fun (e : Suite.entry) ->
+           let name = e.Suite.spec.Tqec_circuit.Generator.name in
+           Printf.eprintf "[bench] running %s...\n%!" name;
+           let row = Experiments.run_benchmark config e in
+           Printf.eprintf
+             "[bench]   canonical=%d dual-only=%d ours=%d (%.1fs + %.1fs)\n%!"
+             row.Report.r_canonical row.Report.r_dual_only row.Report.r_ours
+             row.Report.r_dual_only_runtime row.Report.r_ours_runtime;
+           row)
+  in
+  print_string (Report.table1 rows);
+  print_newline ();
+  print_string (Report.table2 rows);
+  print_newline ();
+  print_string (Report.table3 rows);
+  print_newline ();
+  Printf.eprintf "[bench] running Figure 1 series...\n%!";
+  print_string (Report.fig1 (Experiments.fig1_series ()));
+  print_newline ();
+  print_string (Report.summary rows)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel stage timings                                              *)
+(* ------------------------------------------------------------------ *)
+
+let stage_tests () =
+  let open Bechamel in
+  let entry = List.hd Suite.all (* 4gt10-v1_81, the smallest *) in
+  let circuit = Suite.circuit entry in
+  let clifford = Tqec_circuit.Clifford_t.decompose circuit in
+  let icm = Tqec_icm.Decompose.run clifford in
+  let graph () =
+    let g = Tqec_pdgraph.Pd_graph.of_icm icm in
+    ignore (Tqec_pdgraph.Ishape.run g);
+    g
+  in
+  let small_icm = Tqec_icm.Decompose.run Suite.three_cnot_example in
+  Test.make_grouped ~name:"stages"
+  [
+    (* Table 1 machinery: decomposition and PD-graph statistics. *)
+    Test.make ~name:"table1/decompose+stats"
+      (Staged.stage (fun () ->
+           let icm = Tqec_icm.Decompose.run clifford in
+           ignore (Tqec_icm.Icm.stats icm)));
+    Test.make ~name:"table1/pd-graph+ishape"
+      (Staged.stage (fun () -> ignore (graph ())));
+    Test.make ~name:"table1/flipping"
+      (Staged.stage (fun () ->
+           let g = graph () in
+           ignore (Tqec_pdgraph.Flipping.run g)));
+    (* Table 2 baselines. *)
+    Test.make ~name:"table2/canonical"
+      (Staged.stage (fun () -> ignore (Baselines.canonical_volume icm)));
+    Test.make ~name:"table2/lin-1d"
+      (Staged.stage (fun () -> ignore (Baselines.lin_1d icm)));
+    Test.make ~name:"table2/lin-2d"
+      (Staged.stage (fun () -> ignore (Baselines.lin_2d icm)));
+    (* Table 3 pipelines on the Fig. 1 example (full pipelines on suite
+       instances are measured by the table run above). *)
+    Test.make ~name:"table3/pipeline-dual-only"
+      (Staged.stage (fun () ->
+           ignore
+             (Pipeline.run_icm
+                ~config:
+                  {
+                    Pipeline.default_config with
+                    variant = Pipeline.Dual_only;
+                    effort = Tqec_place.Placer.Quick;
+                  }
+                small_icm)));
+    Test.make ~name:"table3/pipeline-full"
+      (Staged.stage (fun () ->
+           ignore
+             (Pipeline.run_icm
+                ~config:
+                  {
+                    Pipeline.default_config with
+                    effort = Tqec_place.Placer.Quick;
+                  }
+                small_icm)));
+    (* Fig. 1 canonical geometry + braiding machinery. *)
+    Test.make ~name:"fig1/canonical-geometry"
+      (Staged.stage (fun () -> ignore (Tqec_geom.Canonical.build small_icm)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances (stage_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Stage timings (Bechamel, monotonic clock):";
+  let t = Tqec_util.Pretty.create [ "stage"; "time/run" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let cell =
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+            if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+            else Printf.sprintf "%.0f ns" est
+        | _ -> "n/a"
+      in
+      rows := (name, cell) :: !rows)
+    results;
+  List.iter
+    (fun (name, cell) -> Tqec_util.Pretty.add_row t [ name; cell ])
+    (List.sort compare !rows);
+  Tqec_util.Pretty.print t
+
+let () =
+  let config = config () in
+  Printf.printf
+    "TQEC bridge-compression benchmark harness (effort=%s, scale=%d)\n\n"
+    (match config.Experiments.effort with
+    | Tqec_place.Placer.Quick -> "quick"
+    | Tqec_place.Placer.Normal -> "normal"
+    | Tqec_place.Placer.Full -> "full")
+    config.Experiments.scale;
+  regenerate_tables config;
+  print_newline ();
+  run_bechamel ()

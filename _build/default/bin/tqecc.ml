@@ -1,0 +1,232 @@
+(* tqecc — command-line driver for the TQEC bridge-compression flow.
+
+   Subcommands:
+     stats    — decomposition statistics of a circuit (.real file or a
+                named suite benchmark)
+     compress — run the full flow (or a baseline variant) and report the
+                space-time volume
+     table1 / table2 / table3 — regenerate the paper's tables
+     fig1     — regenerate the Fig. 1 volume sequence
+     render   — print the canonical geometric description (small inputs) *)
+
+open Cmdliner
+module Suite = Tqec_circuit.Suite
+module Pipeline = Tqec_compress.Pipeline
+module Experiments = Tqec_compress.Experiments
+module Report = Tqec_compress.Report
+
+let load_circuit input =
+  match Suite.find input with
+  | Some entry -> Suite.circuit entry
+  | None ->
+      if Sys.file_exists input then Tqec_circuit.Revlib.parse_file input
+      else
+        failwith
+          (Printf.sprintf
+             "unknown benchmark %S (not a suite name, not a file); suite: %s"
+             input
+             (String.concat ", " Suite.names))
+
+let input_arg =
+  let doc =
+    "Input circuit: a RevLib .real file or a benchmark name (e.g. rd84_142)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let effort_arg =
+  let doc = "Placement effort: quick, normal or full." in
+  let parse s =
+    match Tqec_place.Placer.effort_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg "expected quick|normal|full")
+  in
+  let print ppf e =
+    Format.pp_print_string ppf
+      (match e with
+      | Tqec_place.Placer.Quick -> "quick"
+      | Tqec_place.Placer.Normal -> "normal"
+      | Tqec_place.Placer.Full -> "full")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Tqec_place.Placer.Quick
+    & info [ "e"; "effort" ] ~docv:"EFFORT" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the annealer and tie-breaking." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc = "Scale instances down by this divisor (benchmarks only)." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc)
+
+let variant_arg =
+  let doc = "Flow variant: full (ours), dual-only ([10]), modular." in
+  let parse = function
+    | "full" -> Ok Pipeline.Full
+    | "dual-only" -> Ok Pipeline.Dual_only
+    | "modular" -> Ok Pipeline.Modular_only
+    | _ -> Error (`Msg "expected full|dual-only|modular")
+  in
+  let print ppf v =
+    Format.pp_print_string ppf
+      (match v with
+      | Pipeline.Full -> "full"
+      | Pipeline.Dual_only -> "dual-only"
+      | Pipeline.Modular_only -> "modular")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Pipeline.Full
+    & info [ "variant" ] ~docv:"VARIANT" ~doc)
+
+let stats_cmd =
+  let run input =
+    let c = load_circuit input in
+    let icm = Tqec_icm.Decompose.run (Tqec_circuit.Clifford_t.decompose c) in
+    let s = Tqec_icm.Icm.stats icm in
+    Format.printf "%s: %a@." c.Tqec_circuit.Circuit.name Tqec_icm.Icm.pp_stats s;
+    Format.printf "canonical volume: %s@."
+      (Tqec_util.Pretty.int_with_commas
+         (Tqec_compress.Baselines.canonical_volume icm))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Decomposition statistics of a circuit.")
+    Term.(const run $ input_arg)
+
+let optimize_arg =
+  let doc = "Run the peephole optimizer before decomposition." in
+  Arg.(value & flag & info [ "O"; "optimize" ] ~doc)
+
+let compress_cmd =
+  let run input variant effort seed optimize =
+    let c = load_circuit input in
+    let c =
+      if optimize then begin
+        let c' = Tqec_circuit.Optimize.run c in
+        Format.printf "peephole: %d gates cancelled@."
+          (Tqec_circuit.Circuit.n_gates c - Tqec_circuit.Circuit.n_gates c');
+        c'
+      end
+      else c
+    in
+    let config = { Pipeline.default_config with variant; effort; seed } in
+    let r = Pipeline.run ~config c in
+    let p = r.Pipeline.placement in
+    Format.printf
+      "%s: volume=%s (%dx%dx%d) modules=%d nodes=%d bridges=%d routed=%b \
+       elapsed=%.2fs@."
+      c.Tqec_circuit.Circuit.name
+      (Tqec_util.Pretty.int_with_commas r.Pipeline.volume)
+      p.Tqec_place.Placer.width p.Tqec_place.Placer.height
+      p.Tqec_place.Placer.depth r.Pipeline.stages.Pipeline.st_modules
+      r.Pipeline.stages.Pipeline.st_nodes
+      r.Pipeline.stages.Pipeline.st_dual_bridges
+      r.Pipeline.routing.Tqec_route.Pathfinder.success r.Pipeline.elapsed;
+    match Pipeline.check r with
+    | [] -> ()
+    | issues ->
+        List.iter (Format.printf "warning: %s@.") issues;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "compress" ~doc:"Run the bridge-compression flow.")
+    Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
+          $ optimize_arg)
+
+let experiment_config effort scale seed benchmarks =
+  {
+    Experiments.effort;
+    scale;
+    auto_scale = Sys.getenv_opt "TQEC_FULLSIZE" = None;
+    seed;
+    benchmarks = (if benchmarks = [] then Suite.names else benchmarks);
+  }
+
+let benchmarks_arg =
+  let doc = "Restrict to the given benchmark names." in
+  Arg.(value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let table_cmd name doc render =
+  let run effort scale seed benchmarks =
+    let config = experiment_config effort scale seed benchmarks in
+    print_string (render config)
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ effort_arg $ scale_arg $ seed_arg $ benchmarks_arg)
+
+let table1_cmd =
+  table_cmd "table1" "Regenerate Table 1 (benchmark statistics)."
+    (fun config -> Report.table1 (Experiments.run_all config))
+
+let table2_cmd =
+  table_cmd "table2" "Regenerate Table 2 (volume vs canonical and Lin [11])."
+    (fun config -> Report.table2 (Experiments.run_all config))
+
+let table3_cmd =
+  table_cmd "table3" "Regenerate Table 3 (volume vs Hsu [10])."
+    (fun config -> Report.table3 (Experiments.run_all config))
+
+let fig1_cmd =
+  let run () = print_string (Report.fig1 (Experiments.fig1_series ())) in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Regenerate the Fig. 1 volume sequence.")
+    Term.(const run $ const ())
+
+let ablate_cmd =
+  let scale_doc = "Instance scale divisor for the ablation studies." in
+  let ablate_scale =
+    Cmdliner.Arg.(value & opt int 8 & info [ "scale" ] ~docv:"K" ~doc:scale_doc)
+  in
+  let run scale = print_string (Tqec_compress.Ablation.run_default ~scale ()) in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:"Run the ablation studies (I-shape, flipping seeds, z_cap, effort).")
+    Term.(const run $ ablate_scale)
+
+let export_cmd =
+  let out_arg =
+    Cmdliner.Arg.(
+      value & opt string "tqec.obj"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output OBJ path.")
+  in
+  let run input variant effort seed out =
+    let c = load_circuit input in
+    let config = { Pipeline.default_config with variant; effort; seed } in
+    let r = Pipeline.run ~config c in
+    let g = Tqec_compress.Emit.geometry r in
+    Tqec_geom.Export.write_obj out g;
+    Format.printf "wrote %s (%s; volume %s)@." out (Tqec_geom.Render.summary g)
+      (Tqec_util.Pretty.int_with_commas r.Pipeline.volume)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Compress a circuit and export the geometry as Wavefront OBJ.")
+    Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg $ out_arg)
+
+let render_cmd =
+  let run input =
+    let c = load_circuit input in
+    let icm = Tqec_icm.Decompose.run (Tqec_circuit.Clifford_t.decompose c) in
+    let g, _ = Tqec_geom.Canonical.build icm in
+    print_endline (Tqec_geom.Render.summary g);
+    if Tqec_geom.Geometry.volume g <= 4000 then
+      print_string (Tqec_geom.Render.layers g)
+    else print_endline "(too large to render; showing summary only)"
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Print the canonical geometric description.")
+    Term.(const run $ input_arg)
+
+let () =
+  let info =
+    Cmd.info "tqecc" ~version:"1.0.0"
+      ~doc:"Bridge-based primal/dual defect compression for TQEC circuits."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            stats_cmd; compress_cmd; table1_cmd; table2_cmd; table3_cmd;
+            fig1_cmd; render_cmd; ablate_cmd; export_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adder_compression.ml: Array Baselines Circuit Clifford_t Format Gate List Pipeline Printf Sys Tqec_circuit Tqec_compress Tqec_icm Tqec_place Tqec_util

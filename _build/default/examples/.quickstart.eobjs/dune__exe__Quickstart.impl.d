@@ -1,0 +1,1 @@
+examples/quickstart.ml: Baselines Format List Pipeline Report Tqec_circuit Tqec_compress Tqec_geom Tqec_icm Tqec_pdgraph Tqec_place

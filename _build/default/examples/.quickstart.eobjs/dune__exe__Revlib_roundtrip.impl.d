@@ -1,0 +1,1 @@
+examples/revlib_roundtrip.ml: Array Circuit Clifford_t Filename Format Revlib Suite Sys Tqec_circuit Tqec_icm

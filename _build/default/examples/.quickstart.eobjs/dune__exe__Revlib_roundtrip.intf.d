@@ -1,0 +1,1 @@
+examples/revlib_roundtrip.mli:

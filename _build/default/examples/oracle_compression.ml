@@ -1,0 +1,81 @@
+(* Compressing a symmetric-function oracle.
+
+   Builds a threshold oracle (fires when at least k of n inputs are 1 —
+   the sym6_145-style symmetric benchmark family) from multi-control
+   Toffoli gates, exercising the MCT lowering path, and sweeps the
+   placement effort levels to show the quality/runtime trade-off of the
+   SA engine.
+
+   Run with:  dune exec examples/oracle_compression.exe [n] [k] *)
+
+open Tqec_circuit
+open Tqec_compress
+
+(* One MCT per input subset of size k: fires iff >= k inputs set (each
+   subset of exactly k ones flips the target; inclusion-exclusion on a
+   one-hot threshold ancilla is overkill here — the point is the gate
+   mix, matching how RevLib's symmetric benchmarks look after ESOP
+   synthesis). *)
+let threshold_oracle n k =
+  let rec subsets i size =
+    if size = 0 then [ [] ]
+    else if i >= n then []
+    else
+      List.map (fun s -> i :: s) (subsets (i + 1) (size - 1))
+      @ subsets (i + 1) size
+  in
+  let target = n in
+  let gates =
+    List.map
+      (fun controls ->
+        match controls with
+        | [ q ] -> Gate.Cnot { control = q; target }
+        | [ a; b ] -> Gate.Toffoli { c1 = a; c2 = b; target }
+        | controls -> Gate.Mct { controls; target })
+      (subsets 0 k)
+  in
+  Circuit.make ~name:(Printf.sprintf "threshold-%d-of-%d" k n)
+    ~n_qubits:(n + 1) gates
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 5 in
+  let k = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2 in
+  let oracle = threshold_oracle n k in
+  Format.printf "oracle %s: %d gates on %d wires@." oracle.Circuit.name
+    (Circuit.n_gates oracle) oracle.Circuit.n_qubits;
+
+  (* Lower MCTs; this may add ancilla wires. *)
+  let lowered = Mct.lower oracle in
+  Format.printf "after MCT lowering: %d wires, %d Toffoli, %d CNOT@."
+    lowered.Circuit.n_qubits
+    (Circuit.count_toffoli lowered)
+    (Circuit.count_cnots lowered);
+  let icm = Tqec_icm.Decompose.run (Clifford_t.lower lowered) in
+  Format.printf "ICM: %a@.@." Tqec_icm.Icm.pp_stats (Tqec_icm.Icm.stats icm);
+
+  (* Effort sweep. *)
+  Format.printf "effort sweep (ours, seed 42):@.";
+  let t =
+    Tqec_util.Pretty.create [ "effort"; "volume"; "nodes"; "runtime (s)" ]
+  in
+  List.iter
+    (fun (name, effort) ->
+      let r =
+        Pipeline.run_icm
+          ~config:{ Pipeline.default_config with effort }
+          icm
+      in
+      Tqec_util.Pretty.add_row t
+        [
+          name;
+          Tqec_util.Pretty.int_with_commas r.Pipeline.volume;
+          string_of_int r.Pipeline.stages.Pipeline.st_nodes;
+          Tqec_util.Pretty.float2 r.Pipeline.elapsed;
+        ])
+    [
+      ("quick", Tqec_place.Placer.Quick);
+      ("normal", Tqec_place.Placer.Normal);
+    ];
+  Tqec_util.Pretty.print t;
+  Format.printf "@.canonical volume for reference: %s@."
+    (Tqec_util.Pretty.int_with_commas (Baselines.canonical_volume icm))

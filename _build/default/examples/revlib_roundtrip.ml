@@ -1,0 +1,45 @@
+(* RevLib interchange: write a benchmark to .real, read it back, and
+   verify the decomposition statistics survive the round trip.
+
+   Also demonstrates loading an external .real file into the flow (pass
+   a path as the first argument).
+
+   Run with:  dune exec examples/revlib_roundtrip.exe [file.real] *)
+
+open Tqec_circuit
+
+let stats_of circuit =
+  Tqec_icm.Icm.stats (Tqec_icm.Decompose.run (Clifford_t.decompose circuit))
+
+let () =
+  match if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None with
+  | Some path ->
+      let circuit = Revlib.parse_file path in
+      Format.printf "%s: %d wires, %d gates@." circuit.Circuit.name
+        circuit.Circuit.n_qubits (Circuit.n_gates circuit);
+      Format.printf "ICM: %a@." Tqec_icm.Icm.pp_stats (stats_of circuit)
+  | None ->
+      let entry =
+        match Suite.find "4gt10-v1_81" with
+        | Some e -> e
+        | None -> failwith "suite entry missing"
+      in
+      let original = Suite.circuit entry in
+      let path = Filename.temp_file "tqec" ".real" in
+      Revlib.write_file path original;
+      Format.printf "wrote %s (%d bytes)@." path
+        (let st = open_in path in
+         let n = in_channel_length st in
+         close_in st;
+         n);
+      let reread = Revlib.parse_file path in
+      Sys.remove path;
+      assert (Circuit.equal original reread);
+      Format.printf "round trip exact: %d gates preserved@."
+        (Circuit.n_gates reread);
+      let s = stats_of reread in
+      Format.printf "ICM after round trip: %a@." Tqec_icm.Icm.pp_stats s;
+      let paper = entry.Suite.paper in
+      assert (s.Tqec_icm.Icm.s_qubits = paper.Suite.p_qubits);
+      assert (s.Tqec_icm.Icm.s_cnots = paper.Suite.p_cnots);
+      Format.printf "matches the paper's Table 1 row exactly.@."

@@ -1,0 +1,1 @@
+lib/circuit/clifford_t.ml: Circuit Gate List Mct Printf

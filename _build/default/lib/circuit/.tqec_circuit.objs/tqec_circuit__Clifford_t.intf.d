@@ -1,0 +1,1 @@
+lib/circuit/clifford_t.mli: Circuit

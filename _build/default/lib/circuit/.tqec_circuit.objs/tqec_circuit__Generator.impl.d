@@ -1,0 +1,1 @@
+lib/circuit/generator.ml: Array Circuit Gate List Printf Tqec_util

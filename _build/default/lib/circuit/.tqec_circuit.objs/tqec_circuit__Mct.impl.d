@@ -1,0 +1,1 @@
+lib/circuit/mct.ml: Circuit Gate List

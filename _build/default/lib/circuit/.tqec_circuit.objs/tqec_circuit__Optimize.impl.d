@@ -1,0 +1,1 @@
+lib/circuit/optimize.ml: Array Circuit Gate List Tqec_util

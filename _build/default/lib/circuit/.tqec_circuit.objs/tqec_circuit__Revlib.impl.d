@@ -1,0 +1,1 @@
+lib/circuit/revlib.ml: Buffer Circuit Filename Gate List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/revlib.mli: Circuit

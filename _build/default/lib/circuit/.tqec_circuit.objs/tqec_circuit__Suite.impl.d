@@ -1,0 +1,1 @@
+lib/circuit/suite.ml: Circuit Gate Generator List Printf

@@ -1,0 +1,64 @@
+type t = { name : string; n_qubits : int; gates : Gate.t list }
+
+let make ~name ~n_qubits gates =
+  if n_qubits <= 0 then invalid_arg "Circuit.make: n_qubits must be positive";
+  List.iter
+    (fun g ->
+      if not (Gate.well_formed g) then
+        invalid_arg
+          (Printf.sprintf "Circuit.make: malformed gate %s" (Gate.to_string g));
+      if Gate.max_qubit g >= n_qubits then
+        invalid_arg
+          (Printf.sprintf "Circuit.make: gate %s exceeds %d wires"
+             (Gate.to_string g) n_qubits))
+    gates;
+  { name; n_qubits; gates }
+
+let n_gates c = List.length c.gates
+let count p c = List.length (List.filter p c.gates)
+let count_cnots = count (function Gate.Cnot _ -> true | _ -> false)
+let count_t = count Gate.is_t
+let count_toffoli = count (function Gate.Toffoli _ -> true | _ -> false)
+let is_clifford_t c = List.for_all Gate.is_clifford_t c.gates
+
+let append a b =
+  {
+    name = a.name;
+    n_qubits = max a.n_qubits b.n_qubits;
+    gates = a.gates @ b.gates;
+  }
+
+let gate_layers c =
+  (* ASAP layering: a gate lands one past the latest layer using its wires. *)
+  let ready = Array.make c.n_qubits 0 in
+  let layers = Hashtbl.create 16 in
+  let max_layer = ref (-1) in
+  List.iter
+    (fun g ->
+      let qs = Gate.qubits g in
+      let layer = List.fold_left (fun acc q -> max acc ready.(q)) 0 qs in
+      List.iter (fun q -> ready.(q) <- layer + 1) qs;
+      max_layer := max !max_layer layer;
+      let existing = try Hashtbl.find layers layer with Not_found -> [] in
+      Hashtbl.replace layers layer (g :: existing))
+    c.gates;
+  List.init (!max_layer + 1) (fun i ->
+      List.rev (try Hashtbl.find layers i with Not_found -> []))
+
+let depth c = List.length (gate_layers c)
+
+let wire_usage c =
+  let usage = Array.make c.n_qubits 0 in
+  List.iter
+    (fun g -> List.iter (fun q -> usage.(q) <- usage.(q) + 1) (Gate.qubits g))
+    c.gates;
+  usage
+
+let equal a b =
+  a.n_qubits = b.n_qubits && List.equal Gate.equal a.gates b.gates
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>circuit %s (%d qubits, %d gates)@,%a@]" c.name
+    c.n_qubits (n_gates c)
+    (Format.pp_print_list Gate.pp)
+    c.gates

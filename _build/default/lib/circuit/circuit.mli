@@ -1,0 +1,40 @@
+(** Quantum circuits: a wire count plus a time-ordered gate list. *)
+
+type t = { name : string; n_qubits : int; gates : Gate.t list }
+
+(** [make ~name ~n_qubits gates] validates that every gate is well formed
+    and fits in [n_qubits] wires. @raise Invalid_argument otherwise. *)
+val make : name:string -> n_qubits:int -> Gate.t list -> t
+
+val n_gates : t -> int
+
+(** [count p c] counts gates satisfying [p]. *)
+val count : (Gate.t -> bool) -> t -> int
+
+val count_cnots : t -> int
+
+val count_t : t -> int
+
+val count_toffoli : t -> int
+
+(** [is_clifford_t c] is true when every gate is in the Clifford+T set. *)
+val is_clifford_t : t -> bool
+
+(** [append a b] concatenates gate lists; wire counts are maxed.  The
+    result keeps [a]'s name. *)
+val append : t -> t -> t
+
+(** [depth c] is the circuit depth under the usual as-soon-as-possible
+    schedule (gates sharing a wire are serialized). *)
+val depth : t -> int
+
+(** [gate_layers c] is the ASAP layering used by [depth]: each inner list
+    is one parallel time step, in order. *)
+val gate_layers : t -> Gate.t list list
+
+(** [wire_usage c] maps each wire to the number of gates touching it. *)
+val wire_usage : t -> int array
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

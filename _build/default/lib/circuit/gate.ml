@@ -1,0 +1,64 @@
+type t =
+  | X of int
+  | Z of int
+  | H of int
+  | S of int
+  | Sdg of int
+  | T of int
+  | Tdg of int
+  | Cnot of { control : int; target : int }
+  | Swap of int * int
+  | Toffoli of { c1 : int; c2 : int; target : int }
+  | Fredkin of { control : int; t1 : int; t2 : int }
+  | Mct of { controls : int list; target : int }
+
+let qubits = function
+  | X q | Z q | H q | S q | Sdg q | T q | Tdg q -> [ q ]
+  | Cnot { control; target } -> [ control; target ]
+  | Swap (a, b) -> [ a; b ]
+  | Toffoli { c1; c2; target } -> [ c1; c2; target ]
+  | Fredkin { control; t1; t2 } -> [ control; t1; t2 ]
+  | Mct { controls; target } -> controls @ [ target ]
+
+let max_qubit g = List.fold_left max 0 (qubits g)
+
+let is_clifford_t = function
+  | X _ | Z _ | H _ | S _ | Sdg _ | T _ | Tdg _ | Cnot _ -> true
+  | Swap _ | Toffoli _ | Fredkin _ | Mct _ -> false
+
+let is_t = function T _ | Tdg _ -> true | _ -> false
+
+let rec all_distinct = function
+  | [] -> true
+  | q :: qs -> (not (List.mem q qs)) && all_distinct qs
+
+let well_formed g =
+  let qs = qubits g in
+  List.for_all (fun q -> q >= 0) qs
+  && all_distinct qs
+  && match g with Mct { controls; _ } -> List.length controls >= 3 | _ -> true
+
+let equal a b = a = b
+
+let pp ppf = function
+  | X q -> Format.fprintf ppf "X %d" q
+  | Z q -> Format.fprintf ppf "Z %d" q
+  | H q -> Format.fprintf ppf "H %d" q
+  | S q -> Format.fprintf ppf "S %d" q
+  | Sdg q -> Format.fprintf ppf "Sdg %d" q
+  | T q -> Format.fprintf ppf "T %d" q
+  | Tdg q -> Format.fprintf ppf "Tdg %d" q
+  | Cnot { control; target } -> Format.fprintf ppf "CNOT %d %d" control target
+  | Swap (a, b) -> Format.fprintf ppf "SWAP %d %d" a b
+  | Toffoli { c1; c2; target } ->
+      Format.fprintf ppf "TOF %d %d %d" c1 c2 target
+  | Fredkin { control; t1; t2 } ->
+      Format.fprintf ppf "FRED %d %d %d" control t1 t2
+  | Mct { controls; target } ->
+      Format.fprintf ppf "MCT %a -> %d"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+           Format.pp_print_int)
+        controls target
+
+let to_string g = Format.asprintf "%a" pp g

@@ -1,0 +1,43 @@
+(** Gate set of the input circuits.
+
+    Circuits enter the flow at the reversible level (NOT / CNOT / Toffoli /
+    multi-control Toffoli / SWAP / Fredkin) and are lowered by {!Mct} and
+    {!Clifford_t} to the Clifford+T set ([H], [S]/[Sdg], [T]/[Tdg], [CNOT],
+    [X], [Z]), the input of the ICM decomposition. *)
+
+type t =
+  | X of int
+  | Z of int
+  | H of int
+  | S of int
+  | Sdg of int
+  | T of int
+  | Tdg of int
+  | Cnot of { control : int; target : int }
+  | Swap of int * int
+  | Toffoli of { c1 : int; c2 : int; target : int }
+  | Fredkin of { control : int; t1 : int; t2 : int }
+  | Mct of { controls : int list; target : int }
+      (** Multi-control Toffoli with >= 3 controls. *)
+
+(** [qubits g] lists the wires touched by [g], controls first, without
+    duplicates. *)
+val qubits : t -> int list
+
+(** [max_qubit g] is the largest wire index used. *)
+val max_qubit : t -> int
+
+(** [is_clifford_t g] is true when [g] belongs to the Clifford+T set. *)
+val is_clifford_t : t -> bool
+
+(** [is_t g] is true for [T] and [Tdg]. *)
+val is_t : t -> bool
+
+(** [well_formed g] checks that wires are non-negative and distinct. *)
+val well_formed : t -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

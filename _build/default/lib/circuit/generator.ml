@@ -1,0 +1,135 @@
+type spec = {
+  name : string;
+  n_wires : int;
+  n_toffoli : int;
+  n_cnot : int;
+  n_not : int;
+  n_unused : int;
+  seed : int;
+}
+
+(* Draw [k] distinct wires in [0, active) with a locality bias: the first
+   wire is uniform; subsequent wires stay within a small window around it
+   80% of the time, matching the mostly-local structure of arithmetic and
+   symmetric-function reversible benchmarks. *)
+let distinct_wires rng active k =
+  if k > active then invalid_arg "Generator: more wires requested than exist";
+  let base = Tqec_util.Rng.int rng active in
+  let near w =
+    let window = max 2 (active / 4) in
+    let lo = max 0 (w - window) and hi = min (active - 1) (w + window) in
+    Tqec_util.Rng.int_in rng lo hi
+  in
+  let rec draw acc remaining =
+    if remaining = 0 then List.rev acc
+    else
+      let candidate =
+        if Tqec_util.Rng.float rng < 0.8 then near base
+        else Tqec_util.Rng.int rng active
+      in
+      if List.mem candidate acc then draw acc remaining
+      else draw (candidate :: acc) (remaining - 1)
+  in
+  draw [ base ] (k - 1)
+
+(* Rewire gates until every wire in [0, active) is touched by a CNOT or
+   Toffoli: each still-unused wire replaces the control of a gate whose
+   other wires are all multiply-used. *)
+let ensure_coverage active gates =
+  let usage = Array.make active 0 in
+  let touch g =
+    List.iter
+      (fun q -> usage.(q) <- usage.(q) + 1)
+      (Gate.qubits g)
+  in
+  let untouch g =
+    List.iter (fun q -> usage.(q) <- usage.(q) - 1) (Gate.qubits g)
+  in
+  let gates = Array.of_list gates in
+  Array.iter
+    (fun g -> match (g : Gate.t) with Cnot _ | Toffoli _ -> touch g | _ -> ())
+    gates;
+  let rewire wire =
+    (* find a CNOT/Toffoli whose wires all have usage >= 2 and which does
+       not already use [wire]; swap its control for [wire]. *)
+    let fix i =
+      match gates.(i) with
+      | Gate.Cnot { control; target }
+        when usage.(control) >= 2 && usage.(target) >= 2
+             && control <> wire && target <> wire ->
+          untouch gates.(i);
+          gates.(i) <- Gate.Cnot { control = wire; target };
+          touch gates.(i);
+          true
+      | Gate.Toffoli { c1; c2; target }
+        when usage.(c1) >= 2 && usage.(c2) >= 2 && usage.(target) >= 2
+             && c1 <> wire && c2 <> wire && target <> wire ->
+          untouch gates.(i);
+          gates.(i) <- Gate.Toffoli { c1 = wire; c2; target };
+          touch gates.(i);
+          true
+      | _ -> false
+    in
+    let rec scan i = i < Array.length gates && (fix i || scan (i + 1)) in
+    ignore (scan 0)
+  in
+  for wire = 0 to active - 1 do
+    if usage.(wire) = 0 then rewire wire
+  done;
+  Array.to_list gates
+
+let generate spec =
+  let active = spec.n_wires - spec.n_unused in
+  if active < 3 && spec.n_toffoli > 0 then
+    invalid_arg "Generator.generate: Toffoli needs >= 3 active wires";
+  if active < 2 && spec.n_cnot > 0 then
+    invalid_arg "Generator.generate: CNOT needs >= 2 active wires";
+  if active < 1 && spec.n_not > 0 then
+    invalid_arg "Generator.generate: NOT needs an active wire";
+  let rng = Tqec_util.Rng.create spec.seed in
+  let kinds =
+    Array.concat
+      [
+        Array.make spec.n_toffoli `Toffoli;
+        Array.make spec.n_cnot `Cnot;
+        Array.make spec.n_not `Not;
+      ]
+  in
+  Tqec_util.Rng.shuffle rng kinds;
+  let gate_of = function
+    | `Toffoli -> (
+        match distinct_wires rng active 3 with
+        | [ c1; c2; target ] -> Gate.Toffoli { c1; c2; target }
+        | _ -> assert false)
+    | `Cnot -> (
+        match distinct_wires rng active 2 with
+        | [ control; target ] -> Gate.Cnot { control; target }
+        | _ -> assert false)
+    | `Not -> Gate.X (Tqec_util.Rng.int rng active)
+  in
+  let gates = Array.to_list (Array.map gate_of kinds) in
+  let gates = if active > 0 then ensure_coverage active gates else gates in
+  Circuit.make ~name:spec.name ~n_qubits:spec.n_wires gates
+
+let random_clifford_t ~seed ~n_qubits ~n_gates =
+  let rng = Tqec_util.Rng.create seed in
+  let gate () =
+    match Tqec_util.Rng.int rng 8 with
+    | 0 -> Gate.H (Tqec_util.Rng.int rng n_qubits)
+    | 1 -> Gate.S (Tqec_util.Rng.int rng n_qubits)
+    | 2 -> Gate.T (Tqec_util.Rng.int rng n_qubits)
+    | 3 -> Gate.Tdg (Tqec_util.Rng.int rng n_qubits)
+    | 4 -> Gate.X (Tqec_util.Rng.int rng n_qubits)
+    | 5 -> Gate.Z (Tqec_util.Rng.int rng n_qubits)
+    | _ ->
+        if n_qubits < 2 then Gate.T (Tqec_util.Rng.int rng n_qubits)
+        else
+          let control = Tqec_util.Rng.int rng n_qubits in
+          let rec pick () =
+            let t = Tqec_util.Rng.int rng n_qubits in
+            if t = control then pick () else t
+          in
+          Gate.Cnot { control; target = pick () }
+  in
+  Circuit.make ~name:(Printf.sprintf "random-%d" seed) ~n_qubits
+    (List.init n_gates (fun _ -> gate ()))

@@ -1,0 +1,33 @@
+(** Seeded synthetic reversible-circuit generator.
+
+    The paper evaluates on eight RevLib circuits that are not shipped
+    here; this generator produces circuits with the same wire count and
+    the same Toffoli / CNOT composition, so that after {!Clifford_t} and
+    ICM decomposition the Table-1 statistics (#Qubits, #CNOTs, #|Y>,
+    #|A>) match the paper exactly (see {!Suite}).
+
+    Gate wiring follows a locality profile typical of reversible
+    benchmarks: most gates act on nearby wires, a fraction are long
+    range. *)
+
+type spec = {
+  name : string;
+  n_wires : int;  (** wires of the reversible circuit *)
+  n_toffoli : int;
+  n_cnot : int;
+  n_not : int;
+  n_unused : int;
+      (** trailing wires no gate touches (e.g. constant lines; add16_174
+          and cycle17_3_112 have one, visible in the paper's canonical
+          volumes which count one row fewer than #Qubits) *)
+  seed : int;
+}
+
+(** [generate spec] builds the circuit; deterministic in [spec].  Every
+    wire outside the unused tail is guaranteed to be touched by at least
+    one CNOT or Toffoli. *)
+val generate : spec -> Circuit.t
+
+(** [random_clifford_t ~seed ~n_qubits ~n_gates] builds a random
+    Clifford+T circuit (used by property tests and small experiments). *)
+val random_clifford_t : seed:int -> n_qubits:int -> n_gates:int -> Circuit.t

@@ -1,0 +1,69 @@
+let mct_ancillae controls = max 0 (List.length controls - 2)
+
+let ancillae_needed (c : Circuit.t) =
+  List.fold_left
+    (fun acc g ->
+      match (g : Gate.t) with
+      | Mct { controls; _ } -> max acc (mct_ancillae controls)
+      | _ -> acc)
+    0 c.gates
+
+(* V-chain expansion of a multi-control Toffoli.  Ancillae are clean and
+   shared across gates (each expansion uncomputes its ancillae). *)
+let expand_mct ~first_ancilla controls target =
+  match controls with
+  | [] | [ _ ] | [ _; _ ] -> invalid_arg "Mct.expand_mct: needs >= 3 controls"
+  | c0 :: c1 :: rest ->
+      let compute, top_anc, _ =
+        List.fold_left
+          (fun (acc, prev, anc) ctrl ->
+            let g = Gate.Toffoli { c1 = ctrl; c2 = prev; target = anc } in
+            (g :: acc, anc, anc + 1))
+          ([ Gate.Toffoli { c1 = c0; c2 = c1; target = first_ancilla } ],
+           first_ancilla, first_ancilla + 1)
+          rest
+      in
+      let compute = List.rev compute in
+      (* The last chain Toffoli targets the real target instead of a fresh
+         ancilla: drop it and retarget. *)
+      let rec retarget = function
+        | [] -> assert false
+        | [ Gate.Toffoli { c1; c2; _ } ] ->
+            [ Gate.Toffoli { c1; c2; target } ]
+        | g :: gs -> g :: retarget gs
+      in
+      let compute = retarget compute in
+      let uncompute =
+        List.rev
+          (List.filter
+             (fun g ->
+               match (g : Gate.t) with
+               | Toffoli { target = t; _ } -> t <> target
+               | _ -> true)
+             compute)
+      in
+      ignore top_anc;
+      compute @ uncompute
+
+let lower (c : Circuit.t) =
+  let extra = ancillae_needed c in
+  let first_ancilla = c.n_qubits in
+  let lower_gate g =
+    match (g : Gate.t) with
+    | Swap (a, b) ->
+        [
+          Gate.Cnot { control = a; target = b };
+          Gate.Cnot { control = b; target = a };
+          Gate.Cnot { control = a; target = b };
+        ]
+    | Fredkin { control; t1; t2 } ->
+        [
+          Gate.Cnot { control = t2; target = t1 };
+          Gate.Toffoli { c1 = control; c2 = t1; target = t2 };
+          Gate.Cnot { control = t2; target = t1 };
+        ]
+    | Mct { controls; target } -> expand_mct ~first_ancilla controls target
+    | g -> [ g ]
+  in
+  Circuit.make ~name:c.name ~n_qubits:(c.n_qubits + extra)
+    (List.concat_map lower_gate c.gates)

@@ -1,0 +1,17 @@
+(** Lowering of the extended reversible gate set to the
+    {NOT, CNOT, Toffoli} basis.
+
+    Multi-control Toffoli gates are expanded with the standard V-chain
+    construction using clean ancilla wires appended to the circuit (a gate
+    with [k >= 3] controls costs [2*(k-2)] Toffolis on [k-2] ancillae plus
+    the final Toffoli); SWAP becomes three CNOTs and Fredkin a
+    CNOT-conjugated Toffoli. *)
+
+(** [ancillae_needed c] is the number of extra wires [lower] will append. *)
+val ancillae_needed : Circuit.t -> int
+
+(** [lower c] returns an equivalent circuit over {NOT, CNOT, Toffoli} (any
+    already-lowered gates, including Clifford+T gates, pass through
+    untouched). Ancilla wires are appended after the original wires and
+    are returned to |0> by the uncomputation half of each expansion. *)
+val lower : Circuit.t -> Circuit.t

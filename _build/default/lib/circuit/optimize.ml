@@ -1,0 +1,104 @@
+let pair_rule (a : Gate.t) (b : Gate.t) =
+  match (a, b) with
+  (* self-inverse single-qubit gates *)
+  | Gate.X p, Gate.X q when p = q -> `Cancel
+  | Gate.Z p, Gate.Z q when p = q -> `Cancel
+  | Gate.H p, Gate.H q when p = q -> `Cancel
+  (* phase-gate inverses *)
+  | Gate.S p, Gate.Sdg q | Gate.Sdg p, Gate.S q when p = q -> `Cancel
+  | Gate.T p, Gate.Tdg q | Gate.Tdg p, Gate.T q when p = q -> `Cancel
+  (* phase-gate merges *)
+  | Gate.T p, Gate.T q when p = q -> `Replace (Gate.S p)
+  | Gate.Tdg p, Gate.Tdg q when p = q -> `Replace (Gate.Sdg p)
+  | Gate.S p, Gate.S q | Gate.Sdg p, Gate.Sdg q when p = q ->
+      `Replace (Gate.Z p)
+  | Gate.S p, Gate.Z q | Gate.Z p, Gate.S q when p = q ->
+      `Replace (Gate.Sdg p)
+  | Gate.Sdg p, Gate.Z q | Gate.Z p, Gate.Sdg q when p = q ->
+      `Replace (Gate.S p)
+  (* identical self-inverse multi-qubit gates *)
+  | ( Gate.Cnot { control = ac; target = at },
+      Gate.Cnot { control = bc; target = bt } )
+    when ac = bc && at = bt ->
+      `Cancel
+  | Gate.Swap (a1, a2), Gate.Swap (b1, b2)
+    when (a1, a2) = (b1, b2) || (a1, a2) = (b2, b1) ->
+      `Cancel
+  | ( Gate.Toffoli { c1 = a1; c2 = a2; target = at },
+      Gate.Toffoli { c1 = b1; c2 = b2; target = bt } )
+    when at = bt && ((a1, a2) = (b1, b2) || (a1, a2) = (b2, b1)) ->
+      `Cancel
+  | ( Gate.Fredkin { control = ac; t1 = a1; t2 = a2 },
+      Gate.Fredkin { control = bc; t1 = b1; t2 = b2 } )
+    when ac = bc && ((a1, a2) = (b1, b2) || (a1, a2) = (b2, b1)) ->
+      `Cancel
+  | _ -> `Keep
+
+(* Output gates as a growable array with tombstones; last.(w) holds the
+   index of the latest surviving gate touching wire w. *)
+let run (c : Circuit.t) =
+  let out = Tqec_util.Veca.create () in
+  let alive = Tqec_util.Veca.create () in
+  let last = Array.make c.Circuit.n_qubits (-1) in
+  let kill i =
+    Tqec_util.Veca.set alive i false;
+    (* wires that pointed at i must fall back; a full back-scan keeps the
+       code simple and the pass is already linear in practice *)
+    Array.iteri
+      (fun w l ->
+        if l = i then begin
+          let rec back j =
+            if j < 0 then -1
+            else if
+              Tqec_util.Veca.get alive j
+              && List.mem w (Gate.qubits (Tqec_util.Veca.get out j))
+            then j
+            else back (j - 1)
+          in
+          last.(w) <- back (i - 1)
+        end)
+      last
+  in
+  let emit g =
+    let i = Tqec_util.Veca.push out g in
+    ignore (Tqec_util.Veca.push alive true);
+    List.iter (fun w -> last.(w) <- i) (Gate.qubits g);
+    i
+  in
+  (* The previous gate adjacent to g on every wire, if unique. *)
+  let adjacent_pred g =
+    match Gate.qubits g with
+    | [] -> None
+    | w :: ws ->
+        let candidate = last.(w) in
+        if candidate = -1 then None
+        else if
+          List.for_all (fun w' -> last.(w') = candidate) ws
+          && List.for_all
+               (fun w' ->
+                 List.mem w'
+                   (Gate.qubits (Tqec_util.Veca.get out candidate))
+                 = List.mem w' (Gate.qubits g))
+               (Gate.qubits (Tqec_util.Veca.get out candidate))
+        then Some candidate
+        else None
+  in
+  let rec insert g =
+    match adjacent_pred g with
+    | None -> ignore (emit g)
+    | Some i -> (
+        match pair_rule (Tqec_util.Veca.get out i) g with
+        | `Cancel -> kill i
+        | `Replace g' ->
+            kill i;
+            insert g'
+        | `Keep -> ignore (emit g))
+  in
+  List.iter insert c.Circuit.gates;
+  let gates =
+    List.filteri (fun i _ -> Tqec_util.Veca.get alive i)
+      (Tqec_util.Veca.to_list out)
+  in
+  Circuit.make ~name:c.Circuit.name ~n_qubits:c.Circuit.n_qubits gates
+
+let cancelled c = Circuit.n_gates c - Circuit.n_gates (run c)

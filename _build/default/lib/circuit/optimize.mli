@@ -1,0 +1,23 @@
+(** Peephole circuit optimization.
+
+    A single left-to-right pass with cascading cancellation: each gate is
+    checked against the most recent surviving gate on its wires and the
+    pair is cancelled (self-inverse gates, [S]/[S†], [T]/[T†], identical
+    CNOT/SWAP/Toffoli) or merged ([T·T = S], [S·S = Z], ...), with the
+    merged gate re-checked against its own predecessor.  Used as an
+    optional preprocess before ICM decomposition: cancelling a [T] pair
+    removes a whole six-line gadget from the TQEC circuit.
+
+    The pass only pairs gates that are adjacent on {e every} wire they
+    touch, so it never reorders non-commuting operations. *)
+
+(** [run c] is the optimized circuit (same wire count). *)
+val run : Circuit.t -> Circuit.t
+
+(** [cancelled c] is [n_gates c - n_gates (run c)]. *)
+val cancelled : Circuit.t -> int
+
+(** [pair_rule a b] is the rule applied when [b] immediately follows [a]
+    on all shared wires: [`Cancel], [`Replace g], or [`Keep] — exposed
+    for tests. *)
+val pair_rule : Gate.t -> Gate.t -> [ `Cancel | `Replace of Gate.t | `Keep ]

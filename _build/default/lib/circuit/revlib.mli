@@ -1,0 +1,26 @@
+(** Reader/writer for the RevLib [.real] circuit format (the format of the
+    paper's benchmark suite).
+
+    The supported subset covers the constructs appearing in reversible
+    benchmark circuits: [.version], [.numvars], [.variables], [.inputs],
+    [.outputs], [.constants], [.garbage], [.begin] / [.end], comments
+    ([#]), Toffoli-family gates [t1] (NOT), [t2] (CNOT), [t3] (Toffoli),
+    [tN] (multi-control Toffoli) and Fredkin-family gates [f2] (SWAP),
+    [f3] (controlled SWAP). *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [parse_string ~name s] parses [.real] text.
+    @raise Parse_error on malformed input. *)
+val parse_string : name:string -> string -> Circuit.t
+
+(** [parse_file path] parses a [.real] file, naming the circuit after the
+    file's basename. *)
+val parse_file : string -> Circuit.t
+
+(** [to_string c] prints [c] in [.real] syntax. Only reversible gates
+    (NOT / CNOT / Toffoli / MCT / SWAP / Fredkin) are printable.
+    @raise Invalid_argument if the circuit contains other gates. *)
+val to_string : Circuit.t -> string
+
+val write_file : string -> Circuit.t -> unit

@@ -1,0 +1,72 @@
+let is_reversible (c : Circuit.t) =
+  List.for_all
+    (fun g ->
+      match (g : Gate.t) with
+      | X _ | Cnot _ | Swap _ | Toffoli _ | Fredkin _ | Mct _ -> true
+      | Z _ | H _ | S _ | Sdg _ | T _ | Tdg _ -> false)
+    c.Circuit.gates
+
+let apply_gate state (g : Gate.t) =
+  match g with
+  | X q -> state.(q) <- not state.(q)
+  | Cnot { control; target } ->
+      if state.(control) then state.(target) <- not state.(target)
+  | Swap (a, b) ->
+      let tmp = state.(a) in
+      state.(a) <- state.(b);
+      state.(b) <- tmp
+  | Toffoli { c1; c2; target } ->
+      if state.(c1) && state.(c2) then state.(target) <- not state.(target)
+  | Fredkin { control; t1; t2 } ->
+      if state.(control) then begin
+        let tmp = state.(t1) in
+        state.(t1) <- state.(t2);
+        state.(t2) <- tmp
+      end
+  | Mct { controls; target } ->
+      if List.for_all (fun q -> state.(q)) controls then
+        state.(target) <- not state.(target)
+  | Z _ | H _ | S _ | Sdg _ | T _ | Tdg _ ->
+      invalid_arg "Sim: non-reversible gate"
+
+let apply (c : Circuit.t) input =
+  if Array.length input <> c.Circuit.n_qubits then
+    invalid_arg "Sim.apply: width mismatch";
+  let state = Array.copy input in
+  List.iter (apply_gate state) c.Circuit.gates;
+  state
+
+let apply_int (c : Circuit.t) x =
+  let n = c.Circuit.n_qubits in
+  if n > 62 then invalid_arg "Sim.apply_int: too many wires";
+  let input = Array.init n (fun i -> (x lsr i) land 1 = 1) in
+  let output = apply c input in
+  Array.to_list output
+  |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+  |> List.fold_left ( lor ) 0
+
+let truth_table (c : Circuit.t) =
+  if c.Circuit.n_qubits > 16 then invalid_arg "Sim.truth_table: too wide";
+  Array.init (1 lsl c.Circuit.n_qubits) (fun x -> apply_int c x)
+
+let equivalent (a : Circuit.t) (b : Circuit.t) =
+  let narrow, wide = if a.Circuit.n_qubits <= b.Circuit.n_qubits then (a, b) else (b, a) in
+  let shared = narrow.Circuit.n_qubits in
+  let check x =
+    (* extra wires of the wider circuit start clean and must end clean *)
+    let out_w = apply_int wide x in
+    let out_n = apply_int narrow x in
+    out_w = out_n
+  in
+  if shared <= 16 then
+    let all = List.init (1 lsl shared) (fun x -> x) in
+    List.for_all check all
+  else begin
+    let rng = Tqec_util.Rng.create 0x5eed in
+    let ok = ref true in
+    for _ = 1 to 4096 do
+      if not (check (Tqec_util.Rng.int rng (1 lsl min shared 60))) then
+        ok := false
+    done;
+    !ok
+  end

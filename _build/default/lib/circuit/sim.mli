@@ -1,0 +1,31 @@
+(** Classical simulation of reversible circuits.
+
+    Gates from the reversible set (NOT / CNOT / SWAP / Toffoli / Fredkin /
+    MCT) act as permutations of computational basis states; simulating
+    them on bit vectors gives a semantic oracle for the lowering and
+    optimization passes: {!Mct.lower} must preserve the computed function
+    (ancillae returned clean), {!Optimize.run} must preserve it exactly,
+    and {!Revlib} round trips must too. *)
+
+(** [is_reversible c] is true when every gate is classically simulable. *)
+val is_reversible : Circuit.t -> bool
+
+(** [apply c input] runs the circuit on a bit vector of width
+    [c.n_qubits].
+    @raise Invalid_argument on width mismatch or non-reversible gates. *)
+val apply : Circuit.t -> bool array -> bool array
+
+(** [apply_int c x] runs on the little-endian encoding of [x] (wire 0 is
+    the least significant bit); the result is re-encoded the same way.
+    Only usable when [c.n_qubits <= 62]. *)
+val apply_int : Circuit.t -> int -> int
+
+(** [truth_table c] is the full permutation for circuits of at most 16
+    wires, as an array indexed by input encoding. *)
+val truth_table : Circuit.t -> int array
+
+(** [equivalent a b] compares two circuits' permutations on their common
+    width, treating extra wires of the wider circuit as clean ancillae
+    that must be returned to zero (the V-chain contract of {!Mct.lower}).
+    Exhaustive up to 16 shared wires; sampled beyond. *)
+val equivalent : Circuit.t -> Circuit.t -> bool

@@ -1,0 +1,121 @@
+type paper_row = {
+  p_qubits : int;
+  p_cnots : int;
+  p_y : int;
+  p_a : int;
+  p_modules : int;
+  p_nodes : int;
+  p_canonical : int;
+  p_lin1d : int;
+  p_lin2d : int;
+  p_hsu : int;
+  p_ours : int;
+  p_hsu_runtime : float;
+  p_ours_runtime : float;
+}
+
+type entry = { spec : Generator.spec; paper : paper_row }
+
+let base_seed = 2022
+
+(* One row of Tables 1-3; the reversible-level composition is recovered
+   from the published statistics via the calibration identities in the
+   interface. *)
+let entry ?(unused = 0) idx name ~qubits ~cnots ~y ~a ~modules ~nodes
+    ~canonical ~lin1d ~lin2d ~hsu ~hsu_rt ~ours ~ours_rt =
+  assert (a mod 7 = 0);
+  assert (y = 2 * a);
+  let n_wires = qubits - (6 * a) in
+  let n_toffoli = a / 7 in
+  let n_cnot = cnots - (48 * n_toffoli) in
+  assert (n_wires >= 3 && n_cnot >= 0);
+  {
+    spec =
+      {
+        Generator.name;
+        n_wires;
+        n_toffoli;
+        n_cnot;
+        n_not = n_wires / 2;
+        n_unused = unused;
+        seed = base_seed + idx;
+      };
+    paper =
+      {
+        p_qubits = qubits;
+        p_cnots = cnots;
+        p_y = y;
+        p_a = a;
+        p_modules = modules;
+        p_nodes = nodes;
+        p_canonical = canonical;
+        p_lin1d = lin1d;
+        p_lin2d = lin2d;
+        p_hsu = hsu;
+        p_ours = ours;
+        p_hsu_runtime = hsu_rt;
+        p_ours_runtime = ours_rt;
+      };
+  }
+
+let all =
+  [
+    entry 0 "4gt10-v1_81" ~qubits:131 ~cnots:168 ~y:42 ~a:21 ~modules:362
+      ~nodes:18 ~canonical:136836 ~lin1d:98322 ~lin2d:91116 ~hsu:25520
+      ~hsu_rt:15. ~ours:20880 ~ours_rt:16.;
+    entry 1 "4gt4-v0_73" ~qubits:257 ~cnots:341 ~y:84 ~a:42 ~modules:724
+      ~nodes:360 ~canonical:535398 ~lin1d:361152 ~lin2d:327816 ~hsu:58696
+      ~hsu_rt:26. ~ours:45560 ~ours_rt:184.;
+    entry 2 "rd84_142" ~qubits:897 ~cnots:1162 ~y:294 ~a:147 ~modules:2500
+      ~nodes:1242 ~canonical:6287400 ~lin1d:2805246 ~lin2d:2744316
+      ~hsu:451440 ~hsu_rt:262. ~ours:190773 ~ours_rt:654.;
+    entry 3 "hwb5_53" ~qubits:1307 ~cnots:1729 ~y:434 ~a:217 ~modules:3687
+      ~nodes:1853 ~canonical:13608294 ~lin1d:9114828 ~lin2d:8203548
+      ~hsu:1341704 ~hsu_rt:447. ~ours:465800 ~ours_rt:1295.;
+    entry ~unused:1 4 "add16_174" ~qubits:1394 ~cnots:1792 ~y:448 ~a:224 ~modules:3857
+      ~nodes:1904 ~canonical:15028608 ~lin1d:6449532 ~lin2d:6173928
+      ~hsu:1069362 ~hsu_rt:590. ~ours:519350 ~ours_rt:941.;
+    entry 5 "sym6_145" ~qubits:1519 ~cnots:1980 ~y:504 ~a:252 ~modules:4255
+      ~nodes:2148 ~canonical:18103176 ~lin1d:10720836 ~lin2d:9852336
+      ~hsu:1971840 ~hsu_rt:793. ~ours:585060 ~ours_rt:1538.;
+    entry ~unused:1 6 "cycle17_3_112" ~qubits:1911 ~cnots:2478 ~y:630 ~a:315
+      ~modules:5321 ~nodes:2744 ~canonical:28469700 ~lin1d:19082448
+      ~lin2d:16843884 ~hsu:2354100 ~hsu_rt:1402. ~ours:1327656
+      ~ours_rt:1666.;
+    entry 7 "ham15_107" ~qubits:3753 ~cnots:4938 ~y:1246 ~a:623
+      ~modules:10560 ~nodes:5301 ~canonical:111335928 ~lin1d:69294822
+      ~lin2d:63017484 ~hsu:7331454 ~hsu_rt:4901. ~ours:3650985
+      ~ours_rt:4541.;
+  ]
+
+let find name =
+  List.find_opt (fun e -> e.spec.Generator.name = name) all
+
+let names = List.map (fun e -> e.spec.Generator.name) all
+
+let circuit e = Generator.generate e.spec
+
+let scaled ?(factor = 1) e =
+  if factor <= 1 then circuit e
+  else
+    let spec = e.spec in
+    let spec =
+      {
+        spec with
+        Generator.name = Printf.sprintf "%s@1/%d" spec.Generator.name factor;
+        n_toffoli = max 1 (spec.Generator.n_toffoli / factor);
+        n_cnot = max 2 (spec.Generator.n_cnot / factor);
+        n_not = spec.Generator.n_not / factor;
+        n_unused = 0;
+        n_wires = max 3 (spec.Generator.n_wires);
+      }
+    in
+    Generator.generate spec
+
+let three_cnot_example =
+  Circuit.make ~name:"three-cnot" ~n_qubits:3
+    [
+      Gate.Cnot { control = 0; target = 1 };
+      Gate.Cnot { control = 2; target = 1 };
+      Gate.Cnot { control = 1; target = 0 };
+    ]

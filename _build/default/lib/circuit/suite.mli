@@ -1,0 +1,50 @@
+(** The paper's eight-benchmark evaluation suite (RevLib names), with the
+    published reference numbers from Tables 1-3 for paper-vs-measured
+    reporting.
+
+    Generator calibration: the paper's Table 1 satisfies, for every row,
+    - [#|A>] = 7 * #Toffoli (7-T Toffoli decomposition),
+    - [#|Y>] = 2 * #|A>   (two |Y> ancillae per T gadget),
+    - [#Qubits] = wires + 6 * #|A>  (six ancilla lines per T gadget),
+    - [#CNOTs] = reversible-level CNOTs + 6 per Toffoli + 6 per T gadget,
+    so the reversible-level composition of each benchmark is recovered
+    exactly from the published statistics. *)
+
+type paper_row = {
+  p_qubits : int;
+  p_cnots : int;
+  p_y : int;
+  p_a : int;
+  p_modules : int;
+  p_nodes : int;
+  p_canonical : int;  (** Table 2 canonical volume *)
+  p_lin1d : int;  (** Table 2 Lin [11] 1D volume *)
+  p_lin2d : int;  (** Table 2 Lin [11] 2D volume *)
+  p_hsu : int;  (** Table 3 Hsu [10] volume *)
+  p_ours : int;  (** Table 3 the paper's volume *)
+  p_hsu_runtime : float;  (** seconds *)
+  p_ours_runtime : float;
+}
+
+type entry = { spec : Generator.spec; paper : paper_row }
+
+(** All eight benchmarks, in the paper's row order. *)
+val all : entry list
+
+(** [find name] looks an entry up by benchmark name. *)
+val find : string -> entry option
+
+(** [names] in table order. *)
+val names : string list
+
+(** [circuit entry] generates the reversible-level circuit. *)
+val circuit : entry -> Circuit.t
+
+(** [scaled ?factor entry] generates a linearly scaled-down instance (gate
+    and wire counts divided by [factor], at least the minimum legal size),
+    used by the quick benchmark mode. [factor = 1] is the full circuit. *)
+val scaled : ?factor:int -> entry -> Circuit.t
+
+(** The paper's 3-CNOT running example (Fig. 1): three CNOTs on three
+    qubits, control/target pattern of Fig. 6. *)
+val three_cnot_example : Circuit.t

@@ -1,0 +1,1 @@
+lib/compress/ablation.ml: List Pipeline Printf String Tqec_circuit Tqec_icm Tqec_place Tqec_util

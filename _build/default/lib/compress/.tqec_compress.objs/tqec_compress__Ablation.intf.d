@@ -1,0 +1,1 @@
+lib/compress/ablation.mli: Tqec_icm Tqec_place

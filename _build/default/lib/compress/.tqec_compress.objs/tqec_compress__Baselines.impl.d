@@ -1,0 +1,1 @@
+lib/compress/baselines.ml: Array Float Hashtbl Int List Tqec_geom Tqec_icm Tqec_util

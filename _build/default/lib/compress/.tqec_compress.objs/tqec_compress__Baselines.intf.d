@@ -1,0 +1,1 @@
+lib/compress/baselines.mli: Tqec_icm

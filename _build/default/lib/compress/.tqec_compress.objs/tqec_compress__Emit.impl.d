@@ -1,0 +1,1 @@
+lib/compress/emit.ml: Array Hashtbl List Pipeline Tqec_geom Tqec_icm Tqec_pdgraph Tqec_place Tqec_route Tqec_util

@@ -1,0 +1,1 @@
+lib/compress/emit.mli: Pipeline Tqec_geom

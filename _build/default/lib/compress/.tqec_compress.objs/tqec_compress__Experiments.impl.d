@@ -1,0 +1,1 @@
+lib/compress/experiments.ml: Baselines List Pipeline Report String Sys Tqec_circuit Tqec_icm Tqec_place

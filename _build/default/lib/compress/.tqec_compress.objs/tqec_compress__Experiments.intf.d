@@ -1,0 +1,1 @@
+lib/compress/experiments.mli: Report Tqec_circuit Tqec_place

@@ -1,0 +1,1 @@
+lib/compress/pipeline.ml: Array Float Hashtbl List Printf Sys Tqec_circuit Tqec_geom Tqec_icm Tqec_pdgraph Tqec_place Tqec_route Tqec_util Unix

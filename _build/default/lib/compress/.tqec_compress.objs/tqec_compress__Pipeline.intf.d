@@ -1,0 +1,1 @@
+lib/compress/pipeline.mli: Tqec_circuit Tqec_icm Tqec_pdgraph Tqec_place Tqec_route

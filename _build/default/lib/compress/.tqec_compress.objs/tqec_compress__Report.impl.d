@@ -1,0 +1,1 @@
+lib/compress/report.ml: List Printf Tqec_circuit Tqec_icm Tqec_util

@@ -1,0 +1,1 @@
+lib/compress/report.mli: Tqec_circuit Tqec_icm

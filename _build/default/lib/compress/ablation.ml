@@ -1,0 +1,109 @@
+module Icm = Tqec_icm.Icm
+module Placer = Tqec_place.Placer
+module Pretty = Tqec_util.Pretty
+
+type datum = { a_label : string; a_volume : int; a_nodes : int; a_runtime : float }
+
+type study = { s_name : string; s_data : datum list }
+
+let measure label config icm =
+  let r = Pipeline.run_icm ~config icm in
+  {
+    a_label = label;
+    a_volume = r.Pipeline.volume;
+    a_nodes = r.Pipeline.stages.Pipeline.st_nodes;
+    a_runtime = r.Pipeline.elapsed;
+  }
+
+let ishape icm ~effort =
+  let base = { Pipeline.default_config with effort } in
+  {
+    s_name = "I-shaped simplification";
+    s_data =
+      [
+        measure "with I-shape" base icm;
+        measure "without I-shape" { base with Pipeline.enable_ishape = false } icm;
+      ];
+  }
+
+let flipping_seeds icm ~effort ~seeds =
+  let base = { Pipeline.default_config with effort } in
+  {
+    s_name = "flipping start seed";
+    s_data =
+      List.map
+        (fun seed ->
+          measure (Printf.sprintf "seed %d" seed)
+            { base with Pipeline.seed } icm)
+        seeds;
+  }
+
+let z_cap icm ~effort ~caps =
+  let base = { Pipeline.default_config with effort } in
+  {
+    s_name = "chain folding height (z_cap)";
+    s_data =
+      measure "auto" base icm
+      :: List.map
+           (fun cap ->
+             measure (Printf.sprintf "z_cap %d" cap)
+               { base with Pipeline.z_cap = Some cap } icm)
+           caps;
+  }
+
+let effort icm =
+  {
+    s_name = "placement effort";
+    s_data =
+      List.map
+        (fun (label, effort) ->
+          measure label { Pipeline.default_config with effort } icm)
+        [ ("quick", Placer.Quick); ("normal", Placer.Normal) ];
+  }
+
+let strategy icm ~effort =
+  let base = { Pipeline.default_config with effort } in
+  {
+    s_name = "placement strategy";
+    s_data =
+      [
+        measure "B*-tree annealing" base icm;
+        measure "force-directed shelves"
+          { base with Pipeline.strategy = Placer.Force_directed }
+          icm;
+      ];
+  }
+
+let render study =
+  let t = Pretty.create [ "configuration"; "volume"; "nodes"; "runtime (s)" ] in
+  List.iter
+    (fun d ->
+      Pretty.add_row t
+        [
+          d.a_label;
+          Pretty.int_with_commas d.a_volume;
+          string_of_int d.a_nodes;
+          Pretty.float2 d.a_runtime;
+        ])
+    study.s_data;
+  Printf.sprintf "Ablation: %s\n%s" study.s_name (Pretty.render t)
+
+let run_default ?(scale = 8) () =
+  let entry =
+    match Tqec_circuit.Suite.find "rd84_142" with
+    | Some e -> e
+    | None -> assert false
+  in
+  let circuit = Tqec_circuit.Suite.scaled ~factor:scale entry in
+  let icm =
+    Tqec_icm.Decompose.run (Tqec_circuit.Clifford_t.decompose circuit)
+  in
+  let e = Placer.Quick in
+  String.concat "\n"
+    [
+      render (ishape icm ~effort:e);
+      render (flipping_seeds icm ~effort:e ~seeds:[ 1; 42; 1337 ]);
+      render (z_cap icm ~effort:e ~caps:[ 2; 4; 8 ]);
+      render (effort icm);
+      render (strategy icm ~effort:e);
+    ]

@@ -1,0 +1,41 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Each study runs the full pipeline on one benchmark instance with a
+    single knob varied and reports the resulting space-time volume:
+
+    - {b I-shaped simplification} on/off (paper Section 3.2's claim that
+      the O(n) pass is "very effective ... for small-scale problems");
+    - {b flipping start randomization}: seed sweep of the greedy primal
+      bridging, measuring how sensitive chain construction is to the
+      random starting point (paper Section 3.3);
+    - {b chain folding height} (z_cap) sweep, the 2.5D trade-off behind
+      the primal bridging super-module's footprint;
+    - {b placement effort} sweep (SA budget vs quality). *)
+
+type datum = { a_label : string; a_volume : int; a_nodes : int; a_runtime : float }
+
+type study = { s_name : string; s_data : datum list }
+
+(** [ishape icm ~effort] on/off comparison. *)
+val ishape : Tqec_icm.Icm.t -> effort:Tqec_place.Placer.effort -> study
+
+(** [flipping_seeds icm ~effort ~seeds]. *)
+val flipping_seeds :
+  Tqec_icm.Icm.t -> effort:Tqec_place.Placer.effort -> seeds:int list -> study
+
+(** [z_cap icm ~effort ~caps]. *)
+val z_cap :
+  Tqec_icm.Icm.t -> effort:Tqec_place.Placer.effort -> caps:int list -> study
+
+(** [effort icm] quick/normal comparison. *)
+val effort : Tqec_icm.Icm.t -> study
+
+(** [strategy icm ~effort] annealing vs force-directed placement. *)
+val strategy : Tqec_icm.Icm.t -> effort:Tqec_place.Placer.effort -> study
+
+(** [render study] as a text table. *)
+val render : study -> string
+
+(** [run_default ()] runs all studies on a scaled-down rd84_142 instance
+    and renders them (the `tqecc ablate` / bench entry point). *)
+val run_default : ?scale:int -> unit -> string

@@ -1,0 +1,114 @@
+module Icm = Tqec_icm.Icm
+module Canonical = Tqec_geom.Canonical
+module Geometry = Tqec_geom.Geometry
+module Interval = Tqec_util.Interval
+
+type lin_result = { l_steps : int; l_rows : int; l_volume : int }
+
+let canonical_volume = Canonical.volume
+
+let box_total (icm : Icm.t) =
+  let s = Icm.stats icm in
+  (Geometry.box_volume Geometry.Y_box * s.Icm.s_y)
+  + (Geometry.box_volume Geometry.A_box * s.Icm.s_a)
+
+(* Rows in layout order: only lines that participate in a CNOT. *)
+let rows_of (icm : Icm.t) =
+  let used = Array.make icm.n_lines false in
+  Array.iter
+    (fun ({ control; target } : Icm.cnot) ->
+      used.(control) <- true;
+      used.(target) <- true)
+    icm.cnots;
+  let row = Array.make icm.n_lines (-1) in
+  let next = ref 0 in
+  Array.iteri
+    (fun line u ->
+      if u then begin
+        row.(line) <- !next;
+        incr next
+      end)
+    used;
+  (row, !next)
+
+(* Greedy ASAP list scheduling over abstract per-step occupancy.
+   [cells c t] lists the resource cells of a CNOT's route (already
+   inflated by the one-unit separation); a CNOT fits a step when none of
+   its cells is occupied there.  Gates sharing a line are serialized
+   through [ready]. *)
+let schedule (icm : Icm.t) ~cells =
+  let n_lines = icm.n_lines in
+  let ready = Array.make n_lines 0 in
+  let occupancy : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let step_table s =
+    match Hashtbl.find_opt occupancy s with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.create 32 in
+        Hashtbl.replace occupancy s t;
+        t
+  in
+  let n_steps = ref 0 in
+  Array.iter
+    (fun ({ control; target } : Icm.cnot) ->
+      let core, inflated = cells control target in
+      let earliest = max ready.(control) ready.(target) in
+      let rec find s =
+        let t = step_table s in
+        if List.exists (Hashtbl.mem t) inflated then find (s + 1) else s
+      in
+      let s = find earliest in
+      let t = step_table s in
+      List.iter (fun c -> Hashtbl.replace t c ()) core;
+      ready.(control) <- s + 1;
+      ready.(target) <- s + 1;
+      n_steps := max !n_steps (s + 1))
+    icm.cnots;
+  !n_steps
+
+let lin_1d (icm : Icm.t) =
+  let row, n_rows = rows_of icm in
+  let span lo hi = List.init (hi - lo + 1) (fun i -> lo + i) in
+  let cells c t =
+    let i = Interval.make row.(c) row.(t) in
+    (span i.Interval.lo i.Interval.hi, span (i.Interval.lo - 1) (i.Interval.hi + 1))
+  in
+  let steps = schedule icm ~cells in
+  {
+    l_steps = steps;
+    l_rows = n_rows;
+    l_volume = (3 * steps * n_rows * 2) + box_total icm;
+  }
+
+let lin_2d (icm : Icm.t) =
+  let row, n_rows = rows_of icm in
+  let grid_w =
+    max 1 (int_of_float (Float.ceil (sqrt (float_of_int (max 1 n_rows)))))
+  in
+  let stride = grid_w + 4 in
+  let encode (x, y) = ((y + 1) * stride) + x + 1 in
+  let coord line = (row.(line) mod grid_w, row.(line) / grid_w) in
+  (* L-shaped route: horizontal run in the control's grid row, then
+     vertical run in the target's column. *)
+  let cells c t =
+    let cx, cy = coord c and tx, ty = coord t in
+    let horizontal =
+      List.init (abs (tx - cx) + 1) (fun i -> (min cx tx + i, cy))
+    in
+    let vertical =
+      List.init (abs (ty - cy) + 1) (fun i -> (tx, min cy ty + i))
+    in
+    let core = horizontal @ vertical in
+    let inflated =
+      List.concat_map
+        (fun (x, y) -> [ (x, y); (x + 1, y); (x - 1, y); (x, y + 1); (x, y - 1) ])
+        core
+    in
+    (List.map encode core, List.sort_uniq Int.compare (List.map encode inflated))
+  in
+  let steps = schedule icm ~cells in
+  {
+    l_steps = steps;
+    l_rows = n_rows;
+    l_volume = (3 * steps * n_rows * 2) + box_total icm;
+  }

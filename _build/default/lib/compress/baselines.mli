@@ -1,0 +1,30 @@
+(** Volume baselines of the paper's Table 2 and Table 3.
+
+    - {b Canonical}: the synthesized canonical form plus the total
+      distillation-box volume (closed form, exact for Table 2).
+    - {b Lin 1D / 2D} (Lin et al., TCAD'18): logical qubit lines arranged
+      in a 1D row or 2D grid for the primal defects; compression acts
+      only along the time axis by packing CNOTs whose dual-defect
+      routes do not conflict into shared 3-unit time steps, respecting
+      data dependencies (gates sharing a line stay ordered).  Volume is
+      [3 * steps * rows * 2] plus distillation boxes.
+    - {b Dual-only} (Hsu et al., DAC'21) and {b ours} run the actual
+      pipeline; see {!Pipeline}. *)
+
+type lin_result = {
+  l_steps : int;  (** scheduled time steps *)
+  l_rows : int;  (** ICM lines with canonical rails *)
+  l_volume : int;  (** including distillation boxes *)
+}
+
+val canonical_volume : Tqec_icm.Icm.t -> int
+
+(** [lin_1d icm] — greedy ASAP list scheduling; two CNOTs conflict in a
+    step when their line intervals touch (disjoint dual routes must stay
+    one unit apart). *)
+val lin_1d : Tqec_icm.Icm.t -> lin_result
+
+(** [lin_2d icm] — lines arranged row-major in a near-square grid; a CNOT
+    occupies the L-shaped route between its endpoints; two CNOTs conflict
+    when their routes share or touch a grid cell. *)
+val lin_2d : Tqec_icm.Icm.t -> lin_result

@@ -1,0 +1,27 @@
+(** Geometric description emission for pipeline results.
+
+    Converts a placed-and-routed result into a {!Tqec_geom.Geometry.t} on
+    the doubled lattice: every primal structure (a bridging chain with
+    its I-shape partners, a time-dependent super-module member, a plain
+    module) becomes a primal strand through its modules' cell vertices;
+    every routed dual structure becomes the set of unit edges of its
+    routed tree; distillation boxes become boxes.
+
+    Because each unit cell carries one primal and one dual lattice
+    vertex, running {!Tqec_geom.Geometry.check} on the emission is a
+    geometric soundness check of the whole flow: any two distinct
+    structures sharing a cell (a placement overlap or a routing overuse)
+    shows up as a vertex collision.  Pin cells are deliberately shared by
+    several dual structures (strands threading the same primal loop);
+    they are emitted for the first structure only, so a valid result
+    yields a collision-free geometry. *)
+
+(** [geometry r] emits the result's geometric description. *)
+val geometry : Pipeline.t -> Tqec_geom.Geometry.t
+
+(** [check r] = [Tqec_geom.Geometry.check (geometry r)]. *)
+val check : Pipeline.t -> Tqec_geom.Geometry.issue list
+
+(** [volume_consistent r] verifies that the emitted geometry's bounding
+    box matches the pipeline's reported volume. *)
+val volume_consistent : Pipeline.t -> bool

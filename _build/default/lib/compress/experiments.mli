@@ -1,0 +1,35 @@
+(** The experiment harness regenerating every table and figure of the
+    paper's evaluation (Tables 1-3, the Fig. 1 volume sequence).
+
+    Effort and instance scale come from the environment when not given:
+    [TQEC_EFFORT] in quick|normal|full (default quick for the bench
+    harness) and [TQEC_SCALE] (an integer divisor applied to the largest
+    benchmarks so the harness terminates in minutes; 1 = full size). *)
+
+type config = {
+  effort : Tqec_place.Placer.effort;
+  scale : int;  (** divisor for gate counts; 1 = full-size instances *)
+  auto_scale : bool;
+      (** additionally scale the largest instances down so each stays
+          near the largest tractable size (rd84-scale, ~2600 modules);
+          disable with TQEC_FULLSIZE=1 for a full-size run *)
+  seed : int;
+  benchmarks : string list;  (** names to run; defaults to all eight *)
+}
+
+(** [config_from_env ()] reads TQEC_EFFORT / TQEC_SCALE / TQEC_SEED. *)
+val config_from_env : unit -> config
+
+(** [run_benchmark config entry] measures one suite entry end to end. *)
+val run_benchmark : config -> Tqec_circuit.Suite.entry -> Report.row
+
+(** [run_all config] measures the selected benchmarks in table order. *)
+val run_all : config -> Report.row list
+
+(** [fig1_series ()] runs the four Fig. 1 configurations on the 3-CNOT
+    example and returns (name, measured volume, paper volume) triples. *)
+val fig1_series : unit -> (string * int * int) list
+
+(** [render_all config] runs everything and returns the full report
+    (Tables 1-3, Fig. 1, summary). *)
+val render_all : config -> string

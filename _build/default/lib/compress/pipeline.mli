@@ -1,0 +1,63 @@
+(** The seven-stage compression flow (paper Fig. 5):
+
+    preprocess (gate decomposition) -> ICM -> PD graph -> I-shaped
+    simplification -> flipping (primal bridging) -> iterative dual
+    bridging -> module placement -> dual-defect net routing.
+
+    Individual bridging stages can be disabled to obtain the baselines:
+    [dual_only] (Hsu et al. DAC'21: no I-shape, no primal bridging) and
+    [modular_only] (topological deformation via modularization and
+    placement alone). *)
+
+type variant =
+  | Full  (** the paper's algorithm: primal + dual bridging *)
+  | Dual_only  (** Hsu et al. [10]: iterative dual bridging only *)
+  | Modular_only  (** no bridging at all; placement + routing *)
+
+type config = {
+  variant : variant;
+  effort : Tqec_place.Placer.effort;
+  seed : int;
+  enable_ishape : bool;  (** ablations: disable stage 3 in [Full] runs *)
+  z_cap : int option;  (** ablations: chain folding height override *)
+  strategy : Tqec_place.Placer.strategy;  (** placement engine *)
+}
+
+val default_config : config
+
+(** Per-stage observability: counts after each stage. *)
+type stage_stats = {
+  st_modules : int;  (** constructed modules (paper "#Modules") *)
+  st_ishape_merges : int;
+  st_points : int;
+  st_chains : int;
+  st_nodes : int;  (** B*-tree nodes (paper "#Nodes") *)
+  st_nets : int;
+  st_merged_nets : int;
+  st_dual_bridges : int;
+}
+
+type t = {
+  icm : Tqec_icm.Icm.t;
+  graph : Tqec_pdgraph.Pd_graph.t;
+  flipping : Tqec_pdgraph.Flipping.t;
+  dual : Tqec_pdgraph.Dual_bridge.t;
+  fvalue : Tqec_pdgraph.Fvalue.t;
+  placement : Tqec_place.Placer.t;
+  routing : Tqec_route.Pathfinder.result;
+  volume : int;  (** final space-time volume (routing-aware bbox) *)
+  stages : stage_stats;
+  elapsed : float;  (** seconds *)
+}
+
+(** [run ?config circuit] executes the flow on a reversible or Clifford+T
+    circuit (gate decomposition runs first when needed). *)
+val run : ?config:config -> Tqec_circuit.Circuit.t -> t
+
+(** [run_icm ?config icm] enters the flow after the preprocess stage. *)
+val run_icm : ?config:config -> Tqec_icm.Icm.t -> t
+
+(** [check r] runs all structural validators over the result (placement
+    overlap/order, routing connectivity, braiding-relation preservation);
+    empty when sound. *)
+val check : t -> string list

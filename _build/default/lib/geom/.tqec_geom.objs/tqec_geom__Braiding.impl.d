@@ -1,0 +1,1 @@
+lib/geom/braiding.ml: Defect List Tqec_util

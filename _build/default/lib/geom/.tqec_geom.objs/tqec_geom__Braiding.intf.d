@@ -1,0 +1,1 @@
+lib/geom/braiding.mli: Defect Tqec_util

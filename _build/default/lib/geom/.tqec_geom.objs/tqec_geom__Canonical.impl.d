@@ -1,0 +1,1 @@
+lib/geom/canonical.ml: Array Braiding Defect Geometry Tqec_icm Tqec_util

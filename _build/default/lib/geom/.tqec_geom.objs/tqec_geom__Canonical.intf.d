@@ -1,0 +1,1 @@
+lib/geom/canonical.mli: Braiding Geometry Tqec_icm

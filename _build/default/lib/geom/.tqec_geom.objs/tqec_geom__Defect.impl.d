@@ -1,0 +1,1 @@
+lib/geom/defect.ml: Format Hashtbl List Tqec_util

@@ -1,0 +1,1 @@
+lib/geom/defect.mli: Format Tqec_util

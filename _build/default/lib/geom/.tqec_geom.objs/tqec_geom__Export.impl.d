@@ -1,0 +1,1 @@
+lib/geom/export.ml: Buffer Defect Geometry List Printf Tqec_util

@@ -1,0 +1,1 @@
+lib/geom/export.mli: Geometry

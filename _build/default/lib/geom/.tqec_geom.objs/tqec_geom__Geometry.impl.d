@@ -1,0 +1,1 @@
+lib/geom/geometry.ml: Defect Format Hashtbl Int List Tqec_util

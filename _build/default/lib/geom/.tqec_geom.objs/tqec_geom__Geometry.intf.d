@@ -1,0 +1,1 @@
+lib/geom/geometry.mli: Defect Format Tqec_util

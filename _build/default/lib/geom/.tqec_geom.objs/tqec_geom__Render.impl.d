@@ -1,0 +1,1 @@
+lib/geom/render.ml: Buffer Defect Geometry Hashtbl List Printf Tqec_util

@@ -1,0 +1,1 @@
+lib/geom/render.mli: Geometry

@@ -1,0 +1,52 @@
+module Vec3 = Tqec_util.Vec3
+module Interval = Tqec_util.Interval
+
+type hole = {
+  axis : [ `X | `Y | `Z ];
+  at : int;
+  u : Interval.t;
+  v : Interval.t;
+}
+
+let coords axis (p : Vec3.t) =
+  match axis with
+  | `X -> (p.x, p.y, p.z)
+  | `Y -> (p.y, p.x, p.z)
+  | `Z -> (p.z, p.x, p.y)
+
+let closed_segments (d : Defect.t) =
+  if not d.closed then invalid_arg "Braiding: defect must be closed";
+  match d.path with
+  | [] | [ _ ] -> []
+  | first :: _ ->
+      let rec pair = function
+        | a :: (b :: _ as rest) -> (a, b) :: pair rest
+        | [ last ] -> [ (last, first) ]
+        | [] -> []
+      in
+      pair d.path
+
+let crossings d ~axis ~at =
+  List.filter_map
+    (fun (a, b) ->
+      let na, ua, va = coords axis a in
+      let nb, ub, vb = coords axis b in
+      if min na nb < at && at < max na nb then begin
+        (* axis-aligned step: the transverse coordinates agree *)
+        assert (ua = ub && va = vb);
+        Some ((ua, va), if nb > na then 1 else -1)
+      end
+      else None)
+    (closed_segments d)
+
+let linking d hole =
+  let inside (u, v) =
+    u > hole.u.Interval.lo && u < hole.u.Interval.hi && v > hole.v.Interval.lo
+    && v < hole.v.Interval.hi
+  in
+  List.fold_left
+    (fun acc (pos, sign) -> if inside pos then acc + sign else acc)
+    0
+    (crossings d ~axis:hole.axis ~at:hole.at)
+
+let links d hole = linking d hole <> 0

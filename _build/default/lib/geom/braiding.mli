@@ -1,0 +1,30 @@
+(** Braiding (linking) verification on geometric descriptions.
+
+    The functional content of a braided TQEC circuit is the linking
+    pattern between dual loops and primal loops; topological deformation
+    and bridge compression must preserve it.  For planar primal loops —
+    the rail loops of the canonical form — linking of an axis-aligned
+    dual loop reduces to counting signed crossings through the loop's
+    hole rectangle. *)
+
+type hole = {
+  axis : [ `X | `Y | `Z ];  (** normal axis of the hole's plane *)
+  at : int;  (** plane position (doubled coordinate) *)
+  u : Tqec_util.Interval.t;  (** open range on the first remaining axis *)
+  v : Tqec_util.Interval.t;  (** open range on the second remaining axis *)
+}
+
+(** [linking loop hole] is the signed linking number of a closed defect
+    with the planar loop bounded around [hole].  Crossings count only
+    strictly inside the open rectangle.
+    @raise Invalid_argument if [loop] is not closed. *)
+val linking : Defect.t -> hole -> int
+
+(** [links loop hole] is [linking loop hole <> 0]. *)
+val links : Defect.t -> hole -> bool
+
+(** [crossings loop ~axis ~at] is all signed plane crossings (position on
+    the two remaining axes, in axis order, with sign), for debugging and
+    tests. *)
+val crossings :
+  Defect.t -> axis:[ `X | `Y | `Z ] -> at:int -> ((int * int) * int) list

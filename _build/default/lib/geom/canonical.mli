@@ -1,0 +1,39 @@
+(** Canonical geometric description of an ICM circuit (paper Fig. 1(b)).
+
+    Every ICM line that participates in at least one CNOT becomes a
+    horizontal primal rail pair (a closed rectangle loop in the (x,z)
+    plane) spanning the full time axis; CNOT [k] becomes a dual ring in
+    the slab of 3 time units starting at [3k], threading the control
+    row's rail loop and the target row's rail loop and no other.
+
+    Volume convention: the canonical space-time volume is
+    [3 * #CNOTs * rows * 2] with the distillation-box volumes
+    (18 per |Y>, 192 per |A>) added separately, exactly the accounting of
+    the paper's Table 2.  The doubled-lattice geometry built here is used
+    for braiding verification and rendering; its bounding box is allowed
+    to exceed the nominal volume by the dual rings' half-cell excursions
+    (at most one cell on y and z). *)
+
+type info = {
+  row_of_line : int array;  (** ICM line -> row index; [-1] if unused *)
+  n_rows : int;
+  n_cnots : int;
+  ring_x : int array;  (** doubled x coordinate of each CNOT's ring *)
+}
+
+(** [build icm] constructs the canonical geometry (without distillation
+    boxes, which the canonical convention accounts separately). *)
+val build : Tqec_icm.Icm.t -> Geometry.t * info
+
+(** [hole info row] is the rail-loop hole of [row] for linking tests. *)
+val hole : info -> int -> Braiding.hole
+
+(** [volume icm] is the canonical space-time volume including separate
+    distillation boxes — exact for every row of the paper's Table 2. *)
+val volume : Tqec_icm.Icm.t -> int
+
+(** [defect_volume icm] is the volume without distillation boxes. *)
+val defect_volume : Tqec_icm.Icm.t -> int
+
+(** [used_rows icm] counts ICM lines touched by at least one CNOT. *)
+val used_rows : Tqec_icm.Icm.t -> int

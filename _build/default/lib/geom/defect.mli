@@ -1,0 +1,85 @@
+(** Defect strands of a geometric description.
+
+    Geometry lives on a doubled integer lattice: primal defect vertices
+    have even coordinates, dual defect vertices odd coordinates (the
+    half-unit offset of the dual sublattice), and one paper unit cell [u]
+    contains the doubled coordinates [2u] and [2u + 1] on each axis
+    ([cell c = floor (c / 2)]).  A defect is a polyline of lattice
+    vertices with steps of one unit (two doubled coordinates) along a
+    single axis; closed defects are loops. *)
+
+type defect_type = Primal | Dual
+
+type t = {
+  id : int;
+  structure : int;  (** structure (connected component) this strand belongs to *)
+  dtype : defect_type;
+  path : Tqec_util.Vec3.t list;  (** doubled-lattice vertices, in order *)
+  closed : bool;
+}
+
+(** [make ~id ~structure ~dtype ~closed path] validates parity and step
+    structure. @raise Invalid_argument on malformed paths. *)
+val make :
+  id:int ->
+  structure:int ->
+  dtype:defect_type ->
+  closed:bool ->
+  Tqec_util.Vec3.t list ->
+  t
+
+(** [valid_path ~dtype ~closed path] checks: non-empty; all vertices on
+    the sublattice of [dtype]; consecutive vertices differ by exactly 2 on
+    exactly one axis; a closed path also steps from last back to first. *)
+val valid_path :
+  dtype:defect_type -> closed:bool -> Tqec_util.Vec3.t list -> bool
+
+(** [vertices d] is the vertex list. *)
+val vertices : t -> Tqec_util.Vec3.t list
+
+(** [cells d] is the set of paper unit cells touched, deduplicated. *)
+val cells : t -> Tqec_util.Vec3.t list
+
+(** [cell_of_vertex v] maps a doubled-lattice vertex to its unit cell. *)
+val cell_of_vertex : Tqec_util.Vec3.t -> Tqec_util.Vec3.t
+
+(** [length d] is the number of unit steps. *)
+val length : t -> int
+
+(** [straight ~id ~structure ~dtype a b] builds a straight strand from
+    [a] to [b] (must share two coordinates). *)
+val straight :
+  id:int ->
+  structure:int ->
+  dtype:defect_type ->
+  Tqec_util.Vec3.t ->
+  Tqec_util.Vec3.t ->
+  t
+
+(** [loop_of_corners ~id ~structure ~dtype corners] builds a closed loop
+    from a corner list: consecutive corners (and last back to first) must
+    be axis-aligned; the runs are expanded to unit steps.
+    @raise Invalid_argument on non-axis-aligned corners or degenerate
+    (self-overlapping) loops. *)
+val loop_of_corners :
+  id:int ->
+  structure:int ->
+  dtype:defect_type ->
+  Tqec_util.Vec3.t list ->
+  t
+
+(** [rectangle ~id ~structure ~dtype ~plane ~at corner_lo corner_hi]
+    builds a closed rectangular loop in the given axis [plane]
+    ([`Xy] | [`Xz] | [`Yz]) at fixed third coordinate [at]. The corners
+    are 2D (doubled) coordinates in the plane's axis order. *)
+val rectangle :
+  id:int ->
+  structure:int ->
+  dtype:defect_type ->
+  plane:[ `Xy | `Xz | `Yz ] ->
+  at:int ->
+  int * int ->
+  int * int ->
+  t
+
+val pp : Format.formatter -> t -> unit

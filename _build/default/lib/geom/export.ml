@@ -1,0 +1,64 @@
+module Vec3 = Tqec_util.Vec3
+module Box3 = Tqec_util.Box3
+
+(* Emit one axis-aligned cuboid, returning the next free vertex index.
+   OBJ vertex indices are global and 1-based. *)
+let cuboid buf ~index (x0, y0, z0) (x1, y1, z1) =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "v %g %g %g\nv %g %g %g\nv %g %g %g\nv %g %g %g\nv %g %g %g\nv %g %g \
+        %g\nv %g %g %g\nv %g %g %g\n"
+       x0 y0 z0 x1 y0 z0 x1 y1 z0 x0 y1 z0 x0 y0 z1 x1 y0 z1 x1 y1 z1 x0 y1 z1);
+  let f a b c d =
+    Buffer.add_string buf
+      (Printf.sprintf "f %d %d %d %d\n" (index + a) (index + b) (index + c)
+         (index + d))
+  in
+  f 0 1 2 3;
+  f 4 5 6 7;
+  f 0 1 5 4;
+  f 2 3 7 6;
+  f 1 2 6 5;
+  f 0 3 7 4;
+  index + 8
+
+let to_obj (g : Geometry.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# tqec geometric description\n";
+  let index = ref 1 in
+  let strand_half = 0.3 in
+  List.iter
+    (fun (d : Defect.t) ->
+      let kind =
+        match d.dtype with Defect.Primal -> "primal" | Defect.Dual -> "dual"
+      in
+      Buffer.add_string buf (Printf.sprintf "g %s_%d\n" kind d.structure);
+      List.iter
+        (fun (v : Vec3.t) ->
+          let x = float_of_int v.x /. 2.
+          and y = float_of_int v.y /. 2.
+          and z = float_of_int v.z /. 2. in
+          index :=
+            cuboid buf ~index:!index
+              (x -. strand_half, y -. strand_half, z -. strand_half)
+              (x +. strand_half, y +. strand_half, z +. strand_half))
+        d.path)
+    g.Geometry.defects;
+  List.iteri
+    (fun i (b : Geometry.distill_box) ->
+      let kind = match b.b_kind with Geometry.Y_box -> "Y" | Geometry.A_box -> "A" in
+      Buffer.add_string buf (Printf.sprintf "g box_%s_%d\n" kind i);
+      let lo = b.b_box.Box3.lo and hi = b.b_box.Box3.hi in
+      index :=
+        cuboid buf ~index:!index
+          (float_of_int lo.Vec3.x, float_of_int lo.Vec3.y, float_of_int lo.Vec3.z)
+          ( float_of_int (hi.Vec3.x + 1),
+            float_of_int (hi.Vec3.y + 1),
+            float_of_int (hi.Vec3.z + 1) ))
+    g.Geometry.boxes;
+  Buffer.contents buf
+
+let write_obj path g =
+  let oc = open_out path in
+  output_string oc (to_obj g);
+  close_out oc

@@ -1,0 +1,14 @@
+(** Wavefront OBJ export of geometric descriptions for external 3D
+    viewers.
+
+    Every defect vertex becomes a small cube on the doubled lattice
+    (primal cubes at even coordinates, dual at odd), distillation boxes
+    become scaled boxes, and each structure goes into its own OBJ group
+    ([g primal_3], [g dual_7], [g box_Y_0]) so viewers can color them
+    independently. *)
+
+(** [to_obj g] renders the geometry as OBJ text. *)
+val to_obj : Geometry.t -> string
+
+(** [write_obj path g] writes the OBJ file. *)
+val write_obj : string -> Geometry.t -> unit

@@ -1,0 +1,90 @@
+module Vec3 = Tqec_util.Vec3
+module Box3 = Tqec_util.Box3
+
+type cell_content = {
+  mutable primal : bool;
+  mutable dual : bool;
+  mutable box : Geometry.box_kind option;
+}
+
+let cell_map g =
+  let tbl : (Vec3.t, cell_content) Hashtbl.t = Hashtbl.create 256 in
+  let content c =
+    match Hashtbl.find_opt tbl c with
+    | Some x -> x
+    | None ->
+        let x = { primal = false; dual = false; box = None } in
+        Hashtbl.add tbl c x;
+        x
+  in
+  List.iter
+    (fun (d : Defect.t) ->
+      List.iter
+        (fun c ->
+          let x = content c in
+          match d.dtype with
+          | Defect.Primal -> x.primal <- true
+          | Defect.Dual -> x.dual <- true)
+        (Defect.cells d))
+    g.Geometry.defects;
+  List.iter
+    (fun (b : Geometry.distill_box) ->
+      List.iter
+        (fun c -> (content c).box <- Some b.b_kind)
+        (Box3.cells b.b_box))
+    g.Geometry.boxes;
+  tbl
+
+let char_of = function
+  | { box = Some Geometry.Y_box; _ } -> 'Y'
+  | { box = Some Geometry.A_box; _ } -> 'A'
+  | { primal = true; dual = true; _ } -> '*'
+  | { primal = true; _ } -> 'P'
+  | { dual = true; _ } -> 'D'
+  | _ -> '.'
+
+let render_layer tbl (bb : Box3.t) z =
+  let buf = Buffer.create 256 in
+  for y = bb.Box3.lo.Vec3.y to bb.Box3.hi.Vec3.y do
+    for x = bb.Box3.lo.Vec3.x to bb.Box3.hi.Vec3.x do
+      let c =
+        match Hashtbl.find_opt tbl (Vec3.make x y z) with
+        | Some content -> char_of content
+        | None -> '.'
+      in
+      Buffer.add_char buf c
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let layer g ~z =
+  match Geometry.bbox g with
+  | None -> ""
+  | Some bb -> render_layer (cell_map g) bb z
+
+let layers g =
+  match Geometry.bbox g with
+  | None -> ""
+  | Some bb ->
+      let tbl = cell_map g in
+      let buf = Buffer.create 1024 in
+      for z = bb.Box3.lo.Vec3.z to bb.Box3.hi.Vec3.z do
+        Buffer.add_string buf (Printf.sprintf "-- z = %d --\n" z);
+        Buffer.add_string buf (render_layer tbl bb z)
+      done;
+      Buffer.contents buf
+
+let summary g =
+  let n_primal =
+    List.length
+      (List.filter (fun (d : Defect.t) -> d.dtype = Defect.Primal) g.Geometry.defects)
+  in
+  let n_dual = List.length g.Geometry.defects - n_primal in
+  match Geometry.bbox g with
+  | None -> Printf.sprintf "%s: empty" g.Geometry.name
+  | Some bb ->
+      Printf.sprintf "%s: %d primal + %d dual strands, %d boxes, %dx%dx%d = %d cells"
+        g.Geometry.name n_primal n_dual
+        (List.length g.Geometry.boxes)
+        (Box3.dx bb) (Box3.dy bb) (Box3.dz bb) (Box3.volume bb)

@@ -1,0 +1,14 @@
+(** ASCII rendering of small geometric descriptions, one grid per z layer
+    of unit cells.  Primal cells print ['P'], dual cells ['D'], cells
+    holding both ['*'], distillation boxes ['Y'] / ['A'], empty ['.']. *)
+
+(** [layers g] renders every z layer, annotated with layer indices.
+    Returns [""] for empty geometry. *)
+val layers : Geometry.t -> string
+
+(** [layer g ~z] renders one z layer of unit cells. *)
+val layer : Geometry.t -> z:int -> string
+
+(** [summary g] is a one-line description: defect/strand counts, bbox,
+    volume. *)
+val summary : Geometry.t -> string

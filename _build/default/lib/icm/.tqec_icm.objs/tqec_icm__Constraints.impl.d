@@ -1,0 +1,1 @@
+lib/icm/constraints.ml: Array Hashtbl Icm Int List Queue

@@ -1,0 +1,1 @@
+lib/icm/constraints.mli: Icm

@@ -1,0 +1,1 @@
+lib/icm/decompose.ml: Array Icm List Tqec_circuit

@@ -1,0 +1,1 @@
+lib/icm/decompose.mli: Icm Tqec_circuit

@@ -1,0 +1,1 @@
+lib/icm/icm.ml: Array Format

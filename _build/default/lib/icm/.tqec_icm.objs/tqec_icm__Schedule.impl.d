@@ -1,0 +1,1 @@
+lib/icm/schedule.ml: Array Icm

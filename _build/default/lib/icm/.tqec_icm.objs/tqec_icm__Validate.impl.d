@@ -1,0 +1,1 @@
+lib/icm/validate.ml: Array Format Icm List

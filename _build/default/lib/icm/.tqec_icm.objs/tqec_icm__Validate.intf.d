@@ -1,0 +1,1 @@
+lib/icm/validate.mli: Format Icm

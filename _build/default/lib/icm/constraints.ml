@@ -1,0 +1,80 @@
+type pair = { before : int; after : int }
+
+let of_icm (icm : Icm.t) =
+  let intra =
+    Array.to_list icm.t_gadgets
+    |> List.concat_map (fun (g : Icm.t_gadget) ->
+           List.map
+             (fun s -> { before = g.t_first_meas; after = s })
+             g.t_second_meas)
+  in
+  (* Group gadgets by wire, order by sequence, link consecutive pairs. *)
+  let by_wire = Hashtbl.create 16 in
+  Array.iter
+    (fun (g : Icm.t_gadget) ->
+      let existing = try Hashtbl.find by_wire g.t_wire with Not_found -> [] in
+      Hashtbl.replace by_wire g.t_wire (g :: existing))
+    icm.t_gadgets;
+  let inter =
+    Hashtbl.fold
+      (fun _wire gadgets acc ->
+        let sorted =
+          List.sort
+            (fun (a : Icm.t_gadget) b -> Int.compare a.t_seq b.t_seq)
+            gadgets
+        in
+        let rec link acc = function
+          | a :: (b : Icm.t_gadget) :: rest ->
+              let pairs =
+                List.concat_map
+                  (fun sa ->
+                    List.map (fun sb -> { before = sa; after = sb })
+                      b.Icm.t_second_meas)
+                  a.Icm.t_second_meas
+              in
+              link (pairs @ acc) (b :: rest)
+          | _ -> acc
+        in
+        link acc sorted)
+      by_wire []
+  in
+  let all = intra @ inter in
+  List.sort_uniq
+    (fun a b ->
+      let c = Int.compare a.before b.before in
+      if c <> 0 then c else Int.compare a.after b.after)
+    all
+
+let violations pairs ~time_of =
+  List.filter (fun p -> time_of p.before >= time_of p.after) pairs
+
+let satisfied pairs ~time_of = violations pairs ~time_of = []
+
+let topological_order (icm : Icm.t) =
+  let n = Array.length icm.meas in
+  let pairs = of_icm icm in
+  let succs = Array.make n [] in
+  let indegree = Array.make n 0 in
+  List.iter
+    (fun { before; after } ->
+      succs.(before) <- after :: succs.(before);
+      indegree.(after) <- indegree.(after) + 1)
+    pairs;
+  let ready = Queue.create () in
+  for i = 0 to n - 1 do
+    if indegree.(i) = 0 then Queue.add i ready
+  done;
+  let order = ref [] in
+  let emitted = ref 0 in
+  while not (Queue.is_empty ready) do
+    let i = Queue.pop ready in
+    order := i :: !order;
+    incr emitted;
+    List.iter
+      (fun j ->
+        indegree.(j) <- indegree.(j) - 1;
+        if indegree.(j) = 0 then Queue.add j ready)
+      succs.(i)
+  done;
+  if !emitted <> n then failwith "Constraints.topological_order: cycle";
+  List.rev !order

@@ -1,0 +1,30 @@
+(** Time-ordered measurement constraints (paper Section 2.2).
+
+    Constraints are pairs of measurement indices (into [Icm.meas]) that
+    must appear in strictly increasing time (x) order in any legal
+    geometric description:
+    - intra-T: the first-order measurement of a T gadget precedes each of
+      its four second-order measurements;
+    - inter-T: on the same logical wire, the second-order measurements of
+      an earlier T gadget all precede those of a later one. *)
+
+type pair = { before : int; after : int }
+
+(** [of_icm icm] enumerates all constraint pairs (inter-T pairs only
+    between consecutive gadgets on a wire; transitivity supplies the
+    rest). The result is deterministic and duplicate-free. *)
+val of_icm : Icm.t -> pair list
+
+(** [violations pairs ~time_of] returns the pairs with
+    [time_of before >= time_of after]. *)
+val violations : pair list -> time_of:(int -> int) -> pair list
+
+(** [satisfied pairs ~time_of] is [violations pairs ~time_of = []]. *)
+val satisfied : pair list -> time_of:(int -> int) -> bool
+
+(** [topological_order icm] returns the measurement indices of [icm] in
+    some order satisfying all constraints (Kahn's algorithm; unconstrained
+    measurements keep index order).
+    @raise Failure if the constraints are cyclic (never for generated
+    ICMs). *)
+val topological_order : Icm.t -> int list

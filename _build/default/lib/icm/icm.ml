@@ -1,0 +1,57 @@
+type init_kind = Init_z | Init_x | Inject_y | Inject_a
+type meas_basis = Mz | Mx
+
+type meas_order =
+  | Order_free
+  | Order_first of int
+  | Order_second of int
+
+type measurement = {
+  m_line : int;
+  m_basis : meas_basis;
+  m_order : meas_order;
+}
+
+type cnot = { control : int; target : int }
+
+type t_gadget = {
+  t_id : int;
+  t_wire : int;
+  t_seq : int;
+  t_lines : int list;
+  t_cnots : int list;
+  t_first_meas : int;
+  t_second_meas : int list;
+}
+
+type t = {
+  name : string;
+  n_lines : int;
+  inits : init_kind array;
+  cnots : cnot array;
+  meas : measurement array;
+  t_gadgets : t_gadget array;
+  line_of_wire : int array;
+}
+
+type stats = { s_qubits : int; s_cnots : int; s_y : int; s_a : int }
+
+let count_injections icm kind =
+  Array.fold_left (fun acc k -> if k = kind then acc + 1 else acc) 0 icm.inits
+
+let stats icm =
+  {
+    s_qubits = icm.n_lines;
+    s_cnots = Array.length icm.cnots;
+    s_y = count_injections icm Inject_y;
+    s_a = count_injections icm Inject_a;
+  }
+
+let meas_of_line icm line =
+  match Array.find_opt (fun m -> m.m_line = line) icm.meas with
+  | Some m -> m
+  | None -> raise Not_found
+
+let pp_stats ppf s =
+  Format.fprintf ppf "#Qubits=%d #CNOTs=%d #|Y>=%d #|A>=%d" s.s_qubits
+    s.s_cnots s.s_y s.s_a

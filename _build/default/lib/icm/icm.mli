@@ -1,0 +1,69 @@
+(** The ICM (Initialization, CNOT, Measurement) representation.
+
+    An ICM circuit is a set of qubit lines, each opened by exactly one
+    initialization and closed by exactly one measurement, with a
+    time-ordered list of CNOTs in between (Paler et al., "A fully
+    fault-tolerant representation of quantum circuits").  All non-CNOT
+    gates of the Clifford+T input are realized by ancilla lines,
+    injections and measurement-order constraints; see {!Decompose}. *)
+
+type init_kind =
+  | Init_z  (** |0>, Z-basis initialization *)
+  | Init_x  (** |+>, X-basis initialization *)
+  | Inject_y  (** |Y> state injection (backed by a 3x3x2 distillation box) *)
+  | Inject_a  (** |A> state injection (backed by a 16x6x2 distillation box) *)
+
+type meas_basis = Mz | Mx
+
+type meas_order =
+  | Order_free  (** no constraint; invariant under topological deformation *)
+  | Order_first of int  (** first-order measurement of T gadget [id] *)
+  | Order_second of int  (** second-order measurement of T gadget [id] *)
+
+type measurement = {
+  m_line : int;
+  m_basis : meas_basis;
+  m_order : meas_order;
+}
+
+type cnot = { control : int; target : int }
+
+(** One decomposed T (or T†) gate: six ancilla lines, one first-order and
+    four second-order measurements (paper Fig. 3). *)
+type t_gadget = {
+  t_id : int;
+  t_wire : int;  (** logical wire of the original circuit *)
+  t_seq : int;  (** ordinal among the gadgets on [t_wire] (inter-T order) *)
+  t_lines : int list;  (** the ancilla lines, in creation order *)
+  t_cnots : int list;  (** indices of the gadget's six CNOTs *)
+  t_first_meas : int;  (** index into [meas] *)
+  t_second_meas : int list;  (** four indices into [meas] *)
+}
+
+type t = {
+  name : string;
+  n_lines : int;
+  inits : init_kind array;  (** per line *)
+  cnots : cnot array;  (** in time order *)
+  meas : measurement array;  (** one entry per line, indexed by position *)
+  t_gadgets : t_gadget array;
+  line_of_wire : int array;  (** ICM line carrying each logical wire's output *)
+}
+
+(** Statistics matching the columns of the paper's Table 1. *)
+type stats = {
+  s_qubits : int;  (** #Qubits: ICM lines *)
+  s_cnots : int;
+  s_y : int;  (** #|Y> injections *)
+  s_a : int;  (** #|A> injections *)
+}
+
+val stats : t -> stats
+
+(** [meas_of_line icm line] finds the measurement closing [line]. *)
+val meas_of_line : t -> int -> measurement
+
+(** [count_injections icm kind]. *)
+val count_injections : t -> init_kind -> int
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,59 @@
+type t = { level_of_cnot : int array; depth : int }
+
+let asap (icm : Icm.t) =
+  let ready = Array.make icm.n_lines 0 in
+  let n = Array.length icm.cnots in
+  let level_of_cnot = Array.make n 0 in
+  let depth = ref 0 in
+  Array.iteri
+    (fun k ({ control; target } : Icm.cnot) ->
+      let level = max ready.(control) ready.(target) in
+      level_of_cnot.(k) <- level;
+      ready.(control) <- level + 1;
+      ready.(target) <- level + 1;
+      depth := max !depth (level + 1))
+    icm.cnots;
+  { level_of_cnot; depth = !depth }
+
+let alap (icm : Icm.t) =
+  let horizon = (asap icm).depth in
+  let due = Array.make icm.n_lines horizon in
+  let n = Array.length icm.cnots in
+  let level_of_cnot = Array.make n 0 in
+  for k = n - 1 downto 0 do
+    let ({ control; target } : Icm.cnot) = icm.cnots.(k) in
+    let level = min due.(control) due.(target) - 1 in
+    level_of_cnot.(k) <- level;
+    due.(control) <- level;
+    due.(target) <- level
+  done;
+  { level_of_cnot; depth = horizon }
+
+let slack icm =
+  let a = asap icm and l = alap icm in
+  Array.init
+    (Array.length icm.Icm.cnots)
+    (fun k -> l.level_of_cnot.(k) - a.level_of_cnot.(k))
+
+let valid (icm : Icm.t) t =
+  let n = Array.length icm.cnots in
+  if Array.length t.level_of_cnot <> n then false
+  else begin
+    let ok = ref true in
+    (* program order on each line implies increasing levels *)
+    let last_level = Array.make icm.n_lines (-1) in
+    Array.iteri
+      (fun k ({ control; target } : Icm.cnot) ->
+        let level = t.level_of_cnot.(k) in
+        if level < 0 || level >= t.depth then ok := false;
+        if level <= last_level.(control) || level <= last_level.(target) then
+          ok := false;
+        last_level.(control) <- level;
+        last_level.(target) <- level)
+      icm.cnots;
+    !ok
+  end
+
+let parallelism icm =
+  let n = Array.length icm.Icm.cnots in
+  if n = 0 then 0. else float_of_int n /. float_of_int (asap icm).depth

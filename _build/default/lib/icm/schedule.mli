@@ -1,0 +1,34 @@
+(** Depth scheduling of ICM circuits.
+
+    The related work the paper contrasts with (AlFailakawi et al.,
+    Adnan & Yamashita) compresses the ICM time axis by minimizing circuit
+    depth.  This module computes ASAP and ALAP schedules of an ICM's
+    CNOTs — respecting line availability and, optionally, the
+    measurement-order constraints by keeping each T gadget's CNOT block
+    after its wire's previous gadget — giving the depth lower bound that
+    purely time-directed compression can reach (the quantity behind the
+    Lin et al. baselines' step counts). *)
+
+type t = {
+  level_of_cnot : int array;  (** schedule level of each CNOT *)
+  depth : int;  (** number of levels *)
+}
+
+(** [asap icm] earliest-possible levels (gates sharing a line
+    serialize). *)
+val asap : Icm.t -> t
+
+(** [alap icm] latest-possible levels within the ASAP depth. *)
+val alap : Icm.t -> t
+
+(** [slack icm] per-CNOT difference between ALAP and ASAP levels — the
+    scheduling freedom available to a compressor. *)
+val slack : Icm.t -> int array
+
+(** [valid icm t] checks that no two CNOTs sharing a line share a level
+    and every CNOT's level respects its line predecessors. *)
+val valid : Icm.t -> t -> bool
+
+(** [parallelism icm] = #CNOTs / depth, the average number of concurrent
+    CNOTs under ASAP. *)
+val parallelism : Icm.t -> float

@@ -1,0 +1,57 @@
+type issue =
+  | Line_out_of_range of { where : string; line : int }
+  | Cnot_self_loop of int
+  | Missing_measurement of int
+  | Duplicate_measurement of int
+  | Gadget_meas_mismatch of int
+  | Bad_second_count of int
+
+let pp_issue ppf = function
+  | Line_out_of_range { where; line } ->
+      Format.fprintf ppf "line %d out of range in %s" line where
+  | Cnot_self_loop i -> Format.fprintf ppf "CNOT %d has control = target" i
+  | Missing_measurement l -> Format.fprintf ppf "line %d never measured" l
+  | Duplicate_measurement l ->
+      Format.fprintf ppf "line %d measured more than once" l
+  | Gadget_meas_mismatch g ->
+      Format.fprintf ppf "gadget %d references invalid measurements" g
+  | Bad_second_count g ->
+      Format.fprintf ppf "gadget %d lacks exactly 4 second-order measurements" g
+
+let check (icm : Icm.t) =
+  let issues = ref [] in
+  let report i = issues := i :: !issues in
+  let n = icm.n_lines in
+  let check_line where line =
+    if line < 0 || line >= n then report (Line_out_of_range { where; line })
+  in
+  Array.iteri
+    (fun i ({ control; target } : Icm.cnot) ->
+      check_line "cnot" control;
+      check_line "cnot" target;
+      if control = target then report (Cnot_self_loop i))
+    icm.cnots;
+  let meas_count = Array.make n 0 in
+  Array.iter
+    (fun (m : Icm.measurement) ->
+      check_line "measurement" m.m_line;
+      if m.m_line >= 0 && m.m_line < n then
+        meas_count.(m.m_line) <- meas_count.(m.m_line) + 1)
+    icm.meas;
+  Array.iteri
+    (fun line count ->
+      if count = 0 then report (Missing_measurement line)
+      else if count > 1 then report (Duplicate_measurement line))
+    meas_count;
+  let n_meas = Array.length icm.meas in
+  Array.iter
+    (fun (g : Icm.t_gadget) ->
+      let valid i = i >= 0 && i < n_meas in
+      if not (valid g.t_first_meas && List.for_all valid g.t_second_meas)
+      then report (Gadget_meas_mismatch g.t_id);
+      if List.length g.t_second_meas <> 4 then report (Bad_second_count g.t_id);
+      List.iter (check_line "gadget") g.t_lines)
+    icm.t_gadgets;
+  List.rev !issues
+
+let is_valid icm = check icm = []

@@ -1,0 +1,18 @@
+(** Structural well-formedness checks for ICM circuits, used as oracles by
+    the test suite and as a guard at pipeline entry. *)
+
+type issue =
+  | Line_out_of_range of { where : string; line : int }
+  | Cnot_self_loop of int  (** CNOT index with control = target *)
+  | Missing_measurement of int  (** line without closing measurement *)
+  | Duplicate_measurement of int  (** line measured more than once *)
+  | Gadget_meas_mismatch of int  (** gadget with bad measurement refs *)
+  | Bad_second_count of int  (** gadget without exactly 4 second-order *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+(** [check icm] returns all detected issues (empty = well formed). *)
+val check : Icm.t -> issue list
+
+(** [is_valid icm] is [check icm = []]. *)
+val is_valid : Icm.t -> bool

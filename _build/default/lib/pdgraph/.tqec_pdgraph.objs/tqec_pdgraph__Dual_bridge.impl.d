@@ -1,0 +1,1 @@
+lib/pdgraph/dual_bridge.ml: Array Hashtbl Int List Pd_graph Tqec_icm Tqec_util

@@ -1,0 +1,1 @@
+lib/pdgraph/dual_bridge.mli: Pd_graph Tqec_util

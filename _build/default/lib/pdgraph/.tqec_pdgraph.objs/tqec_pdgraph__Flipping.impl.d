@@ -1,0 +1,1 @@
+lib/pdgraph/flipping.ml: Array Hashtbl Int List Pd_graph Printf Tqec_util

@@ -1,0 +1,1 @@
+lib/pdgraph/flipping.mli: Pd_graph Tqec_util

@@ -1,0 +1,1 @@
+lib/pdgraph/fvalue.ml: Flipping Hashtbl List

@@ -1,0 +1,1 @@
+lib/pdgraph/fvalue.mli: Flipping Hashtbl

@@ -1,0 +1,1 @@
+lib/pdgraph/ishape.ml: Array List Pd_graph Tqec_icm Tqec_util

@@ -1,0 +1,1 @@
+lib/pdgraph/ishape.mli: Pd_graph

@@ -1,0 +1,1 @@
+lib/pdgraph/pd_graph.ml: Array Format Hashtbl List Tqec_icm Tqec_util

@@ -1,0 +1,1 @@
+lib/pdgraph/pd_graph.mli: Format Tqec_icm Tqec_util

@@ -1,0 +1,106 @@
+module Union_find = Tqec_util.Union_find
+module Veca = Tqec_util.Veca
+module Icm = Tqec_icm.Icm
+
+type t = {
+  classes : Union_find.t;
+  merged : (int * int list) list;
+  n_bridges : int;
+  n_refused : int;
+}
+
+(* Map each ICM CNOT to its owning T gadget (if any). *)
+let gadget_of_cnot (icm : Icm.t) =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (g : Icm.t_gadget) ->
+      List.iter (fun k -> Hashtbl.replace tbl k (g.t_id, g.t_wire)) g.t_cnots)
+    icm.t_gadgets;
+  tbl
+
+let run (g : Pd_graph.t) =
+  let n = Pd_graph.n_nets g in
+  let uf = Union_find.create n in
+  let cnot_gadget = gadget_of_cnot g.Pd_graph.icm in
+  (* Per class root: wire -> gadget id, for the time-order refusal rule. *)
+  let wires_of_root : (int, (int, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let wire_map root =
+    match Hashtbl.find_opt wires_of_root root with
+    | Some m -> m
+    | None ->
+        let m = Hashtbl.create 4 in
+        Hashtbl.replace wires_of_root root m;
+        m
+  in
+  (* Seed each net's wire map from its gadget membership. *)
+  for net = 0 to n - 1 do
+    let cnot = (Pd_graph.net_get g net).n_cnot in
+    match Hashtbl.find_opt cnot_gadget cnot with
+    | Some (gid, wire) -> Hashtbl.replace (wire_map net) wire gid
+    | None -> ()
+  done;
+  let conflict ra rb =
+    let ma = wire_map ra and mb = wire_map rb in
+    let small, large =
+      if Hashtbl.length ma <= Hashtbl.length mb then (ma, mb) else (mb, ma)
+    in
+    Hashtbl.fold
+      (fun wire gid acc ->
+        acc
+        ||
+        match Hashtbl.find_opt large wire with
+        | Some gid' -> gid <> gid'
+        | None -> false)
+      small false
+  in
+  let absorb ~into ~from =
+    Hashtbl.iter (fun wire gid -> Hashtbl.replace (wire_map into) wire gid)
+      (wire_map from)
+  in
+  let n_bridges = ref 0 and n_refused = ref 0 in
+  let try_union a b =
+    let ra = Union_find.find uf a and rb = Union_find.find uf b in
+    if ra <> rb then
+      if conflict ra rb then incr n_refused
+      else begin
+        let root = Union_find.union uf ra rb in
+        let other = if root = ra then rb else ra in
+        absorb ~into:root ~from:other;
+        incr n_bridges
+      end
+  in
+  (* Iterate sweeps to a fixpoint: a union refused early can become
+     unnecessary (same class) or acceptable later, and the refusal rule
+     makes single-pass results order-dependent. *)
+  let sweep () =
+    let before = !n_bridges in
+    Veca.iter
+      (fun (m : Pd_graph.module_rec) ->
+        if m.m_alive then
+          match Pd_graph.nets_through g m.m_id with
+          | [] | [ _ ] -> ()
+          | first :: rest -> List.iter (fun net -> try_union first net) rest)
+      g.Pd_graph.modules;
+    !n_bridges > before
+  in
+  let rec iterate budget = if budget > 0 && sweep () then iterate (budget - 1) in
+  n_refused := 0;
+  iterate 10;
+  let merged =
+    Union_find.groups uf
+    |> List.filter (fun (_, members) -> members <> [])
+  in
+  { classes = uf; merged; n_bridges = !n_bridges; n_refused = !n_refused }
+
+let class_of t net = Union_find.find t.classes net
+
+let modules_of_class g t rep =
+  let members =
+    match List.assoc_opt rep t.merged with
+    | Some ms -> ms
+    | None -> [ rep ]
+  in
+  List.concat_map (Pd_graph.modules_of_net g) members
+  |> List.sort_uniq Int.compare

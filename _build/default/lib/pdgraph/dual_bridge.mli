@@ -1,0 +1,31 @@
+(** Iterative dual bridging (paper Section 3.4, after Hsu et al. [10]).
+
+    Two dual nets may bridge when they pass through the same primal
+    module *part* — the PD graph's post-I-shape modules, so that a net
+    retargeted to an [Ishape_merged] part can no longer bridge with a net
+    passing only through the residual part (the error case of Fig. 14).
+    At most one bridge joins two structures (extra loops are forbidden):
+    merging is tracked by a union-find over nets, and a merge of two nets
+    already in one structure is skipped.
+
+    Time-ordered measurement constraints: nets belonging to different
+    T gadgets acting on the same logical wire may not end up in one
+    merged structure (their second-order measurement groups must remain
+    separable in time), so such unions are refused. *)
+
+type t = {
+  classes : Tqec_util.Union_find.t;  (** over net ids *)
+  merged : (int * int list) list;
+      (** class representative -> member nets, ascending *)
+  n_bridges : int;  (** unions performed *)
+  n_refused : int;  (** unions refused by the time-order rule *)
+}
+
+val run : Pd_graph.t -> t
+
+(** [class_of t net] is the representative of [net]'s merged structure. *)
+val class_of : t -> int -> int
+
+(** [modules_of_class g t rep] lists all module parts traversed by the
+    merged structure [rep] (deduplicated, ascending). *)
+val modules_of_class : Pd_graph.t -> t -> int -> int list

@@ -1,0 +1,210 @@
+module Veca = Tqec_util.Veca
+module Union_find = Tqec_util.Union_find
+
+type t = {
+  point_of : int array;
+  points : (int * int list) list;
+  chains : int list list;
+}
+
+let is_distill (m : Pd_graph.module_rec) =
+  match m.m_kind with Pd_graph.Distill _ -> true | _ -> false
+
+(* Union alive non-distill modules with their I-shape partners. *)
+let build_points ~exclude g =
+  let n = Veca.length g.Pd_graph.modules in
+  let uf = Union_find.create n in
+  Veca.iter
+    (fun (m : Pd_graph.module_rec) ->
+      if m.m_alive && m.m_partner >= 0 && (not (exclude m.m_id))
+         && not (exclude m.m_partner) then
+        ignore (Union_find.union uf m.m_id m.m_partner))
+    g.Pd_graph.modules;
+  let point_of = Array.make n (-1) in
+  let members = Hashtbl.create 64 in
+  Veca.iter
+    (fun (m : Pd_graph.module_rec) ->
+      if m.m_alive && (not (is_distill m)) && not (exclude m.m_id) then begin
+        let r = Union_find.find uf m.m_id in
+        point_of.(m.m_id) <- r;
+        let existing = try Hashtbl.find members r with Not_found -> [] in
+        Hashtbl.replace members r (m.m_id :: existing)
+      end)
+    g.Pd_graph.modules;
+  (* Normalize representatives to the smallest member id. *)
+  let points =
+    Hashtbl.fold
+      (fun _r ms acc ->
+        let ms = List.sort Int.compare ms in
+        let rep = List.hd ms in
+        (rep, ms) :: acc)
+      members []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (rep, ms) -> List.iter (fun m -> point_of.(m) <- rep) ms)
+    points;
+  (point_of, points)
+
+(* Nets through any module of a point, deduplicated, order preserved. *)
+let point_nets g point_members =
+  let seen = Hashtbl.create 8 in
+  List.concat_map
+    (fun m ->
+      List.filter
+        (fun n ->
+          if Hashtbl.mem seen n then false
+          else begin
+            Hashtbl.add seen n ();
+            true
+          end)
+        (Pd_graph.nets_through g m))
+    point_members
+
+let run ?rng ?(exclude = fun _ -> false) (g : Pd_graph.t) =
+  let point_of, points = build_points ~exclude g in
+  let members_of = Hashtbl.create 64 in
+  List.iter (fun (rep, ms) -> Hashtbl.add members_of rep ms) points;
+  let nets_of_point = Hashtbl.create 64 in
+  List.iter
+    (fun (rep, ms) -> Hashtbl.add nets_of_point rep (point_nets g ms))
+    points;
+  (* Points reachable from [rep] via a shared net. *)
+  let neighbors rep =
+    let nets = Hashtbl.find nets_of_point rep in
+    let seen = Hashtbl.create 8 in
+    List.concat_map
+      (fun n ->
+        List.filter_map
+          (fun m ->
+            let p = point_of.(m) in
+            if p = -1 || p = rep || Hashtbl.mem seen p then None
+            else begin
+              Hashtbl.add seen p ();
+              Some p
+            end)
+          (Pd_graph.modules_of_net g n))
+      nets
+  in
+  let traversed = Hashtbl.create 64 in
+  (* Phi (Eq. 3-4): prefer the candidate whose modules connect the most
+     dual nets still leading to un-traversed points. *)
+  let phi cand =
+    let nets = Hashtbl.find nets_of_point cand in
+    List.length
+      (List.filter
+         (fun n ->
+           List.exists
+             (fun m ->
+               let p = point_of.(m) in
+               p <> -1 && p <> cand && not (Hashtbl.mem traversed p))
+             (Pd_graph.modules_of_net g n))
+         nets)
+  in
+  let pick_best candidates =
+    match candidates with
+    | [] -> None
+    | _ ->
+        let scored = List.map (fun c -> (phi c, c)) candidates in
+        let best =
+          List.fold_left
+            (fun (bs, bc) (s, c) ->
+              if s > bs || (s = bs && c < bc) then (s, c) else (bs, bc))
+            (List.hd scored) (List.tl scored)
+        in
+        Some (snd best)
+  in
+  (* Start order: points on an edge (with nets) first, then isolated
+     ones; a cursor makes the restart scan amortized O(points). *)
+  let start_order =
+    let on_edge, isolated =
+      List.partition (fun (rep, _) -> Hashtbl.find nets_of_point rep <> []) points
+    in
+    let arr = Array.of_list (List.map fst on_edge) in
+    let iso = Array.of_list (List.map fst isolated) in
+    (match rng with
+    | Some r ->
+        Tqec_util.Rng.shuffle r arr;
+        Tqec_util.Rng.shuffle r iso
+    | None -> ());
+    Array.append arr iso
+  in
+  let cursor = ref 0 in
+  let pick_start () =
+    while
+      !cursor < Array.length start_order
+      && Hashtbl.mem traversed start_order.(!cursor)
+    do
+      incr cursor
+    done;
+    if !cursor < Array.length start_order then Some start_order.(!cursor)
+    else None
+  in
+  let chains = ref [] in
+  let rec build_chain rep acc =
+    Hashtbl.add traversed rep ();
+    let candidates =
+      List.filter (fun p -> not (Hashtbl.mem traversed p)) (neighbors rep)
+    in
+    match pick_best candidates with
+    | Some next -> build_chain next (rep :: acc)
+    | None -> List.rev (rep :: acc)
+  in
+  let rec loop () =
+    match pick_start () with
+    | None -> ()
+    | Some start ->
+        chains := build_chain start [] :: !chains;
+        loop ()
+  in
+  loop ();
+  { point_of; points; chains = List.rev !chains }
+
+let n_nodes t = List.length t.chains
+
+let chain_of t point =
+  match List.find_opt (List.mem point) t.chains with
+  | Some c -> c
+  | None -> raise Not_found
+
+let validate g t =
+  let errors = ref [] in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun chain ->
+      List.iter
+        (fun p ->
+          if Hashtbl.mem seen p then
+            errors := Printf.sprintf "point %d in two chains" p :: !errors
+          else Hashtbl.add seen p ())
+        chain)
+    t.chains;
+  List.iter
+    (fun (rep, _) ->
+      if not (Hashtbl.mem seen rep) then
+        errors := Printf.sprintf "point %d missing from chains" rep :: !errors)
+    t.points;
+  let members_of = Hashtbl.create 64 in
+  List.iter (fun (rep, ms) -> Hashtbl.add members_of rep ms) t.points;
+  let nets_of rep =
+    match Hashtbl.find_opt members_of rep with
+    | None -> []
+    | Some ms -> List.concat_map (Pd_graph.nets_through g) ms
+  in
+  List.iter
+    (fun chain ->
+      let rec check = function
+        | a :: b :: rest ->
+            let shared =
+              List.exists (fun n -> List.mem n (nets_of b)) (nets_of a)
+            in
+            if not shared then
+              errors :=
+                Printf.sprintf "bridge %d-%d lacks a common segment" a b
+                :: !errors;
+            check (b :: rest)
+        | _ -> ()
+      in
+      check chain)
+    t.chains;
+  List.rev !errors

@@ -1,0 +1,45 @@
+(** The flipping operation / primal bridging stage (paper Section 3.3).
+
+    Primal modules connected through shared dual nets are flipped onto a
+    common layer and bridged along the z axis, so each module joins at
+    most two others (a chain).  The greedy traversal starts from a point
+    on an edge and repeatedly moves to the reachable un-traversed point
+    whose modules connect the most dual nets (cost function Phi, Eq. 3-4),
+    restarting until every point is covered.
+
+    A "point" is an equivalence class of modules: an [Ishape_merged]
+    module and its residual partner count as one point.  Distillation-box
+    modules are excluded (they become distillation-injection
+    super-modules in placement). *)
+
+type t = {
+  point_of : int array;
+      (** module id -> point representative (alive non-distill modules);
+          [-1] for dead or distillation modules *)
+  points : (int * int list) list;
+      (** point representative -> member modules, deterministic order *)
+  chains : int list list;
+      (** primal bridging chains of point representatives, in bridge
+          (z-axis) order; singletons are unbridged modules *)
+}
+
+(** [run ?rng ?exclude g] performs the greedy primal bridging on a PD
+    graph (normally after {!Ishape.run}).  With [rng] the starting points
+    are randomized (the paper picks random starts); without it the
+    lowest-numbered eligible point starts each chain.  Modules for which
+    [exclude] holds (e.g. members of time-dependent super-modules) do not
+    become points and never join a chain. *)
+val run : ?rng:Tqec_util.Rng.t -> ?exclude:(int -> bool) -> Pd_graph.t -> t
+
+(** [n_nodes t] is the number of B*-tree nodes the chains induce: one per
+    chain (super-module or plain module). *)
+val n_nodes : t -> int
+
+(** [chain_of t point] finds the chain containing [point]. *)
+val chain_of : t -> int -> int list
+
+(** [validate g t] checks the chain invariants: every point in exactly one
+    chain, and consecutive chain elements share at least one dual net
+    (the common-segment precondition of a bridge).  Returns error
+    descriptions, empty when valid. *)
+val validate : Pd_graph.t -> t -> string list

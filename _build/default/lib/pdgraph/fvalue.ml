@@ -1,0 +1,30 @@
+type t = { f_of_point : (int, bool) Hashtbl.t }
+
+let plan (flipping : Flipping.t) =
+  let f_of_point = Hashtbl.create 64 in
+  List.iter
+    (fun chain ->
+      ignore
+        (List.fold_left
+           (fun f point ->
+             Hashtbl.replace f_of_point point f;
+             not f)
+           false chain))
+    flipping.Flipping.chains;
+  { f_of_point }
+
+let flipped t point =
+  try Hashtbl.find t.f_of_point point with Not_found -> false
+
+let alternates (flipping : Flipping.t) t =
+  List.for_all
+    (fun chain ->
+      let rec check = function
+        | a :: b :: rest ->
+            flipped t b = not (flipped t a) && check (b :: rest)
+        | _ -> true
+      in
+      match chain with
+      | [] -> true
+      | first :: _ -> (not (flipped t first)) && check chain)
+    flipping.Flipping.chains

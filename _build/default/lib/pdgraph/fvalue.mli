@@ -1,0 +1,22 @@
+(** Dual-segment flip planning (paper Section 3.5, Eq. 5).
+
+    When a primal bridging chain is laid out along the z axis, each
+    module's dual segments exit on one of two sides.  The boolean [f]
+    records whether a module's segments are flipped: the chain's first
+    module has [f = 0] and each subsequent module takes
+    [f_current = 1 - f_source], so segments alternate and the router is
+    not forced into crossings (Fig. 15). *)
+
+type t = {
+  f_of_point : (int, bool) Hashtbl.t;
+      (** point representative -> flipped? *)
+}
+
+(** [plan flipping] assigns f values along every chain. *)
+val plan : Flipping.t -> t
+
+val flipped : t -> int -> bool
+
+(** [alternates flipping t] checks Eq. 5 along every chain (test
+    oracle). *)
+val alternates : Flipping.t -> t -> bool

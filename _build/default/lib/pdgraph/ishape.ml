@@ -1,0 +1,112 @@
+module Veca = Tqec_util.Veca
+
+type merge = {
+  g_row : int;
+  g_merged : int;
+  g_absorbed : int;
+  g_residual : int;
+  g_net : int;
+  g_at_init : bool;
+}
+
+(* The partner of [small] via net [d]: the other alive module of [d] on
+   the same row. *)
+let partner_via g ~small ~row ~net =
+  Pd_graph.modules_of_net g net
+  |> List.find_opt (fun m ->
+         m <> small && (Pd_graph.module_get g m).Pd_graph.m_row = row)
+
+let remove_net_from_module g ~m ~net =
+  let mr = Pd_graph.module_get g m in
+  mr.m_nets <- List.filter (fun n -> n <> net) mr.m_nets
+
+let replace_module_in_net g ~net ~old_m ~new_m ~drop_m =
+  let nr = Pd_graph.net_get g net in
+  nr.n_modules <-
+    List.filter_map
+      (fun m ->
+        if m = old_m then Some new_m
+        else if m = drop_m then None
+        else Some m)
+      nr.n_modules
+
+let merge_pair g ~row ~small ~big ~net ~at_init acc =
+  let small_rec = Pd_graph.module_get g small in
+  let merged_id =
+    Veca.push g.Pd_graph.modules
+      {
+        Pd_graph.m_id = Veca.length g.Pd_graph.modules;
+        m_kind = Pd_graph.Ishape_merged;
+        m_row = row;
+        m_nets = [ net ];
+        m_alive = true;
+        m_partner = big;
+      }
+  in
+  small_rec.m_alive <- false;
+  remove_net_from_module g ~m:big ~net;
+  replace_module_in_net g ~net ~old_m:small ~new_m:merged_id ~drop_m:big;
+  {
+    g_row = row;
+    g_merged = merged_id;
+    g_absorbed = small;
+    g_residual = big;
+    g_net = net;
+    g_at_init = at_init;
+  }
+  :: acc
+
+let row_meas_ordered (g : Pd_graph.t) row =
+  match Tqec_icm.Icm.meas_of_line g.Pd_graph.icm row with
+  | { m_order = Tqec_icm.Icm.Order_free; _ } -> false
+  | _ -> true
+  | exception Not_found -> false
+
+let run ?(respect_order = true) (g : Pd_graph.t) =
+  let n_rows = Array.length g.row_first in
+  let merges = ref [] in
+  for row = 0 to n_rows - 1 do
+    let first = g.row_first.(row) and last = g.row_last.(row) in
+    if first <> -1 && first <> last then begin
+      (* Initialization-end candidate: the row opened on a control side,
+         so its initial module holds exactly the creating net. *)
+      let init_merged =
+        if g.row_first_as_control.(row) then
+          let first_rec = Pd_graph.module_get g first in
+          match (first_rec.m_alive, first_rec.m_nets) with
+          | true, [ net ] -> (
+              match partner_via g ~small:first ~row ~net with
+              | Some big
+                when not
+                       (respect_order && big = last
+                       && row_meas_ordered g row) ->
+                  merges :=
+                    merge_pair g ~row ~small:first ~big ~net ~at_init:true
+                      !merges;
+                  true
+              | Some _ | None -> false)
+          | _ -> false
+        else false
+      in
+      (* Measurement-end candidate: the row closed on a control side, so
+         its last (innovative) module holds exactly the creating net.
+         Skip when the initialization merge already consumed the pair. *)
+      let last_rec = Pd_graph.module_get g last in
+      if
+        g.row_last_as_control.(row)
+        && last_rec.m_alive
+        && (not (init_merged && last_rec.m_nets = []))
+        && not (respect_order && row_meas_ordered g row)
+      then
+        match last_rec.m_nets with
+        | [ net ] -> (
+            match partner_via g ~small:last ~row ~net with
+            | Some big ->
+                merges :=
+                  merge_pair g ~row ~small:last ~big ~net ~at_init:false
+                    !merges
+            | None -> ())
+        | _ -> ()
+    end
+  done;
+  List.rev !merges

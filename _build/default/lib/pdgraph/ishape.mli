@@ -1,0 +1,27 @@
+(** I-shaped simplification (paper Section 3.2).
+
+    When a qubit I/M sits on the control-side module pair of a CNOT —
+    i.e. a row's first CNOT use is on the control side (initialization
+    I/M), or its last is (measurement I/M) — the pair is bridged along
+    the x axis.  In PD-graph terms (Fig. 14): a new [Ishape_merged]
+    module takes the pair's creating net; the module owning only that net
+    disappears; the residual module drops the net but remains, recorded
+    as the merged module's partner ("regarded as the same point" for the
+    flipping stage).  One check per I/M: O(n). *)
+
+type merge = {
+  g_row : int;
+  g_merged : int;  (** id of the new [Ishape_merged] module *)
+  g_absorbed : int;  (** module that disappeared *)
+  g_residual : int;  (** partner module that dropped the net *)
+  g_net : int;  (** the creating net *)
+  g_at_init : bool;  (** true: initialization end; false: measurement end *)
+}
+
+(** [run ?respect_order g] mutates the PD graph and returns the merges
+    performed, in row order.  With [respect_order] (default [true]),
+    measurement-end merges are skipped on rows whose closing measurement
+    carries a time-order constraint (those modules belong to
+    time-dependent super-modules in placement and must keep their own
+    position).  Idempotent: running again performs no further merges. *)
+val run : ?respect_order:bool -> Pd_graph.t -> merge list

@@ -1,0 +1,166 @@
+module Icm = Tqec_icm.Icm
+module Veca = Tqec_util.Veca
+
+type module_kind =
+  | Initial of Icm.init_kind
+  | Innovative
+  | Ishape_merged
+  | Distill of Icm.init_kind
+
+type module_rec = {
+  m_id : int;
+  m_kind : module_kind;
+  m_row : int;
+  mutable m_nets : int list;
+  mutable m_alive : bool;
+  mutable m_partner : int;
+}
+
+type net_rec = {
+  n_id : int;
+  n_cnot : int;
+  mutable n_modules : int list;
+}
+
+type t = {
+  icm : Icm.t;
+  modules : module_rec Veca.t;
+  nets : net_rec Veca.t;
+  row_first : int array;
+  row_last : int array;
+  row_first_as_control : bool array;
+  row_last_as_control : bool array;
+}
+
+let new_module g ~kind ~row =
+  let m =
+    {
+      m_id = Veca.length g.modules;
+      m_kind = kind;
+      m_row = row;
+      m_nets = [];
+      m_alive = true;
+      m_partner = -1;
+    }
+  in
+  Veca.push g.modules m
+
+let record g ~m ~net =
+  let mr = Veca.get g.modules m in
+  mr.m_nets <- mr.m_nets @ [ net ];
+  let nr = Veca.get g.nets net in
+  nr.n_modules <- nr.n_modules @ [ m ]
+
+let of_icm (icm : Icm.t) =
+  let g =
+    {
+      icm;
+      modules = Veca.create ();
+      nets = Veca.create ();
+      row_first = Array.make icm.n_lines (-1);
+      row_last = Array.make icm.n_lines (-1);
+      row_first_as_control = Array.make icm.n_lines false;
+      row_last_as_control = Array.make icm.n_lines false;
+    }
+  in
+  let ensure_current row ~as_control =
+    if g.row_last.(row) = -1 then begin
+      let m = new_module g ~kind:(Initial icm.inits.(row)) ~row in
+      g.row_first.(row) <- m;
+      g.row_last.(row) <- m;
+      g.row_first_as_control.(row) <- as_control
+    end;
+    g.row_last.(row)
+  in
+  Array.iteri
+    (fun cnot_index ({ control; target } : Icm.cnot) ->
+      let net =
+        Veca.push g.nets { n_id = Veca.length g.nets; n_cnot = cnot_index; n_modules = [] }
+      in
+      (* Control side: record in current, then add an innovative module. *)
+      let cur = ensure_current control ~as_control:true in
+      record g ~m:cur ~net;
+      let innovative = new_module g ~kind:Innovative ~row:control in
+      record g ~m:innovative ~net;
+      g.row_last.(control) <- innovative;
+      g.row_last_as_control.(control) <- true;
+      (* Target side: record in current. *)
+      let cur = ensure_current target ~as_control:false in
+      record g ~m:cur ~net;
+      g.row_last_as_control.(target) <- false)
+    icm.cnots;
+  (* One distillation-box module per injection line. *)
+  Array.iteri
+    (fun line kind ->
+      match kind with
+      | Icm.Inject_y | Icm.Inject_a ->
+          ignore (new_module g ~kind:(Distill kind) ~row:line)
+      | Icm.Init_z | Icm.Init_x -> ())
+    icm.inits;
+  g
+
+let n_modules g =
+  Veca.fold (fun acc m -> if m.m_alive then acc + 1 else acc) 0 g.modules
+
+let n_modules_constructed g = Veca.length g.modules
+let n_nets g = Veca.length g.nets
+let module_get g i = Veca.get g.modules i
+let net_get g i = Veca.get g.nets i
+
+let alive_modules g =
+  List.filter (fun m -> m.m_alive) (Veca.to_list g.modules)
+
+let dedup_keep_order l =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    l
+
+let nets_through g m = dedup_keep_order (Veca.get g.modules m).m_nets
+
+let modules_of_net g n =
+  dedup_keep_order
+    (List.filter
+       (fun m -> (Veca.get g.modules m).m_alive)
+       (Veca.get g.nets n).n_modules)
+
+let braiding_relation g =
+  let pairs = ref [] in
+  Veca.iter
+    (fun m ->
+      if m.m_alive then
+        List.iter (fun n -> pairs := (n, m.m_id) :: !pairs) (dedup_keep_order m.m_nets))
+    g.modules;
+  List.sort_uniq compare !pairs
+
+let meas_module g row =
+  if row < 0 || row >= Array.length g.row_last then None
+  else
+    let m = g.row_last.(row) in
+    if m = -1 then None else Some m
+
+let distill_modules g =
+  Veca.fold
+    (fun acc m ->
+      match m.m_kind with Distill k -> (m.m_id, k) :: acc | _ -> acc)
+    [] g.modules
+  |> List.rev
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>PD graph: %d modules (%d alive), %d nets@,"
+    (n_modules_constructed g) (n_modules g) (n_nets g);
+  Veca.iter
+    (fun m ->
+      if m.m_alive then
+        Format.fprintf ppf "p%d (row %d) <- {%a}@," m.m_id m.m_row
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+             (fun ppf n -> Format.fprintf ppf "d%d" n))
+          (dedup_keep_order m.m_nets))
+    g.modules;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,90 @@
+(** The 2D primal-dual graph (paper Section 2.3 and Figure 6).
+
+    Modularization breaks every dual net (one per CNOT) into two-pin
+    segments enclosed by primal loops ("modules").  The PD graph records
+    which dual nets pass through which primal modules — the braiding
+    relation — and is the structure on which I-shaped simplification,
+    primal bridging (flipping) and iterative dual bridging operate.
+
+    Construction rules (Fig. 6): per CNOT, on the control row the net is
+    recorded in the row's current module (creating an initial module when
+    the row is fresh) and then in a new "innovative" module which becomes
+    current; on the target row the net is recorded in the row's current
+    module (creating one if fresh).  Every |Y>/|A> injection additionally
+    owns a distillation-box module (not traversed by nets). *)
+
+type module_kind =
+  | Initial of Tqec_icm.Icm.init_kind
+      (** a row's first module; carries the initialization I/M *)
+  | Innovative  (** control-side module created by a CNOT *)
+  | Ishape_merged  (** created by {!Ishape}; bridges an I/M pair *)
+  | Distill of Tqec_icm.Icm.init_kind
+      (** distillation box backing an injection ([Inject_y]/[Inject_a]) *)
+
+type module_rec = {
+  m_id : int;
+  m_kind : module_kind;
+  m_row : int;  (** ICM line; [-1] for distillation boxes *)
+  mutable m_nets : int list;  (** nets through this module, record order *)
+  mutable m_alive : bool;  (** false once absorbed by I-shape *)
+  mutable m_partner : int;
+      (** for [Ishape_merged], the residual module bridged with it (the
+          "same point" of the flipping stage); [-1] otherwise *)
+}
+
+type net_rec = {
+  n_id : int;
+  n_cnot : int;  (** index of the CNOT in the ICM *)
+  mutable n_modules : int list;  (** modules traversed, in order *)
+}
+
+type t = {
+  icm : Tqec_icm.Icm.t;
+  modules : module_rec Tqec_util.Veca.t;
+  nets : net_rec Tqec_util.Veca.t;
+  row_first : int array;  (** first module of each row; [-1] if unused *)
+  row_last : int array;  (** current (last) module of each row; [-1] *)
+  row_first_as_control : bool array;
+      (** row's first CNOT use was on the control side *)
+  row_last_as_control : bool array;
+}
+
+(** [of_icm icm] builds the PD graph. *)
+val of_icm : Tqec_icm.Icm.t -> t
+
+(** [n_modules g] counts alive modules (the paper's "#Modules" before
+    primal bridging counts all constructed modules: use
+    [n_modules_constructed]). *)
+val n_modules : t -> int
+
+val n_modules_constructed : t -> int
+
+val n_nets : t -> int
+
+val module_get : t -> int -> module_rec
+
+val net_get : t -> int -> net_rec
+
+(** [alive_modules g] lists alive modules in id order. *)
+val alive_modules : t -> module_rec list
+
+(** [nets_through g m] is the net list of module [m] (alive nets only,
+    deduplicated, order preserved). *)
+val nets_through : t -> int -> int list
+
+(** [modules_of_net g n] is the module list of net [n] (alive only). *)
+val modules_of_net : t -> int -> int list
+
+(** [braiding_relation g] is the set of (net, module) incidences as a
+    sorted list — the invariant that all later stages must preserve up to
+    the documented module splits/merges. *)
+val braiding_relation : t -> (int * int) list
+
+(** [meas_module g row] is the module carrying row's closing measurement
+    (its last module), if the row has modules. *)
+val meas_module : t -> int -> int option
+
+(** [distill_modules g] lists (module id, kind) of distillation boxes. *)
+val distill_modules : t -> (int * Tqec_icm.Icm.init_kind) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/place/bstar_tree.ml: Array Int List Printf Tqec_util

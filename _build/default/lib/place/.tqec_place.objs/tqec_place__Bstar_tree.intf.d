@@ -1,0 +1,1 @@
+lib/place/bstar_tree.mli: Tqec_util

@@ -1,0 +1,1 @@
+lib/place/placer.ml: Array Bstar_tree Hashtbl Int List Printf Sa Super_module Tqec_pdgraph Tqec_util

@@ -1,0 +1,1 @@
+lib/place/placer.mli: Sa Super_module Tqec_pdgraph Tqec_util

@@ -1,0 +1,1 @@
+lib/place/sa.ml: Float Tqec_util

@@ -1,0 +1,1 @@
+lib/place/super_module.ml: Array Hashtbl Int List Option Tqec_geom Tqec_icm Tqec_pdgraph Tqec_util

@@ -1,0 +1,1 @@
+lib/place/super_module.mli: Hashtbl Tqec_geom Tqec_pdgraph Tqec_util

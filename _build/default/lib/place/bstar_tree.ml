@@ -1,0 +1,292 @@
+module Rng = Tqec_util.Rng
+
+(* Tree slots form the binary tree; each slot holds a block id.  Moves
+   permute block ids across slots, so [pack] can report positions per
+   block id and callers keep stable identities. *)
+type t = {
+  n : int;
+  w : int array; (* by block id *)
+  h : int array;
+  rot : bool array;
+  block_at : int array; (* slot -> block id *)
+  slot_of : int array; (* block id -> slot *)
+  parent : int array; (* slot tree; -1 for root/none *)
+  left : int array;
+  right : int array;
+  mutable root : int;
+}
+
+let size t = t.n
+let width t b = if t.rot.(b) then t.h.(b) else t.w.(b)
+let height t b = if t.rot.(b) then t.w.(b) else t.h.(b)
+
+let create dims =
+  let n = Array.length dims in
+  if n = 0 then invalid_arg "Bstar_tree.create: no blocks";
+  let t =
+    {
+      n;
+      w = Array.map fst dims;
+      h = Array.map snd dims;
+      rot = Array.make n false;
+      block_at = Array.init n (fun i -> i);
+      slot_of = Array.init n (fun i -> i);
+      parent = Array.make n (-1);
+      left = Array.make n (-1);
+      right = Array.make n (-1);
+      root = 0;
+    }
+  in
+  (* Initial shape: left-chain spine with right children hung off it in
+     index order packs blocks into rows; a complete binary tree packs
+     roughly square.  Use the complete tree. *)
+  for i = 0 to n - 1 do
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    if l < n then begin
+      t.left.(i) <- l;
+      t.parent.(l) <- i
+    end;
+    if r < n then begin
+      t.right.(i) <- r;
+      t.parent.(r) <- i
+    end
+  done;
+  t
+
+let create_shelves dims =
+  let n = Array.length dims in
+  if n = 0 then invalid_arg "Bstar_tree.create_shelves: no blocks";
+  let t =
+    {
+      n;
+      w = Array.map fst dims;
+      h = Array.map snd dims;
+      rot = Array.make n false;
+      block_at = Array.init n (fun i -> i);
+      slot_of = Array.init n (fun i -> i);
+      parent = Array.make n (-1);
+      left = Array.make n (-1);
+      right = Array.make n (-1);
+      root = 0;
+    }
+  in
+  let total_area =
+    Array.fold_left (fun acc (w, h) -> acc + (w * h)) 0 dims
+  in
+  let target_w =
+    max
+      (Array.fold_left (fun acc (w, _) -> max acc w) 1 dims)
+      (int_of_float (sqrt (1.15 *. float_of_int total_area)))
+  in
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = Int.compare (snd dims.(b)) (snd dims.(a)) in
+      if c <> 0 then c else Int.compare a b)
+    order;
+  (* build shelves: within a row, chain left children; each new row head
+     is the right child of the previous row's head *)
+  let row_head = ref (-1) and row_prev = ref (-1) and row_width = ref 0 in
+  Array.iter
+    (fun b ->
+      let slot = b in
+      let w = fst dims.(b) in
+      if !row_head = -1 then begin
+        (* first block overall: root *)
+        t.root <- slot;
+        row_head := slot;
+        row_prev := slot;
+        row_width := w
+      end
+      else if !row_width + w <= target_w then begin
+        t.left.(!row_prev) <- slot;
+        t.parent.(slot) <- !row_prev;
+        row_prev := slot;
+        row_width := !row_width + w
+      end
+      else begin
+        t.right.(!row_head) <- slot;
+        t.parent.(slot) <- !row_head;
+        row_head := slot;
+        row_prev := slot;
+        row_width := w
+      end)
+    order;
+  t
+
+let rotate t b = t.rot.(b) <- not t.rot.(b)
+let is_rotated t b = t.rot.(b)
+
+let swap_blocks t a b =
+  if a <> b then begin
+    let sa = t.slot_of.(a) and sb = t.slot_of.(b) in
+    t.block_at.(sa) <- b;
+    t.block_at.(sb) <- a;
+    t.slot_of.(a) <- sb;
+    t.slot_of.(b) <- sa
+  end
+
+(* Detach block [b]: bubble its id down to a leaf slot by swapping with
+   child slots' ids, then unlink that leaf slot.  Returns the freed
+   slot. *)
+let detach t b =
+  let cursor = ref t.slot_of.(b) in
+  while t.left.(!cursor) <> -1 || t.right.(!cursor) <> -1 do
+    let child =
+      if t.left.(!cursor) <> -1 then t.left.(!cursor) else t.right.(!cursor)
+    in
+    swap_blocks t t.block_at.(!cursor) t.block_at.(child);
+    cursor := child
+  done;
+  let leaf = !cursor in
+  let p = t.parent.(leaf) in
+  if p = -1 then failwith "Bstar_tree.detach: cannot detach the only block";
+  if t.left.(p) = leaf then t.left.(p) <- -1 else t.right.(p) <- -1;
+  t.parent.(leaf) <- -1;
+  leaf
+
+let attach t ~rng leaf =
+  let in_tree slot = slot = t.root || t.parent.(slot) <> -1 in
+  let candidates = ref [] in
+  for slot = 0 to t.n - 1 do
+    if slot <> leaf && in_tree slot
+       && (t.left.(slot) = -1 || t.right.(slot) = -1)
+    then candidates := slot :: !candidates
+  done;
+  match !candidates with
+  | [] -> failwith "Bstar_tree.attach: no free slot"
+  | cs ->
+      let arr = Array.of_list cs in
+      let target = arr.(Rng.int rng (Array.length arr)) in
+      let use_left =
+        if t.left.(target) = -1 && t.right.(target) = -1 then Rng.bool rng
+        else t.left.(target) = -1
+      in
+      if use_left then t.left.(target) <- leaf else t.right.(target) <- leaf;
+      t.parent.(leaf) <- target
+
+let move_block t ~rng b =
+  if t.n >= 2 then begin
+    let leaf = detach t b in
+    attach t ~rng leaf
+  end
+
+type snapshot = {
+  s_rot : bool array;
+  s_block_at : int array;
+  s_slot_of : int array;
+  s_parent : int array;
+  s_left : int array;
+  s_right : int array;
+  s_root : int;
+}
+
+let snapshot t =
+  {
+    s_rot = Array.copy t.rot;
+    s_block_at = Array.copy t.block_at;
+    s_slot_of = Array.copy t.slot_of;
+    s_parent = Array.copy t.parent;
+    s_left = Array.copy t.left;
+    s_right = Array.copy t.right;
+    s_root = t.root;
+  }
+
+let restore t s =
+  Array.blit s.s_rot 0 t.rot 0 t.n;
+  Array.blit s.s_block_at 0 t.block_at 0 t.n;
+  Array.blit s.s_slot_of 0 t.slot_of 0 t.n;
+  Array.blit s.s_parent 0 t.parent 0 t.n;
+  Array.blit s.s_left 0 t.left 0 t.n;
+  Array.blit s.s_right 0 t.right 0 t.n;
+  t.root <- s.s_root
+
+(* Skyline: sorted breakpoints (x, y); (x, y) means the contour has
+   height y from x to the next breakpoint (the last extends forever). *)
+let pack t =
+  let pos = Array.make t.n (0, 0) in
+  let skyline = ref [ (0, 0) ] in
+  let max_w = ref 0 and max_h = ref 0 in
+  let height_at sky q =
+    let rec go acc = function
+      | (bx, by) :: rest when bx <= q -> go by rest
+      | _ -> acc
+    in
+    go 0 sky
+  in
+  let place b x0 =
+    let w = width t b and h = height t b in
+    let x1 = x0 + w in
+    let rec max_in acc = function
+      | (bx, by) :: ((bx', _) :: _ as rest) ->
+          let acc = if bx < x1 && bx' > x0 then max acc by else acc in
+          max_in acc rest
+      | [ (bx, by) ] -> if bx < x1 then max acc by else acc
+      | [] -> acc
+    in
+    let base = max_in 0 !skyline in
+    let y_end = height_at !skyline x1 in
+    let before = List.filter (fun (bx, _) -> bx < x0) !skyline in
+    let after = List.filter (fun (bx, _) -> bx > x1) !skyline in
+    skyline := before @ [ (x0, base + h); (x1, y_end) ] @ after;
+    pos.(b) <- (x0, base);
+    max_w := max !max_w x1;
+    max_h := max !max_h (base + h)
+  in
+  let stack = ref [ (t.root, 0) ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (slot, x0) :: rest ->
+        stack := rest;
+        let b = t.block_at.(slot) in
+        place b x0;
+        if t.right.(slot) <> -1 then stack := (t.right.(slot), x0) :: !stack;
+        if t.left.(slot) <> -1 then
+          stack := (t.left.(slot), x0 + width t b) :: !stack
+  done;
+  (pos, (!max_w, !max_h))
+
+let check t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  if t.parent.(t.root) <> -1 then err "root slot %d has a parent" t.root;
+  for slot = 0 to t.n - 1 do
+    let l = t.left.(slot) and r = t.right.(slot) in
+    if l <> -1 && t.parent.(l) <> slot then err "left child %d of %d disowned" l slot;
+    if r <> -1 && t.parent.(r) <> slot then
+      err "right child %d of %d disowned" r slot;
+    if l <> -1 && l = r then err "slot %d has twin children" slot;
+    if t.slot_of.(t.block_at.(slot)) <> slot then
+      err "slot %d block mapping inconsistent" slot
+  done;
+  let visited = Array.make t.n false in
+  let rec visit slot count =
+    if slot = -1 then count
+    else if visited.(slot) then begin
+      err "slot %d visited twice" slot;
+      count
+    end
+    else begin
+      visited.(slot) <- true;
+      visit t.right.(slot) (visit t.left.(slot) (count + 1))
+    end
+  in
+  let reached = visit t.root 0 in
+  if reached <> t.n then err "only %d of %d slots reachable" reached t.n;
+  List.rev !errors
+
+let overlaps positions dims =
+  let n = Array.length positions in
+  let overlap i j =
+    let xi, yi = positions.(i) and wi, hi = dims.(i) in
+    let xj, yj = positions.(j) and wj, hj = dims.(j) in
+    xi < xj + wj && xj < xi + wi && yi < yj + hj && yj < yi + hi
+  in
+  let found = ref false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if overlap i j then found := true
+    done
+  done;
+  !found

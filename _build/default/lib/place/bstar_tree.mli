@@ -1,0 +1,67 @@
+(** B*-tree floorplan representation with contour (skyline) packing.
+
+    The classic admissible-placement representation: a binary tree over
+    blocks; in packing (preorder), the left child of a block sits
+    immediately to its right ([x = parent.x + parent.w]) and the right
+    child directly above it at the same x; the y coordinate comes from a
+    skyline contour.  Every tree reachable by the perturbation moves
+    packs to a left/bottom-compacted placement.
+
+    Blocks carry a footprint (w, h); rotation swaps the two.  The 2.5D
+    aspect of the flow (block z-extents) is handled by the placer on
+    top. *)
+
+type t
+
+(** [create dims] builds an initial balanced tree over blocks with the
+    given (w, h) footprints, in index order. *)
+val create : (int * int) array -> t
+
+(** [create_shelves dims] builds an initial tree that packs like shelf
+    (strip) packing: blocks sorted by decreasing height fill rows of
+    width about [sqrt (1.15 * total area)] — a strong starting point for
+    the annealer. *)
+val create_shelves : (int * int) array -> t
+
+val size : t -> int
+
+(** [width t i] / [height t i] are the current (rotation-aware)
+    dimensions of block [i]. *)
+val width : t -> int -> int
+
+val height : t -> int -> int
+
+(** [rotate t i] swaps block [i]'s w and h. *)
+val rotate : t -> int -> unit
+
+(** [is_rotated t i] reports block [i]'s rotation state. *)
+val is_rotated : t -> int -> bool
+
+(** [swap_blocks t i j] exchanges the tree positions of blocks [i] and
+    [j] (their footprints travel with them). *)
+val swap_blocks : t -> int -> int -> unit
+
+(** [move_block t ~rng i] detaches block [i] and reattaches it at a
+    random free child slot elsewhere in the tree. No-op when [size t < 2]. *)
+val move_block : t -> rng:Tqec_util.Rng.t -> int -> unit
+
+(** [snapshot t] captures the tree structure; [restore t s] puts it
+    back exactly (used for undoing non-self-inverse moves). *)
+type snapshot
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+
+(** [pack t] computes the placement: per-block lower-left (x, y) and the
+    bounding (width, height). *)
+val pack : t -> (int * int) array * (int * int)
+
+(** [check t] verifies tree-structure invariants (parent/child
+    consistency, single root, all blocks reachable); returns error
+    strings, empty when consistent. *)
+val check : t -> string list
+
+(** [overlaps positions dims] tests pairwise overlap of packed blocks —
+    an O(n^2) oracle for tests; a correct packing never overlaps. *)
+val overlaps : (int * int) array -> (int * int) array -> bool

@@ -1,0 +1,386 @@
+module Pd_graph = Tqec_pdgraph.Pd_graph
+module Flipping = Tqec_pdgraph.Flipping
+module Dual_bridge = Tqec_pdgraph.Dual_bridge
+module Fvalue = Tqec_pdgraph.Fvalue
+module Vec3 = Tqec_util.Vec3
+module Box3 = Tqec_util.Box3
+module Rng = Tqec_util.Rng
+module Stats = Tqec_util.Stats
+
+type effort = Quick | Normal | Full
+
+let effort_of_string = function
+  | "quick" -> Some Quick
+  | "normal" -> Some Normal
+  | "full" -> Some Full
+  | _ -> None
+
+type strategy = Annealing | Force_directed
+
+type config = {
+  effort : effort;
+  seed : int;
+  alpha : float;
+  beta : float;
+  z_cap : int option;
+  strategy : strategy;
+}
+
+let default_config =
+  { effort = Normal; seed = 42; alpha = 1.0; beta = 0.2; z_cap = None;
+    strategy = Annealing }
+
+type t = {
+  sm : Super_module.t;
+  node_pos : (int * int) array;
+  rotated : bool array;
+  width : int;
+  height : int;
+  depth : int;
+  volume : int;
+  wirelength : int;
+  sa_stats : Sa.stats;
+}
+
+(* Iteration budget: a move costs one full repack, roughly 40*n simple
+   operations, so derive the move count from an operation budget. *)
+let iterations_for effort n =
+  let budget =
+    match effort with
+    | Quick -> 60_000_000
+    | Normal -> 500_000_000
+    | Full -> 4_000_000_000
+  in
+  Stats.clamp 500 120_000 (budget / (30 * max 1 n))
+
+(* Nets at node granularity for the SA wirelength estimate: each bridged
+   dual structure pins the nodes its modules were claimed by. *)
+let build_nets (g : Pd_graph.t) (sm : Super_module.t) (dual : Dual_bridge.t) =
+  let nets = ref [] in
+  List.iter
+    (fun (rep, _members) ->
+      let modules = Dual_bridge.modules_of_class g dual rep in
+      let nodes =
+        List.filter_map (Hashtbl.find_opt sm.Super_module.node_of_module) modules
+        |> List.sort_uniq Int.compare
+      in
+      match nodes with [] | [ _ ] -> () | ns -> nets := ns :: !nets)
+    dual.Dual_bridge.merged;
+  List.iter
+    (fun (box_node, m) ->
+      match Hashtbl.find_opt sm.Super_module.node_of_module m with
+      | Some n when n <> box_node -> nets := [ box_node; n ] :: !nets
+      | _ -> ())
+    sm.Super_module.pseudo_nets;
+  Array.of_list (List.map Array.of_list !nets)
+
+let hpwl nets node_pos =
+  let total = ref 0 in
+  Array.iter
+    (fun net ->
+      let x0 = ref max_int and x1 = ref min_int in
+      let y0 = ref max_int and y1 = ref min_int in
+      Array.iter
+        (fun n ->
+          let x, y = node_pos.(n) in
+          if x < !x0 then x0 := x;
+          if x > !x1 then x1 := x;
+          if y < !y0 then y0 := y;
+          if y > !y1 then y1 := y)
+        net;
+      total := !total + (!x1 - !x0) + (!y1 - !y0))
+    nets;
+  !total
+
+(* Force-directed placement: repeatedly (1) compute each block's desired
+   position as the centroid of its net mates, (2) order blocks by the
+   desired position, (3) legalize by shelf packing in that order.  The
+   best iteration by the same cost function wins. *)
+let force_directed ~iterations ~beta dims nets =
+  let n = Array.length dims in
+  let total_area = Array.fold_left (fun a (w, h) -> a + (w * h)) 0 dims in
+  let target_w =
+    max
+      (Array.fold_left (fun a (w, _) -> max a w) 1 dims)
+      (int_of_float (sqrt (1.2 *. float_of_int total_area)))
+  in
+  let shelf_pack order =
+    let pos = Array.make n (0, 0) in
+    let x = ref 0 and y = ref 0 and row_h = ref 0 in
+    let max_w = ref 0 and max_h = ref 0 in
+    Array.iter
+      (fun b ->
+        let w, h = dims.(b) in
+        if !x + w > target_w && !x > 0 then begin
+          x := 0;
+          y := !y + !row_h;
+          row_h := 0
+        end;
+        pos.(b) <- (!x, !y);
+        x := !x + w;
+        row_h := max !row_h h;
+        max_w := max !max_w !x;
+        max_h := max !max_h (!y + h))
+      order;
+    (pos, (!max_w, !max_h))
+  in
+  let cost pos (w, h) =
+    float_of_int (w * h) +. (beta *. float_of_int (hpwl nets pos))
+  in
+  let order = Array.init n (fun i -> i) in
+  let best = ref (shelf_pack order) in
+  let best_cost = ref (cost (fst !best) (snd !best)) in
+  for _ = 1 to iterations do
+    let pos = fst !best in
+    let desired =
+      Array.init n (fun b ->
+          let x, y = pos.(b) in
+          (float_of_int x, float_of_int y))
+    in
+    (* pull towards net centroids *)
+    let pull = Array.make n (0., 0., 0) in
+    Array.iter
+      (fun net ->
+        let cx = ref 0. and cy = ref 0. in
+        Array.iter
+          (fun b ->
+            let x, y = pos.(b) in
+            cx := !cx +. float_of_int x;
+            cy := !cy +. float_of_int y)
+          net;
+        let k = float_of_int (Array.length net) in
+        let cx = !cx /. k and cy = !cy /. k in
+        Array.iter
+          (fun b ->
+            let px, py, pk = pull.(b) in
+            pull.(b) <- (px +. cx, py +. cy, pk + 1))
+          net)
+      nets;
+    let desired =
+      Array.mapi
+        (fun b (dx, dy) ->
+          match pull.(b) with
+          | _, _, 0 -> (dx, dy)
+          | px, py, pk ->
+              let k = float_of_int pk in
+              (* move halfway towards the mean centroid *)
+              (0.5 *. (dx +. (px /. k)), 0.5 *. (dy +. (py /. k))))
+        desired
+    in
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let ax, ay = desired.(a) and bx, by = desired.(b) in
+        let c = compare (ay, ax) (by, bx) in
+        if c <> 0 then c else Int.compare a b)
+      order;
+    let candidate = shelf_pack order in
+    let c = cost (fst candidate) (snd candidate) in
+    if c < !best_cost then begin
+      best := candidate;
+      best_cost := c
+    end
+  done;
+  !best
+
+let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
+    (dual : Dual_bridge.t) (_fvalue : Fvalue.t) =
+  let sm =
+    match config.z_cap with
+    | Some z -> Super_module.build ~z_cap:z g flipping
+    | None -> Super_module.build g flipping
+  in
+  let nodes = sm.Super_module.nodes in
+  let n = Array.length nodes in
+  if n = 0 then invalid_arg "Placer.place: no nodes";
+  let depth =
+    max 2
+      (Array.fold_left (fun acc nd -> max acc nd.Super_module.nd_d) 2 nodes)
+  in
+  let dims =
+    Array.map (fun nd -> (nd.Super_module.nd_w, nd.Super_module.nd_h)) nodes
+  in
+  let nets = build_nets g sm dual in
+  match config.strategy with
+  | Force_directed ->
+      let iterations =
+        match config.effort with Quick -> 10 | Normal -> 40 | Full -> 120
+      in
+      let pos, (width, height) =
+        force_directed ~iterations ~beta:config.beta dims nets
+      in
+      {
+        sm;
+        node_pos = pos;
+        rotated = Array.make n false;
+        width;
+        height;
+        depth;
+        volume = width * height * depth;
+        wirelength = hpwl nets pos;
+        sa_stats =
+          {
+            Sa.attempted = iterations;
+            accepted = iterations;
+            best_cost = float_of_int (width * height * depth);
+            final_temperature = 0.;
+          };
+      }
+  | Annealing ->
+  let tree = Bstar_tree.create dims in
+  let rng = Rng.create config.seed in
+  (* current packing state *)
+  let cur_pos = ref (fst (Bstar_tree.pack tree)) in
+  let cur_wh = ref (snd (Bstar_tree.pack tree)) in
+  let repack () =
+    let pos, wh = Bstar_tree.pack tree in
+    cur_pos := pos;
+    cur_wh := wh
+  in
+  let cost () =
+    let w, h = !cur_wh in
+    (config.alpha *. float_of_int (w * h * depth))
+    +. (config.beta *. float_of_int (hpwl nets !cur_pos))
+  in
+  (* best snapshot *)
+  let best_pos = ref (Array.copy !cur_pos) in
+  let best_rot = ref (Array.init n (Bstar_tree.is_rotated tree)) in
+  let best_wh = ref !cur_wh in
+  let on_best _ =
+    best_pos := Array.copy !cur_pos;
+    best_rot := Array.init n (Bstar_tree.is_rotated tree);
+    best_wh := !cur_wh
+  in
+  (* Time-dependent and distillation-injection super-modules keep their
+     internal sequence along the time (x) axis: never rotate them. *)
+  let rotatable =
+    Array.map
+      (fun nd ->
+        match nd.Super_module.nd_kind with
+        | Super_module.Plain _ | Super_module.Chain _ -> true
+        | Super_module.Time_sm _ | Super_module.Distill_sm _ -> false)
+      nodes
+  in
+  let rotatable_ids =
+    Array.of_list
+      (List.filter
+         (fun i -> rotatable.(i))
+         (List.init n (fun i -> i)))
+  in
+  let perturb () =
+    let undo_structural =
+      match
+        if Array.length rotatable_ids = 0 then 1 + Rng.int rng 2
+        else Rng.int rng 3
+      with
+      | 0 ->
+          let b = rotatable_ids.(Rng.int rng (Array.length rotatable_ids)) in
+          Bstar_tree.rotate tree b;
+          fun () -> Bstar_tree.rotate tree b
+      | 1 ->
+          let a = Rng.int rng n and b = Rng.int rng n in
+          Bstar_tree.swap_blocks tree a b;
+          fun () -> Bstar_tree.swap_blocks tree a b
+      | _ ->
+          if n < 2 then fun () -> ()
+          else begin
+            (* a move is not self-inverse: snapshot the tree structure
+               and restore it exactly on rejection *)
+            let snapshot = Bstar_tree.snapshot tree in
+            let b = Rng.int rng n in
+            Bstar_tree.move_block tree ~rng b;
+            fun () -> Bstar_tree.restore tree snapshot
+          end
+    in
+    let prev_pos = !cur_pos and prev_wh = !cur_wh in
+    repack ();
+    fun () ->
+      undo_structural ();
+      cur_pos := prev_pos;
+      cur_wh := prev_wh
+  in
+  let iterations = iterations_for config.effort n in
+  let params =
+    {
+      Sa.iterations;
+      moves_per_temp = Stats.clamp 10 200 (iterations / 60);
+      cooling = 0.93;
+      initial_acceptance = 0.85;
+    }
+  in
+  let sa_stats = Sa.run ~rng ~params ~cost ~perturb ~on_best () in
+  let width, height = !best_wh in
+  let node_pos = !best_pos in
+  let rotated = !best_rot in
+  let result =
+    {
+      sm;
+      node_pos;
+      rotated;
+      width;
+      height;
+      depth;
+      volume = width * height * depth;
+      wirelength = hpwl nets node_pos;
+      sa_stats;
+    }
+  in
+  result
+
+let module_cell p m =
+  Super_module.module_cell p.sm ~node_pos:p.node_pos
+    ~rotated:(fun n -> p.rotated.(n))
+    m
+
+let pin_cell ?(opposite = false) p fvalue flipping m =
+  let point = flipping.Flipping.point_of.(m) in
+  let flipped = point >= 0 && Fvalue.flipped fvalue point in
+  let flipped = if opposite then not flipped else flipped in
+  Super_module.pin_cell p.sm ~node_pos:p.node_pos
+    ~rotated:(fun n -> p.rotated.(n))
+    ~flipped m
+
+let node_box p n =
+  let nd = p.sm.Super_module.nodes.(n) in
+  let x, y = p.node_pos.(n) in
+  let w, h =
+    if p.rotated.(n) then (nd.Super_module.nd_h, nd.Super_module.nd_w)
+    else (nd.Super_module.nd_w, nd.Super_module.nd_h)
+  in
+  Box3.make (Vec3.make x y 0)
+    (Vec3.make (x + w - 1) (y + h - 1) (nd.Super_module.nd_d - 1))
+
+let check p =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let n = Array.length p.sm.Super_module.nodes in
+  let dims =
+    Array.init n (fun i ->
+        let nd = p.sm.Super_module.nodes.(i) in
+        if p.rotated.(i) then (nd.Super_module.nd_h, nd.Super_module.nd_w)
+        else (nd.Super_module.nd_w, nd.Super_module.nd_h))
+  in
+  if Bstar_tree.overlaps p.node_pos dims then err "node footprints overlap";
+  Array.iteri
+    (fun i (x, y) ->
+      let w, h = dims.(i) in
+      if x < 0 || y < 0 || x + w > p.width || y + h > p.height then
+        err "node %d outside the die" i)
+    p.node_pos;
+  (* time-SM modules must be x-monotone in time order *)
+  Array.iter
+    (fun nd ->
+      match nd.Super_module.nd_kind with
+      | Super_module.Time_sm { modules; _ } ->
+          let xs =
+            List.map (fun m -> (module_cell p m).Vec3.x) modules
+          in
+          let rec mono = function
+            | a :: (b :: _ as rest) -> a < b && mono rest
+            | _ -> true
+          in
+          if not (mono xs) then
+            err "time super-module %d order violated" nd.Super_module.nd_id
+      | _ -> ())
+    p.sm.Super_module.nodes;
+  List.rev !errors

@@ -1,0 +1,76 @@
+(** 2.5D module placement (paper Section 3.5).
+
+    Packs the super-module nodes with a B*-tree + simulated annealing,
+    minimizing [alpha * volume + beta * wirelength] where volume is
+    [W * H * Z] (Z = the deepest node's z extent, at least 2) and
+    wirelength is the summed 3D half-perimeter of the bridged dual nets'
+    module pins plus the distillation pseudo-nets. *)
+
+type effort = Quick | Normal | Full
+
+(** [effort_of_string s] parses ["quick" | "normal" | "full"]. *)
+val effort_of_string : string -> effort option
+
+type strategy =
+  | Annealing  (** B*-tree + simulated annealing (the paper's engine) *)
+  | Force_directed
+      (** iterative centroid-ordered shelf packing, in the spirit of the
+          force-directed compactor of Paetznick & Fowler (the paper's
+          related work [14]); cheaper, usually looser *)
+
+type config = {
+  effort : effort;
+  seed : int;
+  alpha : float;  (** volume weight *)
+  beta : float;  (** wirelength weight *)
+  z_cap : int option;  (** chain folding height override (ablations) *)
+  strategy : strategy;
+}
+
+val default_config : config
+
+type t = {
+  sm : Super_module.t;
+  node_pos : (int * int) array;  (** per node, lower-left (x, y) *)
+  rotated : bool array;
+  width : int;
+  height : int;
+  depth : int;
+  volume : int;  (** W * H * Z of the placement *)
+  wirelength : int;
+  sa_stats : Sa.stats;
+}
+
+(** [place ?config g flipping dual fvalue] runs the annealer and returns
+    the best placement found. *)
+val place :
+  ?config:config ->
+  Tqec_pdgraph.Pd_graph.t ->
+  Tqec_pdgraph.Flipping.t ->
+  Tqec_pdgraph.Dual_bridge.t ->
+  Tqec_pdgraph.Fvalue.t ->
+  t
+
+(** [module_cell p m] / [pin_cell p m] are the placed core/pin cells of
+    alive module [m]. *)
+val module_cell : t -> int -> Tqec_util.Vec3.t
+
+val pin_cell :
+  ?opposite:bool ->
+  t ->
+  Tqec_pdgraph.Fvalue.t ->
+  Tqec_pdgraph.Flipping.t ->
+  int ->
+  Tqec_util.Vec3.t
+(** [?opposite] exits on the other side of the module's f value — used by
+    the distillation pseudo-nets so two structures pinned at one module
+    approach it through different cells (the planning step of Fig. 15). *)
+
+(** [node_box p n] is the placed footprint box of node [n] (z from 0 to
+    the node's depth). *)
+val node_box : t -> int -> Tqec_util.Box3.t
+
+(** [check p] validates the placement: no two node footprints overlap,
+    all inside [width * height], time-SM internal x-order monotone.
+    Returns error strings. *)
+val check : t -> string list

@@ -1,0 +1,86 @@
+module Rng = Tqec_util.Rng
+
+type params = {
+  iterations : int;
+  moves_per_temp : int;
+  cooling : float;
+  initial_acceptance : float;
+}
+
+let default_params ~size =
+  let size = max 1 size in
+  {
+    iterations = Tqec_util.Stats.clamp 2_000 200_000 (size * 60);
+    moves_per_temp = Tqec_util.Stats.clamp 20 400 (size * 2);
+    cooling = 0.93;
+    initial_acceptance = 0.85;
+  }
+
+type stats = {
+  attempted : int;
+  accepted : int;
+  best_cost : float;
+  final_temperature : float;
+}
+
+let run ~rng ~params ~cost ~perturb ?(on_best = fun _ -> ()) () =
+  let current = ref (cost ()) in
+  let best = ref !current in
+  on_best !best;
+  (* Probe phase: estimate the average uphill delta to set T0 so that
+     the initial acceptance probability matches the target. *)
+  let probe_moves = min 50 (max 10 (params.iterations / 100)) in
+  let uphill_sum = ref 0. and uphill_count = ref 0 in
+  for _ = 1 to probe_moves do
+    let undo = perturb () in
+    let c = cost () in
+    let delta = c -. !current in
+    if delta > 0. then begin
+      uphill_sum := !uphill_sum +. delta;
+      incr uphill_count
+    end;
+    (* accept all probe moves to explore; track best *)
+    current := c;
+    if c < !best then begin
+      best := c;
+      on_best c
+    end;
+    ignore undo
+  done;
+  let avg_uphill =
+    if !uphill_count = 0 then 1.0 else !uphill_sum /. float_of_int !uphill_count
+  in
+  let t0 = -.avg_uphill /. log params.initial_acceptance in
+  let temperature = ref (Float.max 1e-6 t0) in
+  let attempted = ref probe_moves and accepted = ref probe_moves in
+  let moves_at_temp = ref 0 in
+  while !attempted < params.iterations do
+    incr attempted;
+    incr moves_at_temp;
+    let undo = perturb () in
+    let c = cost () in
+    let delta = c -. !current in
+    let accept =
+      delta <= 0.
+      || Rng.float rng < exp (-.delta /. Float.max 1e-9 !temperature)
+    in
+    if accept then begin
+      incr accepted;
+      current := c;
+      if c < !best then begin
+        best := c;
+        on_best c
+      end
+    end
+    else undo ();
+    if !moves_at_temp >= params.moves_per_temp then begin
+      moves_at_temp := 0;
+      temperature := !temperature *. params.cooling
+    end
+  done;
+  {
+    attempted = !attempted;
+    accepted = !accepted;
+    best_cost = !best;
+    final_temperature = !temperature;
+  }

@@ -1,0 +1,40 @@
+(** Generic simulated-annealing engine.
+
+    The engine owns the annealing schedule; the problem supplies three
+    callbacks over a mutable state: [cost] (smaller is better),
+    [perturb] (make a random move, returning an undo closure), and
+    optionally [on_best] (called when a new best cost is found, e.g. to
+    snapshot the solution).  Cooling is geometric; the initial
+    temperature is calibrated from the average uphill delta of a probe
+    phase, the standard recipe for floorplanning annealers. *)
+
+type params = {
+  iterations : int;  (** total move attempts *)
+  moves_per_temp : int;
+  cooling : float;  (** geometric factor in (0, 1) *)
+  initial_acceptance : float;  (** probe-phase target, e.g. 0.85 *)
+}
+
+(** [default_params ~size] scales the budget with problem size. *)
+val default_params : size:int -> params
+
+type stats = {
+  attempted : int;
+  accepted : int;
+  best_cost : float;
+  final_temperature : float;
+}
+
+(** [run ~rng ~params ~cost ~perturb ?on_best ()] anneals and returns
+    statistics.  [perturb] must return an undo closure that restores the
+    state exactly; the engine calls it when a move is rejected.  The
+    problem state should be left at the last accepted configuration; use
+    [on_best] to checkpoint the best one. *)
+val run :
+  rng:Tqec_util.Rng.t ->
+  params:params ->
+  cost:(unit -> float) ->
+  perturb:(unit -> unit -> unit) ->
+  ?on_best:(float -> unit) ->
+  unit ->
+  stats

@@ -1,0 +1,301 @@
+module Pd_graph = Tqec_pdgraph.Pd_graph
+module Flipping = Tqec_pdgraph.Flipping
+module Icm = Tqec_icm.Icm
+module Vec3 = Tqec_util.Vec3
+module Geometry = Tqec_geom.Geometry
+
+type node_kind =
+  | Plain of int
+  | Chain of int list
+  | Time_sm of { wire : int; modules : int list }
+  | Distill_sm of {
+      box : Geometry.box_kind;
+      line : int;
+      attached : int option;
+    }
+
+type node = {
+  nd_id : int;
+  nd_kind : node_kind;
+  nd_w : int;
+  nd_h : int;
+  nd_d : int;
+}
+
+type t = {
+  nodes : node array;
+  node_of_module : (int, int) Hashtbl.t;
+  module_offset : (int, int * int * int) Hashtbl.t;
+  pseudo_nets : (int * int) list;
+  z_cap : int;
+  excluded : int -> bool;
+}
+
+(* Measurement-carrying module of an ICM line: the row's last module
+   (alive by construction: I-shape never absorbs an order-constrained
+   last module). *)
+let meas_module_exn g line =
+  match Pd_graph.meas_module g line with
+  | Some m -> m
+  | None -> invalid_arg "Super_module: measured line has no module"
+
+let time_sm_modules (g : Pd_graph.t) =
+  let icm = g.Pd_graph.icm in
+  let by_wire = Hashtbl.create 16 in
+  Array.iter
+    (fun (gadget : Icm.t_gadget) ->
+      let existing =
+        try Hashtbl.find by_wire gadget.t_wire with Not_found -> []
+      in
+      Hashtbl.replace by_wire gadget.t_wire (gadget :: existing))
+    icm.t_gadgets;
+  Hashtbl.fold
+    (fun wire gadgets acc ->
+      let sorted =
+        List.sort (fun (a : Icm.t_gadget) b -> Int.compare a.t_seq b.t_seq)
+          gadgets
+      in
+      let modules =
+        List.concat_map
+          (fun (gadget : Icm.t_gadget) ->
+            let meas_line i = icm.meas.(i).Icm.m_line in
+            let first = meas_module_exn g (meas_line gadget.t_first_meas) in
+            let seconds =
+              List.map (fun i -> meas_module_exn g (meas_line i))
+                gadget.t_second_meas
+            in
+            first :: seconds)
+          sorted
+      in
+      (wire, modules) :: acc)
+    by_wire []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* Choose the chain folding height that minimizes the estimated placed
+   volume: taller columns shrink the chain footprint but multiply the
+   whole die (distillation boxes and time super-modules are only 2
+   deep), so the best height depends on the area mix. *)
+let pick_z_cap ~fixed_area ~chains =
+  match chains with
+  | [] -> 2
+  | _ ->
+      let estimate z =
+        let z_eff =
+          List.fold_left (fun acc (k, _) -> max acc (min k z)) 2 chains
+        in
+        let chain_area =
+          List.fold_left
+            (fun acc (k, slot_w) ->
+              acc + ((((k + z - 1) / z * slot_w) + 1) * 2))
+            0 chains
+        in
+        ((fixed_area + chain_area) * z_eff, z)
+      in
+      let candidates = List.map estimate [ 2; 3; 4; 6; 8; 12; 16; 24 ] in
+      snd
+        (List.fold_left
+           (fun (bv, bz) (v, z) -> if v < bv then (v, z) else (bv, bz))
+           (List.hd candidates) (List.tl candidates))
+
+let build ?z_cap (g : Pd_graph.t) (flipping : Flipping.t) =
+  let time_sms = time_sm_modules g in
+  let in_time_sm = Hashtbl.create 64 in
+  List.iter
+    (fun (_, ms) -> List.iter (fun m -> Hashtbl.replace in_time_sm m ()) ms)
+    time_sms;
+  let excluded m = Hashtbl.mem in_time_sm m in
+  let members_of = Hashtbl.create 64 in
+  List.iter
+    (fun (rep, ms) -> Hashtbl.replace members_of rep ms)
+    flipping.Flipping.points;
+  let point_w rep =
+    match Hashtbl.find_opt members_of rep with
+    | Some ms -> max 1 (List.length ms)
+    | None -> 1
+  in
+  let z_cap =
+    match z_cap with
+    | Some z -> max 2 z
+    | None ->
+        let fixed_area = ref 0 in
+        List.iter
+          (fun (_, ms) ->
+            fixed_area := !fixed_area + (((2 * List.length ms) + 1) * 2))
+          time_sms;
+        List.iter
+          (fun (_, kind) ->
+            let bw, bh, _ =
+              match kind with
+              | Icm.Inject_y -> Geometry.y_box_dims
+              | Icm.Inject_a -> Geometry.a_box_dims
+              | Icm.Init_z | Icm.Init_x -> assert false
+            in
+            fixed_area := !fixed_area + ((bw + 1) * (bh + 1)))
+          (Pd_graph.distill_modules g);
+        let chain_dims =
+          List.filter_map
+            (fun chain ->
+              match chain with
+              | [] | [ _ ] ->
+                  (match chain with
+                  | [ rep ] ->
+                      fixed_area := !fixed_area + ((point_w rep + 1) * 2);
+                      None
+                  | _ -> None)
+              | chain ->
+                  let slot_w =
+                    List.fold_left (fun acc rep -> max acc (point_w rep)) 1 chain
+                  in
+                  Some (List.length chain, slot_w))
+            flipping.Flipping.chains
+        in
+        pick_z_cap ~fixed_area:!fixed_area ~chains:chain_dims
+  in
+  let nodes = ref [] in
+  let node_of_module = Hashtbl.create 256 in
+  let module_offset = Hashtbl.create 256 in
+  let n_nodes = ref 0 in
+  let add_node kind ~w ~h ~d =
+    let id = !n_nodes in
+    incr n_nodes;
+    nodes := { nd_id = id; nd_kind = kind; nd_w = w; nd_h = h; nd_d = d } :: !nodes;
+    id
+  in
+  let claim m node dx dy dz =
+    Hashtbl.replace node_of_module m node;
+    Hashtbl.replace module_offset m (dx, dy, dz)
+  in
+  let members_of_point rep =
+    match Hashtbl.find_opt members_of rep with
+    | Some ms -> ms
+    | None -> [ rep ]
+  in
+  (* Point members laid along x within a column slot (a point can hold a
+     residual plus the merged modules of both row ends, so up to 3). *)
+  let place_point ~node ~x0 ~z rep =
+    List.iteri (fun i m -> claim m node (x0 + i) 0 z) (members_of_point rep)
+  in
+  let point_width rep = max 1 (List.length (members_of_point rep)) in
+  (* 1. Time-dependent super-modules. *)
+  List.iter
+    (fun (wire, modules) ->
+      let m_count = List.length modules in
+      let node =
+        add_node
+          (Time_sm { wire; modules })
+          ~w:((2 * m_count) + 1)
+          ~h:2 ~d:2
+      in
+      List.iteri (fun i m -> claim m node (1 + (2 * i)) 0 0) modules)
+    time_sms;
+  (* 2. Primal bridging chains and plain modules. *)
+  List.iter
+    (fun chain ->
+      match chain with
+      | [] -> ()
+      | [ rep ] ->
+          let core_w = point_width rep in
+          let node = add_node (Plain rep) ~w:(core_w + 1) ~h:2 ~d:2 in
+          place_point ~node ~x0:0 ~z:0 rep
+      | chain ->
+          let k = List.length chain in
+          let ncols = (k + z_cap - 1) / z_cap in
+          let d = min k z_cap in
+          let slot_w =
+            List.fold_left (fun acc rep -> max acc (point_width rep)) 1 chain
+          in
+          let node =
+            add_node (Chain chain) ~w:((slot_w * ncols) + 1) ~h:2 ~d
+          in
+          List.iteri
+            (fun j rep ->
+              let col = j / z_cap in
+              let lvl_raw = j mod z_cap in
+              (* serpentine so consecutive points stay adjacent across
+                 column boundaries *)
+              let lvl = if col land 1 = 0 then lvl_raw else d - 1 - lvl_raw in
+              place_point ~node ~x0:(slot_w * col) ~z:lvl rep)
+            chain)
+    flipping.Flipping.chains;
+  (* 3. Distillation boxes. *)
+  let pseudo_nets = ref [] in
+  List.iter
+    (fun (box_module, kind) ->
+      let box, (bw, bh, _bd) =
+        match kind with
+        | Icm.Inject_y -> (Geometry.Y_box, Geometry.y_box_dims)
+        | Icm.Inject_a -> (Geometry.A_box, Geometry.a_box_dims)
+        | Icm.Init_z | Icm.Init_x -> assert false
+      in
+      let line = (Pd_graph.module_get g box_module).Pd_graph.m_row in
+      (* Attachment: the injection line's first alive module, or its
+         I-shape merged replacement. *)
+      let attach =
+        let first = g.Pd_graph.row_first.(line) in
+        if first = -1 then None
+        else if (Pd_graph.module_get g first).Pd_graph.m_alive then Some first
+        else
+          (* absorbed: find the merged module on this line *)
+          let found = ref None in
+          Tqec_util.Veca.iter
+            (fun (m : Pd_graph.module_rec) ->
+              if
+                m.m_alive && m.m_row = line
+                && m.m_kind = Pd_graph.Ishape_merged
+                && !found = None
+              then found := Some m.m_id)
+            g.Pd_graph.modules;
+          !found
+      in
+      let absorbable =
+        match attach with
+        | Some m ->
+            (not (Hashtbl.mem node_of_module m)) && not (excluded m)
+        | None -> false
+      in
+      if absorbable then begin
+        let m = Option.get attach in
+        let node =
+          add_node
+            (Distill_sm { box; line; attached = Some m })
+            ~w:(bw + 3) ~h:(bh + 1) ~d:2
+        in
+        (* the injection module sits after the box along x *)
+        claim m node (bw + 1) 0 0
+      end
+      else begin
+        let node =
+          add_node
+            (Distill_sm { box; line; attached = None })
+            ~w:(bw + 1) ~h:(bh + 1) ~d:2
+        in
+        match attach with
+        | Some m -> pseudo_nets := (node, m) :: !pseudo_nets
+        | None -> ()
+      end)
+    (Pd_graph.distill_modules g);
+  {
+    nodes = Array.of_list (List.rev !nodes);
+    node_of_module;
+    module_offset;
+    pseudo_nets = List.rev !pseudo_nets;
+    z_cap;
+    excluded;
+  }
+
+let module_cell t ~node_pos ~rotated m =
+  let node = Hashtbl.find t.node_of_module m in
+  let dx, dy, dz = Hashtbl.find t.module_offset m in
+  let x, y = node_pos.(node) in
+  if rotated node then Vec3.make (x + dy) (y + dx) dz
+  else Vec3.make (x + dx) (y + dy) dz
+
+let pin_cell t ~node_pos ~rotated ~flipped m =
+  let node = Hashtbl.find t.node_of_module m in
+  let dx, dy, dz = Hashtbl.find t.module_offset m in
+  (* the pin sits on the node's margin row next to the core cell; the f
+     value selects which x side of the 2-wide column it uses *)
+  let dx = if flipped then dx + 1 else dx in
+  let x, y = node_pos.(node) in
+  if rotated node then Vec3.make (x + dy + 1) (y + dx) dz
+  else Vec3.make (x + dx) (y + dy + 1) dz

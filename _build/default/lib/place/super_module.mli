@@ -1,0 +1,83 @@
+(** Super-module construction (paper Section 3.5).
+
+    Converts the bridging results into the node set of the 2.5D B*-tree:
+
+    - {b time-dependent super-modules}: per logical wire with T gadgets,
+      the measurement-carrying modules in required time order (first-order
+      then second-order, gadget after gadget), laid along the x (time)
+      axis — satisfying the intra-T and inter-T constraints by
+      construction;
+    - {b distillation-injection super-modules}: one per |Y>/|A>
+      injection: the distillation box, absorbing the injection line's
+      first module when that module is not already claimed by a chain or
+      a time-dependent super-module (otherwise the box is its own node
+      tied to the module by a pseudo-net);
+    - {b primal bridging super-modules}: the flipping chains, folded into
+      serpentine columns of at most [z_cap] levels;
+    - {b plain modules}: singleton points.
+
+    Every node's footprint includes the one-unit separation margin on x
+    and y, so packed nodes that touch still keep disjoint primal
+    structures one unit apart. *)
+
+type node_kind =
+  | Plain of int  (** point representative *)
+  | Chain of int list  (** point representatives in bridge order *)
+  | Time_sm of { wire : int; modules : int list }  (** time order *)
+  | Distill_sm of {
+      box : Tqec_geom.Geometry.box_kind;
+      line : int;
+      attached : int option;  (** absorbed injection module *)
+    }
+
+type node = {
+  nd_id : int;
+  nd_kind : node_kind;
+  nd_w : int;  (** footprint (margin included) *)
+  nd_h : int;
+  nd_d : int;  (** z extent (levels) *)
+}
+
+type t = {
+  nodes : node array;
+  node_of_module : (int, int) Hashtbl.t;  (** alive module -> node *)
+  module_offset : (int, int * int * int) Hashtbl.t;
+      (** alive module -> (dx, dy, dz) of its core cell inside the node
+          (unrotated frame) *)
+  pseudo_nets : (int * int) list;
+      (** (box node, module) pairs for unabsorbed distillation boxes *)
+  z_cap : int;
+  excluded : int -> bool;
+      (** the module predicate used to keep time-SM members out of
+          chains; exposed for the pipeline *)
+}
+
+(** [time_sm_modules g] computes, per wire with T gadgets, the ordered
+    measurement-module list (exposed so the pipeline can exclude them
+    from flipping before calling [build]). *)
+val time_sm_modules : Tqec_pdgraph.Pd_graph.t -> (int * int list) list
+
+(** [build ?z_cap g flipping] assembles the node set.  [flipping] must
+    have been run with the exclusion predicate from [time_sm_modules].
+    [z_cap] defaults to a cube-balancing heuristic. *)
+val build :
+  ?z_cap:int -> Tqec_pdgraph.Pd_graph.t -> Tqec_pdgraph.Flipping.t -> t
+
+(** [module_cells t ~node_pos ~rotated m] is the core cell of module [m]
+    given its node's packed position and rotation. *)
+val module_cell :
+  t ->
+  node_pos:(int * int) array ->
+  rotated:(int -> bool) ->
+  int ->
+  Tqec_util.Vec3.t
+
+(** [pin_cell t ~node_pos ~rotated ~flipped m] is the routing pin next to
+    module [m]'s core cell; [flipped] is the f value of [m]'s point. *)
+val pin_cell :
+  t ->
+  node_pos:(int * int) array ->
+  rotated:(int -> bool) ->
+  flipped:bool ->
+  int ->
+  Tqec_util.Vec3.t

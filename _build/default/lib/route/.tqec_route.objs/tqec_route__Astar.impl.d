@@ -1,0 +1,1 @@
+lib/route/astar.ml: Array Grid Hashtbl List Tqec_util

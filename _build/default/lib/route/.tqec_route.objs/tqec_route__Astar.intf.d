@@ -1,0 +1,1 @@
+lib/route/astar.mli: Grid Tqec_util

@@ -1,0 +1,1 @@
+lib/route/grid.ml: Array Bytes List Printf Tqec_util

@@ -1,0 +1,1 @@
+lib/route/pathfinder.ml: Astar Grid Hashtbl Int List Option Printf Queue String Sys Tqec_util

@@ -1,0 +1,1 @@
+lib/route/pathfinder.mli: Grid Tqec_util

@@ -1,0 +1,97 @@
+module Vec3 = Tqec_util.Vec3
+module Box3 = Tqec_util.Box3
+module Pqueue = Tqec_util.Pqueue
+
+(* Region-local dense state: corridors are small, so flat arrays beat
+   hashing on both speed and allocation. *)
+let search ?(max_expansions = 400_000) ?(avoid_used = false) grid ~region
+    ~penalty ~sources ~target =
+  let region =
+    match Box3.inter region (Grid.box grid) with
+    | Some r -> r
+    | None -> Grid.box grid
+  in
+  let lo = region.Box3.lo in
+  let nx = Box3.dx region and ny = Box3.dy region and nz = Box3.dz region in
+  let cells = nx * ny * nz in
+  let encode (p : Vec3.t) =
+    ((((p.x - lo.Vec3.x) * ny) + (p.y - lo.Vec3.y)) * nz) + (p.z - lo.Vec3.z)
+  in
+  let decode i =
+    let z = i mod nz in
+    let rest = i / nz in
+    let y = rest mod ny in
+    let x = rest / ny in
+    Vec3.make (x + lo.Vec3.x) (y + lo.Vec3.y) (z + lo.Vec3.z)
+  in
+  let exempt = Hashtbl.create 8 in
+  List.iter
+    (fun s -> if Box3.contains region s then Hashtbl.replace exempt (encode s) ())
+    sources;
+  if not (Box3.contains region target) then None
+  else begin
+    let target_code = encode target in
+    Hashtbl.replace exempt target_code ();
+    let passable p code =
+      Hashtbl.mem exempt code
+      || ((not (Grid.is_obstacle grid p))
+         && ((not avoid_used)
+            || Grid.is_shared grid p
+            || Grid.usage grid p < Grid.capacity))
+    in
+    let g_score = Array.make cells max_int in
+    let parent = Array.make cells (-1) in
+    let open_q = Pqueue.create () in
+    let h p = Vec3.manhattan p target in
+    List.iter
+      (fun s ->
+        if Box3.contains region s then begin
+          let code = encode s in
+          if passable s code then begin
+            g_score.(code) <- 0;
+            Pqueue.push open_q (h s) code
+          end
+        end)
+      sources;
+    let found = ref false in
+    let expansions = ref 0 in
+    while (not !found) && (not (Pqueue.is_empty open_q))
+          && !expansions < max_expansions do
+      incr expansions;
+      let f, code = Pqueue.pop open_q in
+      let p = decode code in
+      let gp = g_score.(code) in
+      (* skip stale queue entries *)
+      if f <= gp + h p then begin
+        if code = target_code then found := true
+        else
+          List.iter
+            (fun q ->
+              if Box3.contains region q then begin
+                let qcode = encode q in
+                if passable q qcode then begin
+                  let tentative = gp + Grid.enter_cost grid ~penalty q in
+                  if tentative < g_score.(qcode) then begin
+                    g_score.(qcode) <- tentative;
+                    parent.(qcode) <- code;
+                    Pqueue.push open_q (tentative + h q) qcode
+                  end
+                end
+              end)
+            (Vec3.axis_neighbors p)
+      end
+    done;
+    if not !found then None
+    else begin
+      let rec backtrack acc code =
+        let acc = decode code :: acc in
+        if parent.(code) = -1 then acc else backtrack acc parent.(code)
+      in
+      Some (backtrack [] target_code)
+    end
+  end
+
+let path_cost grid ~penalty = function
+  | [] -> 0
+  | _ :: rest ->
+      List.fold_left (fun acc p -> acc + Grid.enter_cost grid ~penalty p) 0 rest

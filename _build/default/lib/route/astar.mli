@@ -1,0 +1,30 @@
+(** A* search on the routing grid, within a restricted region.
+
+    Multi-source single-target: the wavefront starts from every source
+    cell at cost 0 and ends at the target; the heuristic is the Manhattan
+    distance to the target (admissible: every step costs at least 1).
+    Obstacle cells and cells outside the region are never expanded;
+    source and target cells are exempt from the obstacle test so pins
+    adjacent to module walls remain reachable. *)
+
+(** [search grid ~region ~penalty ~sources ~target] returns the cell path
+    from some source to [target] (both inclusive), or [None] when
+    unreachable within the region or when [max_expansions] pops are
+    exhausted (a safety valve against pathological searches).  With
+    [avoid_used], cells already at capacity are treated as blocked, so a
+    found path can never create overuse (the cleanup mode of the
+    negotiation loop). *)
+val search :
+  ?max_expansions:int ->
+  ?avoid_used:bool ->
+  Grid.t ->
+  region:Tqec_util.Box3.t ->
+  penalty:int ->
+  sources:Tqec_util.Vec3.t list ->
+  target:Tqec_util.Vec3.t ->
+  Tqec_util.Vec3.t list option
+
+(** [path_cost grid ~penalty path] sums entry costs along a path,
+    excluding the first cell (test oracle: A* returns minimal-cost
+    paths). *)
+val path_cost : Grid.t -> penalty:int -> Tqec_util.Vec3.t list -> int

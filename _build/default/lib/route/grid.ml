@@ -1,0 +1,106 @@
+module Vec3 = Tqec_util.Vec3
+module Box3 = Tqec_util.Box3
+
+let capacity = 1
+
+let outside_die_cost = 6
+
+type t = {
+  box : Box3.t;
+  die : Box3.t;
+  nx : int;
+  ny : int;
+  nz : int;
+  obstacle : Bytes.t;
+  shared : Bytes.t;
+  usage : int array;
+  hist : int array;
+}
+
+let create ?die box =
+  let nx = Box3.dx box and ny = Box3.dy box and nz = Box3.dz box in
+  let cells = nx * ny * nz in
+  {
+    box;
+    die = (match die with Some d -> d | None -> box);
+    nx;
+    ny;
+    nz;
+    obstacle = Bytes.make cells '\000';
+    shared = Bytes.make cells '\000';
+    usage = Array.make cells 0;
+    hist = Array.make cells 0;
+  }
+
+let box g = g.box
+let in_bounds g p = Box3.contains g.box p
+
+let index g (p : Vec3.t) =
+  let x = p.x - g.box.Box3.lo.Vec3.x in
+  let y = p.y - g.box.Box3.lo.Vec3.y in
+  let z = p.z - g.box.Box3.lo.Vec3.z in
+  ((x * g.ny) + y) * g.nz + z
+
+let guard g p name =
+  if not (in_bounds g p) then
+    invalid_arg (Printf.sprintf "Grid.%s: out of bounds %s" name (Vec3.to_string p))
+
+let set_obstacle g p =
+  guard g p "set_obstacle";
+  Bytes.set g.obstacle (index g p) '\001'
+
+let set_obstacle_box g b =
+  match Box3.inter g.box b with
+  | None -> ()
+  | Some clipped -> List.iter (set_obstacle g) (Box3.cells clipped)
+
+let is_obstacle g p =
+  in_bounds g p && Bytes.get g.obstacle (index g p) = '\001'
+
+let set_shared g p =
+  guard g p "set_shared";
+  Bytes.set g.shared (index g p) '\001'
+
+let is_shared g p = in_bounds g p && Bytes.get g.shared (index g p) = '\001'
+
+let usage g p =
+  guard g p "usage";
+  g.usage.(index g p)
+
+let add_usage g p delta =
+  guard g p "add_usage";
+  let i = index g p in
+  g.usage.(i) <- g.usage.(i) + delta;
+  if g.usage.(i) < 0 then invalid_arg "Grid.add_usage: negative usage"
+
+let history g p =
+  guard g p "history";
+  g.hist.(index g p)
+
+let add_history g p delta =
+  guard g p "add_history";
+  let i = index g p in
+  g.hist.(i) <- g.hist.(i) + delta
+
+let enter_cost g ~penalty p =
+  guard g p "enter_cost";
+  let i = index g p in
+  let base = if Box3.contains g.die p then 1 else 1 + outside_die_cost in
+  if Bytes.get g.shared i = '\001' then base + g.hist.(i)
+  else
+    let over = g.usage.(i) + 1 - capacity in
+    base + g.hist.(i) + (if over > 0 then penalty * over else 0)
+
+let overused g =
+  let out = ref [] in
+  let lo = g.box.Box3.lo in
+  for x = 0 to g.nx - 1 do
+    for y = 0 to g.ny - 1 do
+      for z = 0 to g.nz - 1 do
+        let i = ((x * g.ny) + y) * g.nz + z in
+        if g.usage.(i) > capacity && Bytes.get g.shared i <> '\001' then
+          out := Vec3.make (lo.Vec3.x + x) (lo.Vec3.y + y) (lo.Vec3.z + z) :: !out
+      done
+    done
+  done;
+  List.rev !out

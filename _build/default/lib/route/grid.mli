@@ -1,0 +1,52 @@
+(** 3D routing grid with PathFinder-style congestion bookkeeping.
+
+    Each unit cell has capacity 1 (one dual strand), a present usage
+    count, an accumulated history cost, and an obstacle flag (primal
+    module cores and distillation boxes).  The negotiated-congestion cost
+    of entering a cell is
+
+    [base + history + penalty * max 0 (usage + 1 - capacity)]
+
+    so shared cells become increasingly expensive across iterations. *)
+
+type t
+
+(** [create ?die box] allocates the grid.  Cells outside [die] (the
+    placement bounding box) cost extra to enter, so wires spill out of
+    the die — growing the space-time volume — only under real
+    congestion pressure. *)
+val create : ?die:Tqec_util.Box3.t -> Tqec_util.Box3.t -> t
+
+val box : t -> Tqec_util.Box3.t
+
+val in_bounds : t -> Tqec_util.Vec3.t -> bool
+
+val set_obstacle : t -> Tqec_util.Vec3.t -> unit
+
+(** [set_obstacle_box g b] marks every cell of [b] (clipped). *)
+val set_obstacle_box : t -> Tqec_util.Box3.t -> unit
+
+val is_obstacle : t -> Tqec_util.Vec3.t -> bool
+
+(** Shared cells have unlimited capacity: net pin cells, where several
+    dual strands legitimately thread the same primal loop. *)
+val set_shared : t -> Tqec_util.Vec3.t -> unit
+
+val is_shared : t -> Tqec_util.Vec3.t -> bool
+
+val usage : t -> Tqec_util.Vec3.t -> int
+
+val add_usage : t -> Tqec_util.Vec3.t -> int -> unit
+
+val history : t -> Tqec_util.Vec3.t -> int
+
+val add_history : t -> Tqec_util.Vec3.t -> int -> unit
+
+(** [enter_cost g ~penalty p] is the congestion cost of entering [p]
+    (obstacles are handled by the router, not here). *)
+val enter_cost : t -> penalty:int -> Tqec_util.Vec3.t -> int
+
+(** [overused g] lists cells with usage above capacity. *)
+val overused : t -> Tqec_util.Vec3.t list
+
+val capacity : int

@@ -1,0 +1,294 @@
+module Vec3 = Tqec_util.Vec3
+module Box3 = Tqec_util.Box3
+
+type net = { net_id : int; pins : Vec3.t list }
+
+type config = {
+  max_iterations : int;
+  initial_penalty : int;
+  penalty_growth : int;
+  history_increment : int;
+  region_margin : int;
+}
+
+let default_config =
+  {
+    max_iterations = 40;
+    initial_penalty = 6;
+    penalty_growth = 4;
+    history_increment = 2;
+    region_margin = 3;
+  }
+
+let debug = Sys.getenv_opt "TQEC_DEBUG" <> None
+
+type routed = { r_net : int; r_cells : Vec3.t list }
+
+type result = {
+  routes : routed list;
+  success : bool;
+  iterations_used : int;
+  overused_after : int;
+  unrouted : int list;
+}
+
+let dedup_cells cells =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun c ->
+      if Hashtbl.mem seen c then false
+      else begin
+        Hashtbl.add seen c ();
+        true
+      end)
+    cells
+
+(* Route one net as a Steiner tree; returns its cell set (or None when a
+   pin is unreachable even with the widest region). *)
+let route_net ?(avoid_used = false) grid ~penalty ~margin (n : net) =
+  match dedup_cells n.pins with
+  | [] -> Some []
+  | first :: rest ->
+      let tree = ref [ first ] in
+      let tree_set = Hashtbl.create 64 in
+      Hashtbl.replace tree_set first ();
+      let add_cells cells =
+        List.iter
+          (fun c ->
+            if not (Hashtbl.mem tree_set c) then begin
+              Hashtbl.replace tree_set c ();
+              tree := c :: !tree
+            end)
+          cells
+      in
+      (* Prim order: each pin keeps its distance to the growing tree,
+         refreshed lazily; always connect the nearest remaining pin. *)
+      let remaining = ref (List.map (fun p -> (Vec3.manhattan first p, p)) rest) in
+      let dist_to_tree p =
+        List.fold_left (fun acc c -> min acc (Vec3.manhattan c p)) max_int !tree
+      in
+      let connect pin =
+        if Hashtbl.mem tree_set pin then true
+        else begin
+          (* restrict the search to the corridor between the pin and the
+             nearest point of the tree, widening on failure *)
+          let nearest =
+            List.fold_left
+              (fun best c ->
+                if Vec3.manhattan c pin < Vec3.manhattan best pin then c
+                else best)
+              (List.hd !tree) !tree
+          in
+          let corridor = Box3.bounding [ pin; nearest ] in
+          let try_region region =
+            Astar.search ~avoid_used grid ~region ~penalty ~sources:!tree
+              ~target:pin
+          in
+          let attempt =
+            match try_region (Box3.inflate margin corridor) with
+            | Some p -> Some p
+            | None -> (
+                match try_region (Box3.inflate (4 * margin) corridor) with
+                | Some p -> Some p
+                | None -> try_region (Grid.box grid))
+          in
+          match attempt with
+          | Some path ->
+              add_cells path;
+              true
+          | None -> false
+        end
+      in
+      let ok = ref true in
+      while !ok && !remaining <> [] do
+        (* refresh distances and pick the closest pin *)
+        let refreshed =
+          List.map (fun (_, p) -> (dist_to_tree p, p)) !remaining
+        in
+        let (_, pin), rest' =
+          match List.sort compare refreshed with
+          | best :: others -> (best, others)
+          | [] -> assert false
+        in
+        remaining := rest';
+        ok := connect pin
+      done;
+      if !ok then Some (List.rev !tree) else None
+
+let route_all grid config nets =
+  let routes : (int, Vec3.t list) Hashtbl.t = Hashtbl.create 64 in
+  let rip_up net_id =
+    match Hashtbl.find_opt routes net_id with
+    | None -> ()
+    | Some cells ->
+        List.iter (fun c -> Grid.add_usage grid c (-1)) cells;
+        Hashtbl.remove routes net_id
+  in
+  let claim net_id cells =
+    List.iter (fun c -> Grid.add_usage grid c 1) cells;
+    Hashtbl.replace routes net_id cells
+  in
+  let unrouted = ref [] in
+  let iterations_used = ref 0 in
+  let finished = ref false in
+  let penalty = ref config.initial_penalty in
+  (* biggest nets first: they have the least routing freedom *)
+  let nets =
+    List.stable_sort
+      (fun a b -> Int.compare (List.length b.pins) (List.length a.pins))
+      nets
+  in
+  let route_set = ref nets in
+  while (not !finished) && !iterations_used < config.max_iterations do
+    incr iterations_used;
+    let still_unrouted = ref [] in
+    List.iter
+      (fun n ->
+        rip_up n.net_id;
+        match route_net grid ~penalty:!penalty ~margin:config.region_margin n with
+        | Some cells -> claim n.net_id cells
+        | None -> still_unrouted := n.net_id :: !still_unrouted)
+      !route_set;
+    unrouted := !still_unrouted;
+    let overused = Grid.overused grid in
+    if debug then
+      Printf.eprintf "[pathfinder] iter=%d rerouted=%d overused=%d\n%!"
+        !iterations_used (List.length !route_set) (List.length overused);
+    if overused = [] && !unrouted = [] then finished := true
+    else begin
+      List.iter
+        (fun c -> Grid.add_history grid c config.history_increment)
+        overused;
+      penalty := !penalty + config.penalty_growth;
+      (* negotiate only where it matters: re-route just the nets that
+         cross an overused cell (plus any still-unrouted net) *)
+      let hot = Hashtbl.create 64 in
+      List.iter (fun c -> Hashtbl.replace hot c ()) overused;
+      route_set :=
+        List.filter
+          (fun n ->
+            List.mem n.net_id !unrouted
+            ||
+            match Hashtbl.find_opt routes n.net_id with
+            | Some cells -> List.exists (Hashtbl.mem hot) cells
+            | None -> true)
+          nets
+    end
+  done;
+  (* Endgame cleanup: negotiation can oscillate between net pairs on a
+     handful of cells.  Resolve each residual conflict deterministically:
+     hard-block the contested cells and reroute the smallest involved
+     net around them (restoring its old route if that fails). *)
+  let cleanup_rounds = ref 0 in
+  let rec cleanup () =
+    incr cleanup_rounds;
+    let overused = Grid.overused grid in
+    if overused <> [] && !cleanup_rounds <= 8 then begin
+      let hot = Hashtbl.create 16 in
+      List.iter (fun c -> Hashtbl.replace hot c ()) overused;
+      let involved =
+        List.filter
+          (fun n ->
+            match Hashtbl.find_opt routes n.net_id with
+            | Some cells -> List.exists (Hashtbl.mem hot) cells
+            | None -> false)
+          nets
+        |> List.sort (fun a b ->
+               Int.compare (List.length a.pins) (List.length b.pins))
+      in
+      let progressed = ref false in
+      let rec try_victims = function
+        | [] -> ()
+        | victim :: others -> (
+            let old = Hashtbl.find routes victim.net_id in
+            rip_up victim.net_id;
+            match
+              route_net ~avoid_used:true grid ~penalty:!penalty
+                ~margin:config.region_margin victim
+            with
+            | Some cells ->
+                claim victim.net_id cells;
+                progressed := true
+            | None ->
+                claim victim.net_id old;
+                try_victims others)
+      in
+      try_victims involved;
+      if !progressed then cleanup ()
+    end
+  in
+  cleanup ();
+  let final_overused = Grid.overused grid in
+  if debug then
+    List.iter
+      (fun c ->
+        let users =
+          List.filter_map
+            (fun n ->
+              match Hashtbl.find_opt routes n.net_id with
+              | Some cells when List.exists (Vec3.equal c) cells ->
+                  Some (Printf.sprintf "%d(pins=%d)" n.net_id (List.length n.pins))
+              | _ -> None)
+            nets
+        in
+        Printf.eprintf "[pathfinder] stuck %s usage=%d obst-nbrs=%d users=%s\n%!"
+          (Vec3.to_string c) (Grid.usage grid c)
+          (List.length (List.filter (Grid.is_obstacle grid) (Vec3.axis_neighbors c)))
+          (String.concat "," users))
+      final_overused;
+  let overused_after = List.length final_overused in
+  {
+    routes =
+      List.filter_map
+        (fun n ->
+          Hashtbl.find_opt routes n.net_id
+          |> Option.map (fun cells -> { r_net = n.net_id; r_cells = cells }))
+        nets;
+    success = overused_after = 0 && !unrouted = [];
+    iterations_used = !iterations_used;
+    overused_after;
+    unrouted = List.rev !unrouted;
+  }
+
+let validate _grid result nets =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace by_id r.r_net r.r_cells) result.routes;
+  List.iter
+    (fun n ->
+      match Hashtbl.find_opt by_id n.net_id with
+      | None ->
+          if not (List.mem n.net_id result.unrouted) then
+            err "net %d missing from routes" n.net_id
+      | Some cells ->
+          let cell_set = Hashtbl.create 64 in
+          List.iter (fun c -> Hashtbl.replace cell_set c ()) cells;
+          List.iter
+            (fun pin ->
+              if not (Hashtbl.mem cell_set pin) then
+                err "net %d does not reach pin %s" n.net_id (Vec3.to_string pin))
+            (dedup_cells n.pins);
+          (* connectivity by BFS over the cell set *)
+          (match cells with
+          | [] -> ()
+          | start :: _ ->
+              let visited = Hashtbl.create 64 in
+              let queue = Queue.create () in
+              Queue.add start queue;
+              Hashtbl.replace visited start ();
+              while not (Queue.is_empty queue) do
+                let p = Queue.pop queue in
+                List.iter
+                  (fun q ->
+                    if Hashtbl.mem cell_set q && not (Hashtbl.mem visited q)
+                    then begin
+                      Hashtbl.replace visited q ();
+                      Queue.add q queue
+                    end)
+                  (Vec3.axis_neighbors p)
+              done;
+              if Hashtbl.length visited <> List.length cells then
+                err "net %d cells disconnected" n.net_id))
+    nets;
+  List.rev !errors

@@ -1,0 +1,44 @@
+(** Negotiation-based rip-up and re-route (PathFinder, McMurchie &
+    Ebeling FPGA'95), the paper's dual-defect net routing stage.
+
+    Every iteration re-routes each multi-pin net with A* inside a
+    restricted region (the net's pin bounding box plus a margin that
+    grows on failure), building the net as a Steiner tree: pins connect
+    one at a time to the growing tree.  After an iteration, cells used
+    beyond capacity receive history cost and the congestion penalty
+    grows; the loop ends when no cell is overused or the iteration
+    budget is exhausted. *)
+
+type net = { net_id : int; pins : Tqec_util.Vec3.t list }
+
+type config = {
+  max_iterations : int;
+  initial_penalty : int;
+  penalty_growth : int;  (** added to the penalty each iteration *)
+  history_increment : int;
+  region_margin : int;
+}
+
+val default_config : config
+
+type routed = {
+  r_net : int;
+  r_cells : Tqec_util.Vec3.t list;  (** all cells of the net's tree *)
+}
+
+type result = {
+  routes : routed list;
+  success : bool;  (** true when nothing is overused and all nets routed *)
+  iterations_used : int;
+  overused_after : int;
+  unrouted : int list;  (** nets with unreachable pins, if any *)
+}
+
+(** [route_all grid config nets] routes every net; [grid] retains the
+    final usage state. Nets with fewer than 2 distinct pins route
+    trivially to their pin set. *)
+val route_all : Grid.t -> config -> net list -> result
+
+(** [validate grid result nets] checks that every routed net's cell set
+    is connected and touches all its pins; returns error strings. *)
+val validate : Grid.t -> result -> net list -> string list

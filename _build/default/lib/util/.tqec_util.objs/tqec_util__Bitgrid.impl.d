@@ -1,0 +1,1 @@
+lib/util/bitgrid.ml: Box3 Bytes Char List Vec3

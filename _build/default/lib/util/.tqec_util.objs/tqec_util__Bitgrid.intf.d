@@ -1,0 +1,1 @@
+lib/util/bitgrid.mli: Box3 Vec3

@@ -1,0 +1,1 @@
+lib/util/box3.ml: Format List Vec3

@@ -1,0 +1,1 @@
+lib/util/box3.mli: Format Vec3

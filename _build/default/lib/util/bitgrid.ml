@@ -1,0 +1,55 @@
+type t = {
+  box : Box3.t;
+  nx : int;
+  ny : int;
+  nz : int;
+  data : Bytes.t;
+}
+
+let create box =
+  let nx = Box3.dx box and ny = Box3.dy box and nz = Box3.dz box in
+  let bits = nx * ny * nz in
+  { box; nx; ny; nz; data = Bytes.make ((bits + 7) / 8) '\000' }
+
+let box g = g.box
+
+let in_bounds g p = Box3.contains g.box p
+
+let index g (p : Vec3.t) =
+  let x = p.x - g.box.Box3.lo.Vec3.x in
+  let y = p.y - g.box.Box3.lo.Vec3.y in
+  let z = p.z - g.box.Box3.lo.Vec3.z in
+  ((x * g.ny) + y) * g.nz + z
+
+let get g p =
+  if not (in_bounds g p) then false
+  else
+    let i = index g p in
+    Char.code (Bytes.get g.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set g p v =
+  if not (in_bounds g p) then invalid_arg "Bitgrid.set: out of bounds";
+  let i = index g p in
+  let byte = Char.code (Bytes.get g.data (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set g.data (i lsr 3) (Char.chr byte)
+
+let count g =
+  let total = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let b = ref (Char.code c) in
+      while !b <> 0 do
+        total := !total + (!b land 1);
+        b := !b lsr 1
+      done)
+    g.data;
+  !total
+
+let fill g b v =
+  match Box3.inter g.box b with
+  | None -> ()
+  | Some clipped -> List.iter (fun p -> set g p v) (Box3.cells clipped)
+
+let clear g = Bytes.fill g.data 0 (Bytes.length g.data) '\000'

@@ -1,0 +1,29 @@
+(** Dense boolean occupancy over a 3D box of cells.
+
+    Backed by a [Bytes.t]; the router and the geometry checker use it for
+    fast membership tests over bounded regions. Coordinates are absolute
+    lattice coordinates; the grid stores an offset internally. *)
+
+type t
+
+(** [create box] allocates an all-false grid covering [box]. *)
+val create : Box3.t -> t
+
+val box : t -> Box3.t
+
+(** [in_bounds g p] is true when [p] lies inside the grid's box. *)
+val in_bounds : t -> Vec3.t -> bool
+
+(** [get g p] / [set g p v]: out-of-bounds [get] is [false]; out-of-bounds
+    [set] raises [Invalid_argument]. *)
+val get : t -> Vec3.t -> bool
+
+val set : t -> Vec3.t -> bool -> unit
+
+(** [count g] is the number of true cells. *)
+val count : t -> int
+
+(** [fill g b v] sets every cell of [b] (clipped to the grid) to [v]. *)
+val fill : t -> Box3.t -> bool -> unit
+
+val clear : t -> unit

@@ -1,0 +1,60 @@
+type t = { lo : Vec3.t; hi : Vec3.t }
+
+let make a b = { lo = Vec3.min_pointwise a b; hi = Vec3.max_pointwise a b }
+let of_cell p = { lo = p; hi = p }
+let dx b = b.hi.Vec3.x - b.lo.Vec3.x + 1
+let dy b = b.hi.Vec3.y - b.lo.Vec3.y + 1
+let dz b = b.hi.Vec3.z - b.lo.Vec3.z + 1
+let volume b = dx b * dy b * dz b
+
+let contains b (p : Vec3.t) =
+  p.x >= b.lo.x && p.x <= b.hi.x && p.y >= b.lo.y && p.y <= b.hi.y
+  && p.z >= b.lo.z && p.z <= b.hi.z
+
+let overlap a b =
+  a.lo.Vec3.x <= b.hi.Vec3.x && b.lo.Vec3.x <= a.hi.Vec3.x
+  && a.lo.Vec3.y <= b.hi.Vec3.y && b.lo.Vec3.y <= a.hi.Vec3.y
+  && a.lo.Vec3.z <= b.hi.Vec3.z && b.lo.Vec3.z <= a.hi.Vec3.z
+
+let join a b =
+  { lo = Vec3.min_pointwise a.lo b.lo; hi = Vec3.max_pointwise a.hi b.hi }
+
+let inter a b =
+  let lo = Vec3.max_pointwise a.lo b.lo in
+  let hi = Vec3.min_pointwise a.hi b.hi in
+  if lo.Vec3.x <= hi.Vec3.x && lo.Vec3.y <= hi.Vec3.y && lo.Vec3.z <= hi.Vec3.z
+  then Some { lo; hi }
+  else None
+
+let inflate n b =
+  let d = Vec3.make n n n in
+  { lo = Vec3.sub b.lo d; hi = Vec3.add b.hi d }
+
+let translate v b = { lo = Vec3.add b.lo v; hi = Vec3.add b.hi v }
+
+let bounding = function
+  | [] -> invalid_arg "Box3.bounding: empty cell list"
+  | p :: ps ->
+      List.fold_left
+        (fun acc q ->
+          {
+            lo = Vec3.min_pointwise acc.lo q;
+            hi = Vec3.max_pointwise acc.hi q;
+          })
+        (of_cell p) ps
+
+let cells b =
+  let acc = ref [] in
+  for x = b.hi.Vec3.x downto b.lo.Vec3.x do
+    for y = b.hi.Vec3.y downto b.lo.Vec3.y do
+      for z = b.hi.Vec3.z downto b.lo.Vec3.z do
+        acc := Vec3.make x y z :: !acc
+      done
+    done
+  done;
+  !acc
+
+let equal a b = Vec3.equal a.lo b.lo && Vec3.equal a.hi b.hi
+
+let pp ppf b =
+  Format.fprintf ppf "[%a..%a]" Vec3.pp b.lo Vec3.pp b.hi

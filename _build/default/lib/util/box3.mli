@@ -1,0 +1,54 @@
+(** Axis-aligned integer boxes on the 3D lattice.
+
+    A box is a set of unit cells; [lo] is the cell with the smallest
+    coordinates and [hi] the cell with the largest, both inclusive, so a
+    single cell is [{ lo = p; hi = p }].  The space-time volume of a
+    geometric description is the cell count of its bounding box, matching
+    the paper's [#x * #y * #z] convention. *)
+
+type t = { lo : Vec3.t; hi : Vec3.t }
+
+(** [make lo hi] normalises the corners componentwise, so any two opposite
+    corners are accepted. *)
+val make : Vec3.t -> Vec3.t -> t
+
+(** [of_cell p] is the single-cell box at [p]. *)
+val of_cell : Vec3.t -> t
+
+(** Extents along each axis, in unit cells (always >= 1). *)
+val dx : t -> int
+
+val dy : t -> int
+
+val dz : t -> int
+
+(** [volume b] = [dx * dy * dz]. *)
+val volume : t -> int
+
+val contains : t -> Vec3.t -> bool
+
+(** [overlap a b] is true when [a] and [b] share at least one cell. *)
+val overlap : t -> t -> bool
+
+(** [join a b] is the smallest box containing both. *)
+val join : t -> t -> t
+
+(** [inter a b] is the common sub-box, if any. *)
+val inter : t -> t -> t option
+
+(** [inflate n b] grows the box by [n] cells on every side. *)
+val inflate : int -> t -> t
+
+(** [translate v b] shifts the box by [v]. *)
+val translate : Vec3.t -> t -> t
+
+(** [bounding cells] is the bounding box of a non-empty cell list.
+    @raise Invalid_argument on the empty list. *)
+val bounding : Vec3.t list -> t
+
+(** [cells b] enumerates the cells of [b] in lexicographic order. *)
+val cells : t -> Vec3.t list
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type t = { lo : int; hi : int }
+
+let make a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+let length i = i.hi - i.lo + 1
+let contains i v = v >= i.lo && v <= i.hi
+let overlap a b = a.lo <= b.hi && b.lo <= a.hi
+let touches a b = a.lo <= b.hi + 1 && b.lo <= a.hi + 1
+let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo <= hi then Some { lo; hi } else None
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let compare a b =
+  let c = Int.compare a.lo b.lo in
+  if c <> 0 then c else Int.compare a.hi b.hi
+
+let pp ppf i = Format.fprintf ppf "[%d,%d]" i.lo i.hi

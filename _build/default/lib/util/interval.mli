@@ -1,0 +1,29 @@
+(** Closed integer intervals, used for channel conflict tests in the Lin
+    et al. baseline scheduler and for time windows of measurement-order
+    constraints. *)
+
+type t = { lo : int; hi : int }
+
+(** [make a b] normalises the endpoints. *)
+val make : int -> int -> t
+
+val length : t -> int
+
+val contains : t -> int -> bool
+
+(** [overlap a b] is true when the closed intervals intersect. *)
+val overlap : t -> t -> bool
+
+(** [touches a b] is true when the intervals intersect or are adjacent
+    (distance <= 1), the "one-unit separation" rule for disjoint defects. *)
+val touches : t -> t -> bool
+
+val join : t -> t -> t
+
+val inter : t -> t -> t option
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

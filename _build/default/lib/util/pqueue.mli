@@ -1,0 +1,26 @@
+(** Mutable binary min-heap keyed by integer priorities.
+
+    The A* router and the PathFinder wavefronts push the same element more
+    than once with decreasing keys instead of performing decrease-key; the
+    consumer skips stale pops, which is the standard trick for grid
+    routing. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> int -> 'a -> unit
+
+(** [pop t] removes and returns the (key, value) pair with the smallest
+    key; ties are broken by insertion order (FIFO), keeping searches
+    deterministic. @raise Not_found when empty. *)
+val pop : 'a t -> int * 'a
+
+(** [peek t] is [pop] without removal. @raise Not_found when empty. *)
+val peek : 'a t -> int * 'a
+
+val clear : 'a t -> unit

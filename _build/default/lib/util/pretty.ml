@@ -1,0 +1,91 @@
+type align = Left | Right
+
+type line = Row of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  ncols : int;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let ncols = List.length headers in
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> ncols then
+          invalid_arg "Pretty.create: aligns length mismatch";
+        a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  { headers; aligns; ncols; lines = [] }
+
+let add_row t row =
+  if List.length row <> t.ncols then
+    invalid_arg "Pretty.add_row: column count mismatch";
+  t.lines <- Row row :: t.lines
+
+let add_rule t = t.lines <- Rule :: t.lines
+
+let render t =
+  let rows =
+    t.headers
+    :: List.filter_map (function Row r -> Some r | Rule -> None)
+         (List.rev t.lines)
+  in
+  let widths = Array.make t.ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure rows;
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> pad (List.nth t.aligns i) widths.(i) cell)
+        row
+    in
+    String.concat "  " cells
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (t.ncols - 1))
+  in
+  let rule = String.make total_width '-' in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun line ->
+      (match line with
+      | Row r -> Buffer.add_string buf (render_row r)
+      | Rule -> Buffer.add_string buf rule);
+      Buffer.add_char buf '\n')
+    (List.rev t.lines);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let int_with_commas n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float2 f = Printf.sprintf "%.2f" f
+let float3 f = Printf.sprintf "%.3f" f

@@ -1,0 +1,30 @@
+(** Plain-text table rendering for the benchmark harness and the CLI.
+
+    Tables are rendered with a header row, a separator, and right-aligned
+    numeric columns, close to the layout of the paper's Tables 1-3. *)
+
+type align = Left | Right
+
+type t
+
+(** [create headers] starts a table; every later row must have the same
+    number of columns. Default alignment: first column [Left], the rest
+    [Right]. *)
+val create : ?aligns:align list -> string list -> t
+
+val add_row : t -> string list -> unit
+
+(** [add_rule t] inserts a horizontal rule (used before summary rows). *)
+val add_rule : t -> unit
+
+val render : t -> string
+
+val print : t -> unit
+
+(** Formatting helpers shared by report code. *)
+
+val int_with_commas : int -> string
+
+val float2 : float -> string
+
+val float3 : float -> string

@@ -1,0 +1,43 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 r =
+  r.state <- Int64.add r.state golden;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split r = { state = next_int64 r }
+let copy r = { state = r.state }
+
+let int r n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's 63-bit native int *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 r) 2) in
+  v mod n
+
+let int_in r lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int r (hi - lo + 1)
+
+let float r =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 r) 11) in
+  v /. 9007199254740992.0
+
+let bool r = Int64.logand (next_int64 r) 1L = 1L
+
+let pick r arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int r (Array.length arr))
+
+let shuffle r arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int r (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

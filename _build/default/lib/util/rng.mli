@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every randomised stage of the flow (synthetic benchmark generation,
+    simulated-annealing moves, greedy tie-breaking) draws from an explicit
+    [Rng.t] so that whole-pipeline runs are reproducible from a single
+    seed, independent of the OCaml stdlib [Random] state. *)
+
+type t
+
+val create : int -> t
+
+(** [split r] derives an independent generator; the parent advances. *)
+val split : t -> t
+
+(** [copy r] duplicates the current state without advancing it. *)
+val copy : t -> t
+
+(** [next_int64 r] is the raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [int r n] is uniform in [0, n). @raise Invalid_argument if [n <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in r lo hi] is uniform in the inclusive range. *)
+val int_in : t -> int -> int -> int
+
+(** [float r] is uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [pick r arr] selects a uniform element of a non-empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [shuffle r arr] performs an in-place Fisher–Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

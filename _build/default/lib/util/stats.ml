@@ -1,0 +1,25 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty list"
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> invalid_arg "Stats.geomean: empty list"
+  | xs ->
+      let log_sum =
+        List.fold_left
+          (fun acc x ->
+            if x <= 0. then invalid_arg "Stats.geomean: non-positive value"
+            else acc +. log x)
+          0. xs
+      in
+      exp (log_sum /. float_of_int (List.length xs))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+      List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let ratio a b = if b = 0. then nan else a /. b
+let percent_reduction before after = 100. *. (before -. after) /. before
+let clamp lo hi v = max lo (min hi v)
+let clamp_float lo hi v = Float.max lo (Float.min hi v)

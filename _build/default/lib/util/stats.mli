@@ -1,0 +1,21 @@
+(** Small numeric helpers used by reports and benchmark tables. *)
+
+(** [mean xs] of a non-empty list. @raise Invalid_argument on empty. *)
+val mean : float list -> float
+
+(** [geomean xs] geometric mean of positive values. *)
+val geomean : float list -> float
+
+val min_max : float list -> float * float
+
+(** [ratio a b] is [a /. b]; returns [nan] when [b = 0.]. *)
+val ratio : float -> float -> float
+
+(** [percent_reduction before after] is the relative reduction in percent,
+    e.g. [percent_reduction 100. 53.] = 47. *)
+val percent_reduction : float -> float -> float
+
+(** [clamp lo hi v]. *)
+val clamp : int -> int -> int -> int
+
+val clamp_float : float -> float -> float -> float

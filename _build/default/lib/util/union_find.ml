@@ -1,0 +1,53 @@
+type t = { parent : int array; rank : int array; sizes : int array; mutable sets : int }
+
+let create n =
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    sizes = Array.make n 1;
+    sets = n;
+  }
+
+let size t = Array.length t.parent
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else begin
+    t.sets <- t.sets - 1;
+    let attach child root =
+      t.parent.(child) <- root;
+      t.sizes.(root) <- t.sizes.(root) + t.sizes.(child);
+      root
+    in
+    if t.rank.(ra) < t.rank.(rb) then attach ra rb
+    else if t.rank.(ra) > t.rank.(rb) then attach rb ra
+    else begin
+      t.rank.(ra) <- t.rank.(ra) + 1;
+      attach rb ra
+    end
+  end
+
+let same t a b = find t a = find t b
+let component_size t i = t.sizes.(find t i)
+let count_sets t = t.sets
+
+let groups t =
+  let n = size t in
+  let tbl = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let members = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: members)
+  done;
+  Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

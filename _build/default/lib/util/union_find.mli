@@ -1,0 +1,30 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used by the bridging stages to maintain merged primal structures and
+    merged dual nets, and by the geometry checker to identify connected
+    defect components. *)
+
+type t
+
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+val create : int -> t
+
+val size : t -> int
+
+(** [find t i] is the canonical representative of [i]'s set. *)
+val find : t -> int -> int
+
+(** [union t a b] merges the two sets; returns the surviving root. *)
+val union : t -> int -> int -> int
+
+val same : t -> int -> int -> bool
+
+(** [component_size t i] is the cardinality of [i]'s set. *)
+val component_size : t -> int -> int
+
+(** [count_sets t] is the current number of disjoint sets. *)
+val count_sets : t -> int
+
+(** [groups t] lists each set as (representative, members), members in
+    increasing order, groups ordered by representative. *)
+val groups : t -> (int * int list) list

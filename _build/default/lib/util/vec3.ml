@@ -1,0 +1,36 @@
+type t = { x : int; y : int; z : int }
+
+let make x y z = { x; y; z }
+let zero = { x = 0; y = 0; z = 0 }
+let add a b = { x = a.x + b.x; y = a.y + b.y; z = a.z + b.z }
+let sub a b = { x = a.x - b.x; y = a.y - b.y; z = a.z - b.z }
+let neg a = { x = -a.x; y = -a.y; z = -a.z }
+let scale k a = { x = (k * a.x); y = (k * a.y); z = (k * a.z) }
+let dot a b = (a.x * b.x) + (a.y * b.y) + (a.z * b.z)
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y) + abs (a.z - b.z)
+let linf a b = max (abs (a.x - b.x)) (max (abs (a.y - b.y)) (abs (a.z - b.z)))
+let equal a b = a.x = b.x && a.y = b.y && a.z = b.z
+
+let compare a b =
+  let c = Int.compare a.x b.x in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.y b.y in
+    if c <> 0 then c else Int.compare a.z b.z
+
+let hash { x; y; z } = (x * 73856093) lxor (y * 19349663) lxor (z * 83492791)
+
+let axis_neighbors p =
+  [
+    { p with x = p.x + 1 };
+    { p with x = p.x - 1 };
+    { p with y = p.y + 1 };
+    { p with y = p.y - 1 };
+    { p with z = p.z + 1 };
+    { p with z = p.z - 1 };
+  ]
+
+let min_pointwise a b = { x = min a.x b.x; y = min a.y b.y; z = min a.z b.z }
+let max_pointwise a b = { x = max a.x b.x; y = max a.y b.y; z = max a.z b.z }
+let pp ppf { x; y; z } = Format.fprintf ppf "(%d,%d,%d)" x y z
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,46 @@
+(** Integer 3-vectors used as lattice coordinates.
+
+    Throughout the library the convention follows the paper: [x] is the
+    time axis of a geometric description, [y] and [z] span the 2D code
+    surface. *)
+
+type t = { x : int; y : int; z : int }
+
+val make : int -> int -> int -> t
+
+val zero : t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val neg : t -> t
+
+val scale : int -> t -> t
+
+(** [dot a b] is the standard inner product. *)
+val dot : t -> t -> int
+
+(** [manhattan a b] is the L1 distance between [a] and [b]. *)
+val manhattan : t -> t -> int
+
+(** [linf a b] is the Chebyshev (L-infinity) distance. *)
+val linf : t -> t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+(** The six axis-aligned unit steps, in a fixed deterministic order. *)
+val axis_neighbors : t -> t list
+
+(** [min_pointwise a b] / [max_pointwise a b] take componentwise extrema. *)
+val min_pointwise : t -> t -> t
+
+val max_pointwise : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

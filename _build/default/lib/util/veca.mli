@@ -1,0 +1,32 @@
+(** Growable arrays (OCaml 5.1 has no stdlib [Dynarray]).
+
+    Elements keep their index forever; [push] appends at the end. Used by
+    the PD-graph builder, whose module and net tables grow during
+    construction and I-shaped simplification. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+(** [push t v] appends [v] and returns its index. *)
+val push : 'a t -> 'a -> int
+
+(** [get]/[set] with bounds checking. *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+(** [find_index p t] is the first index satisfying [p], if any. *)
+val find_index : ('a -> bool) -> 'a t -> int option

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Clifford_t Gate Generator Int List Mct Optimize QCheck QCheck_alcotest Revlib Sim Suite Tqec_circuit Tqec_util

@@ -1,0 +1,1 @@
+test/test_icm.ml: Alcotest Array Circuit Clifford_t Constraints Decompose Gate Generator Hashtbl Icm List QCheck QCheck_alcotest Schedule Suite Tqec_circuit Tqec_icm Validate

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_circuit Test_compress Test_edge_cases Test_extensions Test_geom Test_icm Test_pdgraph Test_place Test_route Test_util

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Astar Box3 Grid Hashtbl List Pathfinder Pqueue QCheck QCheck_alcotest Rng Tqec_route Tqec_util Vec3

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitgrid Box3 Float Int Interval List Pqueue Pretty QCheck QCheck_alcotest Rng Stats String Tqec_util Union_find Vec3 Veca

@@ -1,0 +1,501 @@
+(* Tests for the tqec_circuit substrate: gates, circuits, RevLib format,
+   decompositions, benchmark generator calibration. *)
+
+open Tqec_circuit
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Gate                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_gate_qubits () =
+  check Alcotest.(list int) "cnot" [ 1; 2 ]
+    (Gate.qubits (Gate.Cnot { control = 1; target = 2 }));
+  check Alcotest.(list int) "toffoli" [ 0; 1; 2 ]
+    (Gate.qubits (Gate.Toffoli { c1 = 0; c2 = 1; target = 2 }));
+  check Alcotest.(list int) "mct" [ 0; 1; 2; 3 ]
+    (Gate.qubits (Gate.Mct { controls = [ 0; 1; 2 ]; target = 3 }));
+  check Alcotest.int "max qubit" 7
+    (Gate.max_qubit (Gate.Fredkin { control = 7; t1 = 1; t2 = 2 }))
+
+let test_gate_well_formed () =
+  check Alcotest.bool "good cnot" true
+    (Gate.well_formed (Gate.Cnot { control = 0; target = 1 }));
+  check Alcotest.bool "self cnot" false
+    (Gate.well_formed (Gate.Cnot { control = 1; target = 1 }));
+  check Alcotest.bool "dup toffoli" false
+    (Gate.well_formed (Gate.Toffoli { c1 = 0; c2 = 0; target = 1 }));
+  check Alcotest.bool "negative wire" false (Gate.well_formed (Gate.T (-1)));
+  check Alcotest.bool "short mct" false
+    (Gate.well_formed (Gate.Mct { controls = [ 0; 1 ]; target = 2 }))
+
+let test_gate_classify () =
+  check Alcotest.bool "T is clifford+T" true (Gate.is_clifford_t (Gate.T 0));
+  check Alcotest.bool "toffoli is not" false
+    (Gate.is_clifford_t (Gate.Toffoli { c1 = 0; c2 = 1; target = 2 }));
+  check Alcotest.bool "T is T" true (Gate.is_t (Gate.T 0));
+  check Alcotest.bool "Tdg is T" true (Gate.is_t (Gate.Tdg 0));
+  check Alcotest.bool "S is not T" false (Gate.is_t (Gate.S 0))
+
+(* ------------------------------------------------------------------ *)
+(* Circuit                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_circuit_make_validates () =
+  Alcotest.check_raises "wire overflow"
+    (Invalid_argument "Circuit.make: gate CNOT 0 5 exceeds 2 wires")
+    (fun () ->
+      ignore
+        (Circuit.make ~name:"bad" ~n_qubits:2
+           [ Gate.Cnot { control = 0; target = 5 } ]))
+
+let test_circuit_counts () =
+  let c =
+    Circuit.make ~name:"c" ~n_qubits:3
+      [
+        Gate.T 0;
+        Gate.Tdg 1;
+        Gate.Cnot { control = 0; target = 1 };
+        Gate.Toffoli { c1 = 0; c2 = 1; target = 2 };
+      ]
+  in
+  check Alcotest.int "gates" 4 (Circuit.n_gates c);
+  check Alcotest.int "cnots" 1 (Circuit.count_cnots c);
+  check Alcotest.int "t" 2 (Circuit.count_t c);
+  check Alcotest.int "toffoli" 1 (Circuit.count_toffoli c);
+  check Alcotest.bool "not clifford+T" false (Circuit.is_clifford_t c)
+
+let test_circuit_depth () =
+  let c =
+    Circuit.make ~name:"d" ~n_qubits:4
+      [
+        Gate.Cnot { control = 0; target = 1 };
+        Gate.Cnot { control = 2; target = 3 };
+        Gate.Cnot { control = 1; target = 2 };
+      ]
+  in
+  check Alcotest.int "depth" 2 (Circuit.depth c);
+  let layers = Circuit.gate_layers c in
+  check Alcotest.int "first layer parallel" 2 (List.length (List.nth layers 0));
+  check Alcotest.int "second layer" 1 (List.length (List.nth layers 1))
+
+let test_circuit_wire_usage () =
+  let c =
+    Circuit.make ~name:"u" ~n_qubits:3
+      [ Gate.Cnot { control = 0; target = 1 }; Gate.T 1 ]
+  in
+  check Alcotest.(array int) "usage" [| 1; 2; 0 |] (Circuit.wire_usage c)
+
+(* ------------------------------------------------------------------ *)
+(* Revlib                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sample_real =
+  {|# a comment
+.version 1.0
+.numvars 4
+.variables a b c d
+.constants ----
+.garbage ----
+.begin
+t1 a
+t2 a b
+t3 a b c   # inline comment
+t4 a b c d
+f2 a b
+f3 a b c
+.end
+|}
+
+let test_revlib_parse () =
+  let c = Revlib.parse_string ~name:"sample" sample_real in
+  check Alcotest.int "qubits" 4 c.Circuit.n_qubits;
+  check Alcotest.int "gates" 6 (Circuit.n_gates c);
+  match c.Circuit.gates with
+  | [ Gate.X 0; Gate.Cnot { control = 0; target = 1 };
+      Gate.Toffoli { c1 = 0; c2 = 1; target = 2 };
+      Gate.Mct { controls = [ 0; 1; 2 ]; target = 3 }; Gate.Swap (0, 1);
+      Gate.Fredkin { control = 0; t1 = 1; t2 = 2 } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected gate list"
+
+let test_revlib_roundtrip () =
+  let c = Revlib.parse_string ~name:"sample" sample_real in
+  let c' = Revlib.parse_string ~name:"sample" (Revlib.to_string c) in
+  check Alcotest.bool "roundtrip equal" true (Circuit.equal c c')
+
+let test_revlib_errors () =
+  (try
+     ignore (Revlib.parse_string ~name:"x" ".begin\nt2 a\n.end\n");
+     Alcotest.fail "expected arity error"
+   with Revlib.Parse_error { line = 2; _ } -> ());
+  (try
+     ignore (Revlib.parse_string ~name:"x" "t2 x0 x1\n");
+     Alcotest.fail "expected gate-before-begin error"
+   with Revlib.Parse_error { line = 1; _ } -> ());
+  try
+    ignore (Revlib.parse_string ~name:"x" ".begin\nq3 a b c\n.end\n");
+    Alcotest.fail "expected unsupported gate"
+  with Revlib.Parse_error { line = 2; _ } -> ()
+
+let test_revlib_numeric_vars () =
+  let c = Revlib.parse_string ~name:"n" ".begin\nt2 0 3\n.end\n" in
+  check Alcotest.int "inferred wires" 4 c.Circuit.n_qubits
+
+(* ------------------------------------------------------------------ *)
+(* Mct lowering                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let only_not_cnot_toffoli c =
+  List.for_all
+    (fun g ->
+      match (g : Gate.t) with
+      | X _ | Cnot _ | Toffoli _ -> true
+      | _ -> Gate.is_clifford_t g)
+    c.Circuit.gates
+
+let test_mct_swap () =
+  let c = Circuit.make ~name:"s" ~n_qubits:2 [ Gate.Swap (0, 1) ] in
+  let l = Mct.lower c in
+  check Alcotest.int "three cnots" 3 (Circuit.count_cnots l);
+  check Alcotest.int "no extra wires" 2 l.Circuit.n_qubits
+
+let test_mct_fredkin () =
+  let c =
+    Circuit.make ~name:"f" ~n_qubits:3
+      [ Gate.Fredkin { control = 0; t1 = 1; t2 = 2 } ]
+  in
+  let l = Mct.lower c in
+  check Alcotest.int "cnots" 2 (Circuit.count_cnots l);
+  check Alcotest.int "toffoli" 1 (Circuit.count_toffoli l)
+
+let test_mct_expansion () =
+  let c =
+    Circuit.make ~name:"m" ~n_qubits:5
+      [ Gate.Mct { controls = [ 0; 1; 2; 3 ]; target = 4 } ]
+  in
+  check Alcotest.int "ancillae" 2 (Mct.ancillae_needed c);
+  let l = Mct.lower c in
+  check Alcotest.int "wires" 7 l.Circuit.n_qubits;
+  check Alcotest.bool "lowered" true (only_not_cnot_toffoli l);
+  (* V-chain: k=4 controls -> 2*(k-2)+1 = 5 Toffolis *)
+  check Alcotest.int "toffoli count" 5 (Circuit.count_toffoli l)
+
+let test_mct_passthrough () =
+  let c =
+    Circuit.make ~name:"p" ~n_qubits:3
+      [ Gate.T 0; Gate.Toffoli { c1 = 0; c2 = 1; target = 2 } ]
+  in
+  check Alcotest.bool "unchanged" true (Circuit.equal (Mct.lower c) c)
+
+(* ------------------------------------------------------------------ *)
+(* Clifford+T lowering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_clifford_t_toffoli () =
+  let c =
+    Circuit.make ~name:"t" ~n_qubits:3
+      [ Gate.Toffoli { c1 = 0; c2 = 1; target = 2 } ]
+  in
+  let l = Clifford_t.lower c in
+  check Alcotest.bool "clifford+T" true (Circuit.is_clifford_t l);
+  check Alcotest.int "7 T" 7 (Circuit.count_t l);
+  check Alcotest.int "6 CNOT" 6 (Circuit.count_cnots l);
+  check Alcotest.int "wires preserved" 3 l.Circuit.n_qubits
+
+let test_clifford_t_rejects_mct () =
+  let c =
+    Circuit.make ~name:"bad" ~n_qubits:4
+      [ Gate.Mct { controls = [ 0; 1; 2 ]; target = 3 } ]
+  in
+  try
+    ignore (Clifford_t.lower c);
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_decompose_full () =
+  let c =
+    Circuit.make ~name:"full" ~n_qubits:5
+      [
+        Gate.Mct { controls = [ 0; 1; 2 ]; target = 3 };
+        Gate.Swap (3, 4);
+        Gate.Toffoli { c1 = 0; c2 = 1; target = 4 };
+      ]
+  in
+  let l = Clifford_t.decompose c in
+  check Alcotest.bool "clifford+T" true (Circuit.is_clifford_t l);
+  (* MCT(3 controls) = 3 Toffolis, plus 1 direct = 4 Toffolis -> 28 T. *)
+  check Alcotest.int "t count" 28 (Circuit.count_t l)
+
+let prop_toffoli_t_accounting =
+  QCheck.Test.make ~name:"clifford+T: T count = 7 * toffoli count" ~count:50
+    QCheck.(pair (int_range 3 8) (int_range 0 20))
+    (fun (wires, n_tof) ->
+      let spec =
+        {
+          Generator.name = "prop";
+          n_wires = wires;
+          n_toffoli = n_tof;
+          n_cnot = 5;
+          n_not = 2;
+          n_unused = 0;
+          seed = wires + (100 * n_tof);
+        }
+      in
+      let c = Generator.generate spec in
+      let l = Clifford_t.decompose c in
+      Circuit.count_t l = 7 * n_tof
+      && Circuit.count_cnots l = 5 + (6 * n_tof))
+
+(* ------------------------------------------------------------------ *)
+(* Generator / Suite                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_generator_deterministic () =
+  let spec =
+    {
+      Generator.name = "det";
+      n_wires = 6;
+      n_toffoli = 4;
+      n_cnot = 10;
+      n_not = 2;
+      n_unused = 0;
+      seed = 11;
+    }
+  in
+  let a = Generator.generate spec and b = Generator.generate spec in
+  check Alcotest.bool "same circuit" true (Circuit.equal a b)
+
+let test_generator_counts () =
+  let spec =
+    {
+      Generator.name = "cnt";
+      n_wires = 8;
+      n_toffoli = 5;
+      n_cnot = 12;
+      n_not = 3;
+      n_unused = 0;
+      seed = 3;
+    }
+  in
+  let c = Generator.generate spec in
+  check Alcotest.int "toffoli" 5 (Circuit.count_toffoli c);
+  check Alcotest.int "cnot" 12 (Circuit.count_cnots c);
+  check Alcotest.int "gates" 20 (Circuit.n_gates c);
+  check Alcotest.int "wires" 8 c.Circuit.n_qubits
+
+let test_suite_has_eight () =
+  check Alcotest.int "eight benchmarks" 8 (List.length Suite.all);
+  check
+    Alcotest.(list string)
+    "names"
+    [
+      "4gt10-v1_81"; "4gt4-v0_73"; "rd84_142"; "hwb5_53"; "add16_174";
+      "sym6_145"; "cycle17_3_112"; "ham15_107";
+    ]
+    Suite.names
+
+let test_suite_find () =
+  (match Suite.find "rd84_142" with
+  | Some e -> check Alcotest.int "wires" 15 e.Suite.spec.Generator.n_wires
+  | None -> Alcotest.fail "rd84_142 missing");
+  check Alcotest.bool "unknown" true (Suite.find "nope" = None)
+
+(* The generator calibration must reproduce the paper's Table 1 columns
+   exactly once decomposed (identities documented in Suite). *)
+let test_suite_calibration_identities () =
+  List.iter
+    (fun (e : Suite.entry) ->
+      let p = e.paper and s = e.spec in
+      check Alcotest.int
+        (s.Generator.name ^ " |A| = 7*tof")
+        p.Suite.p_a
+        (7 * s.Generator.n_toffoli);
+      check Alcotest.int (s.Generator.name ^ " Y=2A") p.Suite.p_y (2 * p.Suite.p_a);
+      check Alcotest.int
+        (s.Generator.name ^ " qubits")
+        p.Suite.p_qubits
+        (s.Generator.n_wires + (6 * p.Suite.p_a));
+      check Alcotest.int
+        (s.Generator.name ^ " cnots")
+        p.Suite.p_cnots
+        (s.Generator.n_cnot + (48 * s.Generator.n_toffoli));
+      (* Canonical volume closed form, exact for every Table 2 row once
+         unused wires (which have no canonical rails) are dropped. *)
+      check Alcotest.int
+        (s.Generator.name ^ " canonical")
+        p.Suite.p_canonical
+        ((6 * p.Suite.p_cnots * (p.Suite.p_qubits - s.Generator.n_unused))
+        + (18 * p.Suite.p_y) + (192 * p.Suite.p_a)))
+    Suite.all
+
+let test_three_cnot_example () =
+  let c = Suite.three_cnot_example in
+  check Alcotest.int "3 qubits" 3 c.Circuit.n_qubits;
+  check Alcotest.int "3 cnots" 3 (Circuit.count_cnots c)
+
+let test_scaled () =
+  let e = List.nth Suite.all 7 in
+  let s = Suite.scaled ~factor:10 e in
+  check Alcotest.bool "smaller" true
+    (Circuit.n_gates s < Circuit.n_gates (Suite.circuit e))
+
+(* ------------------------------------------------------------------ *)
+(* Sim (semantic oracle)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_gates () =
+  let c = Circuit.make ~name:"s" ~n_qubits:3
+      [ Gate.X 0; Gate.Cnot { control = 0; target = 1 };
+        Gate.Toffoli { c1 = 0; c2 = 1; target = 2 } ]
+  in
+  (* |000> -> X0 -> |100> -> CNOT -> |110> -> TOF -> |111> *)
+  check Alcotest.int "basis 0" 0b111 (Sim.apply_int c 0);
+  check Alcotest.bool "reversible" true (Sim.is_reversible c);
+  check Alcotest.bool "T not reversible" false
+    (Sim.is_reversible (Circuit.make ~name:"t" ~n_qubits:1 [ Gate.T 0 ]))
+
+let test_sim_swap_fredkin () =
+  let c = Circuit.make ~name:"sw" ~n_qubits:2 [ Gate.Swap (0, 1) ] in
+  check Alcotest.int "swap" 0b10 (Sim.apply_int c 0b01);
+  let f = Circuit.make ~name:"fr" ~n_qubits:3
+      [ Gate.Fredkin { control = 0; t1 = 1; t2 = 2 } ]
+  in
+  check Alcotest.int "fredkin fires" 0b101 (Sim.apply_int f 0b011);
+  check Alcotest.int "fredkin idle" 0b010 (Sim.apply_int f 0b010)
+
+let test_sim_truth_table_is_permutation () =
+  let c = Generator.generate
+      { Generator.name = "p"; n_wires = 4; n_toffoli = 3; n_cnot = 6;
+        n_not = 2; n_unused = 0; seed = 5 }
+  in
+  let tt = Sim.truth_table c in
+  let sorted = Array.copy tt in
+  Array.sort Int.compare sorted;
+  check Alcotest.bool "permutation" true
+    (Array.to_list sorted = List.init 16 (fun i -> i))
+
+let prop_mct_lowering_semantics =
+  QCheck.Test.make ~name:"Mct.lower preserves the computed function"
+    ~count:20
+    QCheck.(pair (int_range 4 7) (int_range 1 500))
+    (fun (wires, seed) ->
+      let rng = Tqec_util.Rng.create seed in
+      (* random circuits with MCT/Fredkin/Swap mixed in *)
+      let gate () =
+        let distinct k =
+          let rec draw acc =
+            if List.length acc = k then acc
+            else
+              let q = Tqec_util.Rng.int rng wires in
+              if List.mem q acc then draw acc else draw (q :: acc)
+          in
+          draw []
+        in
+        match Tqec_util.Rng.int rng 4 with
+        | 0 -> (match distinct 2 with
+                | [ a; b ] -> Gate.Cnot { control = a; target = b }
+                | _ -> assert false)
+        | 1 -> (match distinct 3 with
+                | [ a; b; c ] -> Gate.Toffoli { c1 = a; c2 = b; target = c }
+                | _ -> assert false)
+        | 2 -> (match distinct 3 with
+                | [ a; b; c ] -> Gate.Fredkin { control = a; t1 = b; t2 = c }
+                | _ -> assert false)
+        | _ -> (match distinct (min wires 4) with
+                | t :: cs when List.length cs >= 3 ->
+                    Gate.Mct { controls = cs; target = t }
+                | [ a; b ] -> Gate.Cnot { control = a; target = b }
+                | [ a; b; c ] -> Gate.Toffoli { c1 = a; c2 = b; target = c }
+                | _ -> Gate.X (Tqec_util.Rng.int rng wires))
+      in
+      let c =
+        Circuit.make ~name:"m" ~n_qubits:wires
+          (List.init 10 (fun _ -> gate ()))
+      in
+      Sim.equivalent c (Mct.lower c))
+
+let prop_optimize_preserves_semantics =
+  QCheck.Test.make ~name:"Optimize.run preserves reversible semantics"
+    ~count:25
+    QCheck.(pair (int_range 3 6) (int_range 1 500))
+    (fun (wires, seed) ->
+      let spec =
+        { Generator.name = "o"; n_wires = wires; n_toffoli = 4; n_cnot = 12;
+          n_not = 4; n_unused = 0; seed }
+      in
+      let c = Generator.generate spec in
+      Sim.equivalent c (Optimize.run c))
+
+let prop_revlib_roundtrip_semantics =
+  QCheck.Test.make ~name:"RevLib round trip preserves semantics" ~count:15
+    (QCheck.int_range 1 500)
+    (fun seed ->
+      let spec =
+        { Generator.name = "r"; n_wires = 5; n_toffoli = 3; n_cnot = 8;
+          n_not = 2; n_unused = 0; seed }
+      in
+      let c = Generator.generate spec in
+      let c' = Revlib.parse_string ~name:"r" (Revlib.to_string c) in
+      Sim.equivalent c c')
+
+let suites =
+  [
+    ( "circuit.gate",
+      [
+        Alcotest.test_case "qubits" `Quick test_gate_qubits;
+        Alcotest.test_case "well-formed" `Quick test_gate_well_formed;
+        Alcotest.test_case "classify" `Quick test_gate_classify;
+      ] );
+    ( "circuit.circuit",
+      [
+        Alcotest.test_case "make validates" `Quick test_circuit_make_validates;
+        Alcotest.test_case "counts" `Quick test_circuit_counts;
+        Alcotest.test_case "depth" `Quick test_circuit_depth;
+        Alcotest.test_case "wire usage" `Quick test_circuit_wire_usage;
+      ] );
+    ( "circuit.revlib",
+      [
+        Alcotest.test_case "parse" `Quick test_revlib_parse;
+        Alcotest.test_case "roundtrip" `Quick test_revlib_roundtrip;
+        Alcotest.test_case "errors" `Quick test_revlib_errors;
+        Alcotest.test_case "numeric vars" `Quick test_revlib_numeric_vars;
+      ] );
+    ( "circuit.mct",
+      [
+        Alcotest.test_case "swap" `Quick test_mct_swap;
+        Alcotest.test_case "fredkin" `Quick test_mct_fredkin;
+        Alcotest.test_case "mct expansion" `Quick test_mct_expansion;
+        Alcotest.test_case "passthrough" `Quick test_mct_passthrough;
+      ] );
+    ( "circuit.clifford_t",
+      [
+        Alcotest.test_case "toffoli network" `Quick test_clifford_t_toffoli;
+        Alcotest.test_case "rejects mct" `Quick test_clifford_t_rejects_mct;
+        Alcotest.test_case "full decompose" `Quick test_decompose_full;
+        qtest prop_toffoli_t_accounting;
+      ] );
+    ( "circuit.sim",
+      [
+        Alcotest.test_case "gate semantics" `Quick test_sim_gates;
+        Alcotest.test_case "swap/fredkin" `Quick test_sim_swap_fredkin;
+        Alcotest.test_case "truth table permutation" `Quick
+          test_sim_truth_table_is_permutation;
+        qtest prop_mct_lowering_semantics;
+        qtest prop_optimize_preserves_semantics;
+        qtest prop_revlib_roundtrip_semantics;
+      ] );
+    ( "circuit.generator-suite",
+      [
+        Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+        Alcotest.test_case "counts" `Quick test_generator_counts;
+        Alcotest.test_case "eight benchmarks" `Quick test_suite_has_eight;
+        Alcotest.test_case "find" `Quick test_suite_find;
+        Alcotest.test_case "calibration identities" `Quick
+          test_suite_calibration_identities;
+        Alcotest.test_case "three-cnot example" `Quick test_three_cnot_example;
+        Alcotest.test_case "scaled" `Quick test_scaled;
+      ] );
+  ]

@@ -1,0 +1,257 @@
+(* Tests for the extension modules: peephole optimization, geometry
+   emission, OBJ export, ablation studies. *)
+
+open Tqec_circuit
+open Tqec_compress
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Optimize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let circ gates n = Circuit.make ~name:"opt" ~n_qubits:n gates
+
+let test_optimize_cancels_pairs () =
+  let c = circ [ Gate.H 0; Gate.H 0 ] 1 in
+  check Alcotest.int "HH cancels" 0 (Circuit.n_gates (Optimize.run c));
+  let c = circ [ Gate.X 0; Gate.X 0; Gate.Z 1; Gate.Z 1 ] 2 in
+  check Alcotest.int "XX ZZ cancel" 0 (Circuit.n_gates (Optimize.run c));
+  let c =
+    circ
+      [ Gate.Cnot { control = 0; target = 1 }; Gate.Cnot { control = 0; target = 1 } ]
+      2
+  in
+  check Alcotest.int "CNOT pair cancels" 0 (Circuit.n_gates (Optimize.run c))
+
+let test_optimize_keeps_distinct () =
+  let c =
+    circ
+      [ Gate.Cnot { control = 0; target = 1 }; Gate.Cnot { control = 1; target = 0 } ]
+      2
+  in
+  check Alcotest.int "different CNOTs kept" 2 (Circuit.n_gates (Optimize.run c));
+  let c = circ [ Gate.H 0; Gate.H 1 ] 2 in
+  check Alcotest.int "different wires kept" 2 (Circuit.n_gates (Optimize.run c))
+
+let test_optimize_blocked_by_intervening () =
+  (* a gate on the same wire between the pair blocks cancellation *)
+  let c = circ [ Gate.H 0; Gate.T 0; Gate.H 0 ] 1 in
+  check Alcotest.int "blocked" 3 (Circuit.n_gates (Optimize.run c));
+  (* a gate on an unrelated wire does not *)
+  let c = circ [ Gate.H 0; Gate.T 1; Gate.H 0 ] 2 in
+  check Alcotest.int "unrelated wire" 1 (Circuit.n_gates (Optimize.run c))
+
+let test_optimize_merges_phases () =
+  let c = circ [ Gate.T 0; Gate.T 0 ] 1 in
+  (match (Optimize.run c).Circuit.gates with
+  | [ Gate.S 0 ] -> ()
+  | _ -> Alcotest.fail "TT should merge to S");
+  (* cascade: T T T T -> S S -> Z *)
+  let c = circ [ Gate.T 0; Gate.T 0; Gate.T 0; Gate.T 0 ] 1 in
+  match (Optimize.run c).Circuit.gates with
+  | [ Gate.Z 0 ] -> ()
+  | gates ->
+      Alcotest.failf "TTTT should cascade to Z, got %d gates"
+        (List.length gates)
+
+let test_optimize_cascade_cancel () =
+  (* T Tdg cancels; then the surrounding H H become adjacent and cancel *)
+  let c = circ [ Gate.H 0; Gate.T 0; Gate.Tdg 0; Gate.H 0 ] 1 in
+  check Alcotest.int "cascade" 0 (Circuit.n_gates (Optimize.run c))
+
+let test_optimize_toffoli_swap () =
+  let c =
+    circ
+      [
+        Gate.Toffoli { c1 = 0; c2 = 1; target = 2 };
+        Gate.Toffoli { c1 = 1; c2 = 0; target = 2 };
+        Gate.Swap (0, 1);
+        Gate.Swap (1, 0);
+      ]
+      3
+  in
+  check Alcotest.int "symmetric controls cancel" 0
+    (Circuit.n_gates (Optimize.run c))
+
+let test_optimize_pair_rule () =
+  check Alcotest.bool "S Z -> Sdg" true
+    (Optimize.pair_rule (Gate.S 0) (Gate.Z 0) = `Replace (Gate.Sdg 0));
+  check Alcotest.bool "S S -> Z" true
+    (Optimize.pair_rule (Gate.S 0) (Gate.S 0) = `Replace (Gate.Z 0));
+  check Alcotest.bool "H T keep" true
+    (Optimize.pair_rule (Gate.H 0) (Gate.T 0) = `Keep)
+
+let test_optimize_reduces_t_count () =
+  (* a circuit with an immediate Toffoli pair loses all 14 T gates *)
+  let c =
+    circ
+      [
+        Gate.Toffoli { c1 = 0; c2 = 1; target = 2 };
+        Gate.Toffoli { c1 = 0; c2 = 1; target = 2 };
+        Gate.Cnot { control = 0; target = 1 };
+      ]
+      3
+  in
+  let optimized = Optimize.run c in
+  check Alcotest.int "one gate left" 1 (Circuit.n_gates optimized);
+  check Alcotest.int "cancelled count" 2 (Optimize.cancelled c)
+
+let prop_optimize_idempotent =
+  QCheck.Test.make ~name:"optimize is idempotent" ~count:60
+    (QCheck.int_range 1 5000)
+    (fun seed ->
+      let c = Generator.random_clifford_t ~seed ~n_qubits:4 ~n_gates:40 in
+      let once = Optimize.run c in
+      Circuit.equal (Optimize.run once) once)
+
+let prop_optimize_never_grows =
+  QCheck.Test.make ~name:"optimize never grows the circuit" ~count:60
+    (QCheck.int_range 1 5000)
+    (fun seed ->
+      let c = Generator.random_clifford_t ~seed ~n_qubits:3 ~n_gates:50 in
+      Circuit.n_gates (Optimize.run c) <= Circuit.n_gates c)
+
+let prop_optimize_preserves_wire_set =
+  QCheck.Test.make ~name:"optimize preserves the wire count" ~count:40
+    (QCheck.int_range 1 5000)
+    (fun seed ->
+      let c = Generator.random_clifford_t ~seed ~n_qubits:4 ~n_gates:30 in
+      (Optimize.run c).Circuit.n_qubits = c.Circuit.n_qubits)
+
+(* ------------------------------------------------------------------ *)
+(* Emit / Export                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let quick_result () =
+  let icm = Tqec_icm.Decompose.run Suite.three_cnot_example in
+  Pipeline.run_icm
+    ~config:{ Pipeline.default_config with effort = Tqec_place.Placer.Quick }
+    icm
+
+let test_emit_valid_geometry () =
+  let r = quick_result () in
+  check Alcotest.(list string) "no geometric issues" []
+    (List.map (Format.asprintf "%a" Tqec_geom.Geometry.pp_issue) (Emit.check r))
+
+let test_emit_volume_consistent () =
+  check Alcotest.bool "emitted within reported bbox" true
+    (Emit.volume_consistent (quick_result ()))
+
+let test_emit_has_both_types () =
+  let g = Emit.geometry (quick_result ()) in
+  let primal = Tqec_geom.Geometry.structures g Tqec_geom.Defect.Primal in
+  let dual = Tqec_geom.Geometry.structures g Tqec_geom.Defect.Dual in
+  check Alcotest.bool "primal structures" true (List.length primal > 0);
+  check Alcotest.bool "dual structures" true (List.length dual > 0)
+
+let prop_emit_valid_on_random =
+  QCheck.Test.make ~name:"emission valid on random circuits" ~count:6
+    (QCheck.int_range 1 400)
+    (fun seed ->
+      let c = Generator.random_clifford_t ~seed ~n_qubits:3 ~n_gates:12 in
+      let r =
+        Pipeline.run
+          ~config:{ Pipeline.default_config with effort = Tqec_place.Placer.Quick }
+          c
+      in
+      Emit.check r = [] && Emit.volume_consistent r)
+
+let test_export_obj_wellformed () =
+  let g = Emit.geometry (quick_result ()) in
+  let obj = Tqec_geom.Export.to_obj g in
+  let lines = String.split_on_char '\n' obj in
+  let count prefix =
+    List.length
+      (List.filter
+         (fun l ->
+           String.length l > String.length prefix
+           && String.sub l 0 (String.length prefix) = prefix)
+         lines)
+  in
+  let vs = count "v " and fs = count "f " and gs = count "g " in
+  check Alcotest.bool "has vertices" true (vs > 0);
+  (* each emitted cube contributes 8 vertices and 6 faces *)
+  check Alcotest.int "vertex/face ratio" (vs / 8) (fs / 6);
+  check Alcotest.bool "has groups" true (gs > 0)
+
+let test_export_canonical () =
+  let icm = Tqec_icm.Decompose.run Suite.three_cnot_example in
+  let g, _ = Tqec_geom.Canonical.build icm in
+  let obj = Tqec_geom.Export.to_obj g in
+  check Alcotest.bool "non-empty" true (String.length obj > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let small_icm () =
+  Tqec_icm.Decompose.run
+    (Clifford_t.decompose
+       (Circuit.make ~name:"ab" ~n_qubits:3
+          [
+            Gate.Toffoli { c1 = 0; c2 = 1; target = 2 };
+            Gate.Cnot { control = 0; target = 2 };
+          ]))
+
+let test_ablation_ishape () =
+  let s = Ablation.ishape (small_icm ()) ~effort:Tqec_place.Placer.Quick in
+  check Alcotest.int "two configurations" 2 (List.length s.Ablation.s_data);
+  List.iter
+    (fun d -> check Alcotest.bool "positive volume" true (d.Ablation.a_volume > 0))
+    s.Ablation.s_data
+
+let test_ablation_seeds_deterministic () =
+  let icm = small_icm () in
+  let a = Ablation.flipping_seeds icm ~effort:Tqec_place.Placer.Quick ~seeds:[ 7 ] in
+  let b = Ablation.flipping_seeds icm ~effort:Tqec_place.Placer.Quick ~seeds:[ 7 ] in
+  check Alcotest.bool "same volume for same seed" true
+    ((List.hd a.Ablation.s_data).Ablation.a_volume
+    = (List.hd b.Ablation.s_data).Ablation.a_volume)
+
+let test_ablation_z_cap () =
+  let s =
+    Ablation.z_cap (small_icm ()) ~effort:Tqec_place.Placer.Quick ~caps:[ 2; 4 ]
+  in
+  (* auto + 2 caps *)
+  check Alcotest.int "three rows" 3 (List.length s.Ablation.s_data);
+  check Alcotest.bool "renders" true (String.length (Ablation.render s) > 0)
+
+let suites =
+  [
+    ( "circuit.optimize",
+      [
+        Alcotest.test_case "cancels pairs" `Quick test_optimize_cancels_pairs;
+        Alcotest.test_case "keeps distinct" `Quick test_optimize_keeps_distinct;
+        Alcotest.test_case "blocked by intervening" `Quick
+          test_optimize_blocked_by_intervening;
+        Alcotest.test_case "merges phases" `Quick test_optimize_merges_phases;
+        Alcotest.test_case "cascade cancel" `Quick test_optimize_cascade_cancel;
+        Alcotest.test_case "toffoli/swap" `Quick test_optimize_toffoli_swap;
+        Alcotest.test_case "pair rule" `Quick test_optimize_pair_rule;
+        Alcotest.test_case "reduces T count" `Quick test_optimize_reduces_t_count;
+        qtest prop_optimize_idempotent;
+        qtest prop_optimize_never_grows;
+        qtest prop_optimize_preserves_wire_set;
+      ] );
+    ( "compress.emit",
+      [
+        Alcotest.test_case "valid geometry" `Quick test_emit_valid_geometry;
+        Alcotest.test_case "volume consistent" `Quick test_emit_volume_consistent;
+        Alcotest.test_case "both defect types" `Quick test_emit_has_both_types;
+        qtest prop_emit_valid_on_random;
+      ] );
+    ( "geom.export",
+      [
+        Alcotest.test_case "obj well-formed" `Quick test_export_obj_wellformed;
+        Alcotest.test_case "canonical export" `Quick test_export_canonical;
+      ] );
+    ( "compress.ablation",
+      [
+        Alcotest.test_case "ishape study" `Slow test_ablation_ishape;
+        Alcotest.test_case "seed determinism" `Slow
+          test_ablation_seeds_deterministic;
+        Alcotest.test_case "z_cap study" `Slow test_ablation_z_cap;
+      ] );
+  ]

@@ -1,0 +1,305 @@
+(* Tests for the ICM decomposition, constraints and validation. *)
+
+open Tqec_circuit
+open Tqec_icm
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let icm_of gates ~n_qubits =
+  Decompose.run (Circuit.make ~name:"t" ~n_qubits gates)
+
+(* ------------------------------------------------------------------ *)
+(* Decompose                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cnot_only () =
+  let icm = icm_of ~n_qubits:2 [ Gate.Cnot { control = 0; target = 1 } ] in
+  check Alcotest.int "lines" 2 icm.Icm.n_lines;
+  check Alcotest.int "cnots" 1 (Array.length icm.Icm.cnots);
+  check Alcotest.int "no gadgets" 0 (Array.length icm.Icm.t_gadgets);
+  check Alcotest.int "all measured" 2 (Array.length icm.Icm.meas);
+  check Alcotest.bool "valid" true (Validate.is_valid icm)
+
+let test_t_gadget_shape () =
+  let icm = icm_of ~n_qubits:1 [ Gate.T 0 ] in
+  let s = Icm.stats icm in
+  check Alcotest.int "lines = 1 + 6" 7 s.Icm.s_qubits;
+  check Alcotest.int "cnots = 6" 6 s.Icm.s_cnots;
+  check Alcotest.int "one A" 1 s.Icm.s_a;
+  check Alcotest.int "two Y" 2 s.Icm.s_y;
+  check Alcotest.int "one gadget" 1 (Array.length icm.Icm.t_gadgets);
+  let g = icm.Icm.t_gadgets.(0) in
+  check Alcotest.int "six gadget lines" 6 (List.length g.Icm.t_lines);
+  check Alcotest.int "six gadget cnots" 6 (List.length g.Icm.t_cnots);
+  check Alcotest.int "four second-order" 4 (List.length g.Icm.t_second_meas);
+  check Alcotest.bool "valid" true (Validate.is_valid icm)
+
+let test_tdg_same_cost () =
+  let a = icm_of ~n_qubits:1 [ Gate.T 0 ] in
+  let b = icm_of ~n_qubits:1 [ Gate.Tdg 0 ] in
+  check Alcotest.bool "same stats" true (Icm.stats a = Icm.stats b)
+
+let test_s_gadget () =
+  let icm = icm_of ~n_qubits:1 [ Gate.S 0 ] in
+  let s = Icm.stats icm in
+  check Alcotest.int "lines" 2 s.Icm.s_qubits;
+  check Alcotest.int "cnots" 1 s.Icm.s_cnots;
+  check Alcotest.int "one Y" 1 s.Icm.s_y;
+  check Alcotest.int "no A" 0 s.Icm.s_a
+
+let test_pauli_frame_free () =
+  let icm = icm_of ~n_qubits:2 [ Gate.X 0; Gate.Z 1; Gate.X 1 ] in
+  check Alcotest.int "no cnots" 0 (Array.length icm.Icm.cnots);
+  check Alcotest.int "two lines" 2 icm.Icm.n_lines
+
+let test_h_flips_measurement_basis () =
+  let plain = icm_of ~n_qubits:1 [] in
+  let hd = icm_of ~n_qubits:1 [ Gate.H 0 ] in
+  let hh = icm_of ~n_qubits:1 [ Gate.H 0; Gate.H 0 ] in
+  check Alcotest.bool "plain measures Z" true
+    ((Icm.meas_of_line plain 0).Icm.m_basis = Icm.Mz);
+  check Alcotest.bool "H measures X" true
+    ((Icm.meas_of_line hd 0).Icm.m_basis = Icm.Mx);
+  check Alcotest.bool "HH measures Z" true
+    ((Icm.meas_of_line hh 0).Icm.m_basis = Icm.Mz)
+
+let test_rejects_toffoli () =
+  try
+    ignore (icm_of ~n_qubits:3 [ Gate.Toffoli { c1 = 0; c2 = 1; target = 2 } ]);
+    Alcotest.fail "expected rejection"
+  with Invalid_argument _ -> ()
+
+let test_wire_continues_after_t () =
+  let icm = icm_of ~n_qubits:1 [ Gate.T 0; Gate.T 0 ] in
+  check Alcotest.int "two gadgets" 2 (Array.length icm.Icm.t_gadgets);
+  let g0 = icm.Icm.t_gadgets.(0) and g1 = icm.Icm.t_gadgets.(1) in
+  check Alcotest.int "same wire" g0.Icm.t_wire g1.Icm.t_wire;
+  check Alcotest.int "seq 0" 0 g0.Icm.t_seq;
+  check Alcotest.int "seq 1" 1 g1.Icm.t_seq;
+  (* Output line of the wire is the second gadget's out line. *)
+  let out = icm.Icm.line_of_wire.(0) in
+  check Alcotest.bool "output is a gadget line" true
+    (List.mem out g1.Icm.t_lines)
+
+(* Table-1 calibration on real suite entries (the decisive identity
+   check: decomposition statistics equal the paper's published columns). *)
+let test_paper_stats_exact () =
+  List.iter
+    (fun (e : Suite.entry) ->
+      let c = Clifford_t.decompose (Suite.circuit e) in
+      let icm = Decompose.run c in
+      let s = Icm.stats icm in
+      let name = e.Suite.spec.Generator.name in
+      check Alcotest.int (name ^ " #Qubits") e.Suite.paper.Suite.p_qubits
+        s.Icm.s_qubits;
+      check Alcotest.int (name ^ " #CNOTs") e.Suite.paper.Suite.p_cnots
+        s.Icm.s_cnots;
+      check Alcotest.int (name ^ " #Y") e.Suite.paper.Suite.p_y s.Icm.s_y;
+      check Alcotest.int (name ^ " #A") e.Suite.paper.Suite.p_a s.Icm.s_a;
+      check Alcotest.bool (name ^ " valid") true (Validate.is_valid icm))
+    [ List.nth Suite.all 0; List.nth Suite.all 1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Constraints                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_intra_t_pairs () =
+  let icm = icm_of ~n_qubits:1 [ Gate.T 0 ] in
+  let pairs = Constraints.of_icm icm in
+  check Alcotest.int "4 intra pairs" 4 (List.length pairs);
+  let g = icm.Icm.t_gadgets.(0) in
+  List.iter
+    (fun (p : Constraints.pair) ->
+      check Alcotest.int "before is first-order" g.Icm.t_first_meas p.before)
+    pairs
+
+let test_inter_t_pairs () =
+  let icm = icm_of ~n_qubits:1 [ Gate.T 0; Gate.T 0 ] in
+  let pairs = Constraints.of_icm icm in
+  (* 4 intra per gadget + 16 inter (4x4 between consecutive gadgets). *)
+  check Alcotest.int "pair count" (4 + 4 + 16) (List.length pairs)
+
+let test_inter_t_distinct_wires_unconstrained () =
+  let icm = icm_of ~n_qubits:2 [ Gate.T 0; Gate.T 1 ] in
+  let pairs = Constraints.of_icm icm in
+  check Alcotest.int "only intra pairs" 8 (List.length pairs)
+
+let test_violations () =
+  let icm = icm_of ~n_qubits:1 [ Gate.T 0 ] in
+  let pairs = Constraints.of_icm icm in
+  (* Everything at the same time: all pairs violated. *)
+  check Alcotest.int "all violated" 4
+    (List.length (Constraints.violations pairs ~time_of:(fun _ -> 0)));
+  (* Identity order: measurement indices increase in emission order,
+     which respects first < second. *)
+  check Alcotest.bool "emission order ok" true
+    (Constraints.satisfied pairs ~time_of:(fun i -> i))
+
+let test_topological_order () =
+  let icm = icm_of ~n_qubits:2 [ Gate.T 0; Gate.T 1; Gate.T 0 ] in
+  let order = Constraints.topological_order icm in
+  check Alcotest.int "covers all measurements" (Array.length icm.Icm.meas)
+    (List.length order);
+  let position = Hashtbl.create 16 in
+  List.iteri (fun i m -> Hashtbl.replace position m i) order;
+  let pairs = Constraints.of_icm icm in
+  check Alcotest.bool "topological order satisfies" true
+    (Constraints.satisfied pairs ~time_of:(Hashtbl.find position))
+
+let prop_constraints_satisfied_by_emission =
+  QCheck.Test.make ~name:"emission order satisfies all constraints" ~count:30
+    QCheck.(pair (int_range 1 4) (int_range 1 30))
+    (fun (wires, gates) ->
+      let c =
+        Generator.random_clifford_t ~seed:(wires + (31 * gates))
+          ~n_qubits:wires ~n_gates:gates
+      in
+      let icm = Decompose.run c in
+      let pairs = Constraints.of_icm icm in
+      Constraints.satisfied pairs ~time_of:(fun i -> i))
+
+let prop_decomposed_always_valid =
+  QCheck.Test.make ~name:"decomposed ICM always validates" ~count:50
+    QCheck.(pair (int_range 1 5) (int_range 0 40))
+    (fun (wires, gates) ->
+      let c =
+        Generator.random_clifford_t ~seed:(7 + wires + (13 * gates))
+          ~n_qubits:wires ~n_gates:gates
+      in
+      Validate.is_valid (Decompose.run c))
+
+(* ------------------------------------------------------------------ *)
+(* Schedule                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_schedule_serial_chain () =
+  let icm =
+    icm_of ~n_qubits:3
+      [ Gate.Cnot { control = 0; target = 1 };
+        Gate.Cnot { control = 1; target = 2 };
+        Gate.Cnot { control = 0; target = 2 } ]
+  in
+  let a = Schedule.asap icm in
+  check Alcotest.int "depth 3" 3 a.Schedule.depth;
+  check Alcotest.bool "valid" true (Schedule.valid icm a)
+
+let test_schedule_parallel () =
+  let icm =
+    icm_of ~n_qubits:4
+      [ Gate.Cnot { control = 0; target = 1 };
+        Gate.Cnot { control = 2; target = 3 } ]
+  in
+  let a = Schedule.asap icm in
+  check Alcotest.int "depth 1" 1 a.Schedule.depth;
+  check (Alcotest.float 1e-9) "parallelism 2" 2. (Schedule.parallelism icm)
+
+let test_schedule_alap_valid_and_deep () =
+  let icm =
+    icm_of ~n_qubits:4
+      [ Gate.Cnot { control = 0; target = 1 };
+        Gate.Cnot { control = 2; target = 3 };
+        Gate.Cnot { control = 1; target = 2 } ]
+  in
+  let l = Schedule.alap icm in
+  check Alcotest.bool "alap valid" true (Schedule.valid icm l);
+  check Alcotest.int "same horizon" (Schedule.asap icm).Schedule.depth
+    l.Schedule.depth
+
+let prop_schedule_slack_nonnegative =
+  QCheck.Test.make ~name:"schedule slack is non-negative" ~count:30
+    QCheck.(pair (int_range 2 5) (int_range 1 30))
+    (fun (wires, gates) ->
+      let c =
+        Generator.random_clifford_t ~seed:(wires * 1000 + gates)
+          ~n_qubits:wires ~n_gates:gates
+      in
+      let icm = Decompose.run c in
+      Array.for_all (fun s -> s >= 0) (Schedule.slack icm))
+
+let prop_schedule_asap_alap_valid =
+  QCheck.Test.make ~name:"ASAP and ALAP are always valid schedules"
+    ~count:30
+    (QCheck.int_range 1 3000)
+    (fun seed ->
+      let c = Generator.random_clifford_t ~seed ~n_qubits:4 ~n_gates:25 in
+      let icm = Decompose.run c in
+      Schedule.valid icm (Schedule.asap icm)
+      && Schedule.valid icm (Schedule.alap icm))
+
+(* ------------------------------------------------------------------ *)
+(* Validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate_detects_missing_meas () =
+  let icm = icm_of ~n_qubits:2 [ Gate.Cnot { control = 0; target = 1 } ] in
+  let broken = { icm with Icm.meas = [| icm.Icm.meas.(0) |] } in
+  check Alcotest.bool "invalid" false (Validate.is_valid broken);
+  check Alcotest.bool "missing measurement reported" true
+    (List.exists
+       (function Validate.Missing_measurement _ -> true | _ -> false)
+       (Validate.check broken))
+
+let test_validate_detects_self_loop () =
+  let icm = icm_of ~n_qubits:2 [ Gate.Cnot { control = 0; target = 1 } ] in
+  let broken =
+    { icm with Icm.cnots = [| { Icm.control = 0; target = 0 } |] }
+  in
+  check Alcotest.bool "self loop reported" true
+    (List.exists
+       (function Validate.Cnot_self_loop _ -> true | _ -> false)
+       (Validate.check broken))
+
+let test_validate_detects_range () =
+  let icm = icm_of ~n_qubits:2 [ Gate.Cnot { control = 0; target = 1 } ] in
+  let broken =
+    { icm with Icm.cnots = [| { Icm.control = 0; target = 99 } |] }
+  in
+  check Alcotest.bool "range reported" true
+    (List.exists
+       (function Validate.Line_out_of_range _ -> true | _ -> false)
+       (Validate.check broken))
+
+let suites =
+  [
+    ( "icm.decompose",
+      [
+        Alcotest.test_case "cnot only" `Quick test_cnot_only;
+        Alcotest.test_case "T gadget shape" `Quick test_t_gadget_shape;
+        Alcotest.test_case "Tdg same cost" `Quick test_tdg_same_cost;
+        Alcotest.test_case "S gadget" `Quick test_s_gadget;
+        Alcotest.test_case "pauli frame free" `Quick test_pauli_frame_free;
+        Alcotest.test_case "H flips basis" `Quick test_h_flips_measurement_basis;
+        Alcotest.test_case "rejects toffoli" `Quick test_rejects_toffoli;
+        Alcotest.test_case "wire continues after T" `Quick
+          test_wire_continues_after_t;
+        Alcotest.test_case "paper stats exact (2 suites)" `Quick
+          test_paper_stats_exact;
+        qtest prop_decomposed_always_valid;
+      ] );
+    ( "icm.constraints",
+      [
+        Alcotest.test_case "intra-T pairs" `Quick test_intra_t_pairs;
+        Alcotest.test_case "inter-T pairs" `Quick test_inter_t_pairs;
+        Alcotest.test_case "distinct wires unconstrained" `Quick
+          test_inter_t_distinct_wires_unconstrained;
+        Alcotest.test_case "violations" `Quick test_violations;
+        Alcotest.test_case "topological order" `Quick test_topological_order;
+        qtest prop_constraints_satisfied_by_emission;
+      ] );
+    ( "icm.schedule",
+      [
+        Alcotest.test_case "serial chain" `Quick test_schedule_serial_chain;
+        Alcotest.test_case "parallel" `Quick test_schedule_parallel;
+        Alcotest.test_case "alap" `Quick test_schedule_alap_valid_and_deep;
+        qtest prop_schedule_slack_nonnegative;
+        qtest prop_schedule_asap_alap_valid;
+      ] );
+    ( "icm.validate",
+      [
+        Alcotest.test_case "missing measurement" `Quick
+          test_validate_detects_missing_meas;
+        Alcotest.test_case "self loop" `Quick test_validate_detects_self_loop;
+        Alcotest.test_case "out of range" `Quick test_validate_detects_range;
+      ] );
+  ]

@@ -1,0 +1,461 @@
+(* Tests for the PD graph and the bridging stages, anchored on the
+   paper's worked 3-CNOT example (Figs. 6, 10, 13, 14). *)
+
+open Tqec_circuit
+open Tqec_icm
+open Tqec_pdgraph
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let three_cnot_graph () =
+  Pd_graph.of_icm (Decompose.run Suite.three_cnot_example)
+
+let nets_of g m = Pd_graph.nets_through g m
+
+(* ------------------------------------------------------------------ *)
+(* PD graph construction (Fig. 6)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig6_module_structure () =
+  let g = three_cnot_graph () in
+  (* p0{d0} p1{d0,d2} p2{d0,d1,d2} p3{d1} p4{d1} p5{d2} *)
+  check Alcotest.int "6 modules" 6 (Pd_graph.n_modules_constructed g);
+  check Alcotest.int "3 nets" 3 (Pd_graph.n_nets g);
+  check Alcotest.(list int) "p0" [ 0 ] (nets_of g 0);
+  check Alcotest.(list int) "p1" [ 0; 2 ] (nets_of g 1);
+  check Alcotest.(list int) "p2" [ 0; 1; 2 ] (nets_of g 2);
+  check Alcotest.(list int) "p3" [ 1 ] (nets_of g 3);
+  check Alcotest.(list int) "p4" [ 1 ] (nets_of g 4);
+  check Alcotest.(list int) "p5" [ 2 ] (nets_of g 5)
+
+let test_fig6_net_traversal () =
+  let g = three_cnot_graph () in
+  (* d0 passes p0 (control current), p1 (innovative), p2 (target). *)
+  check Alcotest.(list int) "d0 modules" [ 0; 1; 2 ] (Pd_graph.modules_of_net g 0);
+  check Alcotest.(list int) "d1 modules" [ 3; 4; 2 ] (Pd_graph.modules_of_net g 1);
+  check Alcotest.(list int) "d2 modules" [ 2; 5; 1 ] (Pd_graph.modules_of_net g 2)
+
+let test_fig6_module_kinds () =
+  let g = three_cnot_graph () in
+  let kind m = (Pd_graph.module_get g m).Pd_graph.m_kind in
+  check Alcotest.bool "p0 initial" true
+    (match kind 0 with Pd_graph.Initial _ -> true | _ -> false);
+  check Alcotest.bool "p1 innovative" true (kind 1 = Pd_graph.Innovative);
+  check Alcotest.bool "p2 initial" true
+    (match kind 2 with Pd_graph.Initial _ -> true | _ -> false);
+  check Alcotest.bool "p5 innovative" true (kind 5 = Pd_graph.Innovative)
+
+let test_row_flags () =
+  let g = three_cnot_graph () in
+  check Alcotest.bool "row0 opens as control" true g.Pd_graph.row_first_as_control.(0);
+  check Alcotest.bool "row0 closes as target" false g.Pd_graph.row_last_as_control.(0);
+  check Alcotest.bool "row1 opens as target" false g.Pd_graph.row_first_as_control.(1);
+  check Alcotest.bool "row1 closes as control" true g.Pd_graph.row_last_as_control.(1);
+  check Alcotest.bool "row2 opens as control" true g.Pd_graph.row_first_as_control.(2);
+  check Alcotest.bool "row2 closes as control" true g.Pd_graph.row_last_as_control.(2)
+
+let test_distill_modules () =
+  let icm =
+    Decompose.run
+      (Circuit.make ~name:"one-t" ~n_qubits:1 [ Tqec_circuit.Gate.T 0 ])
+  in
+  let g = Pd_graph.of_icm icm in
+  let boxes = Pd_graph.distill_modules g in
+  let y = List.filter (fun (_, k) -> k = Icm.Inject_y) boxes in
+  let a = List.filter (fun (_, k) -> k = Icm.Inject_a) boxes in
+  check Alcotest.int "2 Y boxes" 2 (List.length y);
+  check Alcotest.int "1 A box" 1 (List.length a)
+
+(* Paper module-count identity: #Modules = #CNOTs + used rows + #Y + #A. *)
+let test_module_count_identity () =
+  List.iter
+    (fun seed ->
+      let c =
+        Generator.random_clifford_t ~seed ~n_qubits:4 ~n_gates:25
+      in
+      let icm = Decompose.run c in
+      let g = Pd_graph.of_icm icm in
+      let used_rows =
+        Array.to_list g.Pd_graph.row_first
+        |> List.filter (fun m -> m <> -1)
+        |> List.length
+      in
+      let s = Icm.stats icm in
+      check Alcotest.int "module identity"
+        (s.Icm.s_cnots + used_rows + s.Icm.s_y + s.Icm.s_a)
+        (Pd_graph.n_modules_constructed g))
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* I-shaped simplification (Figs. 10 and 14)                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_ishape_three_cnot () =
+  let g = three_cnot_graph () in
+  let merges = Ishape.run g in
+  check Alcotest.int "three merges" 3 (List.length merges);
+  (* Expected end state: p0p1{d0}, p1{d2}, p2{d0,d1}, p2p5{d2}, p3p4{d1},
+     p4{} — new ids 6,7,8 for the merged modules. *)
+  check Alcotest.bool "p0 dead" false (Pd_graph.module_get g 0).Pd_graph.m_alive;
+  check Alcotest.bool "p3 dead" false (Pd_graph.module_get g 3).Pd_graph.m_alive;
+  check Alcotest.bool "p5 dead" false (Pd_graph.module_get g 5).Pd_graph.m_alive;
+  check Alcotest.(list int) "residual p1 keeps d2" [ 2 ] (nets_of g 1);
+  check Alcotest.(list int) "p2 drops d2" [ 0; 1 ] (nets_of g 2);
+  check Alcotest.(list int) "p4 empty" [] (nets_of g 4);
+  (* Merged modules. *)
+  let merged =
+    List.filter
+      (fun (m : Pd_graph.module_rec) -> m.m_kind = Pd_graph.Ishape_merged)
+      (Pd_graph.alive_modules g)
+  in
+  check Alcotest.int "three merged modules" 3 (List.length merged);
+  List.iter
+    (fun (m : Pd_graph.module_rec) ->
+      check Alcotest.int "merged holds one net" 1 (List.length m.m_nets);
+      check Alcotest.bool "has partner" true (m.m_partner >= 0))
+    merged
+
+let test_ishape_idempotent () =
+  let g = three_cnot_graph () in
+  ignore (Ishape.run g);
+  check Alcotest.int "second run no merges" 0 (List.length (Ishape.run g))
+
+let test_ishape_net_retarget () =
+  let g = three_cnot_graph () in
+  let merges = Ishape.run g in
+  (* After the init-end merge on row 0, net d0 passes the merged module,
+     not p0 nor residual p1. *)
+  let m0 = List.find (fun m -> m.Ishape.g_row = 0) merges in
+  let d0_modules = Pd_graph.modules_of_net g 0 in
+  check Alcotest.bool "d0 through merged" true
+    (List.mem m0.Ishape.g_merged d0_modules);
+  check Alcotest.bool "d0 not through residual" false
+    (List.mem m0.Ishape.g_residual d0_modules)
+
+(* Braiding preservation: each net's incidence set changes only by the
+   documented substitution {absorbed, residual} -> {merged}. *)
+let prop_ishape_preserves_braiding =
+  QCheck.Test.make ~name:"ishape preserves braiding relation" ~count:30
+    QCheck.(pair (int_range 2 5) (int_range 1 30))
+    (fun (wires, gates) ->
+      let c =
+        Generator.random_clifford_t ~seed:(wires + (17 * gates))
+          ~n_qubits:wires ~n_gates:gates
+      in
+      let icm = Decompose.run c in
+      let g = Pd_graph.of_icm icm in
+      let before =
+        List.init (Pd_graph.n_nets g) (fun n -> Pd_graph.modules_of_net g n)
+      in
+      let merges = Ishape.run g in
+      let subst =
+        List.map
+          (fun m -> (m.Ishape.g_net, m.Ishape.g_absorbed, m.Ishape.g_residual, m.Ishape.g_merged))
+          merges
+      in
+      List.for_all
+        (fun n ->
+          let expected =
+            List.fold_left
+              (fun mods (net, absorbed, residual, merged) ->
+                if net = n then
+                  List.filter_map
+                    (fun m ->
+                      if m = absorbed then Some merged
+                      else if m = residual then None
+                      else Some m)
+                    mods
+                else mods)
+              (List.nth before n) subst
+          in
+          List.sort Int.compare expected
+          = List.sort Int.compare (Pd_graph.modules_of_net g n))
+        (List.init (Pd_graph.n_nets g) (fun n -> n)))
+
+let test_ishape_respects_meas_order () =
+  (* A T-gadget line closing on a control side carries a second-order
+     measurement: the meas-end merge must be skipped by default and
+     allowed with ~respect_order:false. *)
+  let c =
+    Circuit.make ~name:"t" ~n_qubits:1 [ Tqec_circuit.Gate.T 0 ]
+  in
+  let count respect_order =
+    let g = Pd_graph.of_icm (Decompose.run c) in
+    List.length (Ishape.run ~respect_order g)
+  in
+  check Alcotest.bool "order-aware runs fewer merges" true
+    (count true < count false)
+
+let test_ishape_ordered_last_stays_alive () =
+  let c = Circuit.make ~name:"t" ~n_qubits:1 [ Tqec_circuit.Gate.T 0 ] in
+  let icm = Decompose.run c in
+  let g = Pd_graph.of_icm icm in
+  ignore (Ishape.run g);
+  (* every measurement-carrying module must still be alive *)
+  Array.iter
+    (fun (m : Icm.measurement) ->
+      match Pd_graph.meas_module g m.Icm.m_line with
+      | Some md ->
+          check Alcotest.bool "meas module alive" true
+            (Pd_graph.module_get g md).Pd_graph.m_alive
+      | None -> ())
+    icm.Icm.meas
+
+(* ------------------------------------------------------------------ *)
+(* Flipping (Fig. 13)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_flipping_three_cnot_single_chain () =
+  let g = three_cnot_graph () in
+  ignore (Ishape.run g);
+  let f = Flipping.run g in
+  (* All modules collapse into one primal bridging super-module: one
+     chain of three points (Fig. 13(b)). *)
+  check Alcotest.int "one chain" 1 (List.length f.Flipping.chains);
+  check Alcotest.int "three points" 3 (List.length (List.hd f.Flipping.chains));
+  check Alcotest.(list string) "valid" [] (Flipping.validate g f)
+
+let test_flipping_points_pair_ishape () =
+  let g = three_cnot_graph () in
+  ignore (Ishape.run g);
+  let f = Flipping.run g in
+  (* Merged module and its residual are the same point. *)
+  List.iter
+    (fun (m : Pd_graph.module_rec) ->
+      if m.m_alive && m.m_kind = Pd_graph.Ishape_merged then
+        check Alcotest.int "same point as partner"
+          f.Flipping.point_of.(m.m_id)
+          f.Flipping.point_of.(m.m_partner))
+    (Pd_graph.alive_modules g)
+
+let test_flipping_without_ishape () =
+  let g = three_cnot_graph () in
+  let f = Flipping.run g in
+  (* Without I-shape every module is its own point: 6 points. *)
+  check Alcotest.int "six points" 6 (List.length f.Flipping.points);
+  check Alcotest.(list string) "still valid" [] (Flipping.validate g f)
+
+let test_flipping_exclude () =
+  let g = three_cnot_graph () in
+  ignore (Ishape.run g);
+  (* exclude module 2 (the residual p2): it must not appear as a point *)
+  let f = Flipping.run ~exclude:(fun m -> m = 2) g in
+  check Alcotest.int "excluded has no point" (-1) f.Flipping.point_of.(2);
+  check Alcotest.bool "others still covered" true
+    (List.for_all
+       (fun (rep, _) -> rep <> 2)
+       f.Flipping.points);
+  check Alcotest.(list string) "still valid" [] (Flipping.validate g f)
+
+let test_flipping_n_nodes () =
+  let g = three_cnot_graph () in
+  ignore (Ishape.run g);
+  let f = Flipping.run g in
+  check Alcotest.int "one node" 1 (Flipping.n_nodes f);
+  check Alcotest.(list int) "chain_of finds" (List.hd f.Flipping.chains)
+    (Flipping.chain_of f (List.hd (List.hd f.Flipping.chains)))
+
+let prop_flipping_chains_partition =
+  QCheck.Test.make ~name:"flipping chains partition the points" ~count:30
+    QCheck.(pair (int_range 2 5) (int_range 1 40))
+    (fun (wires, gates) ->
+      let c =
+        Generator.random_clifford_t ~seed:(3 + wires + (11 * gates))
+          ~n_qubits:wires ~n_gates:gates
+      in
+      let g = Pd_graph.of_icm (Decompose.run c) in
+      ignore (Ishape.run g);
+      let f = Flipping.run g in
+      Flipping.validate g f = []
+      && List.length (List.concat f.Flipping.chains)
+         = List.length f.Flipping.points)
+
+let prop_flipping_rng_still_valid =
+  QCheck.Test.make ~name:"randomized flipping stays valid" ~count:20
+    (QCheck.int_range 1 1000)
+    (fun seed ->
+      let c = Generator.random_clifford_t ~seed ~n_qubits:4 ~n_gates:25 in
+      let g = Pd_graph.of_icm (Decompose.run c) in
+      ignore (Ishape.run g);
+      let f = Flipping.run ~rng:(Tqec_util.Rng.create seed) g in
+      Flipping.validate g f = [])
+
+(* ------------------------------------------------------------------ *)
+(* Dual bridging (Fig. 14)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_dual_bridge_three_cnot () =
+  let g = three_cnot_graph () in
+  ignore (Ishape.run g);
+  let db = Dual_bridge.run g in
+  (* d0 and d1 merge (both pass residual p2); d2 stays alone. *)
+  check Alcotest.int "one bridge" 1 db.Dual_bridge.n_bridges;
+  check Alcotest.bool "d0 ~ d1" true
+    (Dual_bridge.class_of db 0 = Dual_bridge.class_of db 1);
+  check Alcotest.bool "d2 separate" true
+    (Dual_bridge.class_of db 2 <> Dual_bridge.class_of db 0)
+
+let test_dual_bridge_avoids_ishape_error () =
+  (* The error case of Fig. 14: without the I-shape split, d0 and d2
+     share p1 and would bridge; after I-shape they must not. *)
+  let g_raw = three_cnot_graph () in
+  let db_raw = Dual_bridge.run g_raw in
+  check Alcotest.bool "raw graph would bridge d0,d2" true
+    (Dual_bridge.class_of db_raw 0 = Dual_bridge.class_of db_raw 2);
+  let g = three_cnot_graph () in
+  ignore (Ishape.run g);
+  let db = Dual_bridge.run g in
+  check Alcotest.bool "after ishape d0,d2 split" true
+    (Dual_bridge.class_of db 0 <> Dual_bridge.class_of db 2)
+
+let test_dual_bridge_time_order_refusal () =
+  (* Two T gadgets on one wire: their gadget-internal nets must not end
+     up merged across gadgets. *)
+  let c =
+    Circuit.make ~name:"tt" ~n_qubits:1
+      [ Tqec_circuit.Gate.T 0; Tqec_circuit.Gate.T 0 ]
+  in
+  let icm = Decompose.run c in
+  let g = Pd_graph.of_icm icm in
+  ignore (Ishape.run g);
+  let db = Dual_bridge.run g in
+  let gadget0 = icm.Icm.t_gadgets.(0) and gadget1 = icm.Icm.t_gadgets.(1) in
+  let net_of_cnot k =
+    (* nets are created in CNOT order *)
+    k
+  in
+  List.iter
+    (fun k0 ->
+      List.iter
+        (fun k1 ->
+          check Alcotest.bool "cross-gadget nets separate" true
+            (Dual_bridge.class_of db (net_of_cnot k0)
+            <> Dual_bridge.class_of db (net_of_cnot k1)))
+        gadget1.Icm.t_cnots)
+    gadget0.Icm.t_cnots
+
+let prop_dual_bridge_share_module =
+  QCheck.Test.make
+    ~name:"bridged nets are connected through shared modules" ~count:25
+    QCheck.(pair (int_range 2 5) (int_range 1 30))
+    (fun (wires, gates) ->
+      let c =
+        Generator.random_clifford_t ~seed:(19 + wires + (7 * gates))
+          ~n_qubits:wires ~n_gates:gates
+      in
+      let g = Pd_graph.of_icm (Decompose.run c) in
+      ignore (Ishape.run g);
+      let db = Dual_bridge.run g in
+      (* Every merged class must be connected when viewed as a graph whose
+         edges are shared modules. *)
+      List.for_all
+        (fun (_, members) ->
+          match members with
+          | [] | [ _ ] -> true
+          | members ->
+              let shares a b =
+                List.exists
+                  (fun m -> List.mem m (Pd_graph.modules_of_net g b))
+                  (Pd_graph.modules_of_net g a)
+              in
+              (* BFS connectivity *)
+              let visited = Hashtbl.create 8 in
+              let rec bfs = function
+                | [] -> ()
+                | n :: rest ->
+                    if Hashtbl.mem visited n then bfs rest
+                    else begin
+                      Hashtbl.add visited n ();
+                      let next =
+                        List.filter
+                          (fun m -> (not (Hashtbl.mem visited m)) && shares n m)
+                          members
+                      in
+                      bfs (next @ rest)
+                    end
+              in
+              bfs [ List.hd members ];
+              List.for_all (Hashtbl.mem visited) members)
+        db.Dual_bridge.merged)
+
+(* ------------------------------------------------------------------ *)
+(* F values (Eq. 5)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_fvalue_alternates () =
+  let g = three_cnot_graph () in
+  ignore (Ishape.run g);
+  let f = Flipping.run g in
+  let fv = Fvalue.plan f in
+  check Alcotest.bool "alternation law" true (Fvalue.alternates f fv);
+  match f.Flipping.chains with
+  | [ [ a; b; c ] ] ->
+      check Alcotest.bool "first unflipped" false (Fvalue.flipped fv a);
+      check Alcotest.bool "second flipped" true (Fvalue.flipped fv b);
+      check Alcotest.bool "third unflipped" false (Fvalue.flipped fv c)
+  | _ -> Alcotest.fail "expected a single 3-chain"
+
+let prop_fvalue_always_alternates =
+  QCheck.Test.make ~name:"f values always alternate along chains" ~count:30
+    (QCheck.int_range 1 1000)
+    (fun seed ->
+      let c = Generator.random_clifford_t ~seed ~n_qubits:3 ~n_gates:30 in
+      let g = Pd_graph.of_icm (Decompose.run c) in
+      ignore (Ishape.run g);
+      let f = Flipping.run g in
+      Fvalue.alternates f (Fvalue.plan f))
+
+let suites =
+  [
+    ( "pdgraph.construction",
+      [
+        Alcotest.test_case "Fig. 6 module structure" `Quick
+          test_fig6_module_structure;
+        Alcotest.test_case "Fig. 6 net traversal" `Quick test_fig6_net_traversal;
+        Alcotest.test_case "Fig. 6 module kinds" `Quick test_fig6_module_kinds;
+        Alcotest.test_case "row flags" `Quick test_row_flags;
+        Alcotest.test_case "distillation modules" `Quick test_distill_modules;
+        Alcotest.test_case "module count identity" `Quick
+          test_module_count_identity;
+      ] );
+    ( "pdgraph.ishape",
+      [
+        Alcotest.test_case "three-cnot merges" `Quick test_ishape_three_cnot;
+        Alcotest.test_case "idempotent" `Quick test_ishape_idempotent;
+        Alcotest.test_case "net retarget" `Quick test_ishape_net_retarget;
+        Alcotest.test_case "respects measurement order" `Quick
+          test_ishape_respects_meas_order;
+        Alcotest.test_case "ordered last module alive" `Quick
+          test_ishape_ordered_last_stays_alive;
+        qtest prop_ishape_preserves_braiding;
+      ] );
+    ( "pdgraph.flipping",
+      [
+        Alcotest.test_case "three-cnot single chain" `Quick
+          test_flipping_three_cnot_single_chain;
+        Alcotest.test_case "ishape pairs are one point" `Quick
+          test_flipping_points_pair_ishape;
+        Alcotest.test_case "without ishape" `Quick test_flipping_without_ishape;
+        Alcotest.test_case "exclude" `Quick test_flipping_exclude;
+        Alcotest.test_case "n_nodes/chain_of" `Quick test_flipping_n_nodes;
+        qtest prop_flipping_chains_partition;
+        qtest prop_flipping_rng_still_valid;
+      ] );
+    ( "pdgraph.dual_bridge",
+      [
+        Alcotest.test_case "three-cnot bridges d0,d1" `Quick
+          test_dual_bridge_three_cnot;
+        Alcotest.test_case "ishape split prevents error" `Quick
+          test_dual_bridge_avoids_ishape_error;
+        Alcotest.test_case "time-order refusal" `Quick
+          test_dual_bridge_time_order_refusal;
+        qtest prop_dual_bridge_share_module;
+      ] );
+    ( "pdgraph.fvalue",
+      [
+        Alcotest.test_case "alternates on three-cnot" `Quick
+          test_fvalue_alternates;
+        qtest prop_fvalue_always_alternates;
+      ] );
+  ]

@@ -1,0 +1,345 @@
+(* Tests for the placement substrate: SA engine, B*-tree packing,
+   super-module construction, placer invariants. *)
+
+open Tqec_util
+open Tqec_circuit
+open Tqec_icm
+open Tqec_pdgraph
+open Tqec_place
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Sa                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_sa_minimizes_quadratic () =
+  (* minimize (x - 17)^2 over integers with +-1 moves *)
+  let state = ref 100 in
+  let cost () = float_of_int ((!state - 17) * (!state - 17)) in
+  let rng = Rng.create 5 in
+  let best = ref !state in
+  let perturb () =
+    let prev = !state in
+    state := !state + (if Rng.bool rng then 1 else -1);
+    fun () -> state := prev
+  in
+  let params =
+    { Sa.iterations = 5000; moves_per_temp = 50; cooling = 0.9;
+      initial_acceptance = 0.8 }
+  in
+  let stats =
+    Sa.run ~rng ~params ~cost ~perturb
+      ~on_best:(fun _ -> best := !state)
+      ()
+  in
+  check Alcotest.bool "found near-optimal" true (abs (!best - 17) <= 1);
+  check Alcotest.bool "best cost consistent" true (stats.Sa.best_cost <= 1.);
+  check Alcotest.bool "attempted all" true (stats.Sa.attempted >= 5000)
+
+let test_sa_stats_sane () =
+  let state = ref 0 in
+  let rng = Rng.create 1 in
+  let perturb () =
+    incr state;
+    fun () -> decr state
+  in
+  let stats =
+    Sa.run ~rng
+      ~params:{ Sa.iterations = 200; moves_per_temp = 20; cooling = 0.9;
+                initial_acceptance = 0.8 }
+      ~cost:(fun () -> float_of_int (abs !state))
+      ~perturb ()
+  in
+  check Alcotest.bool "accepted <= attempted" true
+    (stats.Sa.accepted <= stats.Sa.attempted);
+  check Alcotest.bool "temperature decayed" true
+    (stats.Sa.final_temperature > 0.)
+
+let test_sa_default_params () =
+  let p = Sa.default_params ~size:10 in
+  check Alcotest.bool "iterations positive" true (p.Sa.iterations > 0);
+  check Alcotest.bool "cooling in range" true
+    (p.Sa.cooling > 0. && p.Sa.cooling < 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Bstar_tree                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let dims_of_list l = Array.of_list l
+
+let test_bstar_pack_no_overlap () =
+  let dims = dims_of_list [ (3, 2); (2, 2); (4, 1); (1, 5); (2, 3) ] in
+  let t = Bstar_tree.create dims in
+  check Alcotest.(list string) "tree consistent" [] (Bstar_tree.check t);
+  let pos, (w, h) = Bstar_tree.pack t in
+  check Alcotest.bool "no overlap" false (Bstar_tree.overlaps pos dims);
+  check Alcotest.bool "fits bbox" true
+    (Array.for_all2
+       (fun (x, y) (bw, bh) -> x >= 0 && y >= 0 && x + bw <= w && y + bh <= h)
+       pos dims)
+
+let test_bstar_shelves_quality () =
+  (* shelves should pack 16 unit squares into area close to 16 *)
+  let dims = Array.make 16 (2, 2) in
+  let t = Bstar_tree.create_shelves dims in
+  check Alcotest.(list string) "tree consistent" [] (Bstar_tree.check t);
+  let pos, (w, h) = Bstar_tree.pack t in
+  check Alcotest.bool "no overlap" false (Bstar_tree.overlaps pos dims);
+  check Alcotest.bool "dense" true (w * h <= 100)
+
+let test_bstar_rotate () =
+  let dims = dims_of_list [ (5, 1); (5, 1) ] in
+  let t = Bstar_tree.create dims in
+  check Alcotest.int "width" 5 (Bstar_tree.width t 0);
+  Bstar_tree.rotate t 0;
+  check Alcotest.bool "rotated" true (Bstar_tree.is_rotated t 0);
+  check Alcotest.int "width after rotate" 1 (Bstar_tree.width t 0);
+  check Alcotest.int "height after rotate" 5 (Bstar_tree.height t 0)
+
+let test_bstar_snapshot_restore () =
+  let dims = Array.make 8 (2, 3) in
+  let t = Bstar_tree.create dims in
+  let rng = Rng.create 3 in
+  let before = fst (Bstar_tree.pack t) in
+  let snap = Bstar_tree.snapshot t in
+  for _ = 1 to 10 do
+    Bstar_tree.move_block t ~rng (Rng.int rng 8);
+    Bstar_tree.rotate t (Rng.int rng 8)
+  done;
+  Bstar_tree.restore t snap;
+  check Alcotest.(list string) "consistent after restore" [] (Bstar_tree.check t);
+  let after = fst (Bstar_tree.pack t) in
+  check Alcotest.bool "same packing restored" true (before = after)
+
+let prop_bstar_moves_preserve_invariants =
+  QCheck.Test.make ~name:"bstar moves keep tree consistent and non-overlapping"
+    ~count:60
+    QCheck.(pair (int_range 2 20) (int_range 1 500))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let dims =
+        Array.init n (fun i -> (1 + ((i * 7) mod 5), 1 + ((i * 3) mod 4)))
+      in
+      let t = Bstar_tree.create dims in
+      for _ = 1 to 40 do
+        match Rng.int rng 3 with
+        | 0 -> Bstar_tree.rotate t (Rng.int rng n)
+        | 1 -> Bstar_tree.swap_blocks t (Rng.int rng n) (Rng.int rng n)
+        | _ -> Bstar_tree.move_block t ~rng (Rng.int rng n)
+      done;
+      let current_dims =
+        Array.init n (fun b -> (Bstar_tree.width t b, Bstar_tree.height t b))
+      in
+      let pos, _ = Bstar_tree.pack t in
+      Bstar_tree.check t = [] && not (Bstar_tree.overlaps pos current_dims))
+
+let prop_bstar_pack_compact_bottom_left =
+  QCheck.Test.make ~name:"packed root sits at origin" ~count:50
+    (QCheck.int_range 1 15)
+    (fun n ->
+      let dims = Array.init n (fun i -> (1 + (i mod 3), 1 + (i mod 2))) in
+      let t = Bstar_tree.create dims in
+      let pos, _ = Bstar_tree.pack t in
+      (* block 0 is initially the root: packed at the origin *)
+      pos.(0) = (0, 0))
+
+(* ------------------------------------------------------------------ *)
+(* Super_module                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_pieces circuit =
+  let icm = Decompose.run (Clifford_t.decompose circuit) in
+  let g = Pd_graph.of_icm icm in
+  ignore (Ishape.run g);
+  let time_sms = Super_module.time_sm_modules g in
+  let in_sm = Hashtbl.create 16 in
+  List.iter (fun (_, ms) -> List.iter (fun m -> Hashtbl.replace in_sm m ()) ms) time_sms;
+  let flipping = Flipping.run ~exclude:(Hashtbl.mem in_sm) g in
+  (g, flipping, time_sms)
+
+let one_t_circuit () =
+  Circuit.make ~name:"one-t" ~n_qubits:2
+    [ Gate.Cnot { control = 0; target = 1 }; Gate.T 0;
+      Gate.Cnot { control = 1; target = 0 } ]
+
+let test_time_sm_structure () =
+  let g, _, time_sms = pipeline_pieces (one_t_circuit ()) in
+  ignore g;
+  check Alcotest.int "one wire with gadgets" 1 (List.length time_sms);
+  let _, modules = List.hd time_sms in
+  (* 1 first-order + 4 second-order *)
+  check Alcotest.int "five measurement modules" 5 (List.length modules);
+  let distinct = List.sort_uniq Int.compare modules in
+  check Alcotest.int "all distinct" 5 (List.length distinct)
+
+let test_super_module_build () =
+  let g, flipping, _ = pipeline_pieces (one_t_circuit ()) in
+  let sm = Super_module.build g flipping in
+  let kinds =
+    Array.fold_left
+      (fun (t, d, c, p) nd ->
+        match nd.Super_module.nd_kind with
+        | Super_module.Time_sm _ -> (t + 1, d, c, p)
+        | Super_module.Distill_sm _ -> (t, d + 1, c, p)
+        | Super_module.Chain _ -> (t, d, c + 1, p)
+        | Super_module.Plain _ -> (t, d, c, p + 1))
+      (0, 0, 0, 0) sm.Super_module.nodes
+  in
+  let time_sm, distill, _chains, _plain = kinds in
+  check Alcotest.int "one time SM" 1 time_sm;
+  (* one T gadget: 1 |A> + 2 |Y> boxes *)
+  check Alcotest.int "three distillation nodes" 3 distill;
+  (* every alive non-distill module claimed exactly once *)
+  List.iter
+    (fun (m : Pd_graph.module_rec) ->
+      match m.m_kind with
+      | Pd_graph.Distill _ -> ()
+      | _ ->
+          if m.m_alive then begin
+            check Alcotest.bool
+              (Printf.sprintf "module %d claimed" m.m_id)
+              true
+              (Hashtbl.mem sm.Super_module.node_of_module m.m_id)
+          end)
+    (Pd_graph.alive_modules g)
+
+let test_module_offsets_distinct () =
+  let g, flipping, _ = pipeline_pieces (one_t_circuit ()) in
+  let sm = Super_module.build g flipping in
+  (* within every node, claimed offsets must be pairwise distinct *)
+  let by_node = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun m node ->
+      let off = Hashtbl.find sm.Super_module.module_offset m in
+      let existing = try Hashtbl.find by_node node with Not_found -> [] in
+      Hashtbl.replace by_node node (off :: existing))
+    sm.Super_module.node_of_module;
+  Hashtbl.iter
+    (fun node offs ->
+      let distinct = List.sort_uniq compare offs in
+      check Alcotest.int
+        (Printf.sprintf "node %d offsets distinct" node)
+        (List.length offs) (List.length distinct))
+    by_node
+
+let test_offsets_inside_footprint () =
+  let g, flipping, _ = pipeline_pieces (one_t_circuit ()) in
+  let sm = Super_module.build g flipping in
+  Hashtbl.iter
+    (fun m node ->
+      let dx, dy, dz = Hashtbl.find sm.Super_module.module_offset m in
+      let nd = sm.Super_module.nodes.(node) in
+      check Alcotest.bool
+        (Printf.sprintf "module %d inside node %d" m node)
+        true
+        (dx >= 0 && dx < nd.Super_module.nd_w && dy >= 0
+        && dy < nd.Super_module.nd_h && dz >= 0 && dz < nd.Super_module.nd_d))
+    sm.Super_module.node_of_module
+
+(* ------------------------------------------------------------------ *)
+(* Placer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let place_circuit ?(seed = 42) circuit =
+  let icm = Decompose.run (Clifford_t.decompose circuit) in
+  let g = Pd_graph.of_icm icm in
+  ignore (Ishape.run g);
+  let time_sms = Super_module.time_sm_modules g in
+  let in_sm = Hashtbl.create 16 in
+  List.iter (fun (_, ms) -> List.iter (fun m -> Hashtbl.replace in_sm m ()) ms) time_sms;
+  let flipping = Flipping.run ~exclude:(Hashtbl.mem in_sm) g in
+  let dual = Dual_bridge.run g in
+  let fvalue = Fvalue.plan flipping in
+  let config = { Placer.default_config with effort = Placer.Quick; seed } in
+  (g, flipping, fvalue, Placer.place ~config g flipping dual fvalue)
+
+let test_placer_three_cnot () =
+  let _, _, _, p = place_circuit Suite.three_cnot_example in
+  check Alcotest.(list string) "placement valid" [] (Placer.check p);
+  check Alcotest.bool "volume positive" true (p.Placer.volume > 0);
+  check Alcotest.int "volume consistent" p.Placer.volume
+    (p.Placer.width * p.Placer.height * p.Placer.depth)
+
+let test_placer_with_t_gates () =
+  let g, flipping, fvalue, p = place_circuit (one_t_circuit ()) in
+  ignore g;
+  check Alcotest.(list string) "placement valid" [] (Placer.check p);
+  (* every claimed module has a well-defined cell and pin *)
+  Hashtbl.iter
+    (fun m _ ->
+      let cell = Placer.module_cell p m in
+      let pin = Placer.pin_cell p fvalue flipping m in
+      check Alcotest.bool "pin adjacent-ish to cell" true
+        (Vec3.manhattan cell pin <= 2))
+    p.Placer.sm.Super_module.node_of_module
+
+let test_placer_deterministic () =
+  let _, _, _, a = place_circuit ~seed:7 (one_t_circuit ()) in
+  let _, _, _, b = place_circuit ~seed:7 (one_t_circuit ()) in
+  check Alcotest.int "same volume" a.Placer.volume b.Placer.volume;
+  check Alcotest.bool "same positions" true (a.Placer.node_pos = b.Placer.node_pos)
+
+let test_placer_force_directed () =
+  let icm = Decompose.run (Clifford_t.decompose (one_t_circuit ())) in
+  let g = Pd_graph.of_icm icm in
+  ignore (Ishape.run g);
+  let time_sms = Super_module.time_sm_modules g in
+  let in_sm = Hashtbl.create 16 in
+  List.iter (fun (_, ms) -> List.iter (fun m -> Hashtbl.replace in_sm m ()) ms) time_sms;
+  let flipping = Flipping.run ~exclude:(Hashtbl.mem in_sm) g in
+  let dual = Dual_bridge.run g in
+  let fvalue = Fvalue.plan flipping in
+  let config =
+    { Placer.default_config with effort = Placer.Quick;
+      strategy = Placer.Force_directed }
+  in
+  let p = Placer.place ~config g flipping dual fvalue in
+  check Alcotest.(list string) "force-directed placement valid" []
+    (Placer.check p);
+  check Alcotest.bool "no rotation used" true
+    (Array.for_all not p.Placer.rotated)
+
+let prop_placer_valid_on_random =
+  QCheck.Test.make ~name:"placement valid on random circuits" ~count:10
+    (QCheck.int_range 1 500)
+    (fun seed ->
+      let c = Generator.random_clifford_t ~seed ~n_qubits:3 ~n_gates:12 in
+      let _, _, _, p = place_circuit c in
+      Placer.check p = [])
+
+let suites =
+  [
+    ( "place.sa",
+      [
+        Alcotest.test_case "minimizes quadratic" `Quick test_sa_minimizes_quadratic;
+        Alcotest.test_case "stats sane" `Quick test_sa_stats_sane;
+        Alcotest.test_case "default params" `Quick test_sa_default_params;
+      ] );
+    ( "place.bstar",
+      [
+        Alcotest.test_case "pack no overlap" `Quick test_bstar_pack_no_overlap;
+        Alcotest.test_case "shelves quality" `Quick test_bstar_shelves_quality;
+        Alcotest.test_case "rotate" `Quick test_bstar_rotate;
+        Alcotest.test_case "snapshot/restore" `Quick test_bstar_snapshot_restore;
+        qtest prop_bstar_moves_preserve_invariants;
+        qtest prop_bstar_pack_compact_bottom_left;
+      ] );
+    ( "place.super_module",
+      [
+        Alcotest.test_case "time SM structure" `Quick test_time_sm_structure;
+        Alcotest.test_case "build kinds" `Quick test_super_module_build;
+        Alcotest.test_case "offsets distinct" `Quick test_module_offsets_distinct;
+        Alcotest.test_case "offsets inside footprint" `Quick
+          test_offsets_inside_footprint;
+      ] );
+    ( "place.placer",
+      [
+        Alcotest.test_case "three-cnot" `Quick test_placer_three_cnot;
+        Alcotest.test_case "with T gates" `Quick test_placer_with_t_gates;
+        Alcotest.test_case "deterministic" `Quick test_placer_deterministic;
+        Alcotest.test_case "force-directed" `Quick test_placer_force_directed;
+        qtest prop_placer_valid_on_random;
+      ] );
+  ]

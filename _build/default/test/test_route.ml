@@ -1,0 +1,306 @@
+(* Tests for the routing substrate: grid bookkeeping, A* optimality,
+   PathFinder negotiation. *)
+
+open Tqec_util
+open Tqec_route
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let vec = Vec3.make
+
+let grid10 () = Grid.create (Box3.make (vec 0 0 0) (vec 9 9 9))
+
+(* ------------------------------------------------------------------ *)
+(* Grid                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_grid_usage_history () =
+  let g = grid10 () in
+  let p = vec 1 2 3 in
+  check Alcotest.int "usage 0" 0 (Grid.usage g p);
+  Grid.add_usage g p 2;
+  check Alcotest.int "usage 2" 2 (Grid.usage g p);
+  Grid.add_history g p 5;
+  check Alcotest.int "history" 5 (Grid.history g p);
+  (* cost = 1 + history + penalty * overuse(=2) *)
+  check Alcotest.int "cost" (1 + 5 + (3 * 2)) (Grid.enter_cost g ~penalty:3 p);
+  Grid.add_usage g p (-2);
+  check Alcotest.int "usage back" 0 (Grid.usage g p)
+
+let test_grid_negative_usage_rejected () =
+  let g = grid10 () in
+  Alcotest.check_raises "negative usage"
+    (Invalid_argument "Grid.add_usage: negative usage") (fun () ->
+      Grid.add_usage g (vec 0 0 0) (-1))
+
+let test_grid_obstacles () =
+  let g = grid10 () in
+  Grid.set_obstacle g (vec 5 5 5);
+  check Alcotest.bool "obstacle" true (Grid.is_obstacle g (vec 5 5 5));
+  check Alcotest.bool "oob not obstacle" false (Grid.is_obstacle g (vec 99 0 0));
+  Grid.set_obstacle_box g (Box3.make (vec 0 0 0) (vec 1 1 1));
+  check Alcotest.bool "box corner" true (Grid.is_obstacle g (vec 1 1 1))
+
+let test_grid_shared () =
+  let g = grid10 () in
+  let p = vec 2 2 2 in
+  Grid.set_shared g p;
+  Grid.add_usage g p 5;
+  check Alcotest.(list bool) "not overused" []
+    (List.map (fun _ -> true) (Grid.overused g));
+  (* shared cell cost ignores congestion *)
+  check Alcotest.int "shared cost" 1 (Grid.enter_cost g ~penalty:10 p)
+
+let test_grid_overused () =
+  let g = grid10 () in
+  Grid.add_usage g (vec 1 1 1) 2;
+  Grid.add_usage g (vec 2 2 2) 1;
+  check Alcotest.int "one overused" 1 (List.length (Grid.overused g))
+
+let test_grid_die_cost () =
+  let die = Box3.make (vec 0 0 0) (vec 4 4 4) in
+  let g = Grid.create ~die (Box3.make (vec 0 0 0) (vec 9 9 9)) in
+  let inside = Grid.enter_cost g ~penalty:1 (vec 1 1 1) in
+  let outside = Grid.enter_cost g ~penalty:1 (vec 8 8 8) in
+  check Alcotest.bool "outside costs more" true (outside > inside)
+
+(* ------------------------------------------------------------------ *)
+(* Astar                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let full_region = Box3.make (vec 0 0 0) (vec 9 9 9)
+
+let test_astar_straight_line () =
+  let g = grid10 () in
+  match
+    Astar.search g ~region:full_region ~penalty:1 ~sources:[ vec 0 0 0 ]
+      ~target:(vec 5 0 0)
+  with
+  | None -> Alcotest.fail "expected a path"
+  | Some path ->
+      check Alcotest.int "shortest length" 6 (List.length path);
+      check Alcotest.bool "starts at source" true
+        (Vec3.equal (List.hd path) (vec 0 0 0));
+      check Alcotest.bool "ends at target" true
+        (Vec3.equal (List.nth path 5) (vec 5 0 0))
+
+let test_astar_detours_around_wall () =
+  let g = grid10 () in
+  (* wall at x=2 spanning all y,z except y=9 *)
+  for y = 0 to 8 do
+    for z = 0 to 9 do
+      Grid.set_obstacle g (vec 2 y z)
+    done
+  done;
+  match
+    Astar.search g ~region:full_region ~penalty:1 ~sources:[ vec 0 0 0 ]
+      ~target:(vec 4 0 0)
+  with
+  | None -> Alcotest.fail "expected detour"
+  | Some path ->
+      (* must pass through the y=9 gap *)
+      check Alcotest.bool "visits gap row" true
+        (List.exists (fun (p : Vec3.t) -> p.y = 9) path);
+      (* path is a connected chain of unit steps *)
+      let rec connected = function
+        | a :: (b :: _ as rest) -> Vec3.manhattan a b = 1 && connected rest
+        | _ -> true
+      in
+      check Alcotest.bool "connected" true (connected path)
+
+let test_astar_unreachable () =
+  let g = grid10 () in
+  for y = 0 to 9 do
+    for z = 0 to 9 do
+      Grid.set_obstacle g (vec 2 y z)
+    done
+  done;
+  check Alcotest.bool "unreachable" true
+    (Astar.search g ~region:full_region ~penalty:1 ~sources:[ vec 0 0 0 ]
+       ~target:(vec 4 0 0)
+    = None)
+
+let test_astar_respects_region () =
+  let g = grid10 () in
+  let region = Box3.make (vec 0 0 0) (vec 3 3 3) in
+  check Alcotest.bool "target outside region" true
+    (Astar.search g ~region ~penalty:1 ~sources:[ vec 0 0 0 ]
+       ~target:(vec 5 0 0)
+    = None)
+
+let test_astar_source_target_exempt () =
+  let g = grid10 () in
+  Grid.set_obstacle g (vec 0 0 0);
+  Grid.set_obstacle g (vec 3 0 0);
+  match
+    Astar.search g ~region:full_region ~penalty:1 ~sources:[ vec 0 0 0 ]
+      ~target:(vec 3 0 0)
+  with
+  | None -> Alcotest.fail "pins must be reachable"
+  | Some path -> check Alcotest.int "length" 4 (List.length path)
+
+let test_astar_multi_source () =
+  let g = grid10 () in
+  match
+    Astar.search g ~region:full_region ~penalty:1
+      ~sources:[ vec 0 0 0; vec 9 9 9; vec 5 1 0 ]
+      ~target:(vec 5 0 0)
+  with
+  | None -> Alcotest.fail "expected path"
+  | Some path ->
+      (* picks the closest source *)
+      check Alcotest.int "short path" 2 (List.length path);
+      check Alcotest.bool "from nearest" true
+        (Vec3.equal (List.hd path) (vec 5 1 0))
+
+(* A* path cost equals Dijkstra-optimal cost on random congested grids. *)
+let prop_astar_optimal_vs_dijkstra =
+  QCheck.Test.make ~name:"A* matches Dijkstra cost on random grids" ~count:25
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let size = 6 in
+      let box = Box3.make (vec 0 0 0) (vec (size - 1) (size - 1) (size - 1)) in
+      let g = Grid.create box in
+      (* random usage bumps make non-uniform costs *)
+      for _ = 1 to 40 do
+        let p = vec (Rng.int rng size) (Rng.int rng size) (Rng.int rng size) in
+        Grid.add_usage g p 1
+      done;
+      for _ = 1 to 10 do
+        let p = vec (Rng.int rng size) (Rng.int rng size) (Rng.int rng size) in
+        if not (Vec3.equal p (vec 0 0 0)) then Grid.set_obstacle g p
+      done;
+      let target = vec (size - 1) (size - 1) (size - 1) in
+      let source = vec 0 0 0 in
+      let astar_cost =
+        match
+          Astar.search g ~region:box ~penalty:2 ~sources:[ source ] ~target
+        with
+        | Some path -> Some (Astar.path_cost g ~penalty:2 path)
+        | None -> None
+      in
+      (* plain Dijkstra oracle *)
+      let dist = Hashtbl.create 64 in
+      let q = Pqueue.create () in
+      Hashtbl.replace dist source 0;
+      Pqueue.push q 0 source;
+      let passable p =
+        Box3.contains box p
+        && ((not (Grid.is_obstacle g p)) || Vec3.equal p target || Vec3.equal p source)
+      in
+      while not (Pqueue.is_empty q) do
+        let d, p = Pqueue.pop q in
+        if d <= (try Hashtbl.find dist p with Not_found -> max_int) then
+          List.iter
+            (fun n ->
+              if passable n then begin
+                let nd = d + Grid.enter_cost g ~penalty:2 n in
+                let old = try Hashtbl.find dist n with Not_found -> max_int in
+                if nd < old then begin
+                  Hashtbl.replace dist n nd;
+                  Pqueue.push q nd n
+                end
+              end)
+            (Vec3.axis_neighbors p)
+      done;
+      let dijkstra_cost = Hashtbl.find_opt dist target in
+      astar_cost = dijkstra_cost)
+
+(* ------------------------------------------------------------------ *)
+(* Pathfinder                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pathfinder_simple_net () =
+  let g = grid10 () in
+  let nets =
+    [ { Pathfinder.net_id = 0; pins = [ vec 0 0 0; vec 5 5 0; vec 9 0 0 ] } ]
+  in
+  let r = Pathfinder.route_all g Pathfinder.default_config nets in
+  check Alcotest.bool "success" true r.Pathfinder.success;
+  check Alcotest.(list string) "valid" [] (Pathfinder.validate g r nets)
+
+let test_pathfinder_negotiates_conflict () =
+  (* two nets whose straight paths collide in a narrow corridor *)
+  let g = Grid.create (Box3.make (vec 0 0 0) (vec 9 2 1)) in
+  let nets =
+    [
+      { Pathfinder.net_id = 0; pins = [ vec 0 1 0; vec 9 1 0 ] };
+      { Pathfinder.net_id = 1; pins = [ vec 0 1 1; vec 9 1 1 ] };
+      { Pathfinder.net_id = 2; pins = [ vec 0 0 0; vec 9 2 1 ] };
+    ]
+  in
+  let r = Pathfinder.route_all g Pathfinder.default_config nets in
+  check Alcotest.bool "resolved" true r.Pathfinder.success;
+  check Alcotest.(list string) "valid" [] (Pathfinder.validate g r nets)
+
+let test_pathfinder_single_pin_net () =
+  let g = grid10 () in
+  let nets = [ { Pathfinder.net_id = 0; pins = [ vec 3 3 3 ] } ] in
+  let r = Pathfinder.route_all g Pathfinder.default_config nets in
+  check Alcotest.bool "success" true r.Pathfinder.success
+
+let test_pathfinder_unroutable () =
+  let g = grid10 () in
+  (* wall isolating the target completely *)
+  for y = 0 to 9 do
+    for z = 0 to 9 do
+      Grid.set_obstacle g (vec 5 y z)
+    done
+  done;
+  let nets = [ { Pathfinder.net_id = 7; pins = [ vec 0 0 0; vec 9 0 0 ] } ] in
+  let r = Pathfinder.route_all g Pathfinder.default_config nets in
+  check Alcotest.bool "failure reported" false r.Pathfinder.success;
+  check Alcotest.(list int) "unrouted id" [ 7 ] r.Pathfinder.unrouted
+
+let prop_pathfinder_random_nets_valid =
+  QCheck.Test.make ~name:"pathfinder routes random nets validly" ~count:15
+    (QCheck.int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = Grid.create (Box3.make (vec 0 0 0) (vec 11 11 3)) in
+      let random_pin () = vec (Rng.int rng 12) (Rng.int rng 12) (Rng.int rng 4) in
+      let nets =
+        List.init 6 (fun i ->
+            {
+              Pathfinder.net_id = i;
+              pins = List.init (2 + Rng.int rng 3) (fun _ -> random_pin ());
+            })
+      in
+      List.iter
+        (fun (n : Pathfinder.net) -> List.iter (Grid.set_shared g) n.Pathfinder.pins)
+        nets;
+      let r = Pathfinder.route_all g Pathfinder.default_config nets in
+      r.Pathfinder.success && Pathfinder.validate g r nets = [])
+
+let suites =
+  [
+    ( "route.grid",
+      [
+        Alcotest.test_case "usage/history" `Quick test_grid_usage_history;
+        Alcotest.test_case "negative usage rejected" `Quick
+          test_grid_negative_usage_rejected;
+        Alcotest.test_case "obstacles" `Quick test_grid_obstacles;
+        Alcotest.test_case "shared cells" `Quick test_grid_shared;
+        Alcotest.test_case "overused" `Quick test_grid_overused;
+        Alcotest.test_case "die cost" `Quick test_grid_die_cost;
+      ] );
+    ( "route.astar",
+      [
+        Alcotest.test_case "straight line" `Quick test_astar_straight_line;
+        Alcotest.test_case "detours" `Quick test_astar_detours_around_wall;
+        Alcotest.test_case "unreachable" `Quick test_astar_unreachable;
+        Alcotest.test_case "respects region" `Quick test_astar_respects_region;
+        Alcotest.test_case "pins exempt" `Quick test_astar_source_target_exempt;
+        Alcotest.test_case "multi-source" `Quick test_astar_multi_source;
+        qtest prop_astar_optimal_vs_dijkstra;
+      ] );
+    ( "route.pathfinder",
+      [
+        Alcotest.test_case "simple net" `Quick test_pathfinder_simple_net;
+        Alcotest.test_case "negotiates" `Quick test_pathfinder_negotiates_conflict;
+        Alcotest.test_case "single pin" `Quick test_pathfinder_single_pin_net;
+        Alcotest.test_case "unroutable" `Quick test_pathfinder_unroutable;
+        qtest prop_pathfinder_random_nets_valid;
+      ] );
+  ]

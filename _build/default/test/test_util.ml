@@ -1,0 +1,414 @@
+(* Unit and property tests for the tqec_util substrate. *)
+
+open Tqec_util
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Vec3 / Box3                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let vec = Vec3.make
+
+let test_vec3_arith () =
+  check Alcotest.bool "add" true (Vec3.equal (Vec3.add (vec 1 2 3) (vec 4 5 6)) (vec 5 7 9));
+  check Alcotest.bool "sub" true (Vec3.equal (Vec3.sub (vec 4 5 6) (vec 1 2 3)) (vec 3 3 3));
+  check Alcotest.bool "neg" true (Vec3.equal (Vec3.neg (vec 1 (-2) 3)) (vec (-1) 2 (-3)));
+  check Alcotest.int "dot" 32 (Vec3.dot (vec 1 2 3) (vec 4 5 6));
+  check Alcotest.int "manhattan" 9 (Vec3.manhattan (vec 1 2 3) (vec 4 5 6));
+  check Alcotest.int "linf" 3 (Vec3.linf (vec 1 2 3) (vec 4 5 6))
+
+let test_vec3_neighbors () =
+  let ns = Vec3.axis_neighbors (vec 0 0 0) in
+  check Alcotest.int "six neighbors" 6 (List.length ns);
+  List.iter
+    (fun n -> check Alcotest.int "unit distance" 1 (Vec3.manhattan n (vec 0 0 0)))
+    ns
+
+let test_box3_basics () =
+  let b = Box3.make (vec 2 3 4) (vec 0 1 2) in
+  check Alcotest.bool "normalized lo" true (Vec3.equal b.Box3.lo (vec 0 1 2));
+  check Alcotest.int "dx" 3 (Box3.dx b);
+  check Alcotest.int "dy" 3 (Box3.dy b);
+  check Alcotest.int "dz" 3 (Box3.dz b);
+  check Alcotest.int "volume" 27 (Box3.volume b);
+  check Alcotest.int "cells" 27 (List.length (Box3.cells b));
+  check Alcotest.bool "contains corner" true (Box3.contains b (vec 2 3 4));
+  check Alcotest.bool "not contains" false (Box3.contains b (vec 3 3 4))
+
+let test_box3_single_cell () =
+  let b = Box3.of_cell (vec 5 5 5) in
+  check Alcotest.int "volume 1" 1 (Box3.volume b);
+  check Alcotest.(list bool) "cells" [ true ]
+    (List.map (Vec3.equal (vec 5 5 5)) (Box3.cells b))
+
+let test_box3_overlap () =
+  let a = Box3.make (vec 0 0 0) (vec 2 2 2) in
+  let b = Box3.make (vec 2 2 2) (vec 4 4 4) in
+  let c = Box3.make (vec 3 3 3) (vec 4 4 4) in
+  check Alcotest.bool "share corner" true (Box3.overlap a b);
+  check Alcotest.bool "disjoint" false (Box3.overlap a c);
+  (match Box3.inter a b with
+  | Some i -> check Alcotest.int "corner intersection" 1 (Box3.volume i)
+  | None -> Alcotest.fail "expected intersection");
+  check Alcotest.bool "no intersection" true (Box3.inter a c = None)
+
+let test_box3_join_inflate () =
+  let a = Box3.of_cell (vec 0 0 0) in
+  let b = Box3.of_cell (vec 2 3 4) in
+  let j = Box3.join a b in
+  check Alcotest.int "join volume" 60 (Box3.volume j);
+  let i = Box3.inflate 1 a in
+  check Alcotest.int "inflate volume" 27 (Box3.volume i);
+  let t = Box3.translate (vec 1 1 1) a in
+  check Alcotest.bool "translate" true (Box3.contains t (vec 1 1 1))
+
+let test_box3_bounding () =
+  let b = Box3.bounding [ vec 1 1 1; vec 3 0 2; vec 2 5 0 ] in
+  check Alcotest.int "dx" 3 (Box3.dx b);
+  check Alcotest.int "dy" 6 (Box3.dy b);
+  check Alcotest.int "dz" 3 (Box3.dz b);
+  Alcotest.check_raises "empty" (Invalid_argument "Box3.bounding: empty cell list")
+    (fun () -> ignore (Box3.bounding []))
+
+let vec3_gen =
+  QCheck.Gen.(
+    map3 Vec3.make (int_range (-20) 20) (int_range (-20) 20) (int_range (-20) 20))
+
+let vec3_arb = QCheck.make ~print:Vec3.to_string vec3_gen
+
+let prop_box_join_contains =
+  QCheck.Test.make ~name:"box join contains both corners" ~count:200
+    (QCheck.pair vec3_arb vec3_arb)
+    (fun (a, b) ->
+      let box = Box3.join (Box3.of_cell a) (Box3.of_cell b) in
+      Box3.contains box a && Box3.contains box b)
+
+let prop_box_volume_cells =
+  QCheck.Test.make ~name:"box volume equals cell count" ~count:50
+    (QCheck.pair vec3_arb vec3_arb)
+    (fun (a, b) ->
+      (* keep boxes small so cells stays cheap *)
+      let clampv (v : Vec3.t) = Vec3.make (v.x mod 5) (v.y mod 5) (v.z mod 5) in
+      let box = Box3.make (clampv a) (clampv b) in
+      Box3.volume box = List.length (Box3.cells box))
+
+let prop_manhattan_triangle =
+  QCheck.Test.make ~name:"manhattan triangle inequality" ~count:200
+    (QCheck.triple vec3_arb vec3_arb vec3_arb)
+    (fun (a, b, c) ->
+      Vec3.manhattan a c <= Vec3.manhattan a b + Vec3.manhattan b c)
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval () =
+  let i = Interval.make 5 2 in
+  check Alcotest.int "normalized lo" 2 i.Interval.lo;
+  check Alcotest.int "length" 4 (Interval.length i);
+  check Alcotest.bool "contains" true (Interval.contains i 3);
+  let j = Interval.make 5 8 in
+  check Alcotest.bool "overlap" true (Interval.overlap i j);
+  let k = Interval.make 6 8 in
+  check Alcotest.bool "no overlap" false (Interval.overlap i k);
+  check Alcotest.bool "touches" true (Interval.touches i k);
+  let far = Interval.make 7 8 in
+  check Alcotest.bool "not touching" false (Interval.touches i far);
+  (match Interval.inter i j with
+  | Some x -> check Alcotest.int "inter is point" 1 (Interval.length x)
+  | None -> Alcotest.fail "expected intersection");
+  check Alcotest.int "join length" 7 (Interval.length (Interval.join i j))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    check Alcotest.bool "in range" true (v >= 0 && v < 10);
+    let w = Rng.int_in r 5 9 in
+    check Alcotest.bool "int_in range" true (w >= 5 && w <= 9);
+    let f = Rng.float r in
+    check Alcotest.bool "float range" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 1 in
+  let child = Rng.split parent in
+  let xs = List.init 20 (fun _ -> Rng.int parent 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int child 1000) in
+  check Alcotest.bool "streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 9 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  check Alcotest.(array int) "is permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_copy () =
+  let a = Rng.create 3 in
+  ignore (Rng.int a 10);
+  let b = Rng.copy a in
+  check Alcotest.int "copy same next" (Rng.int a 1000) (Rng.int b 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Union_find                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_uf_basics () =
+  let uf = Union_find.create 10 in
+  check Alcotest.int "initial sets" 10 (Union_find.count_sets uf);
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 1 2);
+  check Alcotest.bool "same" true (Union_find.same uf 0 2);
+  check Alcotest.bool "not same" false (Union_find.same uf 0 3);
+  check Alcotest.int "component size" 3 (Union_find.component_size uf 2);
+  check Alcotest.int "sets after unions" 8 (Union_find.count_sets uf)
+
+let test_uf_groups () =
+  let uf = Union_find.create 6 in
+  ignore (Union_find.union uf 0 5);
+  ignore (Union_find.union uf 1 3);
+  let groups = Union_find.groups uf in
+  check Alcotest.int "group count" 4 (List.length groups);
+  let members_with m =
+    List.find (fun (_, ms) -> List.mem m ms) groups |> snd
+  in
+  check Alcotest.(list int) "group of 0" [ 0; 5 ] (members_with 0);
+  check Alcotest.(list int) "group of 1" [ 1; 3 ] (members_with 1)
+
+let prop_uf_union_transitive =
+  QCheck.Test.make ~name:"union-find transitivity" ~count:100
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      (* same is an equivalence: reflexive, symmetric, and consistent
+         with find *)
+      List.for_all
+        (fun (a, b) ->
+          Union_find.same uf a b
+          && Union_find.find uf a = Union_find.find uf b)
+        pairs)
+
+let prop_uf_sizes_sum =
+  QCheck.Test.make ~name:"union-find sizes sum to n" ~count:100
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let uf = Union_find.create 20 in
+      List.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+      let groups = Union_find.groups uf in
+      List.fold_left (fun acc (_, ms) -> acc + List.length ms) 0 groups = 20
+      && List.length groups = Union_find.count_sets uf)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push q k k) [ 5; 1; 4; 2; 3 ];
+  let popped = List.init 5 (fun _ -> fst (Pqueue.pop q)) in
+  check Alcotest.(list int) "sorted pops" [ 1; 2; 3; 4; 5 ] popped;
+  check Alcotest.bool "empty" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1 "a";
+  Pqueue.push q 1 "b";
+  Pqueue.push q 1 "c";
+  let order = List.init 3 (fun _ -> snd (Pqueue.pop q)) in
+  check Alcotest.(list string) "FIFO on ties" [ "a"; "b"; "c" ] order
+
+let test_pqueue_peek_clear () =
+  let q = Pqueue.create () in
+  Pqueue.push q 3 "x";
+  Pqueue.push q 1 "y";
+  check Alcotest.string "peek min" "y" (snd (Pqueue.peek q));
+  check Alcotest.int "peek preserves" 2 (Pqueue.length q);
+  Pqueue.clear q;
+  check Alcotest.bool "cleared" true (Pqueue.is_empty q);
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Pqueue.pop q))
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue pops in nondecreasing key order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let q = Pqueue.create () in
+      List.iter (fun k -> Pqueue.push q k ()) keys;
+      let rec drain last =
+        if Pqueue.is_empty q then true
+        else
+          let k, () = Pqueue.pop q in
+          k >= last && drain k
+      in
+      drain min_int)
+
+(* ------------------------------------------------------------------ *)
+(* Bitgrid                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitgrid_set_get () =
+  let g = Bitgrid.create (Box3.make (vec 0 0 0) (vec 4 4 4)) in
+  check Alcotest.bool "initially false" false (Bitgrid.get g (vec 2 2 2));
+  Bitgrid.set g (vec 2 2 2) true;
+  check Alcotest.bool "set true" true (Bitgrid.get g (vec 2 2 2));
+  check Alcotest.int "count" 1 (Bitgrid.count g);
+  Bitgrid.set g (vec 2 2 2) false;
+  check Alcotest.int "count after unset" 0 (Bitgrid.count g)
+
+let test_bitgrid_bounds () =
+  let g = Bitgrid.create (Box3.make (vec 1 1 1) (vec 3 3 3)) in
+  check Alcotest.bool "oob get false" false (Bitgrid.get g (vec 0 0 0));
+  Alcotest.check_raises "oob set" (Invalid_argument "Bitgrid.set: out of bounds")
+    (fun () -> Bitgrid.set g (vec 0 0 0) true)
+
+let test_bitgrid_fill () =
+  let g = Bitgrid.create (Box3.make (vec 0 0 0) (vec 9 9 9)) in
+  Bitgrid.fill g (Box3.make (vec 0 0 0) (vec 2 2 2)) true;
+  check Alcotest.int "filled 27" 27 (Bitgrid.count g);
+  (* Clipped fill *)
+  Bitgrid.fill g (Box3.make (vec 8 8 8) (vec 20 20 20)) true;
+  check Alcotest.int "clipped fill" (27 + 8) (Bitgrid.count g);
+  Bitgrid.clear g;
+  check Alcotest.int "clear" 0 (Bitgrid.count g)
+
+let prop_bitgrid_roundtrip =
+  QCheck.Test.make ~name:"bitgrid set/get roundtrip" ~count:100
+    QCheck.(list (triple (int_bound 7) (int_bound 7) (int_bound 7)))
+    (fun cells ->
+      let g = Bitgrid.create (Box3.make (vec 0 0 0) (vec 7 7 7)) in
+      List.iter (fun (x, y, z) -> Bitgrid.set g (vec x y z) true) cells;
+      List.for_all (fun (x, y, z) -> Bitgrid.get g (vec x y z)) cells)
+
+(* ------------------------------------------------------------------ *)
+(* Veca                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_veca_push_get () =
+  let v = Veca.create () in
+  let i0 = Veca.push v "a" and i1 = Veca.push v "b" in
+  check Alcotest.int "first index" 0 i0;
+  check Alcotest.int "second index" 1 i1;
+  check Alcotest.string "get" "b" (Veca.get v 1);
+  Veca.set v 0 "c";
+  check Alcotest.string "set" "c" (Veca.get v 0);
+  check Alcotest.(list string) "to_list" [ "c"; "b" ] (Veca.to_list v)
+
+let test_veca_bounds () =
+  let v = Veca.create () in
+  ignore (Veca.push v 1);
+  Alcotest.check_raises "oob" (Invalid_argument "Veca: index out of bounds")
+    (fun () -> ignore (Veca.get v 1))
+
+let test_veca_fold_find () =
+  let v = Veca.of_list [ 1; 2; 3; 4 ] in
+  check Alcotest.int "fold sum" 10 (Veca.fold ( + ) 0 v);
+  check Alcotest.(option int) "find" (Some 2) (Veca.find_index (fun x -> x = 3) v);
+  check Alcotest.(option int) "find none" None (Veca.find_index (fun x -> x = 9) v)
+
+(* ------------------------------------------------------------------ *)
+(* Stats / Pretty                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats () =
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ]);
+  check (Alcotest.float 1e-9) "geomean" 2. (Stats.geomean [ 1.; 2.; 4. ]);
+  let lo, hi = Stats.min_max [ 3.; 1.; 2. ] in
+  check (Alcotest.float 1e-9) "min" 1. lo;
+  check (Alcotest.float 1e-9) "max" 3. hi;
+  check (Alcotest.float 1e-9) "reduction" 47.
+    (Stats.percent_reduction 100. 53.);
+  check Alcotest.int "clamp" 5 (Stats.clamp 0 5 9);
+  check Alcotest.bool "ratio by zero is nan" true (Float.is_nan (Stats.ratio 1. 0.))
+
+let test_pretty_table () =
+  let t = Pretty.create [ "name"; "value" ] in
+  Pretty.add_row t [ "a"; "1" ];
+  Pretty.add_rule t;
+  Pretty.add_row t [ "total"; "1" ];
+  let s = Pretty.render t in
+  check Alcotest.bool "has header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Pretty.add_row: column count mismatch") (fun () ->
+      Pretty.add_row t [ "only-one" ])
+
+let test_pretty_numbers () =
+  check Alcotest.string "commas" "1,234,567" (Pretty.int_with_commas 1234567);
+  check Alcotest.string "small" "42" (Pretty.int_with_commas 42);
+  check Alcotest.string "negative" "-1,000" (Pretty.int_with_commas (-1000));
+  check Alcotest.string "float2" "3.14" (Pretty.float2 3.14159);
+  check Alcotest.string "float3" "2.718" (Pretty.float3 2.71828)
+
+let suites =
+  [
+    ( "util.vec3-box3",
+      [
+        Alcotest.test_case "vec3 arithmetic" `Quick test_vec3_arith;
+        Alcotest.test_case "vec3 neighbors" `Quick test_vec3_neighbors;
+        Alcotest.test_case "box3 basics" `Quick test_box3_basics;
+        Alcotest.test_case "box3 single cell" `Quick test_box3_single_cell;
+        Alcotest.test_case "box3 overlap" `Quick test_box3_overlap;
+        Alcotest.test_case "box3 join/inflate" `Quick test_box3_join_inflate;
+        Alcotest.test_case "box3 bounding" `Quick test_box3_bounding;
+        qtest prop_box_join_contains;
+        qtest prop_box_volume_cells;
+        qtest prop_manhattan_triangle;
+      ] );
+    ("util.interval", [ Alcotest.test_case "interval" `Quick test_interval ]);
+    ( "util.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "shuffle is permutation" `Quick
+          test_rng_shuffle_permutation;
+        Alcotest.test_case "copy" `Quick test_rng_copy;
+      ] );
+    ( "util.union_find",
+      [
+        Alcotest.test_case "basics" `Quick test_uf_basics;
+        Alcotest.test_case "groups" `Quick test_uf_groups;
+        qtest prop_uf_union_transitive;
+        qtest prop_uf_sizes_sum;
+      ] );
+    ( "util.pqueue",
+      [
+        Alcotest.test_case "order" `Quick test_pqueue_order;
+        Alcotest.test_case "FIFO ties" `Quick test_pqueue_fifo_ties;
+        Alcotest.test_case "peek/clear" `Quick test_pqueue_peek_clear;
+        qtest prop_pqueue_sorts;
+      ] );
+    ( "util.bitgrid",
+      [
+        Alcotest.test_case "set/get" `Quick test_bitgrid_set_get;
+        Alcotest.test_case "bounds" `Quick test_bitgrid_bounds;
+        Alcotest.test_case "fill/clear" `Quick test_bitgrid_fill;
+        qtest prop_bitgrid_roundtrip;
+      ] );
+    ( "util.veca",
+      [
+        Alcotest.test_case "push/get" `Quick test_veca_push_get;
+        Alcotest.test_case "bounds" `Quick test_veca_bounds;
+        Alcotest.test_case "fold/find" `Quick test_veca_fold_find;
+      ] );
+    ( "util.stats-pretty",
+      [
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "pretty table" `Quick test_pretty_table;
+        Alcotest.test_case "pretty numbers" `Quick test_pretty_numbers;
+      ] );
+  ]
