@@ -56,6 +56,22 @@ let seed_arg =
   let doc = "Random seed for the annealer and tie-breaking." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let restarts_arg =
+  let doc =
+    "Independent annealing trajectories per placement (multi-start; the \
+     best result wins).  Deterministic in (seed, restarts) whatever the \
+     worker count."
+  in
+  Arg.(value & opt int 1 & info [ "r"; "restarts" ] ~docv:"K" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel placement restarts and benchmark \
+     fan-out.  Defaults to \\$(b,TQEC_JOBS) or the machine's domain \
+     count; 1 forces serial execution."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let scale_arg =
   let doc = "Scale instances down by this divisor (benchmarks only)." in
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc)
@@ -99,7 +115,7 @@ let optimize_arg =
   Arg.(value & flag & info [ "O"; "optimize" ] ~doc)
 
 let compress_cmd =
-  let run input variant effort seed optimize =
+  let run input variant effort seed restarts jobs optimize =
     let c = load_circuit input in
     let c =
       if optimize then begin
@@ -110,7 +126,10 @@ let compress_cmd =
       end
       else c
     in
-    let config = { Pipeline.default_config with variant; effort; seed } in
+    let config =
+      { Pipeline.default_config with variant; effort; seed;
+        restarts = max 1 restarts; jobs }
+    in
     let r = Pipeline.run ~config c in
     let p = r.Pipeline.placement in
     Format.printf
@@ -132,15 +151,17 @@ let compress_cmd =
   Cmd.v
     (Cmd.info "compress" ~doc:"Run the bridge-compression flow.")
     Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
-          $ optimize_arg)
+          $ restarts_arg $ jobs_arg $ optimize_arg)
 
-let experiment_config effort scale seed benchmarks =
+let experiment_config effort scale seed restarts jobs benchmarks =
   {
     Experiments.effort;
     scale;
     auto_scale = Sys.getenv_opt "TQEC_FULLSIZE" = None;
     seed;
     benchmarks = (if benchmarks = [] then Suite.names else benchmarks);
+    restarts = max 1 restarts;
+    jobs;
   }
 
 let benchmarks_arg =
@@ -148,12 +169,13 @@ let benchmarks_arg =
   Arg.(value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
 
 let table_cmd name doc render =
-  let run effort scale seed benchmarks =
-    let config = experiment_config effort scale seed benchmarks in
+  let run effort scale seed restarts jobs benchmarks =
+    let config = experiment_config effort scale seed restarts jobs benchmarks in
     print_string (render config)
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ effort_arg $ scale_arg $ seed_arg $ benchmarks_arg)
+    Term.(const run $ effort_arg $ scale_arg $ seed_arg $ restarts_arg
+          $ jobs_arg $ benchmarks_arg)
 
 let table1_cmd =
   table_cmd "table1" "Regenerate Table 1 (benchmark statistics)."

@@ -11,6 +11,8 @@ type config = {
   auto_scale : bool;
   seed : int;
   benchmarks : string list;
+  restarts : int;
+  jobs : int option;
 }
 
 (* Keep each instance near the largest size that places and routes in a
@@ -39,7 +41,17 @@ let config_from_env () =
     | None -> 42
   in
   let auto_scale = Sys.getenv_opt "TQEC_FULLSIZE" = None in
-  { effort; scale; auto_scale; seed; benchmarks = Suite.names }
+  let restarts =
+    match Sys.getenv_opt "TQEC_RESTARTS" with
+    | Some s -> ( match int_of_string_opt s with Some v when v >= 1 -> v | _ -> 1)
+    | None -> 1
+  in
+  let jobs =
+    match Sys.getenv_opt "TQEC_JOBS" with
+    | Some s -> ( match int_of_string_opt s with Some v when v >= 1 -> Some v | _ -> None)
+    | None -> None
+  in
+  { effort; scale; auto_scale; seed; benchmarks = Suite.names; restarts; jobs }
 
 let run_benchmark config (entry : Suite.entry) =
   let factor =
@@ -58,6 +70,10 @@ let run_benchmark config (entry : Suite.entry) =
           variant;
           effort = config.effort;
           seed = config.seed;
+          restarts = config.restarts;
+          (* instances already fan out across domains; keep each
+             placement's multi-start serial to avoid oversubscription *)
+          jobs = Some 1;
         }
       icm
   in
@@ -81,11 +97,17 @@ let run_benchmark config (entry : Suite.entry) =
        else config.scale);
   }
 
+(* Suite instances are independent: fan them out across domains.  Rows
+   come back in suite order whatever the worker count, and each instance
+   is seeded from the config alone, so parallel runs reproduce serial
+   ones bit for bit. *)
 let run_all config =
   Suite.all
   |> List.filter (fun (e : Suite.entry) ->
          List.mem e.Suite.spec.Generator.name config.benchmarks)
-  |> List.map (run_benchmark config)
+  |> Array.of_list
+  |> Tqec_util.Pool.map ?jobs:config.jobs (run_benchmark config)
+  |> Array.to_list
 
 let fig1_series () =
   let icm = Decompose.run Suite.three_cnot_example in

@@ -15,15 +15,25 @@ type config = {
           disable with TQEC_FULLSIZE=1 for a full-size run *)
   seed : int;
   benchmarks : string list;  (** names to run; defaults to all eight *)
+  restarts : int;
+      (** independent annealing trajectories per placement (multi-start;
+          best wins); deterministic in (seed, restarts) *)
+  jobs : int option;
+      (** worker domains for the suite fan-out; [None] defers to
+          [TQEC_JOBS] / the machine's domain count, [Some 1] is the
+          historical serial behaviour *)
 }
 
-(** [config_from_env ()] reads TQEC_EFFORT / TQEC_SCALE / TQEC_SEED. *)
+(** [config_from_env ()] reads TQEC_EFFORT / TQEC_SCALE / TQEC_SEED /
+    TQEC_RESTARTS / TQEC_JOBS. *)
 val config_from_env : unit -> config
 
 (** [run_benchmark config entry] measures one suite entry end to end. *)
 val run_benchmark : config -> Tqec_circuit.Suite.entry -> Report.row
 
-(** [run_all config] measures the selected benchmarks in table order. *)
+(** [run_all config] measures the selected benchmarks in table order,
+    fanning instances out over [config.jobs] domains; rows keep suite
+    order and match a serial run exactly. *)
 val run_all : config -> Report.row list
 
 (** [fig1_series ()] runs the four Fig. 1 configurations on the 3-CNOT

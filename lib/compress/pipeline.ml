@@ -21,11 +21,13 @@ type config = {
   enable_ishape : bool;
   z_cap : int option;
   strategy : Placer.strategy;
+  restarts : int;
+  jobs : int option;
 }
 
 let default_config =
   { variant = Full; effort = Placer.Normal; seed = 42; enable_ishape = true;
-    z_cap = None; strategy = Placer.Annealing }
+    z_cap = None; strategy = Placer.Annealing; restarts = 1; jobs = None }
 
 type stage_stats = {
   st_modules : int;
@@ -226,6 +228,8 @@ let run_icm ?(config = default_config) icm =
       seed = config.seed;
       z_cap = config.z_cap;
       strategy = config.strategy;
+      restarts = config.restarts;
+      jobs = config.jobs;
     }
   in
   let placement = Placer.place ~config:placer_config graph flipping dual fvalue in

@@ -21,6 +21,12 @@ type config = {
   enable_ishape : bool;  (** ablations: disable stage 3 in [Full] runs *)
   z_cap : int option;  (** ablations: chain folding height override *)
   strategy : Tqec_place.Placer.strategy;  (** placement engine *)
+  restarts : int;
+      (** independent annealing trajectories; best placement wins.
+          Deterministic in (seed, restarts) regardless of [jobs] *)
+  jobs : int option;
+      (** worker domains for multi-start placement; [None] defers to
+          [TQEC_JOBS] / the machine's domain count *)
 }
 
 val default_config : config

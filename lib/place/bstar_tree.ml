@@ -14,6 +14,12 @@ type t = {
   left : int array;
   right : int array;
   mutable root : int;
+  (* pack scratch, preallocated so a repack allocates nothing: skyline
+     breakpoints (sorted x, segment height) and the DFS slot stack *)
+  sk_x : int array;
+  sk_y : int array;
+  st_slot : int array;
+  st_x : int array;
 }
 
 let size t = t.n
@@ -35,6 +41,10 @@ let create dims =
       left = Array.make n (-1);
       right = Array.make n (-1);
       root = 0;
+      sk_x = Array.make ((2 * n) + 2) 0;
+      sk_y = Array.make ((2 * n) + 2) 0;
+      st_slot = Array.make (n + 1) 0;
+      st_x = Array.make (n + 1) 0;
     }
   in
   (* Initial shape: left-chain spine with right children hung off it in
@@ -68,6 +78,10 @@ let create_shelves dims =
       left = Array.make n (-1);
       right = Array.make n (-1);
       root = 0;
+      sk_x = Array.make ((2 * n) + 2) 0;
+      sk_y = Array.make ((2 * n) + 2) 0;
+      st_slot = Array.make (n + 1) 0;
+      st_x = Array.make (n + 1) 0;
     }
   in
   let total_area =
@@ -202,50 +216,88 @@ let restore t s =
   t.root <- s.s_root
 
 (* Skyline: sorted breakpoints (x, y); (x, y) means the contour has
-   height y from x to the next breakpoint (the last extends forever). *)
-let pack t =
-  let pos = Array.make t.n (0, 0) in
-  let skyline = ref [ (0, 0) ] in
+   height y from x to the next breakpoint (the last extends forever).
+   Breakpoints and the DFS stack live in the preallocated scratch
+   arrays of [t], so a repack performs no allocation at all. *)
+let pack_xy t xs ys =
+  let sk_x = t.sk_x and sk_y = t.sk_y in
+  sk_x.(0) <- 0;
+  sk_y.(0) <- 0;
+  let sk_len = ref 1 in
   let max_w = ref 0 and max_h = ref 0 in
-  let height_at sky q =
-    let rec go acc = function
-      | (bx, by) :: rest when bx <= q -> go by rest
-      | _ -> acc
-    in
-    go 0 sky
-  in
   let place b x0 =
     let w = width t b and h = height t b in
     let x1 = x0 + w in
-    let rec max_in acc = function
-      | (bx, by) :: ((bx', _) :: _ as rest) ->
-          let acc = if bx < x1 && bx' > x0 then max acc by else acc in
-          max_in acc rest
-      | [ (bx, by) ] -> if bx < x1 then max acc by else acc
-      | [] -> acc
-    in
-    let base = max_in 0 !skyline in
-    let y_end = height_at !skyline x1 in
-    let before = List.filter (fun (bx, _) -> bx < x0) !skyline in
-    let after = List.filter (fun (bx, _) -> bx > x1) !skyline in
-    skyline := before @ [ (x0, base + h); (x1, y_end) ] @ after;
-    pos.(b) <- (x0, base);
-    max_w := max !max_w x1;
-    max_h := max !max_h (base + h)
+    let len = !sk_len in
+    (* base: tallest segment overlapping (x0, x1); y_end: contour height
+       just right of x1 — both read before the contour is edited *)
+    let base = ref 0 and y_end = ref 0 in
+    let i = ref 0 in
+    while !i < len && sk_x.(!i) <= x1 do
+      let by = sk_y.(!i) in
+      if
+        sk_x.(!i) < x1
+        && (!i = len - 1 || sk_x.(!i + 1) > x0)
+        && by > !base
+      then base := by;
+      y_end := by;
+      incr i
+    done;
+    (* splice: keep breakpoints left of x0, insert (x0, base+h) and
+       (x1, y_end), keep breakpoints right of x1 *)
+    let p = ref 0 in
+    while !p < len && sk_x.(!p) < x0 do incr p done;
+    let q = ref !p in
+    while !q < len && sk_x.(!q) <= x1 do incr q done;
+    let tail = len - !q in
+    if tail > 0 then begin
+      Array.blit sk_x !q sk_x (!p + 2) tail;
+      Array.blit sk_y !q sk_y (!p + 2) tail
+    end;
+    sk_x.(!p) <- x0;
+    sk_y.(!p) <- !base + h;
+    sk_x.(!p + 1) <- x1;
+    sk_y.(!p + 1) <- !y_end;
+    sk_len := !p + 2 + tail;
+    xs.(b) <- x0;
+    ys.(b) <- !base;
+    if x1 > !max_w then max_w := x1;
+    if !base + h > !max_h then max_h := !base + h
   in
-  let stack = ref [ (t.root, 0) ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | (slot, x0) :: rest ->
-        stack := rest;
-        let b = t.block_at.(slot) in
-        place b x0;
-        if t.right.(slot) <> -1 then stack := (t.right.(slot), x0) :: !stack;
-        if t.left.(slot) <> -1 then
-          stack := (t.left.(slot), x0 + width t b) :: !stack
+  let st_slot = t.st_slot and st_x = t.st_x in
+  st_slot.(0) <- t.root;
+  st_x.(0) <- 0;
+  let sp = ref 1 in
+  while !sp > 0 do
+    decr sp;
+    let slot = st_slot.(!sp) and x0 = st_x.(!sp) in
+    let b = t.block_at.(slot) in
+    place b x0;
+    if t.right.(slot) <> -1 then begin
+      st_slot.(!sp) <- t.right.(slot);
+      st_x.(!sp) <- x0;
+      incr sp
+    end;
+    if t.left.(slot) <> -1 then begin
+      st_slot.(!sp) <- t.left.(slot);
+      st_x.(!sp) <- x0 + width t b;
+      incr sp
+    end
   done;
-  (pos, (!max_w, !max_h))
+  (!max_w, !max_h)
+
+let pack_into t pos =
+  let xs = Array.make t.n 0 and ys = Array.make t.n 0 in
+  let wh = pack_xy t xs ys in
+  for b = 0 to t.n - 1 do
+    pos.(b) <- (xs.(b), ys.(b))
+  done;
+  wh
+
+let pack t =
+  let pos = Array.make t.n (0, 0) in
+  let wh = pack_into t pos in
+  (pos, wh)
 
 let check t =
   let errors = ref [] in

@@ -57,6 +57,16 @@ val restore : t -> snapshot -> unit
     bounding (width, height). *)
 val pack : t -> (int * int) array * (int * int)
 
+(** [pack_into t pos] is [pack] writing the positions into the caller's
+    buffer (length [size t]) and returning the bounding (width, height). *)
+val pack_into : t -> (int * int) array -> int * int
+
+(** [pack_xy t xs ys] is [pack] writing x and y coordinates into the
+    caller's unboxed int buffers (length [size t]) and returning the
+    bounding (width, height) — the allocation-free repack used on the
+    annealer's hot path (no per-block position tuples). *)
+val pack_xy : t -> int array -> int array -> int * int
+
 (** [check t] verifies tree-structure invariants (parent/child
     consistency, single root, all blocks reachable); returns error
     strings, empty when consistent. *)

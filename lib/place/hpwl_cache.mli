@@ -1,0 +1,49 @@
+(** Incremental half-perimeter wirelength (HPWL) evaluation.
+
+    The annealer's dominant per-move cost used to be a full-netlist HPWL
+    sweep.  This cache stores each net's half-perimeter and a node ->
+    incident-nets index; after a move only the nets containing a node
+    whose position changed are re-evaluated, and the per-net previous
+    values are kept in preallocated buffers inside the cache so a
+    rejected move can {!restore} them exactly.  All values are integers,
+    so the cached total always equals {!compute_xy} on the same
+    coordinates.
+
+    The hot-path entry points ({!rebuild}, {!update}) take unboxed
+    coordinate arrays [xs]/[ys] and allocate nothing. *)
+
+type t
+
+(** [compute nets pos] is the from-scratch total HPWL on boxed positions
+    — the reference the cache is provably equivalent to (empty nets
+    contribute 0). *)
+val compute : int array array -> (int * int) array -> int
+
+(** [compute_xy nets ~xs ~ys] is {!compute} on unboxed coordinates. *)
+val compute_xy : int array array -> xs:int array -> ys:int array -> int
+
+(** [create ~n_nodes nets] builds the cache and its node->nets index.
+    Node ids in [nets] must lie in [0, n_nodes); nets must not repeat a
+    node (callers build them with [sort_uniq]).  The cache starts empty:
+    call {!rebuild} before the first {!update}. *)
+val create : n_nodes:int -> int array array -> t
+
+(** [rebuild t ~xs ~ys] re-evaluates every net and returns the total. *)
+val rebuild : t -> xs:int array -> ys:int array -> int
+
+(** [total t] is the cached total, O(1). *)
+val total : t -> int
+
+(** [update t ~xs ~ys ~changed ~n_changed] re-evaluates the nets
+    incident to the first [n_changed] nodes of [changed], recording
+    their previous values in the cache's single-level undo buffer.  Nets
+    shared by several changed nodes are visited once.  Each [update]
+    overwrites the undo state of the previous one, so an annealer must
+    either accept (drop the undo) or {!restore} before the next move. *)
+val update :
+  t -> xs:int array -> ys:int array -> changed:int array -> n_changed:int -> unit
+
+(** [restore t] puts the nets touched by the last {!update} (and the
+    total) back to their previous values — the exact rejection path of
+    the annealer.  Idempotent until the next {!update}. *)
+val restore : t -> unit

@@ -6,6 +6,7 @@ module Vec3 = Tqec_util.Vec3
 module Box3 = Tqec_util.Box3
 module Rng = Tqec_util.Rng
 module Stats = Tqec_util.Stats
+module Pool = Tqec_util.Pool
 
 type effort = Quick | Normal | Full
 
@@ -24,11 +25,13 @@ type config = {
   beta : float;
   z_cap : int option;
   strategy : strategy;
+  restarts : int;
+  jobs : int option;
 }
 
 let default_config =
   { effort = Normal; seed = 42; alpha = 1.0; beta = 0.2; z_cap = None;
-    strategy = Annealing }
+    strategy = Annealing; restarts = 1; jobs = None }
 
 type t = {
   sm : Super_module.t;
@@ -74,23 +77,7 @@ let build_nets (g : Pd_graph.t) (sm : Super_module.t) (dual : Dual_bridge.t) =
     sm.Super_module.pseudo_nets;
   Array.of_list (List.map Array.of_list !nets)
 
-let hpwl nets node_pos =
-  let total = ref 0 in
-  Array.iter
-    (fun net ->
-      let x0 = ref max_int and x1 = ref min_int in
-      let y0 = ref max_int and y1 = ref min_int in
-      Array.iter
-        (fun n ->
-          let x, y = node_pos.(n) in
-          if x < !x0 then x0 := x;
-          if x > !x1 then x1 := x;
-          if y < !y0 then y0 := y;
-          if y > !y1 then y1 := y)
-        net;
-      total := !total + (!x1 - !x0) + (!y1 - !y0))
-    nets;
-  !total
+let hpwl = Hpwl_cache.compute
 
 (* Force-directed placement: repeatedly (1) compute each block's desired
    position as the centroid of its net mates, (2) order blocks by the
@@ -227,30 +214,6 @@ let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
           };
       }
   | Annealing ->
-  let tree = Bstar_tree.create dims in
-  let rng = Rng.create config.seed in
-  (* current packing state *)
-  let cur_pos = ref (fst (Bstar_tree.pack tree)) in
-  let cur_wh = ref (snd (Bstar_tree.pack tree)) in
-  let repack () =
-    let pos, wh = Bstar_tree.pack tree in
-    cur_pos := pos;
-    cur_wh := wh
-  in
-  let cost () =
-    let w, h = !cur_wh in
-    (config.alpha *. float_of_int (w * h * depth))
-    +. (config.beta *. float_of_int (hpwl nets !cur_pos))
-  in
-  (* best snapshot *)
-  let best_pos = ref (Array.copy !cur_pos) in
-  let best_rot = ref (Array.init n (Bstar_tree.is_rotated tree)) in
-  let best_wh = ref !cur_wh in
-  let on_best _ =
-    best_pos := Array.copy !cur_pos;
-    best_rot := Array.init n (Bstar_tree.is_rotated tree);
-    best_wh := !cur_wh
-  in
   (* Time-dependent and distillation-injection super-modules keep their
      internal sequence along the time (x) axis: never rotate them. *)
   let rotatable =
@@ -267,38 +230,6 @@ let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
          (fun i -> rotatable.(i))
          (List.init n (fun i -> i)))
   in
-  let perturb () =
-    let undo_structural =
-      match
-        if Array.length rotatable_ids = 0 then 1 + Rng.int rng 2
-        else Rng.int rng 3
-      with
-      | 0 ->
-          let b = rotatable_ids.(Rng.int rng (Array.length rotatable_ids)) in
-          Bstar_tree.rotate tree b;
-          fun () -> Bstar_tree.rotate tree b
-      | 1 ->
-          let a = Rng.int rng n and b = Rng.int rng n in
-          Bstar_tree.swap_blocks tree a b;
-          fun () -> Bstar_tree.swap_blocks tree a b
-      | _ ->
-          if n < 2 then fun () -> ()
-          else begin
-            (* a move is not self-inverse: snapshot the tree structure
-               and restore it exactly on rejection *)
-            let snapshot = Bstar_tree.snapshot tree in
-            let b = Rng.int rng n in
-            Bstar_tree.move_block tree ~rng b;
-            fun () -> Bstar_tree.restore tree snapshot
-          end
-    in
-    let prev_pos = !cur_pos and prev_wh = !cur_wh in
-    repack ();
-    fun () ->
-      undo_structural ();
-      cur_pos := prev_pos;
-      cur_wh := prev_wh
-  in
   let iterations = iterations_for config.effort n in
   let params =
     {
@@ -308,24 +239,123 @@ let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
       initial_acceptance = 0.85;
     }
   in
-  let sa_stats = Sa.run ~rng ~params ~cost ~perturb ~on_best () in
-  let width, height = !best_wh in
-  let node_pos = !best_pos in
-  let rotated = !best_rot in
-  let result =
-    {
-      sm;
-      node_pos;
-      rotated;
-      width;
-      height;
-      depth;
-      volume = width * height * depth;
-      wirelength = hpwl nets node_pos;
-      sa_stats;
-    }
+  (* One independent annealing trajectory.  Packing is double-buffered:
+     a move packs into the spare buffer, so a rejected move restores
+     positions by flipping back — no per-move array allocation.  The
+     wirelength term is maintained incrementally: only nets incident to
+     nodes whose position actually changed are re-evaluated. *)
+  let anneal rng =
+    let tree = Bstar_tree.create dims in
+    let xs = [| Array.make n 0; Array.make n 0 |] in
+    let ys = [| Array.make n 0; Array.make n 0 |] in
+    let cur = ref 0 in
+    let cur_wh = ref (Bstar_tree.pack_xy tree xs.(0) ys.(0)) in
+    let cache = Hpwl_cache.create ~n_nodes:n nets in
+    ignore (Hpwl_cache.rebuild cache ~xs:xs.(0) ~ys:ys.(0));
+    let changed = Array.make n 0 in
+    let cost () =
+      let w, h = !cur_wh in
+      (config.alpha *. float_of_int (w * h * depth))
+      +. (config.beta *. float_of_int (Hpwl_cache.total cache))
+    in
+    (* best snapshot *)
+    let snapshot_pos () =
+      Array.init n (fun i -> (xs.(!cur).(i), ys.(!cur).(i)))
+    in
+    let best_pos = ref (snapshot_pos ()) in
+    let best_rot = ref (Array.init n (Bstar_tree.is_rotated tree)) in
+    let best_wh = ref !cur_wh in
+    let on_best _ =
+      best_pos := snapshot_pos ();
+      best_rot := Array.init n (Bstar_tree.is_rotated tree);
+      best_wh := !cur_wh
+    in
+    let perturb () =
+      let undo_structural =
+        match
+          if Array.length rotatable_ids = 0 then 1 + Rng.int rng 2
+          else Rng.int rng 3
+        with
+        | 0 ->
+            let b = rotatable_ids.(Rng.int rng (Array.length rotatable_ids)) in
+            Bstar_tree.rotate tree b;
+            fun () -> Bstar_tree.rotate tree b
+        | 1 ->
+            let a = Rng.int rng n and b = Rng.int rng n in
+            Bstar_tree.swap_blocks tree a b;
+            fun () -> Bstar_tree.swap_blocks tree a b
+        | _ ->
+            if n < 2 then fun () -> ()
+            else begin
+              (* a move is not self-inverse: snapshot the tree structure
+                 and restore it exactly on rejection *)
+              let snapshot = Bstar_tree.snapshot tree in
+              let b = Rng.int rng n in
+              Bstar_tree.move_block tree ~rng b;
+              fun () -> Bstar_tree.restore tree snapshot
+            end
+      in
+      let prev_wh = !cur_wh in
+      let prev_xs = xs.(!cur) and prev_ys = ys.(!cur) in
+      let next = 1 - !cur in
+      let next_xs = xs.(next) and next_ys = ys.(next) in
+      let wh = Bstar_tree.pack_xy tree next_xs next_ys in
+      cur := next;
+      cur_wh := wh;
+      let n_changed = ref 0 in
+      for b = 0 to n - 1 do
+        if next_xs.(b) <> prev_xs.(b) || next_ys.(b) <> prev_ys.(b) then begin
+          changed.(!n_changed) <- b;
+          incr n_changed
+        end
+      done;
+      Hpwl_cache.update cache ~xs:next_xs ~ys:next_ys ~changed
+        ~n_changed:!n_changed;
+      fun () ->
+        undo_structural ();
+        Hpwl_cache.restore cache;
+        cur := 1 - !cur;
+        cur_wh := prev_wh
+    in
+    let sa_stats = Sa.run ~rng ~params ~cost ~perturb ~on_best () in
+    (sa_stats, !best_pos, !best_rot, !best_wh)
   in
-  result
+  (* Multi-start: K independent trajectories with per-lane rng streams
+     derived from the seed before the fan-out, so the result is a pure
+     function of (seed, restarts) — identical for any worker count.
+     Lane 0 is the historical single-start trajectory. *)
+  let restarts = max 1 config.restarts in
+  let lanes = Array.init restarts (Rng.lane config.seed) in
+  let runs = Pool.map ?jobs:config.jobs anneal lanes in
+  let best_i = ref 0 in
+  Array.iteri
+    (fun i (st, _, _, _) ->
+      let prev, _, _, _ = runs.(!best_i) in
+      if st.Sa.best_cost < prev.Sa.best_cost then best_i := i)
+    runs;
+  let win_stats, node_pos, rotated, (width, height) = runs.(!best_i) in
+  let sa_stats =
+    Array.fold_left
+      (fun acc (st, _, _, _) ->
+        {
+          acc with
+          Sa.attempted = acc.Sa.attempted + st.Sa.attempted;
+          accepted = acc.Sa.accepted + st.Sa.accepted;
+        })
+      { win_stats with Sa.attempted = 0; accepted = 0 }
+      runs
+  in
+  {
+    sm;
+    node_pos;
+    rotated;
+    width;
+    height;
+    depth;
+    volume = width * height * depth;
+    wirelength = hpwl nets node_pos;
+    sa_stats;
+  }
 
 let module_cell p m =
   Super_module.module_cell p.sm ~node_pos:p.node_pos

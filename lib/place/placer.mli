@@ -25,6 +25,15 @@ type config = {
   beta : float;  (** wirelength weight *)
   z_cap : int option;  (** chain folding height override (ablations) *)
   strategy : strategy;
+  restarts : int;
+      (** independent annealing trajectories (multi-start; best result
+          wins).  Deterministic in (seed, restarts): lane 0 reproduces
+          the single-start trajectory, so [restarts = 1] matches
+          historical results exactly *)
+  jobs : int option;
+      (** worker domains for multi-start; [None] defers to [TQEC_JOBS] /
+          the machine's domain count (see {!Tqec_util.Pool}).  The
+          result never depends on this value *)
 }
 
 val default_config : config

@@ -42,14 +42,27 @@ let search ?(max_expansions = 400_000) ?(avoid_used = false) grid ~region
     let g_score = Array.make cells max_int in
     let parent = Array.make cells (-1) in
     let open_q = Pqueue.create () in
-    let h p = Vec3.manhattan p target in
+    (* The heuristic is fixed per cell, so compute it once at push time
+       (against precomputed target coordinates) and cache it by code:
+       the stale-entry check at pop no longer decodes the cell or
+       re-derives the Manhattan distance. *)
+    let tx = target.Vec3.x and ty = target.Vec3.y and tz = target.Vec3.z in
+    let h_cache = Array.make cells (-1) in
+    let h (p : Vec3.t) code =
+      match h_cache.(code) with
+      | -1 ->
+          let v = abs (p.x - tx) + abs (p.y - ty) + abs (p.z - tz) in
+          h_cache.(code) <- v;
+          v
+      | v -> v
+    in
     List.iter
       (fun s ->
         if Box3.contains region s then begin
           let code = encode s in
           if passable s code then begin
             g_score.(code) <- 0;
-            Pqueue.push open_q (h s) code
+            Pqueue.push open_q (h s code) code
           end
         end)
       sources;
@@ -59,12 +72,12 @@ let search ?(max_expansions = 400_000) ?(avoid_used = false) grid ~region
           && !expansions < max_expansions do
       incr expansions;
       let f, code = Pqueue.pop open_q in
-      let p = decode code in
       let gp = g_score.(code) in
       (* skip stale queue entries *)
-      if f <= gp + h p then begin
+      if f <= gp + h_cache.(code) then begin
         if code = target_code then found := true
         else
+          let p = decode code in
           List.iter
             (fun q ->
               if Box3.contains region q then begin
@@ -74,7 +87,7 @@ let search ?(max_expansions = 400_000) ?(avoid_used = false) grid ~region
                   if tentative < g_score.(qcode) then begin
                     g_score.(qcode) <- tentative;
                     parent.(qcode) <- code;
-                    Pqueue.push open_q (tentative + h q) qcode
+                    Pqueue.push open_q (tentative + h q qcode) qcode
                   end
                 end
               end)

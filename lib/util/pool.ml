@@ -1,0 +1,55 @@
+(* Fork-join work-sharing over OCaml 5 domains.  Workers pull task
+   indices from a mutex-protected counter, so uneven task costs balance
+   automatically; results land in their input slot, so output order (and
+   therefore every deterministic caller) is independent of the worker
+   count. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "TQEC_JOBS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> v
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let map ?jobs f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> default_jobs ()
+    in
+    let jobs = min jobs n in
+    if jobs = 1 then Array.map f arr
+    else begin
+      let results = Array.make n None in
+      let next = ref 0 in
+      let lock = Mutex.create () in
+      let take () =
+        Mutex.lock lock;
+        let i = !next in
+        if i < n then incr next;
+        Mutex.unlock lock;
+        if i < n then Some i else None
+      in
+      let rec worker () =
+        match take () with
+        | None -> ()
+        | Some i ->
+            let r = try Ok (f arr.(i)) with e -> Error e in
+            results.(i) <- Some r;
+            worker ()
+      in
+      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      Array.map
+        (function
+          | Some (Ok v) -> v
+          | Some (Error e) -> raise e
+          | None -> assert false)
+        results
+    end
+  end
+
+let run ?jobs thunks = map ?jobs (fun thunk -> thunk ()) thunks

@@ -1,0 +1,23 @@
+(** Small fork-join domain pool (OCaml 5 [Domain] + [Mutex], no
+    dependencies).
+
+    Tasks are independent; workers share them dynamically, so uneven
+    costs balance across domains.  Results keep input order, which makes
+    parallel runs bit-identical to serial ones whenever the tasks
+    themselves are deterministic — the property the placement and
+    benchmark fan-outs rely on. *)
+
+(** [default_jobs ()] is the worker count from the [TQEC_JOBS]
+    environment variable when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()].  [TQEC_JOBS=1] restores fully
+    serial execution. *)
+val default_jobs : unit -> int
+
+(** [map ?jobs f arr] is [Array.map f arr] computed by [jobs] domains
+    (default {!default_jobs}).  Output order matches input order.  If a
+    task raises, the lowest-index exception is re-raised after all
+    workers finish. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [run ?jobs thunks] forces an array of thunks in parallel. *)
+val run : ?jobs:int -> (unit -> 'a) array -> 'a array

@@ -13,6 +13,18 @@ let next_int64 r =
 
 let split r = { state = next_int64 r }
 let copy r = { state = r.state }
+let split_n r k = Array.init k (fun _ -> split r)
+
+(* Lane 0 is exactly [create seed] so a single-lane run reproduces the
+   historical single-rng behaviour; other lanes start from the SplitMix64
+   output of a seed+lane mix, giving independent streams. *)
+let lane seed i =
+  if i = 0 then create seed
+  else
+    let mixed =
+      { state = Int64.add (Int64.of_int seed) (Int64.mul golden (Int64.of_int i)) }
+    in
+    { state = next_int64 mixed }
 
 let int r n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";

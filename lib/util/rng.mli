@@ -15,6 +15,15 @@ val split : t -> t
 (** [copy r] duplicates the current state without advancing it. *)
 val copy : t -> t
 
+(** [split_n r k] derives [k] independent generators (the parent
+    advances [k] times) — one per parallel worker. *)
+val split_n : t -> int -> t array
+
+(** [lane seed i] is a deterministic independent stream for worker lane
+    [i] of a run seeded with [seed].  [lane seed 0] equals
+    [create seed], so single-lane runs reproduce historical results. *)
+val lane : int -> int -> t
+
 (** [next_int64 r] is the raw 64-bit output. *)
 val next_int64 : t -> int64
 

@@ -217,6 +217,8 @@ let test_report_rendering () =
       auto_scale = false;
       seed = 42;
       benchmarks = [ "4gt10-v1_81" ];
+      restarts = 1;
+      jobs = Some 1;
     }
   in
   let rows = Experiments.run_all config in
@@ -250,6 +252,8 @@ let test_summary_mentions_paper () =
       auto_scale = false;
       seed = 42;
       benchmarks = [ "4gt10-v1_81" ];
+      restarts = 1;
+      jobs = Some 1;
     }
   in
   let rows = Experiments.run_all config in

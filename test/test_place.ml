@@ -146,6 +146,94 @@ let prop_bstar_pack_compact_bottom_left =
       pos.(0) = (0, 0))
 
 (* ------------------------------------------------------------------ *)
+(* Hpwl_cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random nets of 2-4 distinct nodes over [0, n). *)
+let random_nets rng n =
+  let n_nets = 2 * n in
+  Array.init n_nets (fun _ ->
+      let k = 2 + Rng.int rng 3 in
+      let rec draw acc remaining =
+        if remaining = 0 then acc
+        else
+          let v = Rng.int rng n in
+          if List.mem v acc then draw acc remaining
+          else draw (v :: acc) (remaining - 1)
+      in
+      Array.of_list (draw [] (min k n)))
+
+(* Drive the cache exactly the way the annealer does: double-buffered
+   pack, diff the buffers for changed nodes, incremental update, random
+   accept/undo — and assert the cached total equals the from-scratch
+   HPWL after every single step. *)
+let prop_hpwl_cache_matches_scratch =
+  QCheck.Test.make
+    ~name:"incremental HPWL = from-scratch over 1000 move/undo steps"
+    ~count:8
+    QCheck.(pair (int_range 3 20) (int_range 1 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let dims =
+        Array.init n (fun i -> (1 + ((i * 7) mod 5), 1 + ((i * 3) mod 4)))
+      in
+      let nets = random_nets rng n in
+      let tree = Bstar_tree.create dims in
+      let xs = [| Array.make n 0; Array.make n 0 |] in
+      let ys = [| Array.make n 0; Array.make n 0 |] in
+      let cur = ref 0 in
+      ignore (Bstar_tree.pack_xy tree xs.(0) ys.(0));
+      let cache = Hpwl_cache.create ~n_nodes:n nets in
+      ignore (Hpwl_cache.rebuild cache ~xs:xs.(0) ~ys:ys.(0));
+      let changed = Array.make n 0 in
+      let ok = ref true in
+      let agree () =
+        Hpwl_cache.total cache
+        = Hpwl_cache.compute_xy nets ~xs:xs.(!cur) ~ys:ys.(!cur)
+      in
+      for _ = 1 to 1000 do
+        let undo_structural =
+          match Rng.int rng 3 with
+          | 0 ->
+              let b = Rng.int rng n in
+              Bstar_tree.rotate tree b;
+              fun () -> Bstar_tree.rotate tree b
+          | 1 ->
+              let a = Rng.int rng n and b = Rng.int rng n in
+              Bstar_tree.swap_blocks tree a b;
+              fun () -> Bstar_tree.swap_blocks tree a b
+          | _ ->
+              let snapshot = Bstar_tree.snapshot tree in
+              Bstar_tree.move_block tree ~rng (Rng.int rng n);
+              fun () -> Bstar_tree.restore tree snapshot
+        in
+        let prev_xs = xs.(!cur) and prev_ys = ys.(!cur) in
+        let next = 1 - !cur in
+        let next_xs = xs.(next) and next_ys = ys.(next) in
+        ignore (Bstar_tree.pack_xy tree next_xs next_ys);
+        cur := next;
+        let n_changed = ref 0 in
+        for b = 0 to n - 1 do
+          if next_xs.(b) <> prev_xs.(b) || next_ys.(b) <> prev_ys.(b)
+          then begin
+            changed.(!n_changed) <- b;
+            incr n_changed
+          end
+        done;
+        Hpwl_cache.update cache ~xs:next_xs ~ys:next_ys ~changed
+          ~n_changed:!n_changed;
+        if not (agree ()) then ok := false;
+        (* randomly reject the move, as the annealer would *)
+        if Rng.bool rng then begin
+          undo_structural ();
+          Hpwl_cache.restore cache;
+          cur := 1 - !cur;
+          if not (agree ()) then ok := false
+        end
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
 (* Super_module                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -301,6 +389,55 @@ let test_placer_force_directed () =
   check Alcotest.bool "no rotation used" true
     (Array.for_all not p.Placer.rotated)
 
+let place_multistart ~restarts ~jobs seed circuit =
+  let icm = Decompose.run (Clifford_t.decompose circuit) in
+  let g = Pd_graph.of_icm icm in
+  ignore (Ishape.run g);
+  let time_sms = Super_module.time_sm_modules g in
+  let in_sm = Hashtbl.create 16 in
+  List.iter (fun (_, ms) -> List.iter (fun m -> Hashtbl.replace in_sm m ()) ms) time_sms;
+  let flipping = Flipping.run ~exclude:(Hashtbl.mem in_sm) g in
+  let dual = Dual_bridge.run g in
+  let fvalue = Fvalue.plan flipping in
+  let config =
+    { Placer.default_config with effort = Placer.Quick; seed; restarts; jobs }
+  in
+  Placer.place ~config g flipping dual fvalue
+
+(* The acceptance-critical determinism property: a multi-start placement
+   is a pure function of (seed, restarts) — TQEC_JOBS=1 and TQEC_JOBS=4
+   must give identical geometry. *)
+let test_placer_jobs_invariant () =
+  let circuit = one_t_circuit () in
+  let serial = place_multistart ~restarts:4 ~jobs:(Some 1) 11 circuit in
+  let parallel = place_multistart ~restarts:4 ~jobs:(Some 4) 11 circuit in
+  check Alcotest.(list string) "parallel placement valid" []
+    (Placer.check parallel);
+  check
+    Alcotest.(list int)
+    "same (width, height, depth, volume)"
+    [ serial.Placer.width; serial.Placer.height; serial.Placer.depth;
+      serial.Placer.volume ]
+    [ parallel.Placer.width; parallel.Placer.height; parallel.Placer.depth;
+      parallel.Placer.volume ];
+  check Alcotest.bool "same positions" true
+    (serial.Placer.node_pos = parallel.Placer.node_pos);
+  check Alcotest.bool "same rotations" true
+    (serial.Placer.rotated = parallel.Placer.rotated)
+
+(* Lane 0 of a multi-start run is the single-start trajectory, so the
+   best-of-K cost can never exceed the K=1 cost. *)
+let test_placer_multistart_never_worse () =
+  let circuit = one_t_circuit () in
+  let single = place_multistart ~restarts:1 ~jobs:(Some 1) 42 circuit in
+  let multi = place_multistart ~restarts:3 ~jobs:(Some 2) 42 circuit in
+  check Alcotest.bool "best-of-3 cost <= single cost" true
+    (multi.Placer.sa_stats.Sa.best_cost
+    <= single.Placer.sa_stats.Sa.best_cost);
+  check Alcotest.bool "attempts accumulate across restarts" true
+    (multi.Placer.sa_stats.Sa.attempted
+    >= 3 * single.Placer.sa_stats.Sa.attempted)
+
 let prop_placer_valid_on_random =
   QCheck.Test.make ~name:"placement valid on random circuits" ~count:10
     (QCheck.int_range 1 500)
@@ -326,6 +463,7 @@ let suites =
         qtest prop_bstar_moves_preserve_invariants;
         qtest prop_bstar_pack_compact_bottom_left;
       ] );
+    ("place.hpwl_cache", [ qtest prop_hpwl_cache_matches_scratch ]);
     ( "place.super_module",
       [
         Alcotest.test_case "time SM structure" `Quick test_time_sm_structure;
@@ -339,6 +477,10 @@ let suites =
         Alcotest.test_case "three-cnot" `Quick test_placer_three_cnot;
         Alcotest.test_case "with T gates" `Quick test_placer_with_t_gates;
         Alcotest.test_case "deterministic" `Quick test_placer_deterministic;
+        Alcotest.test_case "jobs-invariant multi-start" `Quick
+          test_placer_jobs_invariant;
+        Alcotest.test_case "multi-start never worse" `Quick
+          test_placer_multistart_never_worse;
         Alcotest.test_case "force-directed" `Quick test_placer_force_directed;
         qtest prop_placer_valid_on_random;
       ] );

@@ -353,6 +353,76 @@ let test_pretty_numbers () =
   check Alcotest.string "float2" "3.14" (Pretty.float2 3.14159);
   check Alcotest.string "float3" "2.718" (Pretty.float3 2.71828)
 
+(* ------------------------------------------------------------------ *)
+(* Pool / Rng lanes                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  let input = Array.init 57 (fun i -> i) in
+  let expected = Array.map (fun i -> (i * i) + 1) input in
+  List.iter
+    (fun jobs ->
+      let got = Pool.map ~jobs (fun i -> (i * i) + 1) input in
+      check Alcotest.bool
+        (Printf.sprintf "order preserved with %d jobs" jobs)
+        true (got = expected))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_map_empty_and_run () =
+  check Alcotest.int "empty map" 0 (Array.length (Pool.map ~jobs:4 succ [||]));
+  let results = Pool.run ~jobs:3 (Array.init 5 (fun i () -> i * 10)) in
+  check Alcotest.bool "run results" true (results = [| 0; 10; 20; 30; 40 |])
+
+let test_pool_exception_propagates () =
+  let raised =
+    try
+      ignore
+        (Pool.map ~jobs:4
+           (fun i -> if i = 5 then failwith "boom" else i)
+           (Array.init 12 (fun i -> i)));
+      false
+    with Failure m -> m = "boom"
+  in
+  check Alcotest.bool "exception re-raised" true raised
+
+let test_pool_balances_uneven_tasks () =
+  (* uneven costs: every task still runs exactly once *)
+  let hits = Array.make 16 0 in
+  ignore
+    (Pool.map ~jobs:4
+       (fun i ->
+         if i < 2 then ignore (Sys.opaque_identity (Array.make 10_000 i));
+         hits.(i) <- hits.(i) + 1)
+       (Array.init 16 (fun i -> i)));
+  check Alcotest.bool "each task once" true (Array.for_all (( = ) 1) hits)
+
+let test_rng_lane_zero_is_create () =
+  let a = Rng.lane 42 0 and b = Rng.create 42 in
+  let same = ref true in
+  for _ = 1 to 100 do
+    if Rng.next_int64 a <> Rng.next_int64 b then same := false
+  done;
+  check Alcotest.bool "lane 0 = create" true !same
+
+let test_rng_lanes_independent () =
+  let draws lane =
+    let r = Rng.lane 42 lane in
+    List.init 50 (fun _ -> Rng.int r 1_000_000)
+  in
+  check Alcotest.bool "lane 1 <> lane 2" true (draws 1 <> draws 2);
+  check Alcotest.bool "lane 1 <> lane 0" true (draws 1 <> draws 0);
+  check Alcotest.bool "lane reproducible" true (draws 3 = draws 3)
+
+let test_rng_split_n () =
+  let r = Rng.create 7 in
+  let streams = Rng.split_n r 4 in
+  check Alcotest.int "four streams" 4 (Array.length streams);
+  let firsts =
+    Array.to_list (Array.map (fun s -> Rng.next_int64 s) streams)
+  in
+  check Alcotest.int "distinct first draws" 4
+    (List.length (List.sort_uniq Int64.compare firsts))
+
 let suites =
   [
     ( "util.vec3-box3",
@@ -410,5 +480,20 @@ let suites =
         Alcotest.test_case "stats" `Quick test_stats;
         Alcotest.test_case "pretty table" `Quick test_pretty_table;
         Alcotest.test_case "pretty numbers" `Quick test_pretty_numbers;
+      ] );
+    ( "util.pool",
+      [
+        Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+        Alcotest.test_case "empty map and run" `Quick test_pool_map_empty_and_run;
+        Alcotest.test_case "exception propagates" `Quick
+          test_pool_exception_propagates;
+        Alcotest.test_case "balances uneven tasks" `Quick
+          test_pool_balances_uneven_tasks;
+      ] );
+    ( "util.rng-lanes",
+      [
+        Alcotest.test_case "lane 0 is create" `Quick test_rng_lane_zero_is_create;
+        Alcotest.test_case "lanes independent" `Quick test_rng_lanes_independent;
+        Alcotest.test_case "split_n" `Quick test_rng_split_n;
       ] );
   ]
