@@ -6,7 +6,9 @@
      TQEC_SCALE  = integer divisor for instance sizes (default 1)
      TQEC_SEED   = random seed (default 42)
      TQEC_BENCHMARKS = comma-separated subset of benchmark names
-     TQEC_JOBS   = worker domains for the suite fan-out
+     TQEC_JOBS   = worker domains for the suite fan-out (the router's
+                   per-iteration batch parallelism stays serial here —
+                   instances already saturate the pool)
                    (default: the machine's domain count; 1 = serial)
      TQEC_RESTARTS = annealing trajectories per placement (default 1)
      TQEC_BENCH_STAGES = 0 to skip the Bechamel stage timings *)

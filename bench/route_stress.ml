@@ -1,0 +1,82 @@
+(* Route-stress harness: runs the strengthened routing validators over
+   benchmark-suite geometries and fails (exit 1) on any legality error,
+   so routing regressions break `dune runtest` via the @route-stress
+   alias.
+
+   Each instance runs the full flow at quick effort, then re-checks the
+   result with [Pipeline.check] — placement overlap, routing
+   connectivity/pin coverage, obstacle and bounds legality, capacity and
+   overuse accounting — and finally cross-checks the router's
+   determinism by re-routing under a different worker count.
+
+   Environment:
+     TQEC_STRESS_BENCHMARKS = comma-separated suite names
+                              (default: the two smallest instances)
+     TQEC_STRESS_SCALE      = instance scale divisor (default 4)
+     TQEC_SEED              = random seed (default 42) *)
+
+module Suite = Tqec_circuit.Suite
+module Pipeline = Tqec_compress.Pipeline
+module Pathfinder = Tqec_route.Pathfinder
+
+let benchmarks =
+  match Sys.getenv_opt "TQEC_STRESS_BENCHMARKS" with
+  | Some s -> String.split_on_char ',' s |> List.map String.trim
+  | None -> [ "4gt10-v1_81"; "4gt4-v0_73" ]
+
+let scale =
+  match Sys.getenv_opt "TQEC_STRESS_SCALE" with
+  | Some s -> ( match int_of_string_opt s with Some v when v >= 1 -> v | _ -> 4)
+  | None -> 4
+
+let seed =
+  match Sys.getenv_opt "TQEC_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> 42)
+  | None -> 42
+
+let run_one name =
+  match Suite.find name with
+  | None ->
+      Printf.eprintf "[route-stress] unknown benchmark %s (suite: %s)\n%!" name
+        (String.concat ", " Suite.names);
+      false
+  | Some entry ->
+      let circuit = Suite.scaled ~factor:scale entry in
+      let run jobs =
+        Pipeline.run
+          ~config:
+            {
+              Pipeline.default_config with
+              effort = Tqec_place.Placer.Quick;
+              seed;
+              jobs;
+            }
+          circuit
+      in
+      let r = run (Some 1) in
+      let issues = Pipeline.check r in
+      let routed = r.Pipeline.routing.Pathfinder.success in
+      let deterministic =
+        (run (Some 4)).Pipeline.routing = r.Pipeline.routing
+      in
+      Printf.printf
+        "[route-stress] %-18s volume=%-9d nets-routed=%b iterations=%d \
+         overused=%d validator-errors=%d jobs-invariant=%b\n%!"
+        (circuit.Tqec_circuit.Circuit.name)
+        r.Pipeline.volume routed
+        r.Pipeline.routing.Pathfinder.iterations_used
+        r.Pipeline.routing.Pathfinder.overused_after (List.length issues)
+        deterministic;
+      List.iter (fun e -> Printf.eprintf "[route-stress]   error: %s\n%!" e) issues;
+      if not deterministic then
+        Printf.eprintf
+          "[route-stress]   error: routing differs between jobs=1 and jobs=4\n%!";
+      issues = [] && routed && deterministic
+
+let () =
+  let ok = List.fold_left (fun acc name -> run_one name && acc) true benchmarks in
+  if ok then print_endline "[route-stress] all geometries legal"
+  else begin
+    prerr_endline "[route-stress] FAILED";
+    exit 1
+  end

@@ -66,9 +66,10 @@ let restarts_arg =
 
 let jobs_arg =
   let doc =
-    "Worker domains for parallel placement restarts and benchmark \
-     fan-out.  Defaults to \\$(b,TQEC_JOBS) or the machine's domain \
-     count; 1 forces serial execution."
+    "Worker domains for parallel placement restarts, per-iteration \
+     routing batches, and benchmark fan-out.  Defaults to \
+     \\$(b,TQEC_JOBS) or the machine's domain count; 1 forces serial \
+     execution.  Results are identical for any value."
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 

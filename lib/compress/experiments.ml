@@ -72,7 +72,9 @@ let run_benchmark config (entry : Suite.entry) =
           seed = config.seed;
           restarts = config.restarts;
           (* instances already fan out across domains; keep each
-             placement's multi-start serial to avoid oversubscription *)
+             instance's inner parallelism (placement multi-start and the
+             router's per-iteration batches) serial to avoid
+             oversubscription — the output is jobs-invariant either way *)
           jobs = Some 1;
         }
       icm

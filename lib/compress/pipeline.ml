@@ -189,6 +189,21 @@ let routing_layers (placement : Placer.t) nets =
   let area = float_of_int (max 1 (placement.Placer.width * placement.Placer.height)) in
   Tqec_util.Stats.clamp 1 16 (int_of_float (Float.ceil (1.5 *. demand /. area)))
 
+(* The routing grid reconstruction shared by [run_icm] and [check]: the
+   validator must see the same die, obstacle and shared-pin masks the
+   routes were produced against, or legality checks are meaningless. *)
+let build_route_grid graph placement nets =
+  let extra_z = routing_layers placement nets in
+  let die = placement_bbox ~extra_z placement in
+  let grid = Grid.create ~die (Box3.inflate 2 die) in
+  obstacles grid graph placement;
+  (* pin cells are capacity-exempt: several dual strands may thread the
+     same primal loop *)
+  List.iter
+    (fun (n : Pathfinder.net) -> List.iter (Grid.set_shared grid) n.Pathfinder.pins)
+    nets;
+  grid
+
 let debug = Sys.getenv_opt "TQEC_DEBUG" <> None
 
 let run_icm ?(config = default_config) icm =
@@ -235,22 +250,18 @@ let run_icm ?(config = default_config) icm =
   let placement = Placer.place ~config:placer_config graph flipping dual fvalue in
   mark "placement";
   let nets = build_route_nets graph placement flipping dual fvalue in
-  let extra_z = routing_layers placement nets in
   if debug then
     Printf.eprintf "[pipeline] nets=%d pins=%d grid=%dx%dx%d extra_z=%d\n%!"
       (List.length nets)
       (List.fold_left (fun a (n : Pathfinder.net) -> a + List.length n.Pathfinder.pins) 0 nets)
       placement.Placer.width placement.Placer.height placement.Placer.depth
-      extra_z;
-  let die = placement_bbox ~extra_z placement in
-  let grid = Grid.create ~die (Box3.inflate 2 die) in
-  obstacles grid graph placement;
-  (* pin cells are capacity-exempt: several dual strands may thread the
-     same primal loop *)
-  List.iter
-    (fun (n : Pathfinder.net) -> List.iter (Grid.set_shared grid) n.Pathfinder.pins)
-    nets;
-  let routing = Pathfinder.route_all grid Pathfinder.default_config nets in
+      (routing_layers placement nets);
+  let grid = build_route_grid graph placement nets in
+  let routing =
+    Pathfinder.route_all grid
+      { Pathfinder.default_config with jobs = config.jobs }
+      nets
+  in
   mark "routing";
   let all_boxes =
     List.init (Array.length placement.Placer.sm.Super_module.nodes) (fun i ->
@@ -306,9 +317,11 @@ let run ?(config = default_config) circuit =
 let check r =
   let errors = ref (Placer.check r.placement) in
   let err s = errors := s :: !errors in
-  (* routed nets reach their pins and are connected *)
+  (* routed nets are legal against the same grid they were produced on:
+     connected, reach their pins, stay in bounds, avoid obstacles, and
+     respect cell capacity *)
   let nets = build_route_nets r.graph r.placement r.flipping r.dual r.fvalue in
-  let grid = Grid.create (Box3.inflate 2 (placement_bbox r.placement)) in
+  let grid = build_route_grid r.graph r.placement nets in
   errors := Pathfinder.validate grid r.routing nets @ !errors;
   (* alive claimed modules occupy pairwise distinct cells *)
   let seen = Hashtbl.create 256 in

@@ -25,8 +25,9 @@ type config = {
       (** independent annealing trajectories; best placement wins.
           Deterministic in (seed, restarts) regardless of [jobs] *)
   jobs : int option;
-      (** worker domains for multi-start placement; [None] defers to
-          [TQEC_JOBS] / the machine's domain count *)
+      (** worker domains for multi-start placement and the per-iteration
+          routing batches; [None] defers to [TQEC_JOBS] / the machine's
+          domain count.  Results are identical for any value *)
 }
 
 val default_config : config

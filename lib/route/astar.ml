@@ -2,10 +2,35 @@ module Vec3 = Tqec_util.Vec3
 module Box3 = Tqec_util.Box3
 module Pqueue = Tqec_util.Pqueue
 
+(* Reusable per-searcher workspace.  Arrays grow geometrically with the
+   largest region seen; a generation stamp marks which entries belong to
+   the current search, so reuse needs no O(cells) clearing.  Each worker
+   domain owns its scratch — nothing here is shared. *)
+type scratch = {
+  mutable cap : int;
+  mutable g_score : int array;
+  mutable parent : int array;
+  mutable h_cache : int array;
+  mutable stamp : int array;
+  mutable gen : int;
+  queue : int Pqueue.t;
+}
+
+let create_scratch () =
+  {
+    cap = 0;
+    g_score = [||];
+    parent = [||];
+    h_cache = [||];
+    stamp = [||];
+    gen = 0;
+    queue = Pqueue.create ();
+  }
+
 (* Region-local dense state: corridors are small, so flat arrays beat
    hashing on both speed and allocation. *)
-let search ?(max_expansions = 400_000) ?(avoid_used = false) grid ~region
-    ~penalty ~sources ~target =
+let search ?scratch ?(max_expansions = 400_000) ?(avoid_used = false) grid
+    ~region ~penalty ~sources ~target =
   let region =
     match Box3.inter region (Grid.box grid) with
     | Some r -> r
@@ -39,30 +64,44 @@ let search ?(max_expansions = 400_000) ?(avoid_used = false) grid ~region
             || Grid.is_shared grid p
             || Grid.usage grid p < Grid.capacity))
     in
-    let g_score = Array.make cells max_int in
-    let parent = Array.make cells (-1) in
-    let open_q = Pqueue.create () in
-    (* The heuristic is fixed per cell, so compute it once at push time
-       (against precomputed target coordinates) and cache it by code:
-       the stale-entry check at pop no longer decodes the cell or
-       re-derives the Manhattan distance. *)
+    let scr = match scratch with Some s -> s | None -> create_scratch () in
+    if scr.cap < cells then begin
+      let cap = max cells (max 64 (2 * scr.cap)) in
+      scr.g_score <- Array.make cap max_int;
+      scr.parent <- Array.make cap (-1);
+      scr.h_cache <- Array.make cap 0;
+      scr.stamp <- Array.make cap 0;
+      scr.cap <- cap
+    end;
+    scr.gen <- scr.gen + 1;
+    let gen = scr.gen in
+    let g_score = scr.g_score
+    and parent = scr.parent
+    and h_cache = scr.h_cache
+    and stamp = scr.stamp in
+    let open_q = scr.queue in
+    Pqueue.clear open_q;
+    (* The heuristic is fixed per cell, so compute it once when the cell
+       is first touched this search (against precomputed target
+       coordinates): the stale-entry check at pop never decodes the cell
+       or re-derives the Manhattan distance. *)
     let tx = target.Vec3.x and ty = target.Vec3.y and tz = target.Vec3.z in
-    let h_cache = Array.make cells (-1) in
-    let h (p : Vec3.t) code =
-      match h_cache.(code) with
-      | -1 ->
-          let v = abs (p.x - tx) + abs (p.y - ty) + abs (p.z - tz) in
-          h_cache.(code) <- v;
-          v
-      | v -> v
+    let touch (p : Vec3.t) code =
+      if stamp.(code) <> gen then begin
+        stamp.(code) <- gen;
+        g_score.(code) <- max_int;
+        parent.(code) <- -1;
+        h_cache.(code) <- abs (p.x - tx) + abs (p.y - ty) + abs (p.z - tz)
+      end
     in
     List.iter
       (fun s ->
         if Box3.contains region s then begin
           let code = encode s in
           if passable s code then begin
+            touch s code;
             g_score.(code) <- 0;
-            Pqueue.push open_q (h s code) code
+            Pqueue.push open_q h_cache.(code) code
           end
         end)
       sources;
@@ -83,11 +122,12 @@ let search ?(max_expansions = 400_000) ?(avoid_used = false) grid ~region
               if Box3.contains region q then begin
                 let qcode = encode q in
                 if passable q qcode then begin
+                  touch q qcode;
                   let tentative = gp + Grid.enter_cost grid ~penalty q in
                   if tentative < g_score.(qcode) then begin
                     g_score.(qcode) <- tentative;
                     parent.(qcode) <- code;
-                    Pqueue.push open_q (tentative + h q qcode) qcode
+                    Pqueue.push open_q (tentative + h_cache.(qcode)) qcode
                   end
                 end
               end)

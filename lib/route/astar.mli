@@ -7,14 +7,25 @@
     source and target cells are exempt from the obstacle test so pins
     adjacent to module walls remain reachable. *)
 
+(** Reusable search workspace.  One scratch serves any number of
+    sequential searches (arrays grow to the largest region seen and are
+    invalidated by generation stamps, never cleared); distinct concurrent
+    searchers must each own their scratch — it contains the open queue and
+    the score arrays, so sharing one across domains is a data race. *)
+type scratch
+
+val create_scratch : unit -> scratch
+
 (** [search grid ~region ~penalty ~sources ~target] returns the cell path
     from some source to [target] (both inclusive), or [None] when
     unreachable within the region or when [max_expansions] pops are
     exhausted (a safety valve against pathological searches).  With
     [avoid_used], cells already at capacity are treated as blocked, so a
     found path can never create overuse (the cleanup mode of the
-    negotiation loop). *)
+    negotiation loop).  [scratch] reuses a caller-owned workspace instead
+    of allocating fresh arrays; results are identical either way. *)
 val search :
+  ?scratch:scratch ->
   ?max_expansions:int ->
   ?avoid_used:bool ->
   Grid.t ->

@@ -15,6 +15,11 @@ type t = {
   shared : Bytes.t;
   usage : int array;
   hist : int array;
+  (* Cells currently above capacity, by flat index.  Maintained
+     incrementally by [add_usage]/[set_shared], so [overused] is
+     O(overused) instead of rescanning the whole x*y*z volume every
+     negotiation iteration. *)
+  over : (int, unit) Hashtbl.t;
 }
 
 let create ?die box =
@@ -30,6 +35,7 @@ let create ?die box =
     shared = Bytes.make cells '\000';
     usage = Array.make cells 0;
     hist = Array.make cells 0;
+    over = Hashtbl.create 64;
   }
 
 let box g = g.box
@@ -40,6 +46,14 @@ let index g (p : Vec3.t) =
   let y = p.y - g.box.Box3.lo.Vec3.y in
   let z = p.z - g.box.Box3.lo.Vec3.z in
   ((x * g.ny) + y) * g.nz + z
+
+let cell_of_index g i =
+  let lo = g.box.Box3.lo in
+  let z = i mod g.nz in
+  let rest = i / g.nz in
+  let y = rest mod g.ny in
+  let x = rest / g.ny in
+  Vec3.make (lo.Vec3.x + x) (lo.Vec3.y + y) (lo.Vec3.z + z)
 
 let guard g p name =
   if not (in_bounds g p) then
@@ -59,7 +73,11 @@ let is_obstacle g p =
 
 let set_shared g p =
   guard g p "set_shared";
-  Bytes.set g.shared (index g p) '\001'
+  let i = index g p in
+  Bytes.set g.shared i '\001';
+  (* shared cells have unlimited capacity: whatever their usage, they can
+     no longer be overused *)
+  Hashtbl.remove g.over i
 
 let is_shared g p = in_bounds g p && Bytes.get g.shared (index g p) = '\001'
 
@@ -70,8 +88,12 @@ let usage g p =
 let add_usage g p delta =
   guard g p "add_usage";
   let i = index g p in
-  g.usage.(i) <- g.usage.(i) + delta;
-  if g.usage.(i) < 0 then invalid_arg "Grid.add_usage: negative usage"
+  let u = g.usage.(i) + delta in
+  g.usage.(i) <- u;
+  if u < 0 then invalid_arg "Grid.add_usage: negative usage";
+  if Bytes.get g.shared i <> '\001' then
+    if u > capacity then Hashtbl.replace g.over i ()
+    else Hashtbl.remove g.over i
 
 let history g p =
   guard g p "history";
@@ -92,15 +114,18 @@ let enter_cost g ~penalty p =
     base + g.hist.(i) + (if over > 0 then penalty * over else 0)
 
 let overused g =
-  let out = ref [] in
-  let lo = g.box.Box3.lo in
-  for x = 0 to g.nx - 1 do
-    for y = 0 to g.ny - 1 do
-      for z = 0 to g.nz - 1 do
-        let i = ((x * g.ny) + y) * g.nz + z in
-        if g.usage.(i) > capacity && Bytes.get g.shared i <> '\001' then
-          out := Vec3.make (lo.Vec3.x + x) (lo.Vec3.y + y) (lo.Vec3.z + z) :: !out
-      done
-    done
-  done;
-  List.rev !out
+  (* sort by flat index so the order matches the historical full scan
+     (x, then y, then z ascending) whatever the hash layout *)
+  Hashtbl.fold (fun i () acc -> i :: acc) g.over []
+  |> List.sort Int.compare
+  |> List.map (cell_of_index g)
+
+let overused_count g = Hashtbl.length g.over
+
+let snapshot g =
+  {
+    g with
+    usage = Array.copy g.usage;
+    hist = Array.copy g.hist;
+    over = Hashtbl.copy g.over;
+  }

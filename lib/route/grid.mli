@@ -46,7 +46,20 @@ val add_history : t -> Tqec_util.Vec3.t -> int -> unit
     (obstacles are handled by the router, not here). *)
 val enter_cost : t -> penalty:int -> Tqec_util.Vec3.t -> int
 
-(** [overused g] lists cells with usage above capacity. *)
+(** [overused g] lists cells with usage above capacity, in lexicographic
+    (x, y, z) order.  The set is maintained incrementally by
+    {!add_usage}/{!set_shared}, so the call is O(overused log overused) —
+    it never rescans the grid volume. *)
 val overused : t -> Tqec_util.Vec3.t list
+
+(** [overused_count g] is [List.length (overused g)] in O(1). *)
+val overused_count : t -> int
+
+(** [snapshot g] is an immutable-by-convention copy of the congestion
+    state: usage, history and the overused set are deep-copied, while the
+    obstacle and shared masks (fixed once routing starts) are shared with
+    [g].  Concurrent readers may query a snapshot freely while claims are
+    committed to the live grid. *)
+val snapshot : t -> t
 
 val capacity : int

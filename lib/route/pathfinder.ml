@@ -1,5 +1,6 @@
 module Vec3 = Tqec_util.Vec3
 module Box3 = Tqec_util.Box3
+module Pool = Tqec_util.Pool
 
 type net = { net_id : int; pins : Vec3.t list }
 
@@ -9,6 +10,7 @@ type config = {
   penalty_growth : int;
   history_increment : int;
   region_margin : int;
+  jobs : int option;
 }
 
 let default_config =
@@ -18,6 +20,7 @@ let default_config =
     penalty_growth = 4;
     history_increment = 2;
     region_margin = 3;
+    jobs = None;
   }
 
 let debug = Sys.getenv_opt "TQEC_DEBUG" <> None
@@ -43,12 +46,23 @@ let dedup_cells cells =
       end)
     cells
 
+(* Every domain keeps its own A* workspace: route_net is called
+   concurrently from pool workers, and the scratch holds the open queue
+   and score arrays. *)
+let scratch_key = Domain.DLS.new_key Astar.create_scratch
+
 (* Route one net as a Steiner tree; returns its cell set (or None when a
-   pin is unreachable even with the widest region). *)
+   pin is unreachable even with the widest region).  Only reads [grid] —
+   in the parallel phase it runs against an immutable snapshot. *)
 let route_net ?(avoid_used = false) grid ~penalty ~margin (n : net) =
   match dedup_cells n.pins with
   | [] -> Some []
   | first :: rest ->
+      let scratch = Domain.DLS.get scratch_key in
+      let grid_box = Grid.box grid in
+      let clip b =
+        match Box3.inter b grid_box with Some r -> r | None -> grid_box
+      in
       let tree = ref [ first ] in
       let tree_set = Hashtbl.create 64 in
       Hashtbl.replace tree_set first ();
@@ -81,18 +95,32 @@ let route_net ?(avoid_used = false) grid ~penalty ~margin (n : net) =
           in
           let corridor = Box3.bounding [ pin; nearest ] in
           let try_region region =
-            Astar.search ~avoid_used grid ~region ~penalty ~sources:!tree
-              ~target:pin
+            Astar.search ~scratch ~avoid_used grid ~region ~penalty
+              ~sources:!tree ~target:pin
           in
-          let attempt =
-            match try_region (Box3.inflate margin corridor) with
-            | Some p -> Some p
-            | None -> (
-                match try_region (Box3.inflate (4 * margin) corridor) with
-                | Some p -> Some p
-                | None -> try_region (Grid.box grid))
+          (* Escalation ladder, each region clipped to the grid.  A step
+             whose clipped region does not strictly grow past the previous
+             failed one would repeat the identical (and most expensive)
+             search, so it is skipped: when the margin-inflated corridor
+             already covers the grid, the failed search is final. *)
+          let regions =
+            [
+              clip (Box3.inflate margin corridor);
+              clip (Box3.inflate (4 * margin) corridor);
+              grid_box;
+            ]
           in
-          match attempt with
+          let rec attempt prev = function
+            | [] -> None
+            | r :: rest ->
+                if (match prev with Some p -> Box3.equal p r | None -> false)
+                then attempt prev rest
+                else (
+                  match try_region r with
+                  | Some path -> Some path
+                  | None -> attempt (Some r) rest)
+          in
+          match attempt None regions with
           | Some path ->
               add_cells path;
               true
@@ -115,7 +143,40 @@ let route_net ?(avoid_used = false) grid ~penalty ~margin (n : net) =
       done;
       if !ok then Some (List.rev !tree) else None
 
+(* Per-domain stale-snapshot view for the parallel phase.  Each worker
+   copies the frozen congestion state once per batch (tagged by a global
+   batch counter so reused domains refresh), then routes each of its nets
+   against that copy with the net's own old usage subtracted and restored
+   around the search — every net sees exactly "iteration start minus
+   itself", whichever domain routes it. *)
+let batch_counter = Atomic.make 0
+
+let view_key : (int * Grid.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let domain_view ~tag grid =
+  let slot = Domain.DLS.get view_key in
+  match !slot with
+  | Some (t, v) when t = tag -> v
+  | _ ->
+      let v = Grid.snapshot grid in
+      slot := Some (tag, v);
+      v
+
+(* Negotiated congestion with a snapshot/commit iteration (parallel
+   PathFinder): every iteration freezes the grid's congestion state,
+   routes the nets under negotiation concurrently against that stale
+   snapshot (each minus its own previous route), then rips up and commits
+   their claims serially in deterministic net order.  Conflicts the stale
+   snapshot hides from the concurrent searches surface as overuse at
+   commit and are renegotiated on the next iteration.  Because every net
+   is routed against the same view and the commit order is the
+   (deterministic) net order, the trajectory is bit-identical for any
+   worker count — including fully serial runs. *)
 let route_all grid config nets =
+  let jobs =
+    match config.jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+  in
   let routes : (int, Vec3.t list) Hashtbl.t = Hashtbl.create 64 in
   let rip_up net_id =
     match Hashtbl.find_opt routes net_id with
@@ -139,21 +200,99 @@ let route_all grid config nets =
       nets
   in
   let route_set = ref nets in
+  (* Snapshot routing can sustain a lock-step oscillation: two symmetric
+     nets avoiding each other's stale position swap cells forever, each
+     move depositing history on both alternatives equally.  Serial
+     incremental rerouting is immune (the second net reacts to the
+     first's new route), so small conflict batches — where parallelism
+     buys nothing anyway — and stagnating negotiations fall back to it.
+     Both triggers depend only on the trajectory, never on timing or the
+     worker count, so determinism is preserved. *)
+  let serial_batch_cutoff = 4 in
+  let stagnation_limit = 3 in
+  let best_overused = ref max_int in
+  let stagnant = ref 0 in
+  (* Route one net against [view] as if its own old route were absent:
+     subtract the old usage, search, restore.  [view] is either the live
+     grid (serial phase — frozen because commits only happen after the
+     whole batch) or a worker's private snapshot copy. *)
+  let route_against_view view ~penalty ~margin old n =
+    (match old with
+    | Some cells -> List.iter (fun c -> Grid.add_usage view c (-1)) cells
+    | None -> ());
+    let found = route_net view ~penalty ~margin n in
+    (match old with
+    | Some cells -> List.iter (fun c -> Grid.add_usage view c 1) cells
+    | None -> ());
+    found
+  in
   while (not !finished) && !iterations_used < config.max_iterations do
     incr iterations_used;
+    let batch = Array.of_list !route_set in
+    let penalty_now = !penalty and margin = config.region_margin in
     let still_unrouted = ref [] in
-    List.iter
-      (fun n ->
-        rip_up n.net_id;
-        match route_net grid ~penalty:!penalty ~margin:config.region_margin n with
-        | Some cells -> claim n.net_id cells
-        | None -> still_unrouted := n.net_id :: !still_unrouted)
-      !route_set;
+    if
+      !iterations_used = 1
+      || Array.length batch <= serial_batch_cutoff
+      || !stagnant >= stagnation_limit
+    then
+      (* The first iteration defines the initial solution: route it
+         incrementally (each net sees every earlier commitment) exactly
+         like classic serial PathFinder — a blind first-iteration batch
+         measurably degrades final volume.  Small or stagnating conflict
+         batches take the same path to break snapshot oscillations.  This
+         phase is sequential for every worker count, so determinism is
+         free. *)
+      Array.iter
+        (fun n ->
+          rip_up n.net_id;
+          match route_net grid ~penalty:penalty_now ~margin n with
+          | Some cells -> claim n.net_id cells
+          | None -> still_unrouted := n.net_id :: !still_unrouted)
+        batch
+    else begin
+      let old_routes =
+        Array.map (fun n -> Hashtbl.find_opt routes n.net_id) batch
+      in
+      let found =
+        if jobs = 1 || Array.length batch <= 1 then
+          (* single worker: the live grid is immutable until the commit
+             phase below, so it doubles as the frozen view — no copy *)
+          Array.mapi
+            (fun i n ->
+              route_against_view grid ~penalty:penalty_now ~margin
+                old_routes.(i) n)
+            batch
+        else begin
+          let tag = Atomic.fetch_and_add batch_counter 1 in
+          Pool.map ~jobs
+            (fun (i, n) ->
+              let view = domain_view ~tag grid in
+              route_against_view view ~penalty:penalty_now ~margin
+                old_routes.(i) n)
+            (Array.mapi (fun i n -> (i, n)) batch)
+        end
+      in
+      (* commit serially, in batch order: commit order, not completion
+         order, decides the trajectory *)
+      Array.iteri
+        (fun i n ->
+          rip_up n.net_id;
+          match found.(i) with
+          | Some cells -> claim n.net_id cells
+          | None -> still_unrouted := n.net_id :: !still_unrouted)
+        batch
+    end;
     unrouted := !still_unrouted;
     let overused = Grid.overused grid in
+    if List.length overused < !best_overused then begin
+      best_overused := List.length overused;
+      stagnant := 0
+    end
+    else incr stagnant;
     if debug then
-      Printf.eprintf "[pathfinder] iter=%d rerouted=%d overused=%d\n%!"
-        !iterations_used (List.length !route_set) (List.length overused);
+      Printf.eprintf "[pathfinder] iter=%d rerouted=%d overused=%d jobs=%d\n%!"
+        !iterations_used (Array.length batch) (List.length overused) jobs;
     if overused = [] && !unrouted = [] then finished := true
     else begin
       List.iter
@@ -250,11 +389,21 @@ let route_all grid config nets =
     unrouted = List.rev !unrouted;
   }
 
-let validate _grid result nets =
+let validate grid result nets =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   let by_id = Hashtbl.create 16 in
   List.iter (fun r -> Hashtbl.replace by_id r.r_net r.r_cells) result.routes;
+  (* per-cell usage over all routed nets: the capacity oracle *)
+  let usage = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun c ->
+          Hashtbl.replace usage c
+            (1 + Option.value ~default:0 (Hashtbl.find_opt usage c)))
+        r.r_cells)
+    result.routes;
   List.iter
     (fun n ->
       match Hashtbl.find_opt by_id n.net_id with
@@ -262,13 +411,31 @@ let validate _grid result nets =
           if not (List.mem n.net_id result.unrouted) then
             err "net %d missing from routes" n.net_id
       | Some cells ->
+          let pins = dedup_cells n.pins in
+          let pin_set = Hashtbl.create 8 in
+          List.iter (fun p -> Hashtbl.replace pin_set p ()) pins;
+          (* geometric legality against the grid: every cell inside the
+             routing box, and no obstacle crossings except at the net's
+             own pins (the only cells A* exempts) *)
           let cell_set = Hashtbl.create 64 in
-          List.iter (fun c -> Hashtbl.replace cell_set c ()) cells;
+          List.iter
+            (fun c ->
+              if Hashtbl.mem cell_set c then
+                err "net %d lists cell %s twice" n.net_id (Vec3.to_string c)
+              else Hashtbl.replace cell_set c ();
+              if not (Grid.in_bounds grid c) then
+                err "net %d leaves the routing grid at %s" n.net_id
+                  (Vec3.to_string c)
+              else if Grid.is_obstacle grid c && not (Hashtbl.mem pin_set c)
+              then
+                err "net %d passes through obstacle %s" n.net_id
+                  (Vec3.to_string c))
+            cells;
           List.iter
             (fun pin ->
               if not (Hashtbl.mem cell_set pin) then
                 err "net %d does not reach pin %s" n.net_id (Vec3.to_string pin))
-            (dedup_cells n.pins);
+            pins;
           (* connectivity by BFS over the cell set *)
           (match cells with
           | [] -> ()
@@ -288,7 +455,29 @@ let validate _grid result nets =
                     end)
                   (Vec3.axis_neighbors p)
               done;
-              if Hashtbl.length visited <> List.length cells then
+              if Hashtbl.length visited <> Hashtbl.length cell_set then
                 err "net %d cells disconnected" n.net_id))
     nets;
+  (* capacity and overuse accounting: non-shared cells carry at most
+     [Grid.capacity] strands, and the result must own up to exactly the
+     overuse its routes imply *)
+  let over =
+    Hashtbl.fold
+      (fun c u acc ->
+        if u > Grid.capacity && Grid.in_bounds grid c
+           && not (Grid.is_shared grid c)
+        then (c, u) :: acc
+        else acc)
+      usage []
+    |> List.sort compare
+  in
+  if result.success then
+    List.iter
+      (fun (c, u) ->
+        err "cell %s carries %d nets (capacity %d)" (Vec3.to_string c) u
+          Grid.capacity)
+      over;
+  if List.length over <> result.overused_after then
+    err "overuse accounting: result reports %d overused cells, routes imply %d"
+      result.overused_after (List.length over);
   List.rev !errors

@@ -7,7 +7,16 @@
     one at a time to the growing tree.  After an iteration, cells used
     beyond capacity receive history cost and the congestion penalty
     grows; the loop ends when no cell is overused or the iteration
-    budget is exhausted. *)
+    budget is exhausted.
+
+    Iterations follow the snapshot/commit recipe of parallel PathFinder:
+    the nets under negotiation are ripped up, routed concurrently over
+    {!Tqec_util.Pool} against a frozen snapshot of the congestion state,
+    and committed serially in deterministic net order.  Conflicts hidden
+    by the frozen snapshot surface as overuse at commit time and are
+    renegotiated next iteration, so the trajectory — routes, iteration
+    count and residual overuse — is bit-identical for every worker
+    count. *)
 
 type net = { net_id : int; pins : Tqec_util.Vec3.t list }
 
@@ -17,6 +26,10 @@ type config = {
   penalty_growth : int;  (** added to the penalty each iteration *)
   history_increment : int;
   region_margin : int;
+  jobs : int option;
+      (** worker domains for the per-iteration net batch; [None] defers
+          to [TQEC_JOBS] / the machine's domain count, [Some 1] routes the
+          batch serially (same results either way) *)
 }
 
 val default_config : config
@@ -39,6 +52,12 @@ type result = {
     trivially to their pin set. *)
 val route_all : Grid.t -> config -> net list -> result
 
-(** [validate grid result nets] checks that every routed net's cell set
-    is connected and touches all its pins; returns error strings. *)
+(** [validate grid result nets] checks routing legality against the grid:
+    every routed net's cell set is connected, touches all its pins, stays
+    inside the routing box, crosses obstacles only at the net's own pins,
+    and no non-shared cell carries more than {!Grid.capacity} nets beyond
+    what [result.overused_after] admits.  Returns error strings; [] means
+    the result is sound.  [grid] must carry the same obstacle and shared
+    masks the routes were produced against (its usage state is not
+    consulted). *)
 val validate : Grid.t -> result -> net list -> string list

@@ -55,7 +55,56 @@ let test_grid_overused () =
   let g = grid10 () in
   Grid.add_usage g (vec 1 1 1) 2;
   Grid.add_usage g (vec 2 2 2) 1;
-  check Alcotest.int "one overused" 1 (List.length (Grid.overused g))
+  check Alcotest.int "one overused" 1 (List.length (Grid.overused g));
+  check Alcotest.int "count agrees" 1 (Grid.overused_count g);
+  Grid.add_usage g (vec 1 1 1) (-1);
+  check Alcotest.int "drops back" 0 (Grid.overused_count g);
+  Grid.add_usage g (vec 3 3 3) 4;
+  Grid.set_shared g (vec 3 3 3);
+  check Alcotest.int "shared leaves the set" 0 (Grid.overused_count g)
+
+(* The incrementally maintained overused set must agree with a
+   brute-force rescan of the whole volume after any usage/shared
+   trajectory. *)
+let prop_grid_overused_incremental =
+  QCheck.Test.make ~name:"incremental overused set matches brute force"
+    ~count:50
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let size = 5 in
+      let box = Box3.make (vec 0 0 0) (vec (size - 1) (size - 1) (size - 1)) in
+      let g = Grid.create box in
+      for _ = 1 to 120 do
+        let p = vec (Rng.int rng size) (Rng.int rng size) (Rng.int rng size) in
+        match Rng.int rng 4 with
+        | 0 -> Grid.set_shared g p
+        | 1 -> if Grid.usage g p > 0 then Grid.add_usage g p (-1)
+        | _ -> Grid.add_usage g p (1 + Rng.int rng 2)
+      done;
+      let brute =
+        List.filter
+          (fun c -> Grid.usage g c > Grid.capacity && not (Grid.is_shared g c))
+          (Box3.cells box)
+      in
+      Grid.overused g = brute && Grid.overused_count g = List.length brute)
+
+(* A snapshot freezes the congestion state: mutations of the live grid
+   must not leak into it, and vice versa. *)
+let test_grid_snapshot_isolated () =
+  let g = grid10 () in
+  Grid.add_usage g (vec 1 1 1) 2;
+  Grid.add_history g (vec 4 4 4) 3;
+  let s = Grid.snapshot g in
+  Grid.add_usage g (vec 1 1 1) (-2);
+  Grid.add_usage g (vec 2 2 2) 5;
+  Grid.add_history g (vec 4 4 4) 7;
+  check Alcotest.int "snapshot usage frozen" 2 (Grid.usage s (vec 1 1 1));
+  check Alcotest.int "snapshot other cell" 0 (Grid.usage s (vec 2 2 2));
+  check Alcotest.int "snapshot history frozen" 3 (Grid.history s (vec 4 4 4));
+  check Alcotest.int "snapshot overused frozen" 1 (Grid.overused_count s);
+  Grid.add_usage s (vec 7 7 7) 9;
+  check Alcotest.int "live grid unaffected" 0 (Grid.usage g (vec 7 7 7))
 
 let test_grid_die_cost () =
   let die = Box3.make (vec 0 0 0) (vec 4 4 4) in
@@ -253,6 +302,210 @@ let test_pathfinder_unroutable () =
   check Alcotest.bool "failure reported" false r.Pathfinder.success;
   check Alcotest.(list int) "unrouted id" [ 7 ] r.Pathfinder.unrouted
 
+(* ------------------------------------------------------------------ *)
+(* Validator blind spots: planted illegal routes must be rejected      *)
+(* ------------------------------------------------------------------ *)
+
+let planted_result routes =
+  {
+    Pathfinder.routes;
+    success = true;
+    iterations_used = 1;
+    overused_after = 0;
+    unrouted = [];
+  }
+
+let has_error fragment errors =
+  List.exists
+    (fun e ->
+      let rec find i =
+        i + String.length fragment <= String.length e
+        && (String.sub e i (String.length fragment) = fragment || find (i + 1))
+      in
+      find 0)
+    errors
+
+let test_validate_rejects_obstacle_crossing () =
+  let g = grid10 () in
+  Grid.set_obstacle g (vec 2 0 0);
+  let nets = [ { Pathfinder.net_id = 0; pins = [ vec 0 0 0; vec 4 0 0 ] } ] in
+  let r =
+    planted_result
+      [
+        {
+          Pathfinder.r_net = 0;
+          r_cells = List.init 5 (fun x -> vec x 0 0);
+        };
+      ]
+  in
+  let errors = Pathfinder.validate g r nets in
+  check Alcotest.bool "obstacle crossing detected" true
+    (has_error "obstacle" errors)
+
+let test_validate_allows_obstacle_pins () =
+  (* pins on obstacle cells are the one legal exemption (A* exempts
+     sources and target), so they must not be flagged *)
+  let g = grid10 () in
+  Grid.set_obstacle g (vec 0 0 0);
+  Grid.set_obstacle g (vec 3 0 0);
+  let nets = [ { Pathfinder.net_id = 0; pins = [ vec 0 0 0; vec 3 0 0 ] } ] in
+  let r =
+    planted_result
+      [ { Pathfinder.r_net = 0; r_cells = List.init 4 (fun x -> vec x 0 0) } ]
+  in
+  check Alcotest.(list string) "pin obstacles exempt" []
+    (Pathfinder.validate g r nets)
+
+let test_validate_rejects_out_of_bounds () =
+  let g = grid10 () in
+  let nets = [ { Pathfinder.net_id = 3; pins = [ vec 0 0 0; vec 1 0 0 ] } ] in
+  let r =
+    planted_result
+      [
+        {
+          Pathfinder.r_net = 3;
+          (* a connected chain that dips below the grid floor *)
+          r_cells = [ vec 0 0 0; vec 0 0 (-1); vec 1 0 (-1); vec 1 0 0 ];
+        };
+      ]
+  in
+  let errors = Pathfinder.validate g r nets in
+  check Alcotest.bool "escape detected" true
+    (has_error "leaves the routing grid" errors)
+
+let test_validate_rejects_overcapacity () =
+  let g = grid10 () in
+  let straight = List.init 4 (fun x -> vec x 0 0) in
+  let nets =
+    [
+      { Pathfinder.net_id = 0; pins = [ vec 0 0 0; vec 3 0 0 ] };
+      { Pathfinder.net_id = 1; pins = [ vec 0 1 0; vec 3 1 0 ] };
+    ]
+  in
+  let r =
+    planted_result
+      [
+        { Pathfinder.r_net = 0; r_cells = straight };
+        (* net 1 detours through net 0's row: every straight cell is
+           doubly used without being shared *)
+        {
+          Pathfinder.r_net = 1;
+          r_cells = (vec 0 1 0 :: straight) @ [ vec 3 1 0 ];
+        };
+      ]
+  in
+  let errors = Pathfinder.validate g r nets in
+  check Alcotest.bool "capacity violation detected" true
+    (has_error "capacity" errors);
+  check Alcotest.bool "accounting mismatch detected" true
+    (has_error "overuse accounting" errors);
+  (* shared cells lift the capacity limit: the same routes become legal
+     once the contested row is marked shared and the overuse is owned *)
+  List.iter (Grid.set_shared g) straight;
+  check Alcotest.(list string) "shared row legal" []
+    (Pathfinder.validate g r nets)
+
+let test_validate_accounting_must_match () =
+  (* a result that under-reports its residual overuse is rejected even
+     when it does not claim success *)
+  let g = grid10 () in
+  let straight = List.init 2 (fun x -> vec x 0 0) in
+  let nets =
+    [
+      { Pathfinder.net_id = 0; pins = [ vec 0 0 0; vec 1 0 0 ] };
+      { Pathfinder.net_id = 1; pins = [ vec 0 0 0; vec 1 0 0 ] };
+    ]
+  in
+  let r =
+    {
+      Pathfinder.routes =
+        [
+          { Pathfinder.r_net = 0; r_cells = straight };
+          { Pathfinder.r_net = 1; r_cells = straight };
+        ];
+      success = false;
+      iterations_used = 1;
+      overused_after = 0;
+      unrouted = [];
+    }
+  in
+  let errors = Pathfinder.validate g r nets in
+  check Alcotest.bool "accounting enforced" true
+    (has_error "overuse accounting" errors);
+  check Alcotest.(list string) "honest accounting accepted" []
+    (Pathfinder.validate g { r with Pathfinder.overused_after = 2 } nets)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel router determinism                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A congested scenario that needs several negotiation iterations, so the
+   parallel batch path really runs: five nets crossing a narrow slab of
+   height [ymax + 1].  ymax = 4 is routable after real negotiation;
+   ymax = 2 is over capacity and exercises the saturated endgame. *)
+let congested_scenario ymax =
+  let g = Grid.create (Box3.make (vec 0 0 0) (vec 11 ymax 1)) in
+  let nets =
+    [
+      { Pathfinder.net_id = 0; pins = [ vec 0 1 0; vec 11 1 0 ] };
+      { Pathfinder.net_id = 1; pins = [ vec 0 1 1; vec 11 1 1 ] };
+      { Pathfinder.net_id = 2; pins = [ vec 0 0 0; vec 11 ymax 1 ] };
+      { Pathfinder.net_id = 3; pins = [ vec 0 ymax 0; vec 11 0 1 ] };
+      { Pathfinder.net_id = 4; pins = [ vec 0 0 1; vec 11 ymax 0 ] };
+    ]
+  in
+  (g, nets)
+
+let route_congested ymax jobs =
+  let g, nets = congested_scenario ymax in
+  let r =
+    Pathfinder.route_all g { Pathfinder.default_config with jobs } nets
+  in
+  (r, Pathfinder.validate g r nets)
+
+(* The acceptance-critical property mirroring the placer's: the routing
+   trajectory is a pure function of the input — TQEC_JOBS=1 and
+   TQEC_JOBS=4 give identical routes, iteration counts and residual
+   overuse. *)
+let test_pathfinder_jobs_invariant () =
+  let serial, errs1 = route_congested 4 (Some 1) in
+  let parallel, errs4 = route_congested 4 (Some 4) in
+  check Alcotest.(list string) "serial valid" [] errs1;
+  check Alcotest.(list string) "parallel valid" [] errs4;
+  check Alcotest.bool "identical results" true (serial = parallel);
+  check Alcotest.bool "negotiation really iterated" true
+    (serial.Pathfinder.iterations_used > 1);
+  check Alcotest.bool "negotiation converged" true serial.Pathfinder.success
+
+(* Same property on a slab that is genuinely over capacity: the router
+   must stay deterministic (and its overuse accounting honest) even when
+   negotiation cannot converge. *)
+let test_pathfinder_jobs_invariant_saturated () =
+  let serial, errs1 = route_congested 2 (Some 1) in
+  let parallel, errs4 = route_congested 2 (Some 4) in
+  check Alcotest.(list string) "serial valid" [] errs1;
+  check Alcotest.(list string) "parallel valid" [] errs4;
+  check Alcotest.bool "identical results" true (serial = parallel);
+  check Alcotest.bool "saturation reported" true
+    (serial.Pathfinder.overused_after > 0 && not serial.Pathfinder.success)
+
+(* Corridor-widening regression: when the margin-inflated corridor
+   already covers the whole grid, the escalation must stop after one
+   failed search instead of repeating it — and still report the net
+   unrouted. *)
+let test_pathfinder_unroutable_wide_corridor () =
+  let g = grid10 () in
+  for y = 0 to 9 do
+    for z = 0 to 9 do
+      Grid.set_obstacle g (vec 5 y z)
+    done
+  done;
+  (* pins span the full grid, so even the first corridor covers it *)
+  let nets = [ { Pathfinder.net_id = 0; pins = [ vec 0 0 0; vec 9 9 9 ] } ] in
+  let r = Pathfinder.route_all g Pathfinder.default_config nets in
+  check Alcotest.bool "failure reported" false r.Pathfinder.success;
+  check Alcotest.(list int) "unrouted id" [ 0 ] r.Pathfinder.unrouted
+
 let prop_pathfinder_random_nets_valid =
   QCheck.Test.make ~name:"pathfinder routes random nets validly" ~count:15
     (QCheck.int_range 1 1000)
@@ -273,6 +526,45 @@ let prop_pathfinder_random_nets_valid =
       let r = Pathfinder.route_all g Pathfinder.default_config nets in
       r.Pathfinder.success && Pathfinder.validate g r nets = [])
 
+(* ------------------------------------------------------------------ *)
+(* End-to-end: route-stage jobs invariance on suite circuits           *)
+(* ------------------------------------------------------------------ *)
+
+module Suite = Tqec_circuit.Suite
+module Pipeline = Tqec_compress.Pipeline
+
+let run_suite_pipeline name factor jobs =
+  let entry =
+    match Suite.find name with
+    | Some e -> e
+    | None -> Alcotest.failf "unknown suite benchmark %s" name
+  in
+  let circuit = Suite.scaled ~factor entry in
+  Pipeline.run
+    ~config:
+      {
+        Pipeline.default_config with
+        effort = Tqec_place.Placer.Quick;
+        seed = 42;
+        jobs;
+      }
+    circuit
+
+(* The full-flow mirror of the router determinism test, on two suite
+   circuits: the routing stage (and thus the whole result) is identical
+   under TQEC_JOBS=1 and TQEC_JOBS=4. *)
+let test_pipeline_route_jobs_invariant name factor () =
+  let serial = run_suite_pipeline name factor (Some 1) in
+  let parallel = run_suite_pipeline name factor (Some 4) in
+  check Alcotest.(list string) "parallel pipeline sound" []
+    (Pipeline.check parallel);
+  check Alcotest.bool "identical routing" true
+    (serial.Pipeline.routing = parallel.Pipeline.routing);
+  check Alcotest.int "identical volume" serial.Pipeline.volume
+    parallel.Pipeline.volume;
+  check Alcotest.bool "routing succeeded" true
+    serial.Pipeline.routing.Pathfinder.success
+
 let suites =
   [
     ( "route.grid",
@@ -283,7 +575,9 @@ let suites =
         Alcotest.test_case "obstacles" `Quick test_grid_obstacles;
         Alcotest.test_case "shared cells" `Quick test_grid_shared;
         Alcotest.test_case "overused" `Quick test_grid_overused;
+        Alcotest.test_case "snapshot isolated" `Quick test_grid_snapshot_isolated;
         Alcotest.test_case "die cost" `Quick test_grid_die_cost;
+        qtest prop_grid_overused_incremental;
       ] );
     ( "route.astar",
       [
@@ -301,6 +595,31 @@ let suites =
         Alcotest.test_case "negotiates" `Quick test_pathfinder_negotiates_conflict;
         Alcotest.test_case "single pin" `Quick test_pathfinder_single_pin_net;
         Alcotest.test_case "unroutable" `Quick test_pathfinder_unroutable;
+        Alcotest.test_case "unroutable, grid-wide corridor" `Quick
+          test_pathfinder_unroutable_wide_corridor;
+        Alcotest.test_case "jobs invariant" `Quick test_pathfinder_jobs_invariant;
+        Alcotest.test_case "jobs invariant (saturated)" `Quick
+          test_pathfinder_jobs_invariant_saturated;
         qtest prop_pathfinder_random_nets_valid;
+      ] );
+    ( "route.validate",
+      [
+        Alcotest.test_case "rejects obstacle crossing" `Quick
+          test_validate_rejects_obstacle_crossing;
+        Alcotest.test_case "allows obstacle pins" `Quick
+          test_validate_allows_obstacle_pins;
+        Alcotest.test_case "rejects out-of-bounds" `Quick
+          test_validate_rejects_out_of_bounds;
+        Alcotest.test_case "rejects overcapacity" `Quick
+          test_validate_rejects_overcapacity;
+        Alcotest.test_case "accounting must match" `Quick
+          test_validate_accounting_must_match;
+      ] );
+    ( "route.parallel-pipeline",
+      [
+        Alcotest.test_case "4gt10-v1_81 jobs invariant" `Slow
+          (test_pipeline_route_jobs_invariant "4gt10-v1_81" 4);
+        Alcotest.test_case "4gt4-v0_73 jobs invariant" `Slow
+          (test_pipeline_route_jobs_invariant "4gt4-v0_73" 8);
       ] );
   ]
