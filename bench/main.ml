@@ -11,7 +11,13 @@
                    instances already saturate the pool)
                    (default: the machine's domain count; 1 = serial)
      TQEC_RESTARTS = annealing trajectories per placement (default 1)
-     TQEC_BENCH_STAGES = 0 to skip the Bechamel stage timings *)
+     TQEC_EARLY_STOP = adaptive multi-start early-stop margin
+                   ("0.05" = 5%); "off" disables early stopping
+     TQEC_BENCH_STAGES = 0 to skip the Bechamel stage timings
+     TQEC_CHECK_MULTISTART = 1 to cross-check the adaptive multi-start
+                   determinism contract (restarts=4, early stopping on,
+                   jobs=1 vs jobs=4 must give identical placements);
+                   exits non-zero on a mismatch *)
 
 module Suite = Tqec_circuit.Suite
 module Experiments = Tqec_compress.Experiments
@@ -74,6 +80,68 @@ let regenerate_tables config =
   print_string (Report.fig1 (Experiments.fig1_series ()));
   print_newline ();
   print_string (Report.summary rows)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive multi-start determinism cross-check                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The determinism contract behind adaptive early stopping: a placement
+   with restarts=4 and early stopping enabled is a pure function of
+   (seed, restarts) — jobs=1 and jobs=4 must agree on the best cost and
+   the full geometry.  Run on every `dune runtest` via @bench-smoke. *)
+let check_multistart () =
+  let module Placer = Tqec_place.Placer in
+  let module Sa = Tqec_place.Sa in
+  let entry = List.hd Suite.all (* 4gt10-v1_81, the smallest *) in
+  let circuit = Suite.scaled ~factor:16 entry in
+  let icm =
+    Tqec_icm.Decompose.run (Tqec_circuit.Clifford_t.decompose circuit)
+  in
+  let g = Tqec_pdgraph.Pd_graph.of_icm icm in
+  ignore (Tqec_pdgraph.Ishape.run g);
+  let time_sms = Tqec_place.Super_module.time_sm_modules g in
+  let in_sm = Hashtbl.create 16 in
+  List.iter
+    (fun (_, ms) -> List.iter (fun m -> Hashtbl.replace in_sm m ()) ms)
+    time_sms;
+  let flipping = Tqec_pdgraph.Flipping.run ~exclude:(Hashtbl.mem in_sm) g in
+  let dual = Tqec_pdgraph.Dual_bridge.run g in
+  let fvalue = Tqec_pdgraph.Fvalue.plan flipping in
+  let place jobs =
+    let config =
+      {
+        Placer.default_config with
+        effort = Placer.Quick;
+        seed = 42;
+        restarts = 4;
+        jobs = Some jobs;
+        early_stop_margin = Some 0.05;
+      }
+    in
+    Placer.place ~config g flipping dual fvalue
+  in
+  let a = place 1 in
+  let b = place 4 in
+  let same =
+    a.Placer.sa_stats.Sa.best_cost = b.Placer.sa_stats.Sa.best_cost
+    && a.Placer.sa_stats.Sa.attempted = b.Placer.sa_stats.Sa.attempted
+    && a.Placer.node_pos = b.Placer.node_pos
+    && a.Placer.rotated = b.Placer.rotated
+    && (a.Placer.width, a.Placer.height, a.Placer.depth)
+       = (b.Placer.width, b.Placer.height, b.Placer.depth)
+  in
+  if not same then begin
+    Printf.eprintf
+      "[bench] FAIL: adaptive multi-start placement differs between jobs=1 \
+       and jobs=4 (best %g vs %g, attempted %d vs %d)\n%!"
+      a.Placer.sa_stats.Sa.best_cost b.Placer.sa_stats.Sa.best_cost
+      a.Placer.sa_stats.Sa.attempted b.Placer.sa_stats.Sa.attempted;
+    exit 1
+  end;
+  Printf.eprintf
+    "[bench] multi-start determinism ok (restarts=4, early-stop 0.05, jobs 1 \
+     vs 4: best=%g attempted=%d)\n%!"
+    a.Placer.sa_stats.Sa.best_cost a.Placer.sa_stats.Sa.attempted
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel stage timings                                              *)
@@ -174,6 +242,8 @@ let run_bechamel () =
 
 let () =
   let config = config () in
+  if Sys.getenv_opt "TQEC_CHECK_MULTISTART" = Some "1" then
+    check_multistart ();
   Printf.printf
     "TQEC bridge-compression benchmark harness (effort=%s, scale=%d)\n\n"
     (match config.Experiments.effort with

@@ -1,0 +1,48 @@
+(* Micro-benchmark for the incremental repack: the annealer's exact
+   perturb/pack/undo pattern over a 128-block tree. *)
+module Bstar_tree = Tqec_place.Bstar_tree
+module Rng = Tqec_util.Rng
+
+let () =
+  let n = try int_of_string Sys.argv.(1) with _ -> 128 in
+  let moves = try int_of_string Sys.argv.(2) with _ -> 120_000 in
+  let mode =
+    match (try Sys.argv.(3) with _ -> "flat") with
+    | "balanced" -> `Balanced
+    | "flat" -> `Flat
+    | _ -> `Auto
+  in
+  let dims =
+    Array.init n (fun i -> (1 + ((i * 7) mod 5), 1 + ((i * 3) mod 4)))
+  in
+  let t = Bstar_tree.create ~contour:mode dims in
+  let rng = Rng.create 42 in
+  let xs = Array.make n 0 and ys = Array.make n 0 in
+  ignore (Bstar_tree.pack_xy t xs ys);
+  let t0 = Unix.gettimeofday () in
+  let acc = ref 0 in
+  for _ = 1 to moves do
+    let undo =
+      match Rng.int rng 3 with
+      | 0 ->
+          let b = Rng.int rng n in
+          Bstar_tree.rotate t b;
+          fun () -> Bstar_tree.rotate t b
+      | 1 ->
+          let a = Rng.int rng n and b = Rng.int rng n in
+          Bstar_tree.swap_blocks t a b;
+          fun () -> Bstar_tree.swap_blocks t a b
+      | _ ->
+          let snap = Bstar_tree.snapshot t in
+          Bstar_tree.move_block t ~rng (Rng.int rng n);
+          fun () -> Bstar_tree.restore t snap
+    in
+    let w, h = Bstar_tree.pack_xy t xs ys in
+    acc := !acc + w + h;
+    if Rng.bool rng then undo ()
+  done;
+  Printf.printf "%d blocks, %d moves (%s): %.3fs (checksum %d)\n"
+    n moves
+    (match mode with `Flat -> "flat" | `Balanced -> "balanced" | `Auto -> "auto")
+    (Unix.gettimeofday () -. t0)
+    !acc

@@ -73,6 +73,31 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let early_stop_arg =
+  let doc =
+    "Adaptive multi-start: relative margin by which a restart's best \
+     may trail the shared global best before it stops early (e.g. \
+     0.05); $(b,off) disables early stopping.  Lane 0 always runs to \
+     completion and results stay deterministic in (seed, restarts) for \
+     any worker count."
+  in
+  let parse s =
+    if String.lowercase_ascii s = "off" then Ok None
+    else
+      match float_of_string_opt s with
+      | Some m when m >= 0. -> Ok (Some m)
+      | _ -> Error (`Msg "expected a non-negative margin or 'off'")
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "off"
+    | Some m -> Format.fprintf ppf "%g" m
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print))
+        Pipeline.default_config.Pipeline.early_stop_margin
+    & info [ "early-stop" ] ~docv:"MARGIN" ~doc)
+
 let scale_arg =
   let doc = "Scale instances down by this divisor (benchmarks only)." in
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc)
@@ -116,7 +141,7 @@ let optimize_arg =
   Arg.(value & flag & info [ "O"; "optimize" ] ~doc)
 
 let compress_cmd =
-  let run input variant effort seed restarts jobs optimize =
+  let run input variant effort seed restarts jobs early_stop optimize =
     let c = load_circuit input in
     let c =
       if optimize then begin
@@ -129,7 +154,7 @@ let compress_cmd =
     in
     let config =
       { Pipeline.default_config with variant; effort; seed;
-        restarts = max 1 restarts; jobs }
+        restarts = max 1 restarts; jobs; early_stop_margin = early_stop }
     in
     let r = Pipeline.run ~config c in
     let p = r.Pipeline.placement in
@@ -152,9 +177,9 @@ let compress_cmd =
   Cmd.v
     (Cmd.info "compress" ~doc:"Run the bridge-compression flow.")
     Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
-          $ restarts_arg $ jobs_arg $ optimize_arg)
+          $ restarts_arg $ jobs_arg $ early_stop_arg $ optimize_arg)
 
-let experiment_config effort scale seed restarts jobs benchmarks =
+let experiment_config effort scale seed restarts jobs early_stop benchmarks =
   {
     Experiments.effort;
     scale;
@@ -163,6 +188,7 @@ let experiment_config effort scale seed restarts jobs benchmarks =
     benchmarks = (if benchmarks = [] then Suite.names else benchmarks);
     restarts = max 1 restarts;
     jobs;
+    early_stop_margin = early_stop;
   }
 
 let benchmarks_arg =
@@ -170,13 +196,15 @@ let benchmarks_arg =
   Arg.(value & opt_all string [] & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
 
 let table_cmd name doc render =
-  let run effort scale seed restarts jobs benchmarks =
-    let config = experiment_config effort scale seed restarts jobs benchmarks in
+  let run effort scale seed restarts jobs early_stop benchmarks =
+    let config =
+      experiment_config effort scale seed restarts jobs early_stop benchmarks
+    in
     print_string (render config)
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(const run $ effort_arg $ scale_arg $ seed_arg $ restarts_arg
-          $ jobs_arg $ benchmarks_arg)
+          $ jobs_arg $ early_stop_arg $ benchmarks_arg)
 
 let table1_cmd =
   table_cmd "table1" "Regenerate Table 1 (benchmark statistics)."

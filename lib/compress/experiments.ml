@@ -13,6 +13,7 @@ type config = {
   benchmarks : string list;
   restarts : int;
   jobs : int option;
+  early_stop_margin : float option;
 }
 
 (* Keep each instance near the largest size that places and routes in a
@@ -51,7 +52,18 @@ let config_from_env () =
     | Some s -> ( match int_of_string_opt s with Some v when v >= 1 -> Some v | _ -> None)
     | None -> None
   in
-  { effort; scale; auto_scale; seed; benchmarks = Suite.names; restarts; jobs }
+  (* TQEC_EARLY_STOP: relative margin for adaptive multi-start early
+     stopping ("0.05" = 5%); "off" (or any non-float) disables it. *)
+  let early_stop_margin =
+    match Sys.getenv_opt "TQEC_EARLY_STOP" with
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some m when m >= 0. -> Some m
+        | _ -> None)
+    | None -> Pipeline.default_config.Pipeline.early_stop_margin
+  in
+  { effort; scale; auto_scale; seed; benchmarks = Suite.names; restarts; jobs;
+    early_stop_margin }
 
 let run_benchmark config (entry : Suite.entry) =
   let factor =
@@ -71,6 +83,7 @@ let run_benchmark config (entry : Suite.entry) =
           effort = config.effort;
           seed = config.seed;
           restarts = config.restarts;
+          early_stop_margin = config.early_stop_margin;
           (* instances already fan out across domains; keep each
              instance's inner parallelism (placement multi-start and the
              router's per-iteration batches) serial to avoid

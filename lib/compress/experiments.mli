@@ -22,10 +22,13 @@ type config = {
       (** worker domains for the suite fan-out; [None] defers to
           [TQEC_JOBS] / the machine's domain count, [Some 1] is the
           historical serial behaviour *)
+  early_stop_margin : float option;
+      (** adaptive multi-start early-stop margin (see
+          {!Tqec_place.Placer.config}); [None] disables early stopping *)
 }
 
 (** [config_from_env ()] reads TQEC_EFFORT / TQEC_SCALE / TQEC_SEED /
-    TQEC_RESTARTS / TQEC_JOBS. *)
+    TQEC_RESTARTS / TQEC_JOBS / TQEC_EARLY_STOP ("off" to disable). *)
 val config_from_env : unit -> config
 
 (** [run_benchmark config entry] measures one suite entry end to end. *)

@@ -23,11 +23,13 @@ type config = {
   strategy : Placer.strategy;
   restarts : int;
   jobs : int option;
+  early_stop_margin : float option;
 }
 
 let default_config =
   { variant = Full; effort = Placer.Normal; seed = 42; enable_ishape = true;
-    z_cap = None; strategy = Placer.Annealing; restarts = 1; jobs = None }
+    z_cap = None; strategy = Placer.Annealing; restarts = 1; jobs = None;
+    early_stop_margin = Placer.default_config.Placer.early_stop_margin }
 
 type stage_stats = {
   st_modules : int;
@@ -191,9 +193,15 @@ let routing_layers (placement : Placer.t) nets =
 
 (* The routing grid reconstruction shared by [run_icm] and [check]: the
    validator must see the same die, obstacle and shared-pin masks the
-   routes were produced against, or legality checks are meaningless. *)
-let build_route_grid graph placement nets =
-  let extra_z = routing_layers placement nets in
+   routes were produced against, or legality checks are meaningless.
+   [?extra_z] lets a caller that already computed [routing_layers] pass
+   it in instead of recomputing. *)
+let build_route_grid ?extra_z graph placement nets =
+  let extra_z =
+    match extra_z with
+    | Some z -> z
+    | None -> routing_layers placement nets
+  in
   let die = placement_bbox ~extra_z placement in
   let grid = Grid.create ~die (Box3.inflate 2 die) in
   obstacles grid graph placement;
@@ -245,18 +253,22 @@ let run_icm ?(config = default_config) icm =
       strategy = config.strategy;
       restarts = config.restarts;
       jobs = config.jobs;
+      early_stop_margin = config.early_stop_margin;
     }
   in
   let placement = Placer.place ~config:placer_config graph flipping dual fvalue in
   mark "placement";
   let nets = build_route_nets graph placement flipping dual fvalue in
+  (* computed once: the debug line reports exactly the extra layers the
+     routing grid is built with *)
+  let extra_z = routing_layers placement nets in
   if debug then
     Printf.eprintf "[pipeline] nets=%d pins=%d grid=%dx%dx%d extra_z=%d\n%!"
       (List.length nets)
       (List.fold_left (fun a (n : Pathfinder.net) -> a + List.length n.Pathfinder.pins) 0 nets)
       placement.Placer.width placement.Placer.height placement.Placer.depth
-      (routing_layers placement nets);
-  let grid = build_route_grid graph placement nets in
+      extra_z;
+  let grid = build_route_grid ~extra_z graph placement nets in
   let routing =
     Pathfinder.route_all grid
       { Pathfinder.default_config with jobs = config.jobs }

@@ -28,6 +28,9 @@ type config = {
       (** worker domains for multi-start placement and the per-iteration
           routing batches; [None] defers to [TQEC_JOBS] / the machine's
           domain count.  Results are identical for any value *)
+  early_stop_margin : float option;
+      (** adaptive multi-start early-stop margin (see
+          {!Tqec_place.Placer.config}); [None] disables early stopping *)
 }
 
 val default_config : config

@@ -53,7 +53,13 @@ let table1 rows =
     rows;
   "Table 1: benchmark statistics\n" ^ scale_note rows ^ Pretty.render t
 
-let ratio_cell num den = Pretty.float3 (Stats.ratio (float_of_int num) (float_of_int den))
+(* Degenerate instances (zero volume / zero reference) make the ratio
+   helpers return nan; render those cells as "n/a" and keep them out of
+   the table averages instead of letting nan propagate. *)
+let finite_cell fmt v = if Float.is_finite v then fmt v else "n/a"
+
+let ratio_cell num den =
+  finite_cell Pretty.float3 (Stats.ratio (float_of_int num) (float_of_int den))
 
 let table2 rows =
   let t =
@@ -76,17 +82,18 @@ let table2 rows =
         ])
     rows;
   let avg pick =
-    Stats.mean
+    Stats.mean_finite
       (List.map
          (fun r -> Stats.ratio (float_of_int (pick r)) (float_of_int r.r_ours))
          rows)
   in
+  let avg_cell pick = finite_cell Pretty.float3 (avg pick) in
   Pretty.add_rule t;
   Pretty.add_row t
     [
-      "Avg. ratio"; ""; Pretty.float3 (avg (fun r -> r.r_canonical)); "";
-      Pretty.float3 (avg (fun r -> r.r_lin1d)); "";
-      Pretty.float3 (avg (fun r -> r.r_lin2d)); "";
+      "Avg. ratio"; ""; avg_cell (fun r -> r.r_canonical); "";
+      avg_cell (fun r -> r.r_lin1d); "";
+      avg_cell (fun r -> r.r_lin2d); "";
     ];
   let paper_avgs =
     Printf.sprintf
@@ -111,22 +118,19 @@ let table3 rows =
           Pretty.float2 r.r_dual_only_runtime;
           Pretty.int_with_commas r.r_ours;
           Pretty.float2 r.r_ours_runtime;
-          Pretty.float3
-            (Stats.ratio
-               (float_of_int r.r_paper.Suite.p_hsu)
-               (float_of_int r.r_paper.Suite.p_ours));
+          ratio_cell r.r_paper.Suite.p_hsu r.r_paper.Suite.p_ours;
         ])
     rows;
   Pretty.add_rule t;
   let avg =
-    Stats.mean
+    Stats.mean_finite
       (List.map
          (fun r ->
            Stats.ratio (float_of_int r.r_dual_only) (float_of_int r.r_ours))
          rows)
   in
   Pretty.add_row t
-    [ "Avg. ratio"; ""; Pretty.float3 avg; ""; ""; ""; "2.121" ];
+    [ "Avg. ratio"; ""; finite_cell Pretty.float3 avg; ""; ""; ""; "2.121" ];
   "Table 3: space-time volume vs dual-only bridging (Hsu et al. [10])\n"
   ^ scale_note rows ^ Pretty.render t
 
@@ -140,24 +144,29 @@ let fig1 series =
 
 let summary rows =
   let avg pick =
-    Stats.mean
-      (List.map
-         (fun r -> Stats.ratio (float_of_int (pick r)) (float_of_int r.r_ours))
-         rows)
+    finite_cell
+      (Printf.sprintf "%.2f")
+      (Stats.mean_finite
+         (List.map
+            (fun r ->
+              Stats.ratio (float_of_int (pick r)) (float_of_int r.r_ours))
+            rows))
   in
   let reduction =
-    Stats.mean
-      (List.map
-         (fun r ->
-           Stats.percent_reduction
-             (float_of_int r.r_dual_only)
-             (float_of_int r.r_ours))
-         rows)
+    finite_cell
+      (Printf.sprintf "%.1f%%")
+      (Stats.mean_finite
+         (List.map
+            (fun r ->
+              Stats.percent_reduction
+                (float_of_int r.r_dual_only)
+                (float_of_int r.r_ours))
+            rows))
   in
   Printf.sprintf
-    "summary: average volume ratios vs ours — canonical %.2f (paper 24.04), \
-     Lin 1D %.2f (paper 13.88), Lin 2D %.2f (paper 12.78), dual-only %.2f \
-     (paper 2.12); average reduction over dual-only bridging %.1f%% (paper \
+    "summary: average volume ratios vs ours — canonical %s (paper 24.04), \
+     Lin 1D %s (paper 13.88), Lin 2D %s (paper 12.78), dual-only %s \
+     (paper 2.12); average reduction over dual-only bridging %s (paper \
      47.4%%).\n"
     (avg (fun r -> r.r_canonical))
     (avg (fun r -> r.r_lin1d))

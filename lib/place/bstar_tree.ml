@@ -1,5 +1,158 @@
 module Rng = Tqec_util.Rng
 
+(* Persistent balanced skyline contour.  Breakpoints (x, y) mean the
+   contour has height y from x to the next breakpoint (the last extends
+   forever); the minimum key is always 0.  An AVL with join-based splits
+   makes a placement O((k + 1) log n) where k is the number of
+   breakpoints the new block swallows — and since every placement
+   inserts at most two breakpoints, the amortized cost is O(log n).
+   Persistence is what makes incremental repacking cheap: the contour
+   after every DFS step is checkpointed by storing the root pointer,
+   O(1) per step. *)
+module Contour : sig
+  type t
+
+  val initial : t
+  (** the all-zero contour: single breakpoint (0, 0) *)
+
+  val place : t -> x0:int -> x1:int -> h:int -> t * int
+  (** [place c ~x0 ~x1 ~h] drops a block of height [h] spanning
+      [x0, x1) onto the contour; returns the new contour and the base y
+      the block rests on. *)
+end = struct
+  type t =
+    | Leaf
+    | Node of { l : t; x : int; y : int; r : t; ht : int }
+
+  let ht = function Leaf -> 0 | Node n -> n.ht
+
+  let mk l x y r = Node { l; x; y; r; ht = 1 + max (ht l) (ht r) }
+
+  (* standard AVL rebalance; valid when the height difference is <= 3 *)
+  let bal l x y r =
+    let hl = ht l and hr = ht r in
+    if hl > hr + 2 then
+      match l with
+      | Node { l = ll; x = lx; y = ly; r = lr; _ } ->
+          if ht ll >= ht lr then mk ll lx ly (mk lr x y r)
+          else begin
+            match lr with
+            | Node { l = lrl; x = lrx; y = lry; r = lrr; _ } ->
+                mk (mk ll lx ly lrl) lrx lry (mk lrr x y r)
+            | Leaf -> assert false
+          end
+      | Leaf -> assert false
+    else if hr > hl + 2 then
+      match r with
+      | Node { l = rl; x = rx; y = ry; r = rr; _ } ->
+          if ht rr >= ht rl then mk (mk l x y rl) rx ry rr
+          else begin
+            match rl with
+            | Node { l = rll; x = rlx; y = rly; r = rlr; _ } ->
+                mk (mk l x y rll) rlx rly (mk rlr rx ry rr)
+            | Leaf -> assert false
+          end
+      | Leaf -> assert false
+    else mk l x y r
+
+  (* join trees of arbitrary heights around a middle binding *)
+  let rec join l x y r =
+    let hl = ht l and hr = ht r in
+    if hl > hr + 2 then begin
+      match l with
+      | Node { l = ll; x = lx; y = ly; r = lr; _ } ->
+          bal ll lx ly (join lr x y r)
+      | Leaf -> assert false
+    end
+    else if hr > hl + 2 then begin
+      match r with
+      | Node { l = rl; x = rx; y = ry; r = rr; _ } ->
+          bal (join l x y rl) rx ry rr
+      | Leaf -> assert false
+    end
+    else mk l x y r
+
+  (* (keys < k, keys >= k) *)
+  let rec split_lt k = function
+    | Leaf -> (Leaf, Leaf)
+    | Node { l; x; y; r; _ } ->
+        if x < k then begin
+          let m, hi = split_lt k r in
+          (join l x y m, hi)
+        end
+        else begin
+          let lo, m = split_lt k l in
+          (lo, join m x y r)
+        end
+
+  (* (keys <= k, keys > k) *)
+  let rec split_le k = function
+    | Leaf -> (Leaf, Leaf)
+    | Node { l; x; y; r; _ } ->
+        if x <= k then begin
+          let m, hi = split_le k r in
+          (join l x y m, hi)
+        end
+        else begin
+          let lo, m = split_le k l in
+          (lo, join m x y r)
+        end
+
+  let rec min_binding = function
+    | Leaf -> None
+    | Node { l = Leaf; x; y; _ } -> Some (x, y)
+    | Node { l; _ } -> min_binding l
+
+  let rec max_binding = function
+    | Leaf -> None
+    | Node { x; y; r = Leaf; _ } -> Some (x, y)
+    | Node { r; _ } -> max_binding r
+
+  let rec iter f = function
+    | Leaf -> ()
+    | Node { l; x; y; r; _ } ->
+        iter f l;
+        f x y;
+        iter f r
+
+  let initial = mk Leaf 0 0 Leaf
+
+  let place t ~x0 ~x1 ~h =
+    let left, rest = split_lt x0 t in
+    (* mid: swallowed breakpoints in [x0, x1]; right: untouched tail *)
+    let mid, right = split_le x1 rest in
+    (* height of the segment covering x0 (greatest key <= x0) *)
+    let cov =
+      match min_binding mid with
+      | Some (k, y) when k = x0 -> y
+      | _ -> ( match max_binding left with Some (_, y) -> y | None -> 0)
+    in
+    (* base: tallest segment overlapping (x0, x1); y_end: contour height
+       just right of x1 (the segment covering x1) *)
+    let base = ref cov and y_end = ref cov in
+    iter
+      (fun k y ->
+        if k < x1 && y > !base then base := y;
+        y_end := y)
+      mid;
+    let t' = join left x0 (!base + h) (join Leaf x1 !y_end right) in
+    (t', !base)
+end
+
+(* Flat contours checkpoint every [cp_interval] DFS steps; an
+   incremental repack replays at most [cp_interval - 1] cached
+   placements to rebuild the contour at the divergence point. *)
+let cp_interval = 8
+
+(* Trees at least this large use the balanced persistent contour; below
+   it the flat array splice wins on constants.  Measured on this
+   machine the binary-search flat splice still beats the AVL by ~3x at
+   2048 blocks (pointer chasing and allocation dominate), so the
+   crossover is set well beyond every suite instance; the balanced
+   back-end stays available via [?contour] and is differentially tested
+   against the flat one. *)
+let balanced_threshold = 100_000
+
 (* Tree slots form the binary tree; each slot holds a block id.  Moves
    permute block ids across slots, so [pack] can report positions per
    block id and callers keep stable identities. *)
@@ -14,39 +167,123 @@ type t = {
   left : int array;
   right : int array;
   mutable root : int;
-  (* pack scratch, preallocated so a repack allocates nothing: skyline
-     breakpoints (sorted x, segment height) and the DFS slot stack *)
+  (* free-arity slot set: in-tree slots with at most one child, the
+     attach candidates.  Kept incrementally by detach/attach so a move
+     picks a candidate in O(1) instead of scanning all slots. *)
+  free : int array;
+  free_pos : int array; (* slot -> index in [free], -1 if absent *)
+  mutable free_len : int;
+  (* flat skyline scratch: breakpoints (sorted x, segment height) *)
   sk_x : int array;
   sk_y : int array;
+  mutable sk_len : int;
+  (* DFS slot stack *)
   st_slot : int array;
   st_x : int array;
+  (* --- incremental repack cache: the last pack as a DFS-step record.
+     A prefix of steps whose (block, x0, w, h) tuples are unchanged
+     packs to exactly the same positions and contour, so the next pack
+     reuses it and restarts the skyline from a checkpoint. *)
+  balanced : bool;
+  mutable c_valid : int; (* cached steps (0 before the first pack) *)
+  c_block : int array; (* by DFS step *)
+  c_x : int array;
+  c_w : int array; (* effective (rotation-applied) dims at pack time *)
+  c_h : int array;
+  c_y : int array;
+  c_contour : Contour.t array; (* balanced: contour AFTER each step *)
+  (* flat: contour BEFORE step j * cp_interval, row-major *)
+  cp_x : int array;
+  cp_y : int array;
+  cp_len : int array;
 }
 
 let size t = t.n
 let width t b = if t.rot.(b) then t.h.(b) else t.w.(b)
 let height t b = if t.rot.(b) then t.w.(b) else t.h.(b)
 
-let create dims =
+(* ------------------------------------------------------------------ *)
+(* free-arity set maintenance                                          *)
+(* ------------------------------------------------------------------ *)
+
+let free_add t slot =
+  if t.free_pos.(slot) = -1 then begin
+    t.free.(t.free_len) <- slot;
+    t.free_pos.(slot) <- t.free_len;
+    t.free_len <- t.free_len + 1
+  end
+
+let free_remove t slot =
+  let idx = t.free_pos.(slot) in
+  if idx <> -1 then begin
+    let last = t.free.(t.free_len - 1) in
+    t.free.(idx) <- last;
+    t.free_pos.(last) <- idx;
+    t.free_len <- t.free_len - 1;
+    t.free_pos.(slot) <- -1
+  end
+
+let in_tree t slot = slot = t.root || t.parent.(slot) <> -1
+
+(* rebuild the set from the links, ascending slot order *)
+let rebuild_free t =
+  t.free_len <- 0;
+  Array.fill t.free_pos 0 t.n (-1);
+  for slot = 0 to t.n - 1 do
+    if in_tree t slot && (t.left.(slot) = -1 || t.right.(slot) = -1) then
+      free_add t slot
+  done
+
+(* ------------------------------------------------------------------ *)
+(* construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let alloc ?(contour = `Auto) dims =
   let n = Array.length dims in
-  if n = 0 then invalid_arg "Bstar_tree.create: no blocks";
-  let t =
-    {
-      n;
-      w = Array.map fst dims;
-      h = Array.map snd dims;
-      rot = Array.make n false;
-      block_at = Array.init n (fun i -> i);
-      slot_of = Array.init n (fun i -> i);
-      parent = Array.make n (-1);
-      left = Array.make n (-1);
-      right = Array.make n (-1);
-      root = 0;
-      sk_x = Array.make ((2 * n) + 2) 0;
-      sk_y = Array.make ((2 * n) + 2) 0;
-      st_slot = Array.make (n + 1) 0;
-      st_x = Array.make (n + 1) 0;
-    }
+  let balanced =
+    match contour with
+    | `Auto -> n >= balanced_threshold
+    | `Flat -> false
+    | `Balanced -> true
   in
+  let cp_rows = if balanced then 0 else (n / cp_interval) + 1 in
+  let cp_width = (2 * n) + 2 in
+  {
+    n;
+    w = Array.map fst dims;
+    h = Array.map snd dims;
+    rot = Array.make n false;
+    block_at = Array.init n (fun i -> i);
+    slot_of = Array.init n (fun i -> i);
+    parent = Array.make n (-1);
+    left = Array.make n (-1);
+    right = Array.make n (-1);
+    root = 0;
+    free = Array.make n 0;
+    free_pos = Array.make n (-1);
+    free_len = 0;
+    sk_x = Array.make cp_width 0;
+    sk_y = Array.make cp_width 0;
+    sk_len = 0;
+    st_slot = Array.make (n + 1) 0;
+    st_x = Array.make (n + 1) 0;
+    balanced;
+    c_valid = 0;
+    c_block = Array.make n 0;
+    c_x = Array.make n 0;
+    c_w = Array.make n 0;
+    c_h = Array.make n 0;
+    c_y = Array.make n 0;
+    c_contour = Array.make (if balanced then n else 0) Contour.initial;
+    cp_x = Array.make (cp_rows * cp_width) 0;
+    cp_y = Array.make (cp_rows * cp_width) 0;
+    cp_len = Array.make (max 1 cp_rows) 0;
+  }
+
+let create ?contour dims =
+  if Array.length dims = 0 then invalid_arg "Bstar_tree.create: no blocks";
+  let t = alloc ?contour dims in
+  let n = t.n in
   (* Initial shape: left-chain spine with right children hung off it in
      index order packs blocks into rows; a complete binary tree packs
      roughly square.  Use the complete tree. *)
@@ -61,29 +298,14 @@ let create dims =
       t.parent.(r) <- i
     end
   done;
+  rebuild_free t;
   t
 
-let create_shelves dims =
-  let n = Array.length dims in
-  if n = 0 then invalid_arg "Bstar_tree.create_shelves: no blocks";
-  let t =
-    {
-      n;
-      w = Array.map fst dims;
-      h = Array.map snd dims;
-      rot = Array.make n false;
-      block_at = Array.init n (fun i -> i);
-      slot_of = Array.init n (fun i -> i);
-      parent = Array.make n (-1);
-      left = Array.make n (-1);
-      right = Array.make n (-1);
-      root = 0;
-      sk_x = Array.make ((2 * n) + 2) 0;
-      sk_y = Array.make ((2 * n) + 2) 0;
-      st_slot = Array.make (n + 1) 0;
-      st_x = Array.make (n + 1) 0;
-    }
-  in
+let create_shelves ?contour dims =
+  if Array.length dims = 0 then
+    invalid_arg "Bstar_tree.create_shelves: no blocks";
+  let t = alloc ?contour dims in
+  let n = t.n in
   let total_area =
     Array.fold_left (fun acc (w, h) -> acc + (w * h)) 0 dims
   in
@@ -126,6 +348,7 @@ let create_shelves dims =
         row_width := w
       end)
     order;
+  rebuild_free t;
   t
 
 let rotate t b = t.rot.(b) <- not t.rot.(b)
@@ -157,27 +380,27 @@ let detach t b =
   if p = -1 then failwith "Bstar_tree.detach: cannot detach the only block";
   if t.left.(p) = leaf then t.left.(p) <- -1 else t.right.(p) <- -1;
   t.parent.(leaf) <- -1;
+  (* the freed slot left the tree; its parent (re)gained a free arity *)
+  free_remove t leaf;
+  free_add t p;
   leaf
 
+(* Candidate selection is O(1): one uniform draw from the maintained
+   free-arity set.  The candidate ordering the RNG sees is the set's
+   internal swap-removal order (deterministic for a given move history),
+   which replaces the pre-maintained-set descending-slot scan order. *)
 let attach t ~rng leaf =
-  let in_tree slot = slot = t.root || t.parent.(slot) <> -1 in
-  let candidates = ref [] in
-  for slot = 0 to t.n - 1 do
-    if slot <> leaf && in_tree slot
-       && (t.left.(slot) = -1 || t.right.(slot) = -1)
-    then candidates := slot :: !candidates
-  done;
-  match !candidates with
-  | [] -> failwith "Bstar_tree.attach: no free slot"
-  | cs ->
-      let arr = Array.of_list cs in
-      let target = arr.(Rng.int rng (Array.length arr)) in
-      let use_left =
-        if t.left.(target) = -1 && t.right.(target) = -1 then Rng.bool rng
-        else t.left.(target) = -1
-      in
-      if use_left then t.left.(target) <- leaf else t.right.(target) <- leaf;
-      t.parent.(leaf) <- target
+  if t.free_len = 0 then failwith "Bstar_tree.attach: no free slot";
+  let target = t.free.(Rng.int rng t.free_len) in
+  let use_left =
+    if t.left.(target) = -1 && t.right.(target) = -1 then Rng.bool rng
+    else t.left.(target) = -1
+  in
+  if use_left then t.left.(target) <- leaf else t.right.(target) <- leaf;
+  t.parent.(leaf) <- target;
+  if t.left.(target) <> -1 && t.right.(target) <> -1 then
+    free_remove t target;
+  free_add t leaf
 
 let move_block t ~rng b =
   if t.n >= 2 then begin
@@ -185,6 +408,12 @@ let move_block t ~rng b =
     attach t ~rng leaf
   end
 
+(* The free-arity set is not captured: [restore] rebuilds it in O(n)
+   from the restored links, which keeps snapshots as cheap as the tree
+   arrays alone (the annealer allocates one per trial move).  The
+   rebuilt set is in canonical ascending-slot order — a deterministic,
+   RNG-visible reordering relative to the pre-snapshot swap-removal
+   order, like the one [attach] itself introduced. *)
 type snapshot = {
   s_rot : bool array;
   s_block_at : int array;
@@ -213,66 +442,164 @@ let restore t s =
   Array.blit s.s_parent 0 t.parent 0 t.n;
   Array.blit s.s_left 0 t.left 0 t.n;
   Array.blit s.s_right 0 t.right 0 t.n;
-  t.root <- s.s_root
+  t.root <- s.s_root;
+  rebuild_free t
 
-(* Skyline: sorted breakpoints (x, y); (x, y) means the contour has
-   height y from x to the next breakpoint (the last extends forever).
-   Breakpoints and the DFS stack live in the preallocated scratch
-   arrays of [t], so a repack performs no allocation at all. *)
-let pack_xy t xs ys =
+(* ------------------------------------------------------------------ *)
+(* packing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Flat skyline placement on the scratch arrays: sorted breakpoints
+   (x, y); (x, y) means the contour has height y from x to the next
+   breakpoint (the last extends forever).  Returns the base y. *)
+let flat_place t x0 x1 h =
   let sk_x = t.sk_x and sk_y = t.sk_y in
-  sk_x.(0) <- 0;
-  sk_y.(0) <- 0;
-  let sk_len = ref 1 in
+  let len = t.sk_len in
+  (* binary search for the first breakpoint at or right of x0 — blocks
+     pack left to right, so a scan from 0 would walk nearly the whole
+     contour on every step *)
+  let lo = ref 0 and hi = ref len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if sk_x.(mid) < x0 then lo := mid + 1 else hi := mid
+  done;
+  let p = !lo in
+  (* base: tallest segment overlapping (x0, x1); y_end: contour height
+     just right of x1.  The segment at p-1 covers x0 unless a breakpoint
+     sits exactly on it; segments in [p, q) are swallowed. *)
+  let base = ref 0 and y_end = ref 0 in
+  if p > 0 && (p = len || sk_x.(p) > x0) then begin
+    let cy = sk_y.(p - 1) in
+    base := cy;
+    y_end := cy
+  end;
+  let q = ref p in
+  while !q < len && sk_x.(!q) <= x1 do
+    let by = sk_y.(!q) in
+    if sk_x.(!q) < x1 && by > !base then base := by;
+    y_end := by;
+    incr q
+  done;
+  (* splice: keep breakpoints left of x0, insert (x0, base+h) and
+     (x1, y_end), keep breakpoints right of x1 *)
+  let tail = len - !q in
+  if tail > 0 && !q <> p + 2 then begin
+    Array.blit sk_x !q sk_x (p + 2) tail;
+    Array.blit sk_y !q sk_y (p + 2) tail
+  end;
+  sk_x.(p) <- x0;
+  sk_y.(p) <- !base + h;
+  sk_x.(p + 1) <- x1;
+  sk_y.(p + 1) <- !y_end;
+  t.sk_len <- p + 2 + tail;
+  !base
+
+let flat_reset t =
+  t.sk_x.(0) <- 0;
+  t.sk_y.(0) <- 0;
+  t.sk_len <- 1
+
+let cp_width t = (2 * t.n) + 2
+
+let flat_save_checkpoint t j =
+  let off = j * cp_width t in
+  Array.blit t.sk_x 0 t.cp_x off t.sk_len;
+  Array.blit t.sk_y 0 t.cp_y off t.sk_len;
+  t.cp_len.(j) <- t.sk_len
+
+let flat_load_checkpoint t j =
+  let off = j * cp_width t in
+  let len = t.cp_len.(j) in
+  Array.blit t.cp_x off t.sk_x 0 len;
+  Array.blit t.cp_y off t.sk_y 0 len;
+  t.sk_len <- len
+
+(* Restore the flat contour to its state just before cached step [k]:
+   load the nearest checkpoint at or below [k] and replay the (at most
+   [cp_interval - 1]) cached placements between the two. *)
+let flat_restart t k =
+  if k = 0 then flat_reset t
+  else begin
+    let j = k / cp_interval in
+    flat_load_checkpoint t j;
+    for i = j * cp_interval to k - 1 do
+      ignore (flat_place t t.c_x.(i) (t.c_x.(i) + t.c_w.(i)) t.c_h.(i))
+    done
+  end
+
+(* Incremental repack.  A pack is a fold over the DFS-step sequence of
+   (block, x0, w, h) tuples: the y of step i and the contour after it
+   depend only on steps 0..i.  So the longest prefix of tuples equal to
+   the cached previous pack keeps its cached positions verbatim; the
+   skyline restarts at the first divergent step — from a stored
+   persistent-contour root (balanced) or the nearest flat checkpoint
+   plus a short replay — and only the suffix is re-placed.  The cache
+   always describes the latest pack, even one the annealer later
+   rejects: prefix equality is checked tuple by tuple, so a stale
+   suffix can never be reused by accident. *)
+let pack_xy t xs ys =
   let max_w = ref 0 and max_h = ref 0 in
-  let place b x0 =
-    let w = width t b and h = height t b in
-    let x1 = x0 + w in
-    let len = !sk_len in
-    (* base: tallest segment overlapping (x0, x1); y_end: contour height
-       just right of x1 — both read before the contour is edited *)
-    let base = ref 0 and y_end = ref 0 in
-    let i = ref 0 in
-    while !i < len && sk_x.(!i) <= x1 do
-      let by = sk_y.(!i) in
-      if
-        sk_x.(!i) < x1
-        && (!i = len - 1 || sk_x.(!i + 1) > x0)
-        && by > !base
-      then base := by;
-      y_end := by;
-      incr i
-    done;
-    (* splice: keep breakpoints left of x0, insert (x0, base+h) and
-       (x1, y_end), keep breakpoints right of x1 *)
-    let p = ref 0 in
-    while !p < len && sk_x.(!p) < x0 do incr p done;
-    let q = ref !p in
-    while !q < len && sk_x.(!q) <= x1 do incr q done;
-    let tail = len - !q in
-    if tail > 0 then begin
-      Array.blit sk_x !q sk_x (!p + 2) tail;
-      Array.blit sk_y !q sk_y (!p + 2) tail
-    end;
-    sk_x.(!p) <- x0;
-    sk_y.(!p) <- !base + h;
-    sk_x.(!p + 1) <- x1;
-    sk_y.(!p + 1) <- !y_end;
-    sk_len := !p + 2 + tail;
-    xs.(b) <- x0;
-    ys.(b) <- !base;
-    if x1 > !max_w then max_w := x1;
-    if !base + h > !max_h then max_h := !base + h
-  in
+  let diverged = ref false in
+  let bcontour = ref Contour.initial in
   let st_slot = t.st_slot and st_x = t.st_x in
   st_slot.(0) <- t.root;
   st_x.(0) <- 0;
   let sp = ref 1 in
+  let i = ref 0 in
   while !sp > 0 do
     decr sp;
     let slot = st_slot.(!sp) and x0 = st_x.(!sp) in
     let b = t.block_at.(slot) in
-    place b x0;
+    let w = width t b and h = height t b in
+    if
+      (not !diverged)
+      && !i < t.c_valid
+      && t.c_block.(!i) = b
+      && t.c_x.(!i) = x0
+      && t.c_w.(!i) = w
+      && t.c_h.(!i) = h
+    then begin
+      (* unchanged prefix: cached position, no skyline work *)
+      let y = t.c_y.(!i) in
+      xs.(b) <- x0;
+      ys.(b) <- y;
+      if x0 + w > !max_w then max_w := x0 + w;
+      if y + h > !max_h then max_h := y + h
+    end
+    else begin
+      if not !diverged then begin
+        diverged := true;
+        if t.balanced then
+          bcontour :=
+            (if !i = 0 then Contour.initial else t.c_contour.(!i - 1))
+        else flat_restart t !i
+      end;
+      let y =
+        if t.balanced then begin
+          let c', y =
+            Contour.place !bcontour ~x0 ~x1:(x0 + w) ~h
+          in
+          bcontour := c';
+          t.c_contour.(!i) <- c';
+          y
+        end
+        else begin
+          if !i mod cp_interval = 0 then
+            flat_save_checkpoint t (!i / cp_interval);
+          flat_place t x0 (x0 + w) h
+        end
+      in
+      t.c_block.(!i) <- b;
+      t.c_x.(!i) <- x0;
+      t.c_w.(!i) <- w;
+      t.c_h.(!i) <- h;
+      t.c_y.(!i) <- y;
+      xs.(b) <- x0;
+      ys.(b) <- y;
+      if x0 + w > !max_w then max_w := x0 + w;
+      if y + h > !max_h then max_h := y + h
+    end;
+    incr i;
     if t.right.(slot) <> -1 then begin
       st_slot.(!sp) <- t.right.(slot);
       st_x.(!sp) <- x0;
@@ -280,10 +607,11 @@ let pack_xy t xs ys =
     end;
     if t.left.(slot) <> -1 then begin
       st_slot.(!sp) <- t.left.(slot);
-      st_x.(!sp) <- x0 + width t b;
+      st_x.(!sp) <- x0 + w;
       incr sp
     end
   done;
+  t.c_valid <- !i;
   (!max_w, !max_h)
 
 let pack_into t pos =
@@ -298,6 +626,51 @@ let pack t =
   let pos = Array.make t.n (0, 0) in
   let wh = pack_into t pos in
   (pos, wh)
+
+(* Brute-force O(n^2) reference packer: the same DFS, but each block's y
+   is the max top of the already-placed blocks its x-interval overlaps.
+   No contour, no cache — the differential-test oracle for [pack_xy]. *)
+let pack_reference t =
+  let n = t.n in
+  let pos = Array.make n (0, 0) in
+  let placed_b = Array.make n 0 in
+  let st_slot = Array.make (n + 1) 0 and st_x = Array.make (n + 1) 0 in
+  st_slot.(0) <- t.root;
+  st_x.(0) <- 0;
+  let sp = ref 1 and placed = ref 0 in
+  let max_w = ref 0 and max_h = ref 0 in
+  while !sp > 0 do
+    decr sp;
+    let slot = st_slot.(!sp) and x0 = st_x.(!sp) in
+    let b = t.block_at.(slot) in
+    let w = width t b and h = height t b in
+    let x1 = x0 + w in
+    let y = ref 0 in
+    for j = 0 to !placed - 1 do
+      let pb = placed_b.(j) in
+      let px, py = pos.(pb) in
+      if px < x1 && x0 < px + width t pb then begin
+        let top = py + height t pb in
+        if top > !y then y := top
+      end
+    done;
+    pos.(b) <- (x0, !y);
+    placed_b.(!placed) <- b;
+    incr placed;
+    if x1 > !max_w then max_w := x1;
+    if !y + h > !max_h then max_h := !y + h;
+    if t.right.(slot) <> -1 then begin
+      st_slot.(!sp) <- t.right.(slot);
+      st_x.(!sp) <- x0;
+      incr sp
+    end;
+    if t.left.(slot) <> -1 then begin
+      st_slot.(!sp) <- t.left.(slot);
+      st_x.(!sp) <- x0 + w;
+      incr sp
+    end
+  done;
+  (pos, (!max_w, !max_h))
 
 let check t =
   let errors = ref [] in
@@ -326,6 +699,20 @@ let check t =
   in
   let reached = visit t.root 0 in
   if reached <> t.n then err "only %d of %d slots reachable" reached t.n;
+  (* the free-arity set matches the links exactly *)
+  for slot = 0 to t.n - 1 do
+    let should =
+      in_tree t slot && (t.left.(slot) = -1 || t.right.(slot) = -1)
+    in
+    let is = t.free_pos.(slot) <> -1 in
+    if should && not is then err "slot %d missing from the free set" slot;
+    if is && not should then err "slot %d wrongly in the free set" slot;
+    if is then begin
+      let idx = t.free_pos.(slot) in
+      if idx < 0 || idx >= t.free_len || t.free.(idx) <> slot then
+        err "free-set index of slot %d inconsistent" slot
+    end
+  done;
   List.rev !errors
 
 let overlaps positions dims =

@@ -7,6 +7,16 @@
     skyline contour.  Every tree reachable by the perturbation moves
     packs to a left/bottom-compacted placement.
 
+    Packing is incremental: each pack caches its DFS-step sequence
+    (block, x, effective w/h, y) together with contour restart points,
+    and the next pack reuses the longest prefix of steps whose inputs
+    are unchanged — a local move late in the DFS order repacks only the
+    suffix.  Two contour back-ends implement the restart: small trees
+    keep the allocation-free flat array splice with periodic contour
+    checkpoints; large trees use a persistent balanced (AVL) contour
+    whose per-step roots are O(1) to retain, making each placement
+    O(log n).  Both produce bit-identical placements.
+
     Blocks carry a footprint (w, h); rotation swaps the two.  The 2.5D
     aspect of the flow (block z-extents) is handled by the placer on
     top. *)
@@ -14,14 +24,18 @@
 type t
 
 (** [create dims] builds an initial balanced tree over blocks with the
-    given (w, h) footprints, in index order. *)
-val create : (int * int) array -> t
+    given (w, h) footprints, in index order.  [?contour] selects the
+    packing back-end: [`Auto] (default) picks flat below 512 blocks and
+    balanced above; [`Flat]/[`Balanced] force one (used by the
+    differential tests — results are identical either way). *)
+val create : ?contour:[ `Auto | `Flat | `Balanced ] -> (int * int) array -> t
 
 (** [create_shelves dims] builds an initial tree that packs like shelf
     (strip) packing: blocks sorted by decreasing height fill rows of
     width about [sqrt (1.15 * total area)] — a strong starting point for
     the annealer. *)
-val create_shelves : (int * int) array -> t
+val create_shelves :
+  ?contour:[ `Auto | `Flat | `Balanced ] -> (int * int) array -> t
 
 val size : t -> int
 
@@ -42,11 +56,16 @@ val is_rotated : t -> int -> bool
 val swap_blocks : t -> int -> int -> unit
 
 (** [move_block t ~rng i] detaches block [i] and reattaches it at a
-    random free child slot elsewhere in the tree. No-op when [size t < 2]. *)
+    random free child slot elsewhere in the tree.  Candidate selection
+    is O(1) from a maintained free-arity slot set; the RNG-visible
+    candidate ordering is the set's internal (swap-removal) order,
+    deterministic for a given move history. No-op when [size t < 2]. *)
 val move_block : t -> rng:Tqec_util.Rng.t -> int -> unit
 
 (** [snapshot t] captures the tree structure; [restore t s] puts it
-    back exactly (used for undoing non-self-inverse moves). *)
+    back exactly (used for undoing non-self-inverse moves).  The pack
+    cache survives restores: prefix reuse is validated per step, so a
+    pack after an undo is still bit-identical to a from-scratch pack. *)
 type snapshot
 
 val snapshot : t -> snapshot
@@ -63,13 +82,20 @@ val pack_into : t -> (int * int) array -> int * int
 
 (** [pack_xy t xs ys] is [pack] writing x and y coordinates into the
     caller's unboxed int buffers (length [size t]) and returning the
-    bounding (width, height) — the allocation-free repack used on the
-    annealer's hot path (no per-block position tuples). *)
+    bounding (width, height) — the incremental repack used on the
+    annealer's hot path (prefix steps unchanged since the previous pack
+    are served from the cache without touching the contour). *)
 val pack_xy : t -> int array -> int array -> int * int
 
+(** [pack_reference t] packs with a brute-force O(n^2) per-block overlap
+    scan instead of a contour — no cache, no skyline.  The differential
+    oracle for [pack_xy] in tests. *)
+val pack_reference : t -> (int * int) array * (int * int)
+
 (** [check t] verifies tree-structure invariants (parent/child
-    consistency, single root, all blocks reachable); returns error
-    strings, empty when consistent. *)
+    consistency, single root, all blocks reachable, free-arity set in
+    sync with the links); returns error strings, empty when
+    consistent. *)
 val check : t -> string list
 
 (** [overlaps positions dims] tests pairwise overlap of packed blocks —

@@ -27,11 +27,13 @@ type config = {
   strategy : strategy;
   restarts : int;
   jobs : int option;
+  early_stop_margin : float option;
 }
 
 let default_config =
   { effort = Normal; seed = 42; alpha = 1.0; beta = 0.2; z_cap = None;
-    strategy = Annealing; restarts = 1; jobs = None }
+    strategy = Annealing; restarts = 1; jobs = None;
+    early_stop_margin = Some 0.05 }
 
 type t = {
   sm : Super_module.t;
@@ -244,7 +246,7 @@ let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
      positions by flipping back — no per-move array allocation.  The
      wirelength term is maintained incrementally: only nets incident to
      nodes whose position actually changed are re-evaluated. *)
-  let anneal rng =
+  let anneal_start rng =
     let tree = Bstar_tree.create dims in
     let xs = [| Array.make n 0; Array.make n 0 |] in
     let ys = [| Array.make n 0; Array.make n 0 |] in
@@ -317,16 +319,70 @@ let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
         cur := 1 - !cur;
         cur_wh := prev_wh
     in
-    let sa_stats = Sa.run ~rng ~params ~cost ~perturb ~on_best () in
-    (sa_stats, !best_pos, !best_rot, !best_wh)
+    let st = Sa.create ~rng ~params ~cost ~perturb ~on_best () in
+    (st, fun () -> (Sa.stats st, !best_pos, !best_rot, !best_wh))
   in
-  (* Multi-start: K independent trajectories with per-lane rng streams
-     derived from the seed before the fan-out, so the result is a pure
-     function of (seed, restarts) — identical for any worker count.
-     Lane 0 is the historical single-start trajectory. *)
+  (* Adaptive multi-start: K independent trajectories with per-lane rng
+     streams derived from the seed before the fan-out.  Lanes advance in
+     fixed-size chunks, one [Pool.map] per epoch; at each chunk end a
+     lane publishes its best into a shared [Atomic] (CAS-min).  Early
+     stopping is decided only at the epoch barriers, from the barrier
+     value of the Atomic — the min over all lanes' bests through their
+     completed epochs, which is independent of worker scheduling — so
+     the result is a pure function of (seed, restarts) for any worker
+     count.  Lane 0 is the historical single-start trajectory and is
+     exempt from early stopping, so the multi-start best is never worse
+     than a single-start run.  A stopped lane can never be the winner:
+     at the stop decision its best exceeds (1 + margin) * global best,
+     and the eventual winner's cost is at most that global best. *)
   let restarts = max 1 config.restarts in
   let lanes = Array.init restarts (Rng.lane config.seed) in
-  let runs = Pool.map ?jobs:config.jobs anneal lanes in
+  let trajs = Pool.map ?jobs:config.jobs anneal_start lanes in
+  let global_best = Atomic.make infinity in
+  let rec publish v =
+    let cur = Atomic.get global_best in
+    if v < cur && not (Atomic.compare_and_set global_best cur v) then
+      publish v
+  in
+  Array.iter (fun (st, _) -> publish (Sa.best_cost st)) trajs;
+  let stopped = Array.make restarts false in
+  let chunk = max 1_000 (iterations / 16) in
+  let running = ref true in
+  while !running do
+    let active = ref [] in
+    for i = restarts - 1 downto 0 do
+      if (not stopped.(i)) && not (Sa.finished (fst trajs.(i))) then
+        active := i :: !active
+    done;
+    match !active with
+    | [] -> running := false
+    | active ->
+        ignore
+          (Pool.map ?jobs:config.jobs
+             (fun i ->
+               let st, _ = trajs.(i) in
+               Sa.step st chunk;
+               publish (Sa.best_cost st))
+             (Array.of_list active));
+        (* barrier: deterministic stop decisions.  A low-temperature
+           lane (at least half its moves spent) whose best trails the
+           shared best by more than the margin gives up. *)
+        (match config.early_stop_margin with
+        | Some margin when margin >= 0. ->
+            let g = Atomic.get global_best in
+            Array.iteri
+              (fun i (st, _) ->
+                if
+                  i > 0
+                  && (not stopped.(i))
+                  && (not (Sa.finished st))
+                  && 2 * Sa.attempted st >= Sa.total_moves st
+                  && Sa.best_cost st > (1. +. margin) *. g
+                then stopped.(i) <- true)
+              trajs
+        | _ -> ())
+  done;
+  let runs = Array.map (fun (_, result) -> result ()) trajs in
   let best_i = ref 0 in
   Array.iteri
     (fun i (st, _, _, _) ->

@@ -34,6 +34,18 @@ type config = {
       (** worker domains for multi-start; [None] defers to [TQEC_JOBS] /
           the machine's domain count (see {!Tqec_util.Pool}).  The
           result never depends on this value *)
+  early_stop_margin : float option;
+      (** adaptive multi-start: lanes publish their best cost into a
+          shared [Atomic] at fixed chunk barriers, and a lane that has
+          spent at least half its move budget while trailing the shared
+          best by more than this relative margin stops early.  Lane 0 is
+          exempt (the single-start trajectory always completes), stop
+          decisions happen only at barriers, and the shared value read
+          there is scheduling-independent — so results stay
+          deterministic in (seed, restarts) for any job count, and the
+          multi-start best is never worse than single-start.  [None]
+          disables early stopping (every lane runs its full budget);
+          the default is [Some 0.05] *)
 }
 
 val default_config : config

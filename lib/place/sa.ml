@@ -23,7 +23,25 @@ type stats = {
   final_temperature : float;
 }
 
-let run ~rng ~params ~cost ~perturb ?(on_best = fun _ -> ()) () =
+type state = {
+  rng : Rng.t;
+  params : params;
+  cost : unit -> float;
+  perturb : unit -> unit -> unit;
+  on_best : float -> unit;
+  mutable current : float;
+  mutable best : float;
+  mutable temperature : float;
+  mutable attempted : int;
+  mutable accepted : int;
+  mutable moves_at_temp : int;
+}
+
+(* The probe phase (temperature calibration) runs eagerly here, so a
+   fresh state is already past it; [step] only ever executes main-loop
+   moves.  Splitting a run into arbitrary [step] chunks consumes the
+   RNG exactly like an uninterrupted run. *)
+let create ~rng ~params ~cost ~perturb ?(on_best = fun _ -> ()) () =
   let current = ref (cost ()) in
   let best = ref !current in
   on_best !best;
@@ -51,36 +69,61 @@ let run ~rng ~params ~cost ~perturb ?(on_best = fun _ -> ()) () =
     if !uphill_count = 0 then 1.0 else !uphill_sum /. float_of_int !uphill_count
   in
   let t0 = -.avg_uphill /. log params.initial_acceptance in
-  let temperature = ref (Float.max 1e-6 t0) in
-  let attempted = ref probe_moves and accepted = ref probe_moves in
-  let moves_at_temp = ref 0 in
-  while !attempted < params.iterations do
-    incr attempted;
-    incr moves_at_temp;
-    let undo = perturb () in
-    let c = cost () in
-    let delta = c -. !current in
+  {
+    rng;
+    params;
+    cost;
+    perturb;
+    on_best;
+    current = !current;
+    best = !best;
+    temperature = Float.max 1e-6 t0;
+    attempted = probe_moves;
+    accepted = probe_moves;
+    moves_at_temp = 0;
+  }
+
+let finished st = st.attempted >= st.params.iterations
+let best_cost st = st.best
+let attempted st = st.attempted
+let total_moves st = st.params.iterations
+
+let step st budget =
+  let stop = min st.params.iterations (st.attempted + max 0 budget) in
+  while st.attempted < stop do
+    st.attempted <- st.attempted + 1;
+    st.moves_at_temp <- st.moves_at_temp + 1;
+    let undo = st.perturb () in
+    let c = st.cost () in
+    let delta = c -. st.current in
     let accept =
       delta <= 0.
-      || Rng.float rng < exp (-.delta /. Float.max 1e-9 !temperature)
+      || Rng.float st.rng < exp (-.delta /. Float.max 1e-9 st.temperature)
     in
     if accept then begin
-      incr accepted;
-      current := c;
-      if c < !best then begin
-        best := c;
-        on_best c
+      st.accepted <- st.accepted + 1;
+      st.current <- c;
+      if c < st.best then begin
+        st.best <- c;
+        st.on_best c
       end
     end
     else undo ();
-    if !moves_at_temp >= params.moves_per_temp then begin
-      moves_at_temp := 0;
-      temperature := !temperature *. params.cooling
+    if st.moves_at_temp >= st.params.moves_per_temp then begin
+      st.moves_at_temp <- 0;
+      st.temperature <- st.temperature *. st.params.cooling
     end
-  done;
+  done
+
+let stats st =
   {
-    attempted = !attempted;
-    accepted = !accepted;
-    best_cost = !best;
-    final_temperature = !temperature;
+    attempted = st.attempted;
+    accepted = st.accepted;
+    best_cost = st.best;
+    final_temperature = st.temperature;
   }
+
+let run ~rng ~params ~cost ~perturb ?on_best () =
+  let st = create ~rng ~params ~cost ~perturb ?on_best () in
+  step st (params.iterations - st.attempted);
+  stats st

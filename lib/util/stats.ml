@@ -19,7 +19,12 @@ let min_max = function
   | x :: xs ->
       List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
 
+let mean_finite xs =
+  match List.filter Float.is_finite xs with [] -> nan | ys -> mean ys
+
 let ratio a b = if b = 0. then nan else a /. b
-let percent_reduction before after = 100. *. (before -. after) /. before
+
+let percent_reduction before after =
+  if before = 0. then nan else 100. *. (before -. after) /. before
 let clamp lo hi v = max lo (min hi v)
 let clamp_float lo hi v = Float.max lo (Float.min hi v)

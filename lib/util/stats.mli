@@ -8,11 +8,18 @@ val geomean : float list -> float
 
 val min_max : float list -> float * float
 
+(** [mean_finite xs] is the mean of the finite values in [xs]; [nan]
+    when none are finite (callers render that as "n/a") — the averaging
+    companion of {!ratio}/{!percent_reduction}, which mark degenerate
+    inputs with [nan]. *)
+val mean_finite : float list -> float
+
 (** [ratio a b] is [a /. b]; returns [nan] when [b = 0.]. *)
 val ratio : float -> float -> float
 
 (** [percent_reduction before after] is the relative reduction in percent,
-    e.g. [percent_reduction 100. 53.] = 47. *)
+    e.g. [percent_reduction 100. 53.] = 47.; returns [nan] when
+    [before = 0.]. *)
 val percent_reduction : float -> float -> float
 
 (** [clamp lo hi v]. *)

@@ -219,6 +219,7 @@ let test_report_rendering () =
       benchmarks = [ "4gt10-v1_81" ];
       restarts = 1;
       jobs = Some 1;
+      early_stop_margin = Some 0.05;
     }
   in
   let rows = Experiments.run_all config in
@@ -254,6 +255,7 @@ let test_summary_mentions_paper () =
       benchmarks = [ "4gt10-v1_81" ];
       restarts = 1;
       jobs = Some 1;
+      early_stop_margin = Some 0.05;
     }
   in
   let rows = Experiments.run_all config in

@@ -63,6 +63,42 @@ let test_sa_default_params () =
   check Alcotest.bool "cooling in range" true
     (p.Sa.cooling > 0. && p.Sa.cooling < 1.)
 
+(* The stepper contract behind adaptive multi-start: advancing a
+   trajectory in arbitrary chunks is bit-identical to one uninterrupted
+   run. *)
+let test_sa_stepper_matches_run () =
+  let params =
+    { Sa.iterations = 3000; moves_per_temp = 40; cooling = 0.92;
+      initial_acceptance = 0.8 }
+  in
+  let make_problem () =
+    let state = ref 500 in
+    let rng = Rng.create 9 in
+    let cost () = float_of_int ((!state - 123) * (!state - 123)) in
+    let perturb () =
+      let prev = !state in
+      state := !state + (if Rng.bool rng then 3 else -2);
+      fun () -> state := prev
+    in
+    (rng, cost, perturb, state)
+  in
+  let rng, cost, perturb, state_a = make_problem () in
+  let direct = Sa.run ~rng ~params ~cost ~perturb () in
+  let rng, cost, perturb, state_b = make_problem () in
+  let st = Sa.create ~rng ~params ~cost ~perturb () in
+  while not (Sa.finished st) do
+    Sa.step st 37
+  done;
+  let chunked = Sa.stats st in
+  check Alcotest.int "attempted equal" direct.Sa.attempted chunked.Sa.attempted;
+  check Alcotest.int "accepted equal" direct.Sa.accepted chunked.Sa.accepted;
+  check (Alcotest.float 0.) "best cost equal" direct.Sa.best_cost
+    chunked.Sa.best_cost;
+  check Alcotest.int "final state equal" !state_a !state_b;
+  check Alcotest.int "total moves" params.Sa.iterations (Sa.total_moves st);
+  check Alcotest.int "attempted accessor" chunked.Sa.attempted
+    (Sa.attempted st)
+
 (* ------------------------------------------------------------------ *)
 (* Bstar_tree                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -144,6 +180,138 @@ let prop_bstar_pack_compact_bottom_left =
       let pos, _ = Bstar_tree.pack t in
       (* block 0 is initially the root: packed at the origin *)
       pos.(0) = (0, 0))
+
+(* Differential check of one tree state: the incremental [pack_xy]
+   (whatever its cache holds) must reproduce the brute-force reference
+   packer bit for bit, the packing must be overlap-free, and every block
+   must be bottom-supported (y = 0 or resting exactly on another
+   block's top — the skyline's compactness guarantee). *)
+let assert_pack_matches_reference t xs ys =
+  let n = Bstar_tree.size t in
+  let w, h = Bstar_tree.pack_xy t xs ys in
+  let rpos, (rw, rh) = Bstar_tree.pack_reference t in
+  let ok = ref ((w, h) = (rw, rh)) in
+  for b = 0 to n - 1 do
+    if (xs.(b), ys.(b)) <> rpos.(b) then ok := false
+  done;
+  let cur_dims =
+    Array.init n (fun b -> (Bstar_tree.width t b, Bstar_tree.height t b))
+  in
+  if Bstar_tree.overlaps rpos cur_dims then ok := false;
+  for b = 0 to n - 1 do
+    let x, y = rpos.(b) in
+    if x < 0 || y < 0 then ok := false;
+    if y > 0 then begin
+      let bw = fst cur_dims.(b) in
+      let supported = ref false in
+      for j = 0 to n - 1 do
+        if j <> b then begin
+          let jx, jy = rpos.(j) in
+          let jw, jh = cur_dims.(j) in
+          if jx < x + bw && x < jx + jw && jy + jh = y then supported := true
+        end
+      done;
+      if not !supported then ok := false
+    end
+  done;
+  !ok
+
+(* The tentpole property: over >= 1000 random move / pack / undo / pack
+   steps, the incremental repack (prefix reuse + contour restart) stays
+   bit-identical to a from-scratch brute-force pack — for both contour
+   back-ends.  Dims are drawn from a small set so block x-intervals
+   frequently abut existing breakpoints exactly. *)
+let prop_pack_incremental_matches_reference =
+  QCheck.Test.make
+    ~name:"incremental pack = reference over 1000 move/undo steps"
+    ~count:4
+    QCheck.(pair (int_range 2 24) (int_range 1 1_000_000))
+    (fun (n, seed) ->
+      List.for_all
+        (fun mode ->
+          let rng = Rng.create seed in
+          let dims =
+            Array.init n (fun i -> (1 + ((i * 7) mod 5), 1 + ((i * 3) mod 4)))
+          in
+          let t = Bstar_tree.create ~contour:mode dims in
+          let xs = Array.make n 0 and ys = Array.make n 0 in
+          let ok = ref (assert_pack_matches_reference t xs ys) in
+          for _ = 1 to 500 do
+            let undo =
+              match Rng.int rng 3 with
+              | 0 ->
+                  let b = Rng.int rng n in
+                  Bstar_tree.rotate t b;
+                  fun () -> Bstar_tree.rotate t b
+              | 1 ->
+                  let a = Rng.int rng n and b = Rng.int rng n in
+                  Bstar_tree.swap_blocks t a b;
+                  fun () -> Bstar_tree.swap_blocks t a b
+              | _ ->
+                  let snap = Bstar_tree.snapshot t in
+                  Bstar_tree.move_block t ~rng (Rng.int rng n);
+                  fun () -> Bstar_tree.restore t snap
+            in
+            if not (assert_pack_matches_reference t xs ys) then ok := false;
+            if Rng.bool rng then begin
+              (* reject: the cache must survive the restore *)
+              undo ();
+              if not (assert_pack_matches_reference t xs ys) then ok := false
+            end;
+            if Bstar_tree.check t <> [] then ok := false
+          done;
+          !ok)
+        [ `Flat; `Balanced ])
+
+(* Same move trajectory through both contour back-ends: identical
+   geometry at every step (the mode only changes constants, never
+   results). *)
+let prop_pack_contour_modes_agree =
+  QCheck.Test.make ~name:"flat and balanced contours pack identically"
+    ~count:6
+    QCheck.(pair (int_range 2 20) (int_range 1 1_000_000))
+    (fun (n, seed) ->
+      let dims =
+        Array.init n (fun i -> (1 + ((i * 5) mod 4), 1 + ((i * 3) mod 5)))
+      in
+      let tf = Bstar_tree.create ~contour:`Flat dims in
+      let tb = Bstar_tree.create ~contour:`Balanced dims in
+      let rng_f = Rng.create seed and rng_b = Rng.create seed in
+      let xs_f = Array.make n 0 and ys_f = Array.make n 0 in
+      let xs_b = Array.make n 0 and ys_b = Array.make n 0 in
+      let ok = ref true in
+      let apply t rng =
+        match Rng.int rng 3 with
+        | 0 -> Bstar_tree.rotate t (Rng.int rng n)
+        | 1 -> Bstar_tree.swap_blocks t (Rng.int rng n) (Rng.int rng n)
+        | _ -> Bstar_tree.move_block t ~rng (Rng.int rng n)
+      in
+      for _ = 1 to 200 do
+        apply tf rng_f;
+        apply tb rng_b;
+        let wh_f = Bstar_tree.pack_xy tf xs_f ys_f in
+        let wh_b = Bstar_tree.pack_xy tb xs_b ys_b in
+        if wh_f <> wh_b || xs_f <> xs_b || ys_f <> ys_b then ok := false
+      done;
+      !ok)
+
+(* Exact-abutment regression: uniform widths make every placement's
+   x-interval land exactly on existing breakpoints. *)
+let test_pack_abutting_breakpoints () =
+  List.iter
+    (fun mode ->
+      let dims = Array.make 9 (2, 2) in
+      let t = Bstar_tree.create ~contour:mode dims in
+      let xs = Array.make 9 0 and ys = Array.make 9 0 in
+      check Alcotest.bool "uniform grid matches reference" true
+        (assert_pack_matches_reference t xs ys);
+      let rng = Rng.create 77 in
+      for _ = 1 to 50 do
+        Bstar_tree.move_block t ~rng (Rng.int rng 9);
+        check Alcotest.bool "still matches after move" true
+          (assert_pack_matches_reference t xs ys)
+      done)
+    [ `Flat; `Balanced ]
 
 (* ------------------------------------------------------------------ *)
 (* Hpwl_cache                                                          *)
@@ -389,7 +557,8 @@ let test_placer_force_directed () =
   check Alcotest.bool "no rotation used" true
     (Array.for_all not p.Placer.rotated)
 
-let place_multistart ~restarts ~jobs seed circuit =
+let place_multistart ?(margin = Placer.default_config.Placer.early_stop_margin)
+    ~restarts ~jobs seed circuit =
   let icm = Decompose.run (Clifford_t.decompose circuit) in
   let g = Pd_graph.of_icm icm in
   ignore (Ishape.run g);
@@ -400,7 +569,8 @@ let place_multistart ~restarts ~jobs seed circuit =
   let dual = Dual_bridge.run g in
   let fvalue = Fvalue.plan flipping in
   let config =
-    { Placer.default_config with effort = Placer.Quick; seed; restarts; jobs }
+    { Placer.default_config with effort = Placer.Quick; seed; restarts; jobs;
+      early_stop_margin = margin }
   in
   Placer.place ~config g flipping dual fvalue
 
@@ -426,17 +596,57 @@ let test_placer_jobs_invariant () =
     (serial.Placer.rotated = parallel.Placer.rotated)
 
 (* Lane 0 of a multi-start run is the single-start trajectory, so the
-   best-of-K cost can never exceed the K=1 cost. *)
+   best-of-K cost can never exceed the K=1 cost.  Early stopping is
+   disabled here so the full-budget attempt accounting is exact. *)
 let test_placer_multistart_never_worse () =
   let circuit = one_t_circuit () in
-  let single = place_multistart ~restarts:1 ~jobs:(Some 1) 42 circuit in
-  let multi = place_multistart ~restarts:3 ~jobs:(Some 2) 42 circuit in
+  let single =
+    place_multistart ~margin:None ~restarts:1 ~jobs:(Some 1) 42 circuit
+  in
+  let multi =
+    place_multistart ~margin:None ~restarts:3 ~jobs:(Some 2) 42 circuit
+  in
   check Alcotest.bool "best-of-3 cost <= single cost" true
     (multi.Placer.sa_stats.Sa.best_cost
     <= single.Placer.sa_stats.Sa.best_cost);
   check Alcotest.bool "attempts accumulate across restarts" true
     (multi.Placer.sa_stats.Sa.attempted
     >= 3 * single.Placer.sa_stats.Sa.attempted)
+
+(* Adaptive early stopping: lane 0 is exempt, so even the most
+   aggressive margin never makes the multi-start result worse than the
+   single-start run — and stop decisions happen at deterministic epoch
+   barriers, so the outcome is identical for any worker count. *)
+let test_placer_early_stop () =
+  let circuit = one_t_circuit () in
+  let single =
+    place_multistart ~margin:None ~restarts:1 ~jobs:(Some 1) 42 circuit
+  in
+  let eager =
+    place_multistart ~margin:(Some 0.) ~restarts:4 ~jobs:(Some 1) 42 circuit
+  in
+  let eager_par =
+    place_multistart ~margin:(Some 0.) ~restarts:4 ~jobs:(Some 4) 42 circuit
+  in
+  check Alcotest.(list string) "early-stopped placement valid" []
+    (Placer.check eager);
+  check Alcotest.bool "never worse than single-start" true
+    (eager.Placer.sa_stats.Sa.best_cost
+    <= single.Placer.sa_stats.Sa.best_cost);
+  let full =
+    place_multistart ~margin:None ~restarts:4 ~jobs:(Some 1) 42 circuit
+  in
+  check Alcotest.bool "early stop never adds moves" true
+    (eager.Placer.sa_stats.Sa.attempted <= full.Placer.sa_stats.Sa.attempted);
+  check
+    Alcotest.(list int)
+    "jobs-invariant under early stop"
+    [ eager.Placer.width; eager.Placer.height; eager.Placer.depth;
+      eager.Placer.volume; eager.Placer.sa_stats.Sa.attempted ]
+    [ eager_par.Placer.width; eager_par.Placer.height; eager_par.Placer.depth;
+      eager_par.Placer.volume; eager_par.Placer.sa_stats.Sa.attempted ];
+  check Alcotest.bool "same positions under early stop" true
+    (eager.Placer.node_pos = eager_par.Placer.node_pos)
 
 let prop_placer_valid_on_random =
   QCheck.Test.make ~name:"placement valid on random circuits" ~count:10
@@ -453,6 +663,7 @@ let suites =
         Alcotest.test_case "minimizes quadratic" `Quick test_sa_minimizes_quadratic;
         Alcotest.test_case "stats sane" `Quick test_sa_stats_sane;
         Alcotest.test_case "default params" `Quick test_sa_default_params;
+        Alcotest.test_case "stepper = run" `Quick test_sa_stepper_matches_run;
       ] );
     ( "place.bstar",
       [
@@ -462,6 +673,10 @@ let suites =
         Alcotest.test_case "snapshot/restore" `Quick test_bstar_snapshot_restore;
         qtest prop_bstar_moves_preserve_invariants;
         qtest prop_bstar_pack_compact_bottom_left;
+        qtest prop_pack_incremental_matches_reference;
+        qtest prop_pack_contour_modes_agree;
+        Alcotest.test_case "abutting breakpoints" `Quick
+          test_pack_abutting_breakpoints;
       ] );
     ("place.hpwl_cache", [ qtest prop_hpwl_cache_matches_scratch ]);
     ( "place.super_module",
@@ -481,6 +696,8 @@ let suites =
           test_placer_jobs_invariant;
         Alcotest.test_case "multi-start never worse" `Quick
           test_placer_multistart_never_worse;
+        Alcotest.test_case "adaptive early stop" `Quick
+          test_placer_early_stop;
         Alcotest.test_case "force-directed" `Quick test_placer_force_directed;
         qtest prop_placer_valid_on_random;
       ] );
