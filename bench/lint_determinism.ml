@@ -1,0 +1,73 @@
+(* Determinism lint: every [Hashtbl.iter] / [Hashtbl.fold] in lib/ is an
+   iteration whose order depends on the hash layout — a silent source of
+   run-to-run nondeterminism whenever the order can reach an output.
+   Each site must carry a nearby [hash-order:] audit comment stating why
+   the order cannot leak (result sorted, operation commutative, ...);
+   unaudited sites fail the lint, and so `dune runtest`.
+
+   Usage: lint_determinism <dir>   (typically the lib/ source tree) *)
+
+let marker = "hash-order:"
+let pattern = [ "Hashtbl.iter"; "Hashtbl.fold" ]
+
+(* a site passes if the marker appears on the site's line, within the 3
+   lines above (leading comment) or on the line below (trailing note) *)
+let window_before = 3
+let window_after = 1
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Array.of_list (List.rev !lines)
+
+let rec ml_files dir =
+  let entries = Array.to_list (Sys.readdir dir) in
+  List.concat_map
+    (fun e ->
+      let path = Filename.concat dir e in
+      if Sys.is_directory path then ml_files path
+      else if Filename.check_suffix e ".ml" then [ path ]
+      else [])
+    entries
+  |> List.sort compare
+
+let lint_file path =
+  let lines = read_lines path in
+  let n = Array.length lines in
+  let bad = ref [] in
+  for i = 0 to n - 1 do
+    if List.exists (fun p -> contains ~sub:p lines.(i)) pattern then begin
+      let audited = ref false in
+      for j = max 0 (i - window_before) to min (n - 1) (i + window_after) do
+        if contains ~sub:marker lines.(j) then audited := true
+      done;
+      if not !audited then bad := (i + 1) :: !bad
+    end
+  done;
+  List.rev_map (fun line -> (path, line)) !bad |> List.rev
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
+  let offenders = List.concat_map lint_file (ml_files dir) in
+  match offenders with
+  | [] ->
+      Printf.printf "lint-determinism: all Hashtbl iteration sites audited\n"
+  | offenders ->
+      List.iter
+        (fun (path, line) ->
+          Printf.printf
+            "%s:%d: unaudited Hashtbl.iter/fold — order-sensitive \
+             iteration; sort the output or add a `%s` audit comment\n"
+            path line marker)
+        offenders;
+      exit 1

@@ -255,6 +255,57 @@ let export_cmd =
        ~doc:"Compress a circuit and export the geometry as Wavefront OBJ.")
     Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg $ out_arg)
 
+let check_cmd =
+  let stage_arg =
+    let doc =
+      "Verify only this stage (repeatable): icm, pd-graph, ishape, \
+       flipping, dual-bridge, placement, routing or geometry.  Default: \
+       all stages."
+    in
+    let parse s =
+      match Tqec_verify.Violation.stage_of_string s with
+      | Some st -> Ok st
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown stage %S (expected %s)" s
+                 (String.concat "|" Tqec_verify.Violation.stage_names)))
+    in
+    let print ppf st =
+      Format.pp_print_string ppf (Tqec_verify.Violation.stage_name st)
+    in
+    Arg.(
+      value
+      & opt_all (conv (parse, print)) []
+      & info [ "s"; "stage" ] ~docv:"STAGE" ~doc)
+  in
+  let run input variant effort seed scale restarts jobs early_stop stages =
+    let c =
+      match Suite.find input with
+      | Some entry -> Suite.scaled ~factor:(max 1 scale) entry
+      | None -> load_circuit input
+    in
+    let config =
+      { Pipeline.default_config with variant; effort; seed;
+        restarts = max 1 restarts; jobs; early_stop_margin = early_stop }
+    in
+    let r = Pipeline.run ~config c in
+    let stages = match stages with [] -> None | ss -> Some ss in
+    let report = Pipeline.verify ?stages r in
+    Printf.printf "%s: volume=%s\n%s%!" c.Tqec_circuit.Circuit.name
+      (Tqec_util.Pretty.int_with_commas r.Pipeline.volume)
+      (Tqec_verify.Violation.render report);
+    if not (Tqec_verify.Violation.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the flow and the whole-pipeline translation validation: \
+          every stage boundary's invariants are re-derived independently \
+          and cross-checked.  Non-zero exit on any violation.")
+    Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
+          $ scale_arg $ restarts_arg $ jobs_arg $ early_stop_arg $ stage_arg)
+
 let render_cmd =
   let run input =
     let c = load_circuit input in
@@ -278,6 +329,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            stats_cmd; compress_cmd; table1_cmd; table2_cmd; table3_cmd;
-            fig1_cmd; render_cmd; ablate_cmd; export_cmd;
+            stats_cmd; compress_cmd; check_cmd; table1_cmd; table2_cmd;
+            table3_cmd; fig1_cmd; render_cmd; ablate_cmd; export_cmd;
           ]))

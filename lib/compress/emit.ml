@@ -1,155 +1,9 @@
-module Pd_graph = Tqec_pdgraph.Pd_graph
-module Flipping = Tqec_pdgraph.Flipping
-module Placer = Tqec_place.Placer
-module Super_module = Tqec_place.Super_module
-module Pathfinder = Tqec_route.Pathfinder
 module Geometry = Tqec_geom.Geometry
-module Defect = Tqec_geom.Defect
-module Vec3 = Tqec_util.Vec3
-module Box3 = Tqec_util.Box3
-module Union_find = Tqec_util.Union_find
-
-let double (c : Vec3.t) ~dual =
-  let off = if dual then 1 else 0 in
-  Vec3.make ((2 * c.x) + off) ((2 * c.y) + off) ((2 * c.z) + off)
-
-(* Emit a cell set as strands of one structure: one 2-vertex strand per
-   adjacent pair, plus single-vertex strands for isolated cells. *)
-let emit_cells ~next_id ~structure ~dtype g cells =
-  let in_set = Hashtbl.create 64 in
-  List.iter (fun c -> Hashtbl.replace in_set c ()) cells;
-  let covered = Hashtbl.create 64 in
-  let dual = dtype = Defect.Dual in
-  let g = ref g in
-  List.iter
-    (fun c ->
-      (* canonical edges: only towards the positive axis directions *)
-      let pos_neighbors (p : Vec3.t) =
-        [
-          { p with Vec3.x = p.Vec3.x + 1 };
-          { p with Vec3.y = p.Vec3.y + 1 };
-          { p with Vec3.z = p.Vec3.z + 1 };
-        ]
-      in
-      List.iter
-        (fun n ->
-          if Hashtbl.mem in_set n then begin
-            Hashtbl.replace covered c ();
-            Hashtbl.replace covered n ();
-            let id = !next_id in
-            incr next_id;
-            g :=
-              Geometry.add_defect !g
-                (Defect.make ~id ~structure ~dtype ~closed:false
-                   [ double ~dual c; double ~dual n ])
-          end)
-        (pos_neighbors c))
-    cells;
-  List.iter
-    (fun c ->
-      if not (Hashtbl.mem covered c) then begin
-        let id = !next_id in
-        incr next_id;
-        g :=
-          Geometry.add_defect !g
-            (Defect.make ~id ~structure ~dtype ~closed:false
-               [ double ~dual c ])
-      end)
-    cells;
-  !g
-
-(* Primal structures: union the modules of every chain (through its
-   points' members) — these are physically bridged; everything else is
-   its own structure. *)
-let primal_structures (r : Pipeline.t) =
-  let n = Tqec_util.Veca.length r.Pipeline.graph.Pd_graph.modules in
-  let uf = Union_find.create n in
-  let members_of = Hashtbl.create 64 in
-  List.iter
-    (fun (rep, ms) -> Hashtbl.replace members_of rep ms)
-    r.Pipeline.flipping.Flipping.points;
-  List.iter
-    (fun chain ->
-      let all_members =
-        List.concat_map
-          (fun rep ->
-            match Hashtbl.find_opt members_of rep with
-            | Some ms -> ms
-            | None -> [ rep ])
-          chain
-      in
-      match all_members with
-      | [] -> ()
-      | first :: rest ->
-          List.iter (fun m -> ignore (Union_find.union uf first m)) rest)
-    r.Pipeline.flipping.Flipping.chains;
-  let groups = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun m _node ->
-      if (Pd_graph.module_get r.Pipeline.graph m).Pd_graph.m_alive then begin
-        let root = Union_find.find uf m in
-        let existing = try Hashtbl.find groups root with Not_found -> [] in
-        Hashtbl.replace groups root (m :: existing)
-      end)
-    r.Pipeline.placement.Placer.sm.Super_module.node_of_module;
-  Hashtbl.fold (fun _root ms acc -> ms :: acc) groups []
 
 let geometry (r : Pipeline.t) =
-  let g = ref (Geometry.empty r.Pipeline.icm.Tqec_icm.Icm.name) in
-  let next_id = ref 0 in
-  let structure = ref 0 in
-  (* primal strands *)
-  List.iter
-    (fun modules ->
-      let cells = List.map (Placer.module_cell r.Pipeline.placement) modules in
-      g :=
-        emit_cells ~next_id ~structure:!structure ~dtype:Defect.Primal !g cells;
-      incr structure)
-    (primal_structures r);
-  (* dual strands: routed trees, with multiply-used pin cells kept only
-     in the first structure that visits them *)
-  let pin_owner = Hashtbl.create 64 in
-  List.iter
-    (fun (routed : Pathfinder.routed) ->
-      let cells =
-        List.filter
-          (fun c ->
-            match Hashtbl.find_opt pin_owner c with
-            | Some owner -> owner = routed.Pathfinder.r_net
-            | None ->
-                Hashtbl.replace pin_owner c routed.Pathfinder.r_net;
-                true)
-          routed.Pathfinder.r_cells
-      in
-      g := emit_cells ~next_id ~structure:!structure ~dtype:Defect.Dual !g cells;
-      incr structure)
-    r.Pipeline.routing.Pathfinder.routes;
-  (* distillation boxes *)
-  Array.iteri
-    (fun i nd ->
-      match nd.Super_module.nd_kind with
-      | Super_module.Distill_sm { box; _ } ->
-          let bw, bh, bd =
-            match box with
-            | Geometry.Y_box -> Geometry.y_box_dims
-            | Geometry.A_box -> Geometry.a_box_dims
-          in
-          let x, y = r.Pipeline.placement.Placer.node_pos.(i) in
-          let w, h =
-            if r.Pipeline.placement.Placer.rotated.(i) then (bh, bw)
-            else (bw, bh)
-          in
-          g :=
-            Geometry.add_box !g
-              {
-                Geometry.b_kind = box;
-                b_box =
-                  Box3.make (Vec3.make x y 0)
-                    (Vec3.make (x + w - 1) (y + h - 1) (bd - 1));
-              }
-      | _ -> ())
-    r.Pipeline.placement.Placer.sm.Super_module.nodes;
-  !g
+  Emit_core.geometry ~name:r.Pipeline.icm.Tqec_icm.Icm.name
+    ~graph:r.Pipeline.graph ~flipping:r.Pipeline.flipping
+    ~placement:r.Pipeline.placement ~routing:r.Pipeline.routing
 
 let check r = Geometry.check (geometry r)
 

@@ -1,0 +1,25 @@
+(** Component-level geometry emission (the engine behind {!Emit}).
+
+    Takes the stage artifacts directly instead of a {!Pipeline.t}, so the
+    pipeline itself can emit geometry for verification without a module
+    cycle.  Emission is deterministic: primal structures are ordered by
+    their smallest module id and dual structures follow the route order,
+    so equal artifacts yield identical geometry. *)
+
+(** [primal_structures graph flipping placement] groups the placed alive
+    modules into physically-bridged structures (one per flipping chain,
+    through its points' members; every other module its own structure),
+    ordered by ascending smallest member. *)
+val primal_structures :
+  Tqec_pdgraph.Pd_graph.t ->
+  Tqec_pdgraph.Flipping.t ->
+  Tqec_place.Placer.t ->
+  int list list
+
+val geometry :
+  name:string ->
+  graph:Tqec_pdgraph.Pd_graph.t ->
+  flipping:Tqec_pdgraph.Flipping.t ->
+  placement:Tqec_place.Placer.t ->
+  routing:Tqec_route.Pathfinder.result ->
+  Tqec_geom.Geometry.t

@@ -45,6 +45,7 @@ type stage_stats = {
 type t = {
   icm : Icm.t;
   graph : Pd_graph.t;
+  merges : Ishape.merge list;
   flipping : Flipping.t;
   dual : Dual_bridge.t;
   fvalue : Fvalue.t;
@@ -124,6 +125,7 @@ let build_route_nets (g : Pd_graph.t) (placement : Placer.t)
 
 let obstacles grid (g : Pd_graph.t) (placement : Placer.t) =
   let sm = placement.Placer.sm in
+  (* hash-order: obstacle flags commute, iteration order is irrelevant *)
   Hashtbl.iter
     (fun m _node ->
       if (Pd_graph.module_get g m).Pd_graph.m_alive then
@@ -214,7 +216,7 @@ let build_route_grid ?extra_z graph placement nets =
 
 let debug = Sys.getenv_opt "TQEC_DEBUG" <> None
 
-let run_icm ?(config = default_config) icm =
+let rec run_icm ?(config = default_config) icm =
   let t0 = Unix.gettimeofday () in
   let mark name =
     if debug then
@@ -306,18 +308,52 @@ let run_icm ?(config = default_config) icm =
       st_dual_bridges = dual.Dual_bridge.n_bridges;
     }
   in
-  {
-    icm;
-    graph;
-    flipping;
-    dual;
-    fvalue;
-    placement;
-    routing;
-    volume;
-    stages;
-    elapsed = Unix.gettimeofday () -. t0;
-  }
+  let r =
+    {
+      icm;
+      graph;
+      merges;
+      flipping;
+      dual;
+      fvalue;
+      placement;
+      routing;
+      volume;
+      stages;
+      elapsed = Unix.gettimeofday () -. t0;
+    }
+  in
+  (match Sys.getenv_opt "TQEC_VERIFY" with
+  | Some "" | Some "0" | None -> ()
+  | Some _ ->
+      let report = verify r in
+      if not (Tqec_verify.Violation.ok report) then begin
+        prerr_string (Tqec_verify.Violation.render report);
+        failwith
+          (Printf.sprintf "TQEC_VERIFY: %d violation(s) on %s"
+             (List.length report.Tqec_verify.Violation.violations)
+             icm.Icm.name)
+      end);
+  r
+
+and verify ?stages (r : t) =
+  let geometry =
+    Emit_core.geometry ~name:r.icm.Icm.name ~graph:r.graph
+      ~flipping:r.flipping ~placement:r.placement ~routing:r.routing
+  in
+  Tqec_verify.Check.run ?stages
+    {
+      Tqec_verify.Check.a_icm = r.icm;
+      a_graph = r.graph;
+      a_merges = r.merges;
+      a_flipping = r.flipping;
+      a_dual = r.dual;
+      a_fvalue = r.fvalue;
+      a_placement = r.placement;
+      a_routing = r.routing;
+      a_volume = r.volume;
+      a_geometry = Some geometry;
+    }
 
 let run ?(config = default_config) circuit =
   let circuit =
@@ -326,28 +362,4 @@ let run ?(config = default_config) circuit =
   in
   run_icm ~config (Tqec_icm.Decompose.run circuit)
 
-let check r =
-  let errors = ref (Placer.check r.placement) in
-  let err s = errors := s :: !errors in
-  (* routed nets are legal against the same grid they were produced on:
-     connected, reach their pins, stay in bounds, avoid obstacles, and
-     respect cell capacity *)
-  let nets = build_route_nets r.graph r.placement r.flipping r.dual r.fvalue in
-  let grid = build_route_grid r.graph r.placement nets in
-  errors := Pathfinder.validate grid r.routing nets @ !errors;
-  (* alive claimed modules occupy pairwise distinct cells *)
-  let seen = Hashtbl.create 256 in
-  Hashtbl.iter
-    (fun m _ ->
-      if (Pd_graph.module_get r.graph m).Pd_graph.m_alive then begin
-        let c = Placer.module_cell r.placement m in
-        (match Hashtbl.find_opt seen c with
-        | Some m' ->
-            err
-              (Printf.sprintf "modules %d and %d share cell %s" m m'
-                 (Vec3.to_string c))
-        | None -> ());
-        Hashtbl.replace seen c m
-      end)
-    r.placement.Placer.sm.Super_module.node_of_module;
-  List.rev !errors
+let check r = Tqec_verify.Violation.to_strings (verify r)

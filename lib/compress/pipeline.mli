@@ -50,6 +50,9 @@ type stage_stats = {
 type t = {
   icm : Tqec_icm.Icm.t;
   graph : Tqec_pdgraph.Pd_graph.t;
+  merges : Tqec_pdgraph.Ishape.merge list;
+      (** I-shape merges performed, in row order (the documented merge
+          map the verifier replays) *)
   flipping : Tqec_pdgraph.Flipping.t;
   dual : Tqec_pdgraph.Dual_bridge.t;
   fvalue : Tqec_pdgraph.Fvalue.t;
@@ -64,10 +67,21 @@ type t = {
     circuit (gate decomposition runs first when needed). *)
 val run : ?config:config -> Tqec_circuit.Circuit.t -> t
 
-(** [run_icm ?config icm] enters the flow after the preprocess stage. *)
+(** [run_icm ?config icm] enters the flow after the preprocess stage.
+
+    When the environment variable [TQEC_VERIFY] is set (to anything but
+    ["0"] or the empty string), the full translation-validation pass
+    ({!verify}) runs on the result and a violated invariant aborts with
+    [Failure] after rendering the report to stderr. *)
 val run_icm : ?config:config -> Tqec_icm.Icm.t -> t
 
-(** [check r] runs all structural validators over the result (placement
-    overlap/order, routing connectivity, braiding-relation preservation);
-    empty when sound. *)
+(** [verify ?stages r] re-derives and cross-checks the invariants of
+    every pipeline boundary (default: all stages) via {!Tqec_verify};
+    see {!Tqec_verify.Check.run}. *)
+val verify :
+  ?stages:Tqec_verify.Violation.stage list -> t -> Tqec_verify.Violation.report
+
+(** [check r] = [Tqec_verify.Violation.to_strings (verify r)]; empty when
+    sound.  Deprecated alias kept for existing callers — new code should
+    use {!verify} and inspect the structured report. *)
 val check : t -> string list

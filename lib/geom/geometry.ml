@@ -116,5 +116,6 @@ let structures g dtype =
         let existing = try Hashtbl.find tbl d.structure with Not_found -> [] in
         Hashtbl.replace tbl d.structure (d :: existing))
     g.defects;
+  (* hash-order: sorted by structure id before returning *)
   Hashtbl.fold (fun s ds acc -> (s, List.rev ds) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

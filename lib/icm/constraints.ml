@@ -16,6 +16,8 @@ let of_icm (icm : Icm.t) =
       Hashtbl.replace by_wire g.t_wire (g :: existing))
     icm.t_gadgets;
   let inter =
+    (* hash-order: the pair list is sort_uniq'd below, so the wire
+       iteration order cannot reach the result *)
     Hashtbl.fold
       (fun _wire gadgets acc ->
         let sorted =

@@ -46,6 +46,7 @@ let run (g : Pd_graph.t) =
     let small, large =
       if Hashtbl.length ma <= Hashtbl.length mb then (ma, mb) else (mb, ma)
     in
+    (* hash-order: (||) over all bindings is order-oblivious *)
     Hashtbl.fold
       (fun wire gid acc ->
         acc
@@ -56,6 +57,8 @@ let run (g : Pd_graph.t) =
       small false
   in
   let absorb ~into ~from =
+    (* hash-order: each wire key is replaced independently, so the
+       iteration order is irrelevant *)
     Hashtbl.iter (fun wire gid -> Hashtbl.replace (wire_map into) wire gid)
       (wire_map from)
   in

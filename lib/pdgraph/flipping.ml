@@ -33,6 +33,7 @@ let build_points ~exclude g =
     g.Pd_graph.modules;
   (* Normalize representatives to the smallest member id. *)
   let points =
+    (* hash-order: points are sorted by representative below *)
     Hashtbl.fold
       (fun _r ms acc ->
         let ms = List.sort Int.compare ms in

@@ -49,6 +49,7 @@ let time_sm_modules (g : Pd_graph.t) =
       in
       Hashtbl.replace by_wire gadget.t_wire (gadget :: existing))
     icm.t_gadgets;
+  (* hash-order: the wire list is sorted before returning *)
   Hashtbl.fold
     (fun wire gadgets acc ->
       let sorted =

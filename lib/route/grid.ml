@@ -114,8 +114,8 @@ let enter_cost g ~penalty p =
     base + g.hist.(i) + (if over > 0 then penalty * over else 0)
 
 let overused g =
-  (* sort by flat index so the order matches the historical full scan
-     (x, then y, then z ascending) whatever the hash layout *)
+  (* hash-order: sorted by flat index so the order matches the historical
+     full scan (x, then y, then z ascending) whatever the hash layout *)
   Hashtbl.fold (fun i () acc -> i :: acc) g.over []
   |> List.sort Int.compare
   |> List.map (cell_of_index g)

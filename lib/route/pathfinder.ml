@@ -462,6 +462,7 @@ let validate grid result nets =
      [Grid.capacity] strands, and the result must own up to exactly the
      overuse its routes imply *)
   let over =
+    (* hash-order: the overuse list is sorted before reporting *)
     Hashtbl.fold
       (fun c u acc ->
         if u > Grid.capacity && Grid.in_bounds grid c

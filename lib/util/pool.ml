@@ -36,18 +36,37 @@ let map ?jobs f arr =
         match take () with
         | None -> ()
         | Some i ->
-            let r = try Ok (f arr.(i)) with e -> Error e in
+            let r =
+              try Ok (f arr.(i))
+              with e -> Error (e, Printexc.get_raw_backtrace ())
+            in
             results.(i) <- Some r;
             worker ()
       in
-      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      (* [Domain.spawn] itself can fail (domain/resource limits); keep
+         whatever spawned and degrade to fewer workers rather than
+         leaking live domains or abandoning queued tasks *)
+      let domains = ref [] in
+      (try
+         for _ = 1 to jobs - 1 do
+           domains := Domain.spawn worker :: !domains
+         done
+       with _ -> ());
       worker ();
-      Array.iter Domain.join domains;
+      List.iter Domain.join !domains;
+      (* every domain has joined and every slot is filled: a failing
+         task never deadlocks the join or poisons a later [map].  The
+         lowest-index failure is re-raised with its original backtrace,
+         matching what the serial path would have thrown first. *)
+      Array.iter
+        (function
+          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | Some (Ok _) | None -> ())
+        results;
       Array.map
         (function
           | Some (Ok v) -> v
-          | Some (Error e) -> raise e
-          | None -> assert false)
+          | Some (Error _) | None -> assert false)
         results
     end
   end

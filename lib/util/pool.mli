@@ -14,9 +14,14 @@
 val default_jobs : unit -> int
 
 (** [map ?jobs f arr] is [Array.map f arr] computed by [jobs] domains
-    (default {!default_jobs}).  Output order matches input order.  If a
-    task raises, the lowest-index exception is re-raised after all
-    workers finish. *)
+    (default {!default_jobs}).  Output order matches input order.
+
+    Exception safety: a raising task never deadlocks or poisons the
+    pool.  Remaining tasks still run, every spawned domain is joined,
+    and only then is the lowest-index task's exception re-raised on the
+    caller — with its original backtrace, matching what the serial path
+    would have thrown first.  A [Domain.spawn] failure degrades to fewer
+    workers instead of failing the call. *)
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [run ?jobs thunks] forces an array of thunks in parallel. *)

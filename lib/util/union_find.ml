@@ -49,5 +49,6 @@ let groups t =
     let members = try Hashtbl.find tbl r with Not_found -> [] in
     Hashtbl.replace tbl r (i :: members)
   done;
+  (* hash-order: groups are sorted by representative before returning *)
   Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,125 @@
+module Icm = Tqec_icm.Icm
+module Constraints = Tqec_icm.Constraints
+module Schedule = Tqec_icm.Schedule
+module V = Violation
+
+(* Re-derive the measurement-order constraint pairs straight from the
+   gadget records — deliberately not via [Constraints.of_icm], whose
+   bookkeeping this checker cross-validates.  Pairs referencing invalid
+   measurement indices are dropped (they are reported separately by the
+   structural check). *)
+let derive_pairs (icm : Icm.t) =
+  let n_meas = Array.length icm.meas in
+  let valid i = i >= 0 && i < n_meas in
+  let pairs = ref [] in
+  Array.iter
+    (fun (g : Icm.t_gadget) ->
+      if valid g.t_first_meas then
+        List.iter
+          (fun s -> if valid s then pairs := (g.t_first_meas, s) :: !pairs)
+          g.t_second_meas)
+    icm.t_gadgets;
+  let by_wire = Hashtbl.create 16 in
+  Array.iter
+    (fun (g : Icm.t_gadget) ->
+      let existing = try Hashtbl.find by_wire g.t_wire with Not_found -> [] in
+      Hashtbl.replace by_wire g.t_wire (g :: existing))
+    icm.t_gadgets;
+  (* hash-order: wire keys are sorted before use *)
+  let wires = Hashtbl.fold (fun w _ acc -> w :: acc) by_wire [] in
+  List.iter
+    (fun wire ->
+      let gadgets =
+        List.sort
+          (fun (a : Icm.t_gadget) b -> Int.compare a.t_seq b.t_seq)
+          (Hashtbl.find by_wire wire)
+      in
+      let rec link = function
+        | (a : Icm.t_gadget) :: (b : Icm.t_gadget) :: rest ->
+            List.iter
+              (fun sa ->
+                List.iter
+                  (fun sb ->
+                    if valid sa && valid sb then pairs := (sa, sb) :: !pairs)
+                  b.t_second_meas)
+              a.t_second_meas;
+            link (b :: rest)
+        | _ -> ()
+      in
+      link gadgets)
+    (List.sort_uniq Int.compare wires);
+  List.sort_uniq compare !pairs
+
+(* Kahn over the re-derived pairs: the measurements left with positive
+   in-degree at exhaustion form the cycles. *)
+let cycle_members n pairs =
+  let indegree = Array.make n 0 in
+  let succs = Array.make n [] in
+  List.iter
+    (fun (before, after) ->
+      succs.(before) <- after :: succs.(before);
+      indegree.(after) <- indegree.(after) + 1)
+    pairs;
+  let ready = Queue.create () in
+  for i = 0 to n - 1 do
+    if indegree.(i) = 0 then Queue.add i ready
+  done;
+  let emitted = ref 0 in
+  while not (Queue.is_empty ready) do
+    let i = Queue.pop ready in
+    incr emitted;
+    List.iter
+      (fun j ->
+        indegree.(j) <- indegree.(j) - 1;
+        if indegree.(j) = 0 then Queue.add j ready)
+      succs.(i)
+  done;
+  if !emitted = n then []
+  else
+    List.filter (fun i -> indegree.(i) > 0) (List.init n (fun i -> i))
+
+let check (icm : Icm.t) =
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  (* structural wellformedness (the independent per-field checker) *)
+  List.iter
+    (fun issue ->
+      add
+        (V.makef V.Icm ~code:"structure" "%s"
+           (Format.asprintf "%a" Tqec_icm.Validate.pp_issue issue)))
+    (Tqec_icm.Validate.check icm);
+  let pairs = derive_pairs icm in
+  (* (a) the measurement-constraint DAG is acyclic *)
+  let n_meas = Array.length icm.meas in
+  (match cycle_members n_meas pairs with
+  | [] -> ()
+  | cyclic ->
+      add
+        (V.makef V.Icm ~code:"constraint-cycle"
+           "measurement-order constraints are cyclic through measurements {%s}"
+           (String.concat ", " (List.map string_of_int cyclic))));
+  (* the transformer's own constraint enumeration must agree with the
+     re-derivation *)
+  let recorded =
+    List.sort_uniq compare
+      (List.map
+         (fun (p : Constraints.pair) -> (p.before, p.after))
+         (Constraints.of_icm icm))
+  in
+  if recorded <> pairs then
+    add
+      (V.makef V.Icm ~code:"constraint-derivation"
+         "Constraints.of_icm lists %d pairs; independent re-derivation finds %d"
+         (List.length recorded) (List.length pairs));
+  (* the CNOT depth schedule respects line availability *)
+  (try
+     let asap = Schedule.asap icm in
+     if not (Schedule.valid icm asap) then
+       add
+         (V.make V.Icm ~code:"schedule"
+            "ASAP schedule violates line-dependency order")
+   with e ->
+     add
+       (V.makef V.Icm ~code:"schedule" "ASAP scheduling failed: %s"
+          (Printexc.to_string e)));
+  List.rev !vs

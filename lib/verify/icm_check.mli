@@ -1,0 +1,12 @@
+(** Stage (a): ICM wellformedness and the measurement-constraint DAG.
+
+    Re-derives the intra-T and inter-T constraint pairs directly from the
+    gadget records, proves the DAG acyclic with an independent Kahn pass,
+    cross-checks {!Tqec_icm.Constraints.of_icm} against the re-derivation,
+    and validates the ASAP depth schedule. *)
+
+(** [derive_pairs icm] is the checker's own constraint enumeration
+    (sorted, duplicate-free, invalid measurement indices dropped). *)
+val derive_pairs : Tqec_icm.Icm.t -> (int * int) list
+
+val check : Tqec_icm.Icm.t -> Violation.t list

@@ -1,0 +1,64 @@
+module Pd = Tqec_pdgraph.Pd_graph
+module V = Violation
+
+(* Internal consistency of a PD graph at any point of the flow: the
+   braiding relation is stored twice (module -> nets and net -> modules)
+   and the two views must agree; every dual net must remain covered by at
+   least two alive module parts (a net is realized as two-pin segments
+   between consecutive parts, so fewer than two pins means the net lost
+   its primal coverage). *)
+let check (g : Pd.t) =
+  let vs = ref [] in
+  let n_modules = Pd.n_modules_constructed g in
+  let n_nets = Pd.n_nets g in
+  let n_lines = g.Pd.icm.Tqec_icm.Icm.n_lines in
+  let asym = ref [] in
+  for m = 0 to n_modules - 1 do
+    let mr = Pd.module_get g m in
+    if mr.Pd.m_alive then begin
+      if mr.Pd.m_row < 0 || mr.Pd.m_row >= n_lines then
+        vs :=
+          V.makef V.Pd_graph ~code:"module-row"
+            "module %d has out-of-range row %d" m mr.Pd.m_row
+          :: !vs;
+      List.iter
+        (fun n ->
+          if n < 0 || n >= n_nets then
+            asym := Printf.sprintf "module %d lists unknown net %d" m n :: !asym
+          else if not (List.mem m (Pd.net_get g n).Pd.n_modules) then
+            asym :=
+              Printf.sprintf
+                "module %d lists net %d but the net does not list the module"
+                m n
+              :: !asym)
+        (Pd.nets_through g m)
+    end
+  done;
+  for n = 0 to n_nets - 1 do
+    let nr = Pd.net_get g n in
+    if
+      nr.Pd.n_cnot < 0
+      || nr.Pd.n_cnot >= Array.length g.Pd.icm.Tqec_icm.Icm.cnots
+    then
+      vs :=
+        V.makef V.Pd_graph ~code:"net-cnot" "net %d maps to unknown CNOT %d" n
+          nr.Pd.n_cnot
+        :: !vs;
+    let alive = Pd.modules_of_net g n in
+    List.iter
+      (fun m ->
+        if not (List.mem n (Pd.nets_through g m)) then
+          asym :=
+            Printf.sprintf
+              "net %d lists module %d but the module does not list the net" n m
+            :: !asym)
+      alive;
+    if List.length alive < 2 then
+      vs :=
+        V.makef V.Pd_graph ~code:"net-coverage"
+          "net %d is covered by %d alive module part(s); two-pin segments \
+           need at least 2"
+          n (List.length alive)
+        :: !vs
+  done;
+  List.rev !vs @ V.capped V.Pd_graph ~code:"incidence" (List.rev !asym)

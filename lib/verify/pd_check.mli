@@ -1,0 +1,3 @@
+(** Stage (b): PD-graph incidence symmetry and dual-net coverage. *)
+
+val check : Tqec_pdgraph.Pd_graph.t -> Violation.t list

@@ -1,0 +1,239 @@
+module Pd = Tqec_pdgraph.Pd_graph
+module Flipping = Tqec_pdgraph.Flipping
+module Dual_bridge = Tqec_pdgraph.Dual_bridge
+module Icm = Tqec_icm.Icm
+module Super_module = Tqec_place.Super_module
+module Placer = Tqec_place.Placer
+module Bstar_tree = Tqec_place.Bstar_tree
+module Hpwl_cache = Tqec_place.Hpwl_cache
+module Vec3 = Tqec_util.Vec3
+module V = Violation
+
+(* Node-granularity nets, re-derived from the dual-bridge classes and the
+   pseudo-net list rather than taken from the placer: the union of module
+   parts traversed by each merged structure's member nets, mapped to
+   their claiming nodes. *)
+let derive_nets (g : Pd.t) (sm : Super_module.t) (d : Dual_bridge.t) =
+  let nets = ref [] in
+  List.iter
+    (fun (_rep, members) ->
+      let modules =
+        List.sort_uniq Int.compare
+          (List.concat_map (fun net -> Pd.modules_of_net g net) members)
+      in
+      let nodes =
+        List.filter_map
+          (Hashtbl.find_opt sm.Super_module.node_of_module)
+          modules
+        |> List.sort_uniq Int.compare
+      in
+      match nodes with [] | [ _ ] -> () | ns -> nets := ns :: !nets)
+    d.Dual_bridge.merged;
+  List.iter
+    (fun (box_node, m) ->
+      match Hashtbl.find_opt sm.Super_module.node_of_module m with
+      | Some n when n <> box_node -> nets := [ box_node; n ] :: !nets
+      | _ -> ())
+    sm.Super_module.pseudo_nets;
+  Array.of_list (List.map Array.of_list !nets)
+
+let check ~(icm : Icm.t) (g : Pd.t) (f : Flipping.t) (d : Dual_bridge.t)
+    (p : Placer.t) =
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  let sm = p.Placer.sm in
+  let nodes = sm.Super_module.nodes in
+  let n = Array.length nodes in
+  (* (d) overlap-free and inside the bounding box, with the reference
+     packer's overlap oracle on the rotated footprints *)
+  let dims =
+    Array.init n (fun i ->
+        let nd = nodes.(i) in
+        if p.Placer.rotated.(i) then (nd.Super_module.nd_h, nd.Super_module.nd_w)
+        else (nd.Super_module.nd_w, nd.Super_module.nd_h))
+  in
+  if Bstar_tree.overlaps p.Placer.node_pos dims then
+    add (V.make V.Placement ~code:"overlap" "two node footprints overlap");
+  let max_x = ref 0 and max_y = ref 0 in
+  Array.iteri
+    (fun i (x, y) ->
+      let w, h = dims.(i) in
+      max_x := max !max_x (x + w);
+      max_y := max !max_y (y + h);
+      if x < 0 || y < 0 || x + w > p.Placer.width || y + h > p.Placer.height
+      then
+        add
+          (V.makef V.Placement ~code:"bbox"
+             "node %d at (%d, %d) size %dx%d leaves the %dx%d die" i x y w h
+             p.Placer.width p.Placer.height))
+    p.Placer.node_pos;
+  if n > 0 && (!max_x <> p.Placer.width || !max_y <> p.Placer.height) then
+    add
+      (V.makef V.Placement ~code:"bbox"
+         "recorded die %dx%d but packed extent is %dx%d" p.Placer.width
+         p.Placer.height !max_x !max_y);
+  (* recorded depth and volume recomputed from scratch *)
+  let depth =
+    max 2 (Array.fold_left (fun acc nd -> max acc nd.Super_module.nd_d) 2 nodes)
+  in
+  if depth <> p.Placer.depth then
+    add
+      (V.makef V.Placement ~code:"cost"
+         "recorded depth %d but the deepest node implies %d" p.Placer.depth
+         depth);
+  let volume = !max_x * !max_y * depth in
+  if n > 0 && volume <> p.Placer.volume then
+    add
+      (V.makef V.Placement ~code:"cost"
+         "recorded volume %d but W*H*Z recomputes to %d" p.Placer.volume volume);
+  (* recorded wirelength against an independently re-derived net set *)
+  let nets = derive_nets g sm d in
+  let wl = Hpwl_cache.compute nets p.Placer.node_pos in
+  if wl <> p.Placer.wirelength then
+    add
+      (V.makef V.Placement ~code:"cost"
+         "recorded wirelength %d but re-derived nets give %d"
+         p.Placer.wirelength wl);
+  (* every alive module claimed exactly once, inside its node's footprint *)
+  let point_offsets = Hashtbl.create 64 in
+  for m = 0 to Pd.n_modules_constructed g - 1 do
+    let mr = Pd.module_get g m in
+    (* distillation-box modules are realized by their box node's body,
+       not claimed as a core cell *)
+    let distill = match mr.Pd.m_kind with Pd.Distill _ -> true | _ -> false in
+    if mr.Pd.m_alive && not distill then begin
+      match Hashtbl.find_opt sm.Super_module.node_of_module m with
+      | None ->
+          add
+            (V.makef V.Placement ~code:"claim"
+               "alive module %d is claimed by no node" m)
+      | Some nid when nid < 0 || nid >= n ->
+          add
+            (V.makef V.Placement ~code:"claim"
+               "module %d claimed by unknown node %d" m nid)
+      | Some nid -> (
+          match Hashtbl.find_opt sm.Super_module.module_offset m with
+          | None ->
+              add
+                (V.makef V.Placement ~code:"claim"
+                   "claimed module %d has no offset" m)
+          | Some (dx, dy, dz) ->
+              let nd = nodes.(nid) in
+              if
+                dx < 0 || dy < 0 || dz < 0
+                || dx >= nd.Super_module.nd_w
+                || dy >= nd.Super_module.nd_h
+                || dz >= nd.Super_module.nd_d
+              then
+                add
+                  (V.makef V.Placement ~code:"claim"
+                     "module %d offset (%d, %d, %d) leaves node %d's \
+                      %dx%dx%d footprint"
+                     m dx dy dz nid nd.Super_module.nd_w nd.Super_module.nd_h
+                     nd.Super_module.nd_d);
+              (* only chain columns stack above the ground layer *)
+              (match nd.Super_module.nd_kind with
+              | Super_module.Chain _ -> ()
+              | _ ->
+                  if dz <> 0 then
+                    add
+                      (V.makef V.Placement ~code:"layer"
+                         "module %d of non-chain node %d floats at level %d" m
+                         nid dz));
+              let point =
+                if m < Array.length f.Flipping.point_of then
+                  f.Flipping.point_of.(m)
+                else -1
+              in
+              if point >= 0 then
+                (* a point's members sit side by side along x: track the
+                   column origin (smallest dx) and the common level *)
+                let entry =
+                  match Hashtbl.find_opt point_offsets point with
+                  | Some (nid', dx', dz') when nid' = nid ->
+                      (nid, min dx dx', min dz dz')
+                  | _ -> (nid, dx, dz)
+                in
+                Hashtbl.replace point_offsets point entry)
+    end
+  done;
+  (* time-dependent and distillation super-modules are never rotated *)
+  Array.iteri
+    (fun i nd ->
+      match nd.Super_module.nd_kind with
+      | Super_module.Time_sm _ | Super_module.Distill_sm _ ->
+          if p.Placer.rotated.(i) then
+            add
+              (V.makef V.Placement ~code:"rotation"
+                 "time/distillation super-module %d is rotated" i)
+      | _ -> ())
+    nodes;
+  (* chain geometry: consecutive points bridge along z (same column, one
+     level apart) or serpentine across a column boundary (same level) *)
+  Array.iter
+    (fun nd ->
+      match nd.Super_module.nd_kind with
+      | Super_module.Chain chain ->
+          let rec walk = function
+            | a :: (b :: _ as rest) ->
+                (match
+                   (Hashtbl.find_opt point_offsets a,
+                    Hashtbl.find_opt point_offsets b)
+                 with
+                | Some (na, xa, za), Some (nb, xb, zb) ->
+                    if na <> nd.Super_module.nd_id || nb <> nd.Super_module.nd_id
+                    then
+                      add
+                        (V.makef V.Placement ~code:"chain"
+                           "chain node %d holds points %d and %d claimed \
+                            elsewhere"
+                           nd.Super_module.nd_id a b)
+                    else if
+                      not
+                        ((xa = xb && abs (za - zb) = 1)
+                        || (xa <> xb && za = zb))
+                    then
+                      add
+                        (V.makef V.Placement ~code:"chain"
+                           "bridged points %d and %d of node %d sit at \
+                            (x=%d, z=%d) and (x=%d, z=%d): neither stacked \
+                            nor serpentine-adjacent"
+                           a b nd.Super_module.nd_id xa za xb zb)
+                | _ ->
+                    add
+                      (V.makef V.Placement ~code:"chain"
+                         "chain node %d references unclaimed points"
+                         nd.Super_module.nd_id));
+                walk rest
+            | _ -> ()
+          in
+          walk chain
+      | _ -> ())
+    nodes;
+  (* measurement-order constraints re-derived from the ICM must map to
+     x-ordered placed cells (the time axis) *)
+  let pairs = Icm_check.derive_pairs icm in
+  List.iter
+    (fun (before, after) ->
+      let cell i =
+        let line = icm.Icm.meas.(i).Icm.m_line in
+        match Pd.meas_module g line with
+        | Some m when Hashtbl.mem sm.Super_module.node_of_module m ->
+            Some (m, Placer.module_cell p m)
+        | _ -> None
+      in
+      match (cell before, cell after) with
+      | Some (mb, cb), Some (ma, ca) ->
+          if cb.Vec3.x >= ca.Vec3.x then
+            add
+              (V.makef V.Placement ~code:"time-order"
+                 "measurement %d (module %d, x=%d) must precede measurement \
+                  %d (module %d, x=%d) on the time axis"
+                 before mb cb.Vec3.x after ma ca.Vec3.x)
+      | _ ->
+          add
+            (V.makef V.Placement ~code:"time-order"
+               "constrained measurements %d and %d lack placed modules" before
+               after))
+    pairs;
+  List.rev !vs

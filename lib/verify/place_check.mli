@@ -1,0 +1,14 @@
+(** Stage (d): placement legality and cost recomputation.
+
+    Uses {!Tqec_place.Bstar_tree.overlaps} as the overlap oracle, but
+    re-derives everything else — bounding box, depth, volume, the node
+    net set behind the wirelength, chain/layer geometry and the
+    measurement time-order — from earlier-stage data. *)
+
+val check :
+  icm:Tqec_icm.Icm.t ->
+  Tqec_pdgraph.Pd_graph.t ->
+  Tqec_pdgraph.Flipping.t ->
+  Tqec_pdgraph.Dual_bridge.t ->
+  Tqec_place.Placer.t ->
+  Violation.t list

@@ -1,0 +1,298 @@
+module Pd = Tqec_pdgraph.Pd_graph
+module Flipping = Tqec_pdgraph.Flipping
+module Dual_bridge = Tqec_pdgraph.Dual_bridge
+module Fvalue = Tqec_pdgraph.Fvalue
+module Placer = Tqec_place.Placer
+module Super_module = Tqec_place.Super_module
+module Pathfinder = Tqec_route.Pathfinder
+module Grid = Tqec_route.Grid
+module Geometry = Tqec_geom.Geometry
+module Defect = Tqec_geom.Defect
+module Vec3 = Tqec_util.Vec3
+module Box3 = Tqec_util.Box3
+module V = Violation
+
+(* ------------------------------------------------------------------ *)
+(* Independent reconstruction of the routing problem.                  *)
+(*                                                                     *)
+(* The checker rebuilds the net list and the grid (die, obstacle and    *)
+(* shared-pin masks) from the placement alone, mirroring the documented *)
+(* construction instead of borrowing the pipeline's instances: the      *)
+(* routes must be legal against a problem derived from first            *)
+(* principles, not against whatever grid the router happened to hold.  *)
+(* ------------------------------------------------------------------ *)
+
+let distill_pin (placement : Placer.t) node =
+  let nd = placement.Placer.sm.Super_module.nodes.(node) in
+  let x, y = placement.Placer.node_pos.(node) in
+  let bw =
+    match nd.Super_module.nd_kind with
+    | Super_module.Distill_sm { box = Geometry.Y_box; _ } ->
+        let w, _, _ = Geometry.y_box_dims in
+        w
+    | Super_module.Distill_sm { box = Geometry.A_box; _ } ->
+        let w, _, _ = Geometry.a_box_dims in
+        w
+    | _ -> invalid_arg "Route_check.distill_pin: not a distillation node"
+  in
+  if placement.Placer.rotated.(node) then Vec3.make x (y + bw) 0
+  else Vec3.make (x + bw) y 0
+
+let build_nets (g : Pd.t) (placement : Placer.t) (flipping : Flipping.t)
+    (dual : Dual_bridge.t) (fvalue : Fvalue.t) =
+  let visits : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let pin m =
+    let k = try Hashtbl.find visits m with Not_found -> 0 in
+    Hashtbl.replace visits m (k + 1);
+    Placer.pin_cell ~opposite:(k land 1 = 1) placement fvalue flipping m
+  in
+  let nets =
+    List.filter_map
+      (fun (rep, _members) ->
+        let modules = Dual_bridge.modules_of_class g dual rep in
+        match modules with
+        | [] | [ _ ] -> None
+        | ms -> Some { Pathfinder.net_id = rep; pins = List.map pin ms })
+      dual.Dual_bridge.merged
+  in
+  let n_nets = Pd.n_nets g in
+  let pseudo =
+    List.mapi
+      (fun i (box_node, m) ->
+        {
+          Pathfinder.net_id = n_nets + i;
+          pins =
+            [
+              distill_pin placement box_node;
+              Placer.pin_cell ~opposite:true placement fvalue flipping m;
+            ];
+        })
+      placement.Placer.sm.Super_module.pseudo_nets
+  in
+  nets @ pseudo
+
+let routing_layers (placement : Placer.t) nets =
+  let hpwl_3d pins =
+    match pins with
+    | [] -> 0
+    | (p : Vec3.t) :: rest ->
+        let x0 = ref p.x and x1 = ref p.x in
+        let y0 = ref p.y and y1 = ref p.y in
+        let z0 = ref p.z and z1 = ref p.z in
+        List.iter
+          (fun (q : Vec3.t) ->
+            x0 := min !x0 q.x;
+            x1 := max !x1 q.x;
+            y0 := min !y0 q.y;
+            y1 := max !y1 q.y;
+            z0 := min !z0 q.z;
+            z1 := max !z1 q.z)
+          rest;
+        !x1 - !x0 + (!y1 - !y0) + (!z1 - !z0)
+  in
+  let demand =
+    List.fold_left
+      (fun acc (n : Pathfinder.net) ->
+        let pins = List.length n.Pathfinder.pins in
+        let steiner = Float.max 1.0 (sqrt (float_of_int pins /. 4.0)) in
+        acc +. (float_of_int (hpwl_3d n.Pathfinder.pins) *. steiner))
+      0. nets
+  in
+  let area =
+    float_of_int (max 1 (placement.Placer.width * placement.Placer.height))
+  in
+  Tqec_util.Stats.clamp 1 16 (int_of_float (Float.ceil (1.5 *. demand /. area)))
+
+let build_grid (g : Pd.t) (placement : Placer.t) nets =
+  let die =
+    Box3.make Vec3.zero
+      (Vec3.make
+         (max 0 (placement.Placer.width - 1))
+         (max 0 (placement.Placer.height - 1))
+         (max 0 (placement.Placer.depth - 1 + routing_layers placement nets)))
+  in
+  let grid = Grid.create ~die (Box3.inflate 2 die) in
+  let sm = placement.Placer.sm in
+  (* hash-order: obstacle flags commute, iteration order is irrelevant *)
+  Hashtbl.iter
+    (fun m _node ->
+      if (Pd.module_get g m).Pd.m_alive then
+        Grid.set_obstacle grid (Placer.module_cell placement m))
+    sm.Super_module.node_of_module;
+  Array.iteri
+    (fun i nd ->
+      match nd.Super_module.nd_kind with
+      | Super_module.Distill_sm { box; _ } ->
+          let bw, bh, bd =
+            match box with
+            | Geometry.Y_box -> Geometry.y_box_dims
+            | Geometry.A_box -> Geometry.a_box_dims
+          in
+          let x, y = placement.Placer.node_pos.(i) in
+          let w, h =
+            if placement.Placer.rotated.(i) then (bh, bw) else (bw, bh)
+          in
+          Grid.set_obstacle_box grid
+            (Box3.make (Vec3.make x y 0)
+               (Vec3.make (x + w - 1) (y + h - 1) (bd - 1)))
+      | _ -> ())
+    sm.Super_module.nodes;
+  List.iter
+    (fun (n : Pathfinder.net) ->
+      List.iter (Grid.set_shared grid) n.Pathfinder.pins)
+    nets;
+  grid
+
+(* Bounding-box volume of the full result (node footprints plus routed
+   cells), recomputed from scratch. *)
+let recompute_volume (placement : Placer.t) (routing : Pathfinder.result) =
+  let n = Array.length placement.Placer.sm.Super_module.nodes in
+  let bbox = ref None in
+  let join b = bbox := Some (match !bbox with None -> b | Some a -> Box3.join a b) in
+  for i = 0 to n - 1 do
+    join (Placer.node_box placement i)
+  done;
+  List.iter
+    (fun (r : Pathfinder.routed) ->
+      List.iter (fun c -> join (Box3.of_cell c)) r.Pathfinder.r_cells)
+    routing.Pathfinder.routes;
+  match !bbox with None -> 0 | Some b -> Box3.volume b
+
+let check (g : Pd.t) (flipping : Flipping.t) (dual : Dual_bridge.t)
+    (fvalue : Fvalue.t) (placement : Placer.t) (routing : Pathfinder.result)
+    ~reported_volume =
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  let nets = build_nets g placement flipping dual fvalue in
+  let grid = build_grid g placement nets in
+  List.iter
+    (fun msg -> add (V.make V.Routing ~code:"legality" msg))
+    (Pathfinder.validate grid routing nets);
+  if routing.Pathfinder.unrouted <> [] then
+    add
+      (V.makef V.Routing ~code:"unrouted" "%d net(s) left unrouted: {%s}"
+         (List.length routing.Pathfinder.unrouted)
+         (String.concat ", "
+            (List.map string_of_int
+               (List.sort Int.compare routing.Pathfinder.unrouted))));
+  let volume = recompute_volume placement routing in
+  if volume <> reported_volume then
+    add
+      (V.makef V.Routing ~code:"volume"
+         "reported space-time volume %d but node boxes and routed cells \
+          recompute to %d"
+         reported_volume volume);
+  List.rev !vs
+
+(* ------------------------------------------------------------------ *)
+(* Emitted geometry against the claimed routes.                        *)
+(* ------------------------------------------------------------------ *)
+
+let sorted_cells cells = List.sort_uniq compare cells
+
+let structure_cells strands =
+  sorted_cells (List.concat_map Defect.cells strands)
+
+let cell_str (c : Vec3.t) = Printf.sprintf "(%d, %d, %d)" c.x c.y c.z
+
+let geometry_check (g : Pd.t) (placement : Placer.t)
+    (routing : Pathfinder.result) (geom : Geometry.t) =
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  (* the lattice-level rules (parity, steps, same-type collisions) *)
+  List.iter
+    (fun issue ->
+      add
+        (V.makef V.Geometry ~code:"lattice" "%s"
+           (Format.asprintf "%a" Geometry.pp_issue issue)))
+    (Geometry.check geom);
+  (* primal strands cover exactly the placed module core cells *)
+  let expected_primal =
+    let cells = ref [] in
+    let sm = placement.Placer.sm in
+    (* hash-order: cells are sorted before comparison *)
+    Hashtbl.iter
+      (fun m _node ->
+        if (Pd.module_get g m).Pd.m_alive then
+          cells := Placer.module_cell placement m :: !cells)
+      sm.Super_module.node_of_module;
+    sorted_cells !cells
+  in
+  let actual_primal =
+    structure_cells
+      (List.concat_map snd (Geometry.structures geom Defect.Primal))
+  in
+  if expected_primal <> actual_primal then begin
+    let missing =
+      List.filter (fun c -> not (List.mem c actual_primal)) expected_primal
+    in
+    let extra =
+      List.filter (fun c -> not (List.mem c expected_primal)) actual_primal
+    in
+    List.iter add
+      (V.capped V.Geometry ~code:"primal-cells"
+         (List.map
+            (fun c ->
+              Printf.sprintf "module core cell %s has no primal strand"
+                (cell_str c))
+            missing
+         @ List.map
+             (fun c ->
+               Printf.sprintf "primal strand cell %s matches no placed module"
+                 (cell_str c))
+             extra))
+  end;
+  (* dual strands match the claimed routes cell-for-cell.  Dual structure
+     ids follow the primal ones in route order; a cell visited by several
+     routes (a shared pin) is emitted for the first visitor only, so the
+     comparison replays that ownership rule. *)
+  let first_dual = List.length (Geometry.structures geom Defect.Primal) in
+  let n_routes = List.length routing.Pathfinder.routes in
+  let dual_structures = Geometry.structures geom Defect.Dual in
+  let owner = Hashtbl.create 256 in
+  List.iteri
+    (fun i (routed : Pathfinder.routed) ->
+      let expected =
+        sorted_cells
+          (List.filter
+             (fun c ->
+               match Hashtbl.find_opt owner c with
+               | Some o -> o = routed.Pathfinder.r_net
+               | None ->
+                   Hashtbl.replace owner c routed.Pathfinder.r_net;
+                   true)
+             routed.Pathfinder.r_cells)
+      in
+      let sid = first_dual + i in
+      let actual =
+        match List.assoc_opt sid dual_structures with
+        | Some strands -> structure_cells strands
+        | None -> []
+      in
+      if expected <> actual then
+        add
+          (V.makef V.Geometry ~code:"dual-cells"
+             "dual structure %d emits %d cell(s) but net %d's route claims \
+              %d: emission and routing disagree"
+             sid (List.length actual) routed.Pathfinder.r_net
+             (List.length expected)))
+    routing.Pathfinder.routes;
+  if List.length dual_structures > n_routes then
+    add
+      (V.makef V.Geometry ~code:"dual-cells"
+         "%d dual structure(s) emitted for %d route(s)"
+         (List.length dual_structures)
+         n_routes);
+  (* emitted bounding box never exceeds the reported volume *)
+  (match Geometry.bbox geom with
+  | Some b ->
+      let n = Array.length placement.Placer.sm.Super_module.nodes in
+      let reported = recompute_volume placement routing in
+      if n > 0 && Box3.volume b > reported then
+        add
+          (V.makef V.Geometry ~code:"volume"
+             "emitted geometry spans %d cells, exceeding the recomputed \
+              result volume %d"
+             (Box3.volume b) reported)
+  | None -> ());
+  List.rev !vs

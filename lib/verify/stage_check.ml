@@ -1,0 +1,376 @@
+module Icm = Tqec_icm.Icm
+module Pd = Tqec_pdgraph.Pd_graph
+module Ishape = Tqec_pdgraph.Ishape
+module Flipping = Tqec_pdgraph.Flipping
+module Dual_bridge = Tqec_pdgraph.Dual_bridge
+module Fvalue = Tqec_pdgraph.Fvalue
+module V = Violation
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+(* ------------------------------------------------------------------ *)
+(* I-shaped simplification: translation validation.                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild the pre-simplification PD graph from the ICM alone, apply the
+   documented merge map of every recorded merge to its braiding relation
+   (the creating net moves from the absorbed/residual pair onto the new
+   merged module; nothing else changes), and require the result to equal
+   the transformed graph's relation.  Because flipping and dual bridging
+   never touch the stored incidence, comparing against the *final* graph
+   also proves those stages left the braiding relation unchanged. *)
+let ishape ~(icm : Icm.t) (post : Pd.t) (merges : Ishape.merge list) =
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  let pre = Pd.of_icm icm in
+  (* construction-level coverage: every CNOT's net traverses its control
+     row twice (current + innovative module) and its target row once *)
+  Array.iteri
+    (fun i ({ control; target } : Icm.cnot) ->
+      if i < Pd.n_nets pre then begin
+        let rows =
+          List.map
+            (fun m -> (Pd.module_get pre m).Pd.m_row)
+            (Pd.net_get pre i).Pd.n_modules
+        in
+        let expected = [ control; control; target ] in
+        if List.sort Int.compare rows <> List.sort Int.compare expected then
+          add
+            (V.makef V.Ishape ~code:"construction"
+               "net %d of CNOT %d->%d traverses rows {%s}, expected control \
+                twice and target once"
+               i control target
+               (String.concat ", " (List.map string_of_int rows)))
+      end)
+    icm.Icm.cnots;
+  if Pd.n_nets pre <> Pd.n_nets post then
+    add
+      (V.makef V.Ishape ~code:"net-count"
+         "simplification changed the net count (%d -> %d)" (Pd.n_nets pre)
+         (Pd.n_nets post));
+  let expected = ref (Pair_set.of_list (Pd.braiding_relation pre)) in
+  List.iter
+    (fun (m : Ishape.merge) ->
+      let take pair who =
+        if Pair_set.mem pair !expected then
+          expected := Pair_set.remove pair !expected
+        else
+          add
+            (V.makef V.Ishape ~code:"merge-map"
+               "merge on row %d: net %d was not incident to the %s module %d"
+               m.Ishape.g_row m.Ishape.g_net who (snd pair))
+      in
+      take (m.Ishape.g_net, m.Ishape.g_absorbed) "absorbed";
+      take (m.Ishape.g_net, m.Ishape.g_residual) "residual";
+      (* the absorbed module owned exactly the creating net *)
+      if Pair_set.exists (fun (_, md) -> md = m.Ishape.g_absorbed) !expected
+      then
+        add
+          (V.makef V.Ishape ~code:"merge-map"
+             "absorbed module %d still carries nets other than %d"
+             m.Ishape.g_absorbed m.Ishape.g_net);
+      expected := Pair_set.add (m.Ishape.g_net, m.Ishape.g_merged) !expected)
+    merges;
+  let actual = Pair_set.of_list (Pd.braiding_relation post) in
+  let missing = Pair_set.diff !expected actual in
+  let extra = Pair_set.diff actual !expected in
+  let describe what (n, m) =
+    Printf.sprintf "braiding pair (net %d, module %d) %s after simplification"
+      n m what
+  in
+  List.iter add
+    (V.capped V.Ishape ~code:"braiding"
+       (List.map (describe "lost") (Pair_set.elements missing)
+       @ List.map (describe "appeared") (Pair_set.elements extra)));
+  (* per-merge record checks against the transformed graph *)
+  List.iter
+    (fun (m : Ishape.merge) ->
+      let bad code fmt = Printf.ksprintf (fun s -> add (V.make V.Ishape ~code s)) fmt in
+      let get i =
+        if i >= 0 && i < Pd.n_modules_constructed post then
+          Some (Pd.module_get post i)
+        else None
+      in
+      (match get m.Ishape.g_merged with
+      | Some mr ->
+          if not mr.Pd.m_alive then
+            bad "merge-record" "merged module %d is dead" m.Ishape.g_merged;
+          if mr.Pd.m_kind <> Pd.Ishape_merged then
+            bad "merge-record" "module %d is not Ishape_merged" m.Ishape.g_merged;
+          if mr.Pd.m_partner <> m.Ishape.g_residual then
+            bad "merge-record" "merged module %d records partner %d, not %d"
+              m.Ishape.g_merged mr.Pd.m_partner m.Ishape.g_residual
+      | None -> bad "merge-record" "merged module %d unknown" m.Ishape.g_merged);
+      (match get m.Ishape.g_absorbed with
+      | Some a ->
+          if a.Pd.m_alive then
+            bad "merge-record" "absorbed module %d is still alive"
+              m.Ishape.g_absorbed
+      | None -> bad "merge-record" "absorbed module %d unknown" m.Ishape.g_absorbed);
+      match get m.Ishape.g_residual with
+      | Some r ->
+          if not r.Pd.m_alive then
+            bad "merge-record" "residual module %d is dead" m.Ishape.g_residual
+      | None -> bad "merge-record" "residual module %d unknown" m.Ishape.g_residual)
+    merges;
+  List.rev !vs
+
+(* ------------------------------------------------------------------ *)
+(* Flipping (primal bridging).                                         *)
+(* ------------------------------------------------------------------ *)
+
+let flipping ~excluded (g : Pd.t) (f : Flipping.t) =
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  (* points partition the eligible modules exactly *)
+  let eligible = Hashtbl.create 64 in
+  for m = 0 to Pd.n_modules_constructed g - 1 do
+    let mr = Pd.module_get g m in
+    let distill = match mr.Pd.m_kind with Pd.Distill _ -> true | _ -> false in
+    if mr.Pd.m_alive && (not distill) && not (excluded m) then
+      Hashtbl.replace eligible m ()
+  done;
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (rep, members) ->
+      if not (List.mem rep members) then
+        add
+          (V.makef V.Flipping ~code:"points"
+             "point %d does not contain its representative" rep);
+      List.iter
+        (fun m ->
+          if Hashtbl.mem seen m then
+            add
+              (V.makef V.Flipping ~code:"points"
+                 "module %d belongs to two points" m)
+          else Hashtbl.replace seen m ();
+          if not (Hashtbl.mem eligible m) then
+            add
+              (V.makef V.Flipping ~code:"points"
+                 "module %d is dead, excluded or a distillation box but \
+                  belongs to point %d"
+                 m rep);
+          if
+            m < Array.length f.Flipping.point_of
+            && f.Flipping.point_of.(m) <> rep
+          then
+            add
+              (V.makef V.Flipping ~code:"points"
+                 "point_of.(%d) = %d disagrees with member list of point %d" m
+                 f.Flipping.point_of.(m) rep))
+        members)
+    f.Flipping.points;
+  let uncovered =
+    List.filter
+      (fun m -> not (Hashtbl.mem seen m))
+      (List.sort Int.compare
+         (Hashtbl.fold (fun m () acc -> m :: acc) eligible []))
+    (* hash-order: keys sorted before use *)
+  in
+  List.iter
+    (fun m ->
+      add
+        (V.makef V.Flipping ~code:"points"
+           "eligible module %d belongs to no point" m))
+    uncovered;
+  (* chains partition the points, and every bridge has a common segment *)
+  let point_nets =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (rep, members) ->
+        Hashtbl.replace tbl rep
+          (List.sort_uniq Int.compare
+             (List.concat_map (Pd.nets_through g) members)))
+      f.Flipping.points;
+    tbl
+  in
+  let in_chain = Hashtbl.create 64 in
+  List.iter
+    (fun chain ->
+      if chain = [] then
+        add (V.make V.Flipping ~code:"chains" "empty chain");
+      List.iter
+        (fun p ->
+          if Hashtbl.mem in_chain p then
+            add (V.makef V.Flipping ~code:"chains" "point %d in two chains" p)
+          else Hashtbl.replace in_chain p ();
+          if not (Hashtbl.mem point_nets p) then
+            add
+              (V.makef V.Flipping ~code:"chains"
+                 "chain references unknown point %d" p))
+        chain;
+      let rec bridges = function
+        | a :: (b :: _ as rest) ->
+            let nets p =
+              Option.value ~default:[] (Hashtbl.find_opt point_nets p)
+            in
+            if not (List.exists (fun n -> List.mem n (nets b)) (nets a)) then
+              add
+                (V.makef V.Flipping ~code:"bridge"
+                   "bridge %d-%d lacks a common dual segment" a b);
+            bridges rest
+        | _ -> ()
+      in
+      bridges chain)
+    f.Flipping.chains;
+  List.iter
+    (fun (rep, _) ->
+      if not (Hashtbl.mem in_chain rep) then
+        add
+          (V.makef V.Flipping ~code:"chains" "point %d belongs to no chain" rep))
+    f.Flipping.points;
+  List.rev !vs
+
+(* f values must alternate along every chain, starting unflipped (Eq. 5),
+   re-derived here rather than through [Fvalue.alternates]. *)
+let fvalues (f : Flipping.t) (fv : Fvalue.t) =
+  let vs = ref [] in
+  List.iter
+    (fun chain ->
+      (match chain with
+      | first :: _ when Fvalue.flipped fv first ->
+          vs :=
+            V.makef V.Flipping ~code:"fvalue"
+              "chain head %d is flipped; chains must start with f = 0" first
+            :: !vs
+      | _ -> ());
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+            if Fvalue.flipped fv b = Fvalue.flipped fv a then
+              vs :=
+                V.makef V.Flipping ~code:"fvalue"
+                  "f values of bridged points %d and %d do not alternate" a b
+                :: !vs;
+            walk rest
+        | _ -> ()
+      in
+      walk chain)
+    f.Flipping.chains;
+  List.rev !vs
+
+(* ------------------------------------------------------------------ *)
+(* Iterative dual bridging.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let dual ~(icm : Icm.t) (g : Pd.t) (d : Dual_bridge.t) =
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  let n = Pd.n_nets g in
+  (* classes partition the nets and agree with the union-find *)
+  let owner = Hashtbl.create 64 in
+  List.iter
+    (fun (rep, members) ->
+      if not (List.mem rep members) then
+        add
+          (V.makef V.Dual_bridge ~code:"classes"
+             "class %d does not contain its representative" rep);
+      List.iter
+        (fun net ->
+          if Hashtbl.mem owner net then
+            add
+              (V.makef V.Dual_bridge ~code:"classes"
+                 "net %d belongs to two merged structures" net)
+          else Hashtbl.replace owner net rep;
+          if net < 0 || net >= n then
+            add
+              (V.makef V.Dual_bridge ~code:"classes" "unknown net %d in class %d"
+                 net rep)
+          else if Dual_bridge.class_of d net <> Dual_bridge.class_of d rep then
+            add
+              (V.makef V.Dual_bridge ~code:"classes"
+                 "union-find places net %d outside class %d" net rep))
+        members)
+    d.Dual_bridge.merged;
+  for net = 0 to n - 1 do
+    if not (Hashtbl.mem owner net) then
+      add
+        (V.makef V.Dual_bridge ~code:"classes"
+           "net %d belongs to no merged structure" net)
+  done;
+  (* every merged structure is connected through shared module parts:
+     each bridge joins two nets passing through one common part *)
+  let modules_of = Array.init n (fun net -> Pd.modules_of_net g net) in
+  List.iter
+    (fun (rep, members) ->
+      match members with
+      | [] | [ _ ] -> ()
+      | members ->
+          let member_set = Hashtbl.create 8 in
+          List.iter (fun m -> Hashtbl.replace member_set m ()) members;
+          let by_module = Hashtbl.create 16 in
+          List.iter
+            (fun net ->
+              if net >= 0 && net < n then
+                List.iter
+                  (fun m ->
+                    let existing =
+                      Option.value ~default:[] (Hashtbl.find_opt by_module m)
+                    in
+                    Hashtbl.replace by_module m (net :: existing))
+                  modules_of.(net))
+            members;
+          let reached = Hashtbl.create 8 in
+          let queue = Queue.create () in
+          Queue.add rep queue;
+          Hashtbl.replace reached rep ();
+          while not (Queue.is_empty queue) do
+            let net = Queue.pop queue in
+            if net >= 0 && net < n then
+              List.iter
+                (fun m ->
+                  List.iter
+                    (fun peer ->
+                      if
+                        Hashtbl.mem member_set peer
+                        && not (Hashtbl.mem reached peer)
+                      then begin
+                        Hashtbl.replace reached peer ();
+                        Queue.add peer queue
+                      end)
+                    (Option.value ~default:[] (Hashtbl.find_opt by_module m)))
+                modules_of.(net)
+          done;
+          List.iter
+            (fun net ->
+              if not (Hashtbl.mem reached net) then
+                add
+                  (V.makef V.Dual_bridge ~code:"connectivity"
+                     "net %d cannot be bridged into structure %d through \
+                      shared module parts"
+                     net rep))
+            members)
+    d.Dual_bridge.merged;
+  (* time-order rule: one structure may not contain nets of two different
+     T gadgets acting on the same logical wire *)
+  let gadget_of_cnot = Hashtbl.create 64 in
+  Array.iter
+    (fun (gd : Icm.t_gadget) ->
+      List.iter
+        (fun c -> Hashtbl.replace gadget_of_cnot c (gd.Icm.t_id, gd.Icm.t_wire))
+        gd.Icm.t_cnots)
+    icm.Icm.t_gadgets;
+  List.iter
+    (fun (rep, members) ->
+      let wire_gadget = Hashtbl.create 4 in
+      List.iter
+        (fun net ->
+          if net >= 0 && net < n then
+            let cnot = (Pd.net_get g net).Pd.n_cnot in
+            match Hashtbl.find_opt gadget_of_cnot cnot with
+            | Some (gid, wire) -> (
+                match Hashtbl.find_opt wire_gadget wire with
+                | Some gid' when gid' <> gid ->
+                    add
+                      (V.makef V.Dual_bridge ~code:"time-order"
+                         "structure %d merges nets of T gadgets %d and %d on \
+                          wire %d"
+                         rep gid' gid wire)
+                | _ -> Hashtbl.replace wire_gadget wire gid)
+            | None -> ())
+        members)
+    d.Dual_bridge.merged;
+  List.rev !vs

@@ -1,0 +1,41 @@
+(** Stage (c): translation validation of the PD-graph transformations.
+
+    Each check re-derives its invariant from earlier-stage data instead of
+    trusting the transformer's bookkeeping. *)
+
+(** [ishape ~icm post merges] rebuilds the pre-simplification PD graph
+    from the ICM, replays the documented merge map of every recorded
+    merge on its braiding relation, and requires the result to equal the
+    transformed graph's relation.  Because later stages never touch the
+    stored incidence, passing the *final* graph also proves flipping and
+    dual bridging preserved the braiding relation. *)
+val ishape :
+  icm:Tqec_icm.Icm.t ->
+  Tqec_pdgraph.Pd_graph.t ->
+  Tqec_pdgraph.Ishape.merge list ->
+  Violation.t list
+
+(** [flipping ~excluded g f] checks that the points partition exactly the
+    alive, non-distillation, non-excluded modules, that the chains
+    partition the points, and that every bridge joins two points sharing
+    a dual segment. *)
+val flipping :
+  excluded:(int -> bool) ->
+  Tqec_pdgraph.Pd_graph.t ->
+  Tqec_pdgraph.Flipping.t ->
+  Violation.t list
+
+(** [fvalues f fv] re-derives Eq. 5: every chain starts unflipped and f
+    alternates along it. *)
+val fvalues : Tqec_pdgraph.Flipping.t -> Tqec_pdgraph.Fvalue.t -> Violation.t list
+
+(** [dual ~icm g d] checks that the merged structures partition the nets
+    in agreement with the union-find, that each structure is connected
+    through shared module parts, and that no structure merges nets of two
+    different T gadgets on the same logical wire (the time-order rule,
+    re-derived from the ICM). *)
+val dual :
+  icm:Tqec_icm.Icm.t ->
+  Tqec_pdgraph.Pd_graph.t ->
+  Tqec_pdgraph.Dual_bridge.t ->
+  Violation.t list

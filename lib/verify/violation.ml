@@ -1,0 +1,74 @@
+type stage =
+  | Icm
+  | Pd_graph
+  | Ishape
+  | Flipping
+  | Dual_bridge
+  | Placement
+  | Routing
+  | Geometry
+
+let all_stages =
+  [ Icm; Pd_graph; Ishape; Flipping; Dual_bridge; Placement; Routing; Geometry ]
+
+let stage_name = function
+  | Icm -> "icm"
+  | Pd_graph -> "pd-graph"
+  | Ishape -> "ishape"
+  | Flipping -> "flipping"
+  | Dual_bridge -> "dual-bridge"
+  | Placement -> "placement"
+  | Routing -> "routing"
+  | Geometry -> "geometry"
+
+let stage_of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  List.find_opt (fun st -> stage_name st = s) all_stages
+
+let stage_names = List.map stage_name all_stages
+
+type t = { v_stage : stage; v_code : string; v_msg : string }
+
+let make v_stage ~code v_msg = { v_stage; v_code = code; v_msg }
+
+let makef stage ~code fmt =
+  Printf.ksprintf (fun s -> make stage ~code s) fmt
+
+let to_string v =
+  Printf.sprintf "[%s/%s] %s" (stage_name v.v_stage) v.v_code v.v_msg
+
+(* Keep reports readable and deterministic under floods: the first [cap]
+   messages verbatim plus a count of the rest. *)
+let capped ?(cap = 5) stage ~code msgs =
+  let n = List.length msgs in
+  let kept = List.filteri (fun i _ -> i < cap) msgs in
+  let vs = List.map (make stage ~code) kept in
+  if n > cap then
+    vs @ [ makef stage ~code "... and %d more" (n - cap) ]
+  else vs
+
+type report = { checked : stage list; violations : t list }
+
+let ok r = r.violations = []
+
+let to_strings r = List.map to_string r.violations
+
+let render r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun st ->
+      match List.filter (fun v -> v.v_stage = st) r.violations with
+      | [] ->
+          Buffer.add_string buf (Printf.sprintf "%-12s ok\n" (stage_name st))
+      | vs ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-12s %d violation%s\n" (stage_name st)
+               (List.length vs)
+               (if List.length vs = 1 then "" else "s"));
+          List.iter
+            (fun v ->
+              Buffer.add_string buf
+                (Printf.sprintf "  %s: %s\n" v.v_code v.v_msg))
+            vs)
+    r.checked;
+  Buffer.contents buf

@@ -1,0 +1,52 @@
+(** Structured findings of the translation-validation pass.
+
+    Every checker emits [t] values tagged with the pipeline boundary it
+    certifies; a whole-run {!report} records which stages were checked so
+    a clean report is distinguishable from a skipped one.  All rendering
+    is deterministic (stable stage order, capped floods), so reports are
+    bit-identical across worker counts and repeated runs. *)
+
+type stage =
+  | Icm  (** ICM wellformedness + measurement-constraint DAG *)
+  | Pd_graph  (** module/net incidence symmetry and net coverage *)
+  | Ishape  (** braiding relation preserved up to the merge maps *)
+  | Flipping  (** point/chain partition, bridge preconditions, f values *)
+  | Dual_bridge  (** class consistency, connectivity, time-order rule *)
+  | Placement  (** overlap, bounds, recomputed costs, layer legality *)
+  | Routing  (** route legality and recomputed space-time volume *)
+  | Geometry  (** emitted strands match the claimed routes cell-for-cell *)
+
+val all_stages : stage list
+
+val stage_name : stage -> string
+
+val stage_of_string : string -> stage option
+
+(** [stage_names] in canonical order (the [--stage] vocabulary). *)
+val stage_names : string list
+
+type t = { v_stage : stage; v_code : string; v_msg : string }
+
+val make : stage -> code:string -> string -> t
+
+val makef :
+  stage -> code:string -> ('a, unit, string, t) format4 -> 'a
+
+(** [capped ?cap stage ~code msgs] makes violations for the first [cap]
+    (default 5) messages and summarizes the rest as a count. *)
+val capped : ?cap:int -> stage -> code:string -> string list -> t list
+
+val to_string : t -> string
+
+type report = {
+  checked : stage list;  (** stages that actually ran, canonical order *)
+  violations : t list;
+}
+
+val ok : report -> bool
+
+val to_strings : report -> string list
+
+(** [render r] is the structured per-stage report ("ok" or the violation
+    list), deterministic for identical inputs. *)
+val render : report -> string

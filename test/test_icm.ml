@@ -260,6 +260,77 @@ let test_validate_detects_range () =
        (function Validate.Line_out_of_range _ -> true | _ -> false)
        (Validate.check broken))
 
+(* ------------------------------------------------------------------ *)
+(* Validate edge cases                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate_empty_circuit () =
+  let icm = icm_of ~n_qubits:1 [] in
+  check Alcotest.bool "valid" true (Validate.is_valid icm);
+  check Alcotest.int "one line" 1 icm.Icm.n_lines;
+  check Alcotest.int "no cnots" 0 (Array.length icm.Icm.cnots);
+  check Alcotest.int "no constraints" 0
+    (List.length (Constraints.of_icm icm));
+  check Alcotest.(list string) "verifier agrees" []
+    (List.map Tqec_verify.Violation.to_string
+       (Tqec_verify.Icm_check.check icm))
+
+let test_validate_single_qubit_t () =
+  let icm = icm_of ~n_qubits:1 [ Gate.T 0 ] in
+  check Alcotest.bool "valid" true (Validate.is_valid icm);
+  check Alcotest.(list string) "verifier clean" []
+    (List.map Tqec_verify.Violation.to_string
+       (Tqec_verify.Icm_check.check icm))
+
+let test_longest_inter_t_chain () =
+  (* k T gates on one wire: the constraint DAG's longest path is
+     first(g0) -> second(g0) -> second(g1) -> ... -> second(g_{k-1}),
+     i.e. exactly k edges. *)
+  let k = 5 in
+  let icm = icm_of ~n_qubits:1 (List.init k (fun _ -> Gate.T 0)) in
+  let pairs =
+    List.map
+      (fun (p : Constraints.pair) -> (p.Constraints.before, p.Constraints.after))
+      (Constraints.of_icm icm)
+  in
+  check Alcotest.int "pair count" ((4 * k) + (16 * (k - 1)))
+    (List.length pairs);
+  let n = Array.length icm.Icm.meas in
+  let order = Constraints.topological_order icm in
+  check Alcotest.int "acyclic: order covers all" n (List.length order);
+  (* longest path by DP along the topological order *)
+  let depth = Array.make n 0 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (b, a) ->
+          if b = m && depth.(a) < depth.(m) + 1 then
+            depth.(a) <- depth.(m) + 1)
+        pairs)
+    order;
+  check Alcotest.int "longest chain" k (Array.fold_left max 0 depth)
+
+let test_validate_cyclic_fixture () =
+  (* alias a second-order measurement of gadget 0 into gadget 1's group:
+     the inter-T pairs then point back into gadget 0's intra pairs and
+     the constraint DAG acquires a cycle *)
+  let icm = icm_of ~n_qubits:1 [ Gate.T 0; Gate.T 0 ] in
+  let gadgets = icm.Icm.t_gadgets in
+  let g0 = gadgets.(0) and g1 = gadgets.(1) in
+  let stolen = List.hd g0.Icm.t_second_meas in
+  gadgets.(1) <-
+    { g1 with Icm.t_second_meas = stolen :: List.tl g1.Icm.t_second_meas };
+  check Alcotest.bool "verifier reports constraint-cycle" true
+    (List.exists
+       (fun (v : Tqec_verify.Violation.t) ->
+         v.Tqec_verify.Violation.v_code = "constraint-cycle")
+       (Tqec_verify.Icm_check.check icm));
+  check Alcotest.bool "topological order refuses" true
+    (try
+       ignore (Constraints.topological_order icm);
+       false
+     with Failure _ -> true)
+
 let suites =
   [
     ( "icm.decompose",
@@ -301,5 +372,11 @@ let suites =
           test_validate_detects_missing_meas;
         Alcotest.test_case "self loop" `Quick test_validate_detects_self_loop;
         Alcotest.test_case "out of range" `Quick test_validate_detects_range;
+        Alcotest.test_case "empty circuit" `Quick test_validate_empty_circuit;
+        Alcotest.test_case "single qubit T" `Quick test_validate_single_qubit_t;
+        Alcotest.test_case "longest inter-T chain" `Quick
+          test_longest_inter_t_chain;
+        Alcotest.test_case "planted cyclic fixture" `Quick
+          test_validate_cyclic_fixture;
       ] );
   ]

@@ -385,6 +385,65 @@ let test_pool_exception_propagates () =
   in
   check Alcotest.bool "exception re-raised" true raised
 
+let test_pool_exception_runs_all_and_reuses () =
+  (* a raising task must not stop the remaining tasks, poison the pool,
+     or leak unjoined domains: every other task still runs exactly once
+     and the very next call on the same pool succeeds *)
+  let ran = Atomic.make 0 in
+  (try
+     ignore
+       (Pool.map ~jobs:4
+          (fun i ->
+            Atomic.incr ran;
+            if i = 3 then failwith "mid-flight";
+            i)
+          (Array.init 24 (fun i -> i)))
+   with Failure _ -> ());
+  check Alcotest.int "all tasks still ran" 24 (Atomic.get ran);
+  let again = Pool.map ~jobs:4 succ (Array.init 8 (fun i -> i)) in
+  check Alcotest.bool "pool usable after a failure" true
+    (again = Array.init 8 (fun i -> i + 1))
+
+let test_pool_lowest_index_exception_wins () =
+  (* several tasks raise; the caller sees what the serial path would have
+     thrown first — the lowest-index failure — for every job count *)
+  List.iter
+    (fun jobs ->
+      let seen =
+        try
+          ignore
+            (Pool.map ~jobs
+               (fun i -> if i mod 5 = 2 then failwith (string_of_int i) else i)
+               (Array.init 40 (fun i -> i)));
+          "none"
+        with Failure m -> m
+      in
+      check Alcotest.string
+        (Printf.sprintf "lowest index wins with %d jobs" jobs)
+        "2" seen)
+    [ 1; 2; 4; 8 ]
+
+let test_pool_exception_keeps_backtrace () =
+  (* re-raise must preserve the original raise point, not the join site *)
+  Printexc.record_backtrace true;
+  let bt =
+    try
+      ignore
+        (Pool.map ~jobs:2
+           (fun i -> if i = 1 then failwith "where" else i)
+           (Array.init 4 (fun i -> i)));
+      ""
+    with Failure _ -> Printexc.get_backtrace ()
+  in
+  check Alcotest.bool "backtrace mentions the raising task" true
+    (bt = "" (* backtraces may be compiled out *)
+    || (let mentions sub =
+          let n = String.length bt and m = String.length sub in
+          let rec at i = i + m <= n && (String.sub bt i m = sub || at (i + 1)) in
+          at 0
+        in
+        mentions "test_util"))
+
 let test_pool_balances_uneven_tasks () =
   (* uneven costs: every task still runs exactly once *)
   let hits = Array.make 16 0 in
@@ -487,6 +546,12 @@ let suites =
         Alcotest.test_case "empty map and run" `Quick test_pool_map_empty_and_run;
         Alcotest.test_case "exception propagates" `Quick
           test_pool_exception_propagates;
+        Alcotest.test_case "failure runs all, pool reusable" `Quick
+          test_pool_exception_runs_all_and_reuses;
+        Alcotest.test_case "lowest-index exception wins" `Quick
+          test_pool_lowest_index_exception_wins;
+        Alcotest.test_case "backtrace preserved" `Quick
+          test_pool_exception_keeps_backtrace;
         Alcotest.test_case "balances uneven tasks" `Quick
           test_pool_balances_uneven_tasks;
       ] );
