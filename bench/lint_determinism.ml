@@ -1,13 +1,19 @@
-(* Determinism lint: every [Hashtbl.iter] / [Hashtbl.fold] in lib/ is an
+(* Determinism lint: every [Hashtbl.iter] / [Hashtbl.fold] in the swept
+   trees (hash-order: these are quoted pattern names, not sites) is an
    iteration whose order depends on the hash layout — a silent source of
    run-to-run nondeterminism whenever the order can reach an output.
    Each site must carry a nearby [hash-order:] audit comment stating why
    the order cannot leak (result sorted, operation commutative, ...);
    unaudited sites fail the lint, and so `dune runtest`.
 
-   Usage: lint_determinism <dir>   (typically the lib/ source tree) *)
+   Usage: lint_determinism <dir>...   (the lib/, test/, bin/ and bench/
+   source trees; defaults to lib) *)
 
 let marker = "hash-order:"
+
+(* hash-order: these are the patterns the lint greps for, quoted, not
+   iteration sites (and this audit keeps the lint from flagging its own
+   source when bench/ is swept) *)
 let pattern = [ "Hashtbl.iter"; "Hashtbl.fold" ]
 
 (* a site passes if the marker appears on the site's line, within the 3
@@ -57,14 +63,19 @@ let lint_file path =
   List.rev_map (fun line -> (path, line)) !bad |> List.rev
 
 let () =
-  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
-  let offenders = List.concat_map lint_file (ml_files dir) in
+  let dirs =
+    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | ds -> ds
+  in
+  let offenders =
+    List.concat_map (fun dir -> List.concat_map lint_file (ml_files dir)) dirs
+  in
   match offenders with
   | [] ->
       Printf.printf "lint-determinism: all Hashtbl iteration sites audited\n"
   | offenders ->
       List.iter
         (fun (path, line) ->
+          (* hash-order: quoted pattern names in the message, not a site *)
           Printf.printf
             "%s:%d: unaudited Hashtbl.iter/fold — order-sensitive \
              iteration; sort the output or add a `%s` audit comment\n"

@@ -6,9 +6,11 @@
      TQEC_SCALE  = integer divisor for instance sizes (default 1)
      TQEC_SEED   = random seed (default 42)
      TQEC_BENCHMARKS = comma-separated subset of benchmark names
-     TQEC_JOBS   = worker domains for the suite fan-out (the router's
-                   per-iteration batch parallelism stays serial here —
-                   instances already saturate the pool)
+     TQEC_JOBS   = parallelism for the suite fan-out AND each
+                   instance's inner stages (placement multi-start,
+                   routing batches): everything feeds one persistent
+                   work-stealing pool, so nesting composes instead of
+                   oversubscribing
                    (default: the machine's domain count; 1 = serial)
      TQEC_RESTARTS = annealing trajectories per placement (default 1)
      TQEC_EARLY_STOP = adaptive multi-start early-stop margin
@@ -17,7 +19,11 @@
      TQEC_CHECK_MULTISTART = 1 to cross-check the adaptive multi-start
                    determinism contract (restarts=4, early stopping on,
                    jobs=1 vs jobs=4 must give identical placements);
-                   exits non-zero on a mismatch *)
+                   exits non-zero on a mismatch
+     TQEC_CHECK_NESTED = 1 to cross-check determinism of the fully
+                   nested workload (suite instances x annealing
+                   restarts x routing batches on one pool): jobs=1 and
+                   jobs=4 suite rows must agree bit for bit *)
 
 module Suite = Tqec_circuit.Suite
 module Experiments = Tqec_compress.Experiments
@@ -144,6 +150,60 @@ let check_multistart () =
     a.Placer.sa_stats.Sa.best_cost a.Placer.sa_stats.Sa.attempted
 
 (* ------------------------------------------------------------------ *)
+(* Nested-workload determinism cross-check                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The full nesting the persistent pool must keep deterministic: suite
+   instances fan out as tasks, each instance runs annealing restarts as
+   nested tasks, and each routing iteration batches nets as
+   nested-nested tasks — all on the same scheduler.  Rows (minus wall
+   clock) must be a pure function of (seed, restarts): jobs=1 and
+   jobs=4 agree bit for bit.  Run on every `dune runtest` via
+   @bench-smoke. *)
+let check_nested () =
+  let run jobs =
+    Experiments.run_all
+      {
+        Experiments.effort = Tqec_place.Placer.Quick;
+        auto_scale = false;
+        scale = 16;
+        seed = 42;
+        restarts = 2;
+        benchmarks = [ "4gt10-v1_81"; "4gt4-v0_73" ];
+        jobs = Some jobs;
+        early_stop_margin = Some 0.05;
+      }
+    |> List.map (fun (r : Report.row) ->
+           (* strip wall-clock fields; everything else must match *)
+           ( r.Report.r_name,
+             r.Report.r_stats,
+             r.Report.r_modules,
+             r.Report.r_nodes,
+             r.Report.r_canonical,
+             r.Report.r_lin1d,
+             r.Report.r_lin2d,
+             r.Report.r_dual_only,
+             r.Report.r_ours,
+             r.Report.r_scale ))
+  in
+  let a = run 1 in
+  let b = run 4 in
+  if a <> b then begin
+    Printf.eprintf
+      "[bench] FAIL: nested suite x restarts x routing run differs between \
+       jobs=1 and jobs=4\n%!";
+    exit 1
+  end;
+  Printf.eprintf
+    "[bench] nested determinism ok (2 instances x 2 restarts x routed \
+     batches, jobs 1 vs 4: %s)\n%!"
+    (String.concat ", "
+       (List.map
+          (fun (name, _, _, _, _, _, _, _, ours, _) ->
+            Printf.sprintf "%s ours=%d" name ours)
+          a))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel stage timings                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -222,6 +282,7 @@ let run_bechamel () =
   print_endline "Stage timings (Bechamel, monotonic clock):";
   let t = Tqec_util.Pretty.create [ "stage"; "time/run" ] in
   let rows = ref [] in
+  (* hash-order: rows are sorted by name before printing *)
   Hashtbl.iter
     (fun name result ->
       let cell =
@@ -244,6 +305,7 @@ let () =
   let config = config () in
   if Sys.getenv_opt "TQEC_CHECK_MULTISTART" = Some "1" then
     check_multistart ();
+  if Sys.getenv_opt "TQEC_CHECK_NESTED" = Some "1" then check_nested ();
   Printf.printf
     "TQEC bridge-compression benchmark harness (effort=%s, scale=%d)\n\n"
     (match config.Experiments.effort with

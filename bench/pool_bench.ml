@@ -1,0 +1,127 @@
+(* Scheduler micro-benchmark: spawn-per-call fork-join (the pool this
+   repo used before the persistent scheduler) vs the persistent
+   work-stealing pool, on many rounds of fine-grained [map]s — the
+   shape of the annealer's epoch barriers and the router's batches.
+   Also a correctness smoke: every scheme must reproduce the serial
+   map bit for bit, and the persistent pool must survive a nested
+   outer×inner round without deadlock.
+
+   Usage: pool_bench [rounds] [tasks] [work] [jobs]
+   (defaults sized for the @pool-smoke alias: a second or two) *)
+
+module Pool = Tqec_util.Pool
+
+(* The pre-scheduler implementation, reproduced as the baseline: spawn
+   [jobs - 1] fresh domains per call, share task indices through a
+   mutex-protected counter, join everything before returning. *)
+module Spawn_per_call = struct
+  let map ~jobs f arr =
+    let n = Array.length arr in
+    let jobs = min (max 1 jobs) n in
+    if n = 0 then [||]
+    else if jobs = 1 then Array.map f arr
+    else begin
+      let results = Array.make n None in
+      let next = ref 0 in
+      let lock = Mutex.create () in
+      let take () =
+        Mutex.lock lock;
+        let i = !next in
+        if i < n then incr next;
+        Mutex.unlock lock;
+        if i < n then Some i else None
+      in
+      let rec worker () =
+        match take () with
+        | None -> ()
+        | Some i ->
+            results.(i) <- Some (f arr.(i));
+            worker ()
+      in
+      let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains;
+      Array.map (function Some v -> v | None -> assert false) results
+    end
+end
+
+(* Deterministic integer spin: the task body is pure compute with no
+   allocation, so the benchmark isolates scheduling overhead. *)
+let spin n =
+  let acc = ref 1 in
+  for i = 1 to n do
+    acc := ((!acc * 1103515245) + i) land 0xFFFFFF
+  done;
+  !acc
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let () =
+  let arg i d =
+    if Array.length Sys.argv > i then int_of_string Sys.argv.(i) else d
+  in
+  let rounds = arg 1 300 in
+  let tasks = arg 2 64 in
+  let work = arg 3 500 in
+  let jobs = arg 4 (max 2 (Pool.default_jobs ())) in
+  let input = Array.init tasks (fun i -> i) in
+  let task i = spin (work + i) in
+  let expect = Array.map task input in
+  let bench name mapf =
+    let r = mapf task input in
+    if r <> expect then begin
+      Printf.eprintf "[pool-bench] %s: WRONG RESULTS\n" name;
+      exit 1
+    end;
+    let dt =
+      time (fun () ->
+          for _ = 1 to rounds do
+            ignore (mapf task input)
+          done)
+    in
+    Printf.printf "[pool-bench] %-15s %4d rounds x %3d tasks: %6.3fs (%7.0f tasks/s)\n%!"
+      name rounds tasks dt
+      (float_of_int (rounds * tasks) /. dt);
+    dt
+  in
+  Printf.printf "[pool-bench] fine-grained map throughput (work=%d, jobs=%d)\n%!"
+    work jobs;
+  let t_spawn = bench "spawn-per-call" (fun f a -> Spawn_per_call.map ~jobs f a) in
+  let t_pool = bench "persistent" (fun f a -> Pool.map ~jobs f a) in
+  (* Nested shape — outer instances × inner lanes on one pool.  The
+     spawn-per-call baseline cannot run this without multiplying
+     domains, which is exactly why the suite used to pin inner stages
+     to one domain. *)
+  let outer = Array.init 4 (fun i -> i) in
+  let nested_expect =
+    Array.map (fun o -> Array.fold_left ( + ) 0 (Array.map (fun i -> task (o + i)) input)) outer
+  in
+  let nested () =
+    Pool.map ~jobs
+      (fun o ->
+        Array.fold_left ( + ) 0 (Pool.map ~jobs (fun i -> task (o + i)) input))
+      outer
+  in
+  if nested () <> nested_expect then begin
+    Printf.eprintf "[pool-bench] nested: WRONG RESULTS\n";
+    exit 1
+  end;
+  let nested_rounds = max 1 (rounds / 8) in
+  let t_nested =
+    time (fun () ->
+        for _ = 1 to nested_rounds do
+          ignore (nested ())
+        done)
+  in
+  Printf.printf
+    "[pool-bench] %-15s %4d rounds x %3dx%d tasks: %6.3fs (%7.0f tasks/s)\n%!"
+    "nested" nested_rounds (Array.length outer) tasks t_nested
+    (float_of_int (nested_rounds * Array.length outer * tasks) /. t_nested);
+  Printf.printf
+    "[pool-bench] persistent vs spawn-per-call: %.2fx (%d hardware core%s)\n%!"
+    (t_spawn /. t_pool)
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s")

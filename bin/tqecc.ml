@@ -140,8 +140,29 @@ let optimize_arg =
   let doc = "Run the peephole optimizer before decomposition." in
   Arg.(value & flag & info [ "O"; "optimize" ] ~doc)
 
+let timings_arg =
+  let doc =
+    "Print per-stage wall times and the work-stealing scheduler's \
+     counters (tasks executed, steals, injector traffic, parks) after \
+     the run."
+  in
+  Arg.(value & flag & info [ "timings" ] ~doc)
+
+let print_timings (r : Pipeline.t) =
+  Format.printf "stage timings:@.";
+  List.iter
+    (fun (name, dt) -> Format.printf "  %-10s %8.3fs@." name dt)
+    r.Pipeline.timings;
+  let s = Tqec_util.Pool.stats () in
+  Format.printf
+    "scheduler: workers=%d submitted=%d executed=%d stolen=%d injected=%d \
+     parks=%d@."
+    s.Tqec_util.Pool.workers s.Tqec_util.Pool.submitted
+    s.Tqec_util.Pool.executed s.Tqec_util.Pool.stolen
+    s.Tqec_util.Pool.injected s.Tqec_util.Pool.parks
+
 let compress_cmd =
-  let run input variant effort seed restarts jobs early_stop optimize =
+  let run input variant effort seed restarts jobs early_stop optimize timings =
     let c = load_circuit input in
     let c =
       if optimize then begin
@@ -168,6 +189,7 @@ let compress_cmd =
       r.Pipeline.stages.Pipeline.st_nodes
       r.Pipeline.stages.Pipeline.st_dual_bridges
       r.Pipeline.routing.Tqec_route.Pathfinder.success r.Pipeline.elapsed;
+    if timings then print_timings r;
     match Pipeline.check r with
     | [] -> ()
     | issues ->
@@ -177,7 +199,8 @@ let compress_cmd =
   Cmd.v
     (Cmd.info "compress" ~doc:"Run the bridge-compression flow.")
     Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
-          $ restarts_arg $ jobs_arg $ early_stop_arg $ optimize_arg)
+          $ restarts_arg $ jobs_arg $ early_stop_arg $ optimize_arg
+          $ timings_arg)
 
 let experiment_config effort scale seed restarts jobs early_stop benchmarks =
   {
@@ -241,10 +264,48 @@ let export_cmd =
       value & opt string "tqec.obj"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output OBJ path.")
   in
-  let run input variant effort seed out =
-    let c = load_circuit input in
-    let config = { Pipeline.default_config with variant; effort; seed } in
+  let force_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:
+            "Write the OBJ even when verification fails (the report is \
+             still printed to stderr).")
+  in
+  let run input variant effort seed scale jobs out force =
+    let c =
+      match Suite.find input with
+      | Some entry -> Suite.scaled ~factor:(max 1 scale) entry
+      | None -> load_circuit input
+    in
+    let config = { Pipeline.default_config with variant; effort; seed; jobs } in
     let r = Pipeline.run ~config c in
+    (* Undocumented test hook: plant a fault after the run so the
+       export-gate regression rule (bench/dune) can prove the gate
+       actually refuses unsound results. *)
+    let r =
+      match Sys.getenv_opt "TQEC_EXPORT_FAULT" with
+      | Some "volume" -> { r with Pipeline.volume = r.Pipeline.volume + 1 }
+      | Some ("" | "0") | None -> r
+      | Some other ->
+          failwith (Printf.sprintf "unknown TQEC_EXPORT_FAULT %S" other)
+    in
+    (* Verify-on-export: never ship geometry the translation validator
+       rejects.  --force downgrades the refusal to a warning. *)
+    let report = Pipeline.verify r in
+    if not (Tqec_verify.Violation.ok report) then begin
+      prerr_string (Tqec_verify.Violation.render report);
+      if force then
+        Format.eprintf "export: result is UNSOUND; writing %s anyway (--force)@."
+          out
+      else begin
+        Format.eprintf
+          "export: refusing to write %s for an unsound result (use --force \
+           to override)@."
+          out;
+        exit 1
+      end
+    end;
     let g = Tqec_compress.Emit.geometry r in
     Tqec_geom.Export.write_obj out g;
     Format.printf "wrote %s (%s; volume %s)@." out (Tqec_geom.Render.summary g)
@@ -252,8 +313,13 @@ let export_cmd =
   in
   Cmd.v
     (Cmd.info "export"
-       ~doc:"Compress a circuit and export the geometry as Wavefront OBJ.")
-    Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg $ out_arg)
+       ~doc:
+         "Compress a circuit and export the geometry as Wavefront OBJ.  \
+          The whole-pipeline translation validation runs first; an \
+          unsound result is refused (non-zero exit) unless --force is \
+          given.")
+    Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
+          $ scale_arg $ jobs_arg $ out_arg $ force_arg)
 
 let check_cmd =
   let stage_arg =

@@ -84,11 +84,13 @@ let run_benchmark config (entry : Suite.entry) =
           seed = config.seed;
           restarts = config.restarts;
           early_stop_margin = config.early_stop_margin;
-          (* instances already fan out across domains; keep each
-             instance's inner parallelism (placement multi-start and the
-             router's per-iteration batches) serial to avoid
-             oversubscription — the output is jobs-invariant either way *)
-          jobs = Some 1;
+          (* inner stages (placement multi-start, the router's
+             per-iteration batches) share the same persistent pool as
+             the suite fan-out: a blocked instance helps drain nested
+             tasks, so nesting composes without oversubscription and
+             small suites soak idle workers with restarts — and the
+             output is jobs-invariant either way *)
+          jobs = config.jobs;
         }
       icm
   in

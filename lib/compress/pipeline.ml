@@ -54,6 +54,7 @@ type t = {
   volume : int;
   stages : stage_stats;
   elapsed : float;
+  timings : (string * float) list;
 }
 
 (* Every point its own chain: the no-primal-bridging baselines. *)
@@ -218,9 +219,14 @@ let debug = Sys.getenv_opt "TQEC_DEBUG" <> None
 
 let rec run_icm ?(config = default_config) icm =
   let t0 = Unix.gettimeofday () in
+  let timings = ref [] in
+  let last_mark = ref t0 in
   let mark name =
+    let now = Unix.gettimeofday () in
+    timings := (name, now -. !last_mark) :: !timings;
+    last_mark := now;
     if debug then
-      Printf.eprintf "[pipeline] %-12s %6.2fs\n%!" name (Unix.gettimeofday () -. t0)
+      Printf.eprintf "[pipeline] %-12s %6.2fs\n%!" name (now -. t0)
   in
   let graph = Pd_graph.of_icm icm in
   let st_modules = Pd_graph.n_modules_constructed graph in
@@ -308,6 +314,7 @@ let rec run_icm ?(config = default_config) icm =
       st_dual_bridges = dual.Dual_bridge.n_bridges;
     }
   in
+  mark "finish";
   let r =
     {
       icm;
@@ -321,6 +328,7 @@ let rec run_icm ?(config = default_config) icm =
       volume;
       stages;
       elapsed = Unix.gettimeofday () -. t0;
+      timings = List.rev !timings;
     }
   in
   (match Sys.getenv_opt "TQEC_VERIFY" with

@@ -61,6 +61,10 @@ type t = {
   volume : int;  (** final space-time volume (routing-aware bbox) *)
   stages : stage_stats;
   elapsed : float;  (** seconds *)
+  timings : (string * float) list;
+      (** per-stage wall time in seconds, in execution order (bridging,
+          placement, routing, finish); sums to roughly [elapsed].
+          Consumed by [tqecc --timings]. *)
 }
 
 (** [run ?config circuit] executes the flow on a reversible or Clifford+T

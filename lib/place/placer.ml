@@ -323,7 +323,10 @@ let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
     (st, fun () -> (Sa.stats st, !best_pos, !best_rot, !best_wh))
   in
   (* Adaptive multi-start: K independent trajectories with per-lane rng
-     streams derived from the seed before the fan-out.  Lanes advance in
+     streams derived from the seed before the fan-out — always lane id,
+     never worker id, so it doesn't matter which pool domain (or helping
+     parent — this map may itself run inside a suite-instance task on
+     the shared work-stealing pool) advances a lane.  Lanes advance in
      fixed-size chunks, one [Pool.map] per epoch; at each chunk end a
      lane publishes its best into a shared [Atomic] (CAS-min).  Early
      stopping is decided only at the epoch barriers, from the barrier

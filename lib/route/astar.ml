@@ -12,6 +12,7 @@ type scratch = {
   mutable parent : int array;
   mutable h_cache : int array;
   mutable stamp : int array;
+  mutable own : bool array;
   mutable gen : int;
   queue : int Pqueue.t;
 }
@@ -23,14 +24,15 @@ let create_scratch () =
     parent = [||];
     h_cache = [||];
     stamp = [||];
+    own = [||];
     gen = 0;
     queue = Pqueue.create ();
   }
 
 (* Region-local dense state: corridors are small, so flat arrays beat
    hashing on both speed and allocation. *)
-let search ?scratch ?(max_expansions = 400_000) ?(avoid_used = false) grid
-    ~region ~penalty ~sources ~target =
+let search ?scratch ?(max_expansions = 400_000) ?(avoid_used = false)
+    ?(exclude = []) grid ~region ~penalty ~sources ~target =
   let region =
     match Box3.inter region (Grid.box grid) with
     | Some r -> r
@@ -71,6 +73,7 @@ let search ?scratch ?(max_expansions = 400_000) ?(avoid_used = false) grid
       scr.parent <- Array.make cap (-1);
       scr.h_cache <- Array.make cap 0;
       scr.stamp <- Array.make cap 0;
+      scr.own <- Array.make cap false;
       scr.cap <- cap
     end;
     scr.gen <- scr.gen + 1;
@@ -78,7 +81,8 @@ let search ?scratch ?(max_expansions = 400_000) ?(avoid_used = false) grid
     let g_score = scr.g_score
     and parent = scr.parent
     and h_cache = scr.h_cache
-    and stamp = scr.stamp in
+    and stamp = scr.stamp
+    and own = scr.own in
     let open_q = scr.queue in
     Pqueue.clear open_q;
     (* The heuristic is fixed per cell, so compute it once when the cell
@@ -91,9 +95,23 @@ let search ?scratch ?(max_expansions = 400_000) ?(avoid_used = false) grid
         stamp.(code) <- gen;
         g_score.(code) <- max_int;
         parent.(code) <- -1;
+        own.(code) <- false;
         h_cache.(code) <- abs (p.x - tx) + abs (p.y - ty) + abs (p.z - tz)
       end
     in
+    (* Cells of the searching net's own current route are priced as if
+       already ripped up (usage - 1): marked before the sources so a
+       later [touch] cannot clear the flag. *)
+    let have_own = exclude <> [] in
+    if have_own then
+      List.iter
+        (fun c ->
+          if Box3.contains region c then begin
+            let code = encode c in
+            touch c code;
+            own.(code) <- true
+          end)
+        exclude;
     List.iter
       (fun s ->
         if Box3.contains region s then begin
@@ -123,7 +141,13 @@ let search ?scratch ?(max_expansions = 400_000) ?(avoid_used = false) grid
                 let qcode = encode q in
                 if passable q qcode then begin
                   touch q qcode;
-                  let tentative = gp + Grid.enter_cost grid ~penalty q in
+                  let tentative =
+                    gp
+                    +
+                    if have_own && own.(qcode) then
+                      Grid.enter_cost_d grid ~penalty ~dusage:(-1) q
+                    else Grid.enter_cost grid ~penalty q
+                  in
                   if tentative < g_score.(qcode) then begin
                     g_score.(qcode) <- tentative;
                     parent.(qcode) <- code;

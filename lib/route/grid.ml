@@ -104,14 +104,16 @@ let add_history g p delta =
   let i = index g p in
   g.hist.(i) <- g.hist.(i) + delta
 
-let enter_cost g ~penalty p =
+let enter_cost_d g ~penalty ~dusage p =
   guard g p "enter_cost";
   let i = index g p in
   let base = if Box3.contains g.die p then 1 else 1 + outside_die_cost in
   if Bytes.get g.shared i = '\001' then base + g.hist.(i)
   else
-    let over = g.usage.(i) + 1 - capacity in
+    let over = g.usage.(i) + dusage + 1 - capacity in
     base + g.hist.(i) + (if over > 0 then penalty * over else 0)
+
+let enter_cost g ~penalty p = enter_cost_d g ~penalty ~dusage:0 p
 
 let overused g =
   (* hash-order: sorted by flat index so the order matches the historical
@@ -129,3 +131,27 @@ let snapshot g =
     hist = Array.copy g.hist;
     over = Hashtbl.copy g.over;
   }
+
+(* Unlike [snapshot], a view may be built WHILE [g] is being mutated by
+   another domain: [Array.copy] reads each slot exactly once, and any
+   slot read concurrently with a write yields one of the two tagged
+   ints byte-mixed — still an immediate int (both have the tag bit
+   set), just a garbage value.  The caller records every cell written
+   during the race window and overwrites it via [patch_cell], after
+   which the view equals [g] at the patch point.  The [over] table is
+   deliberately NOT copied ([Hashtbl.copy] of a mutating table is not
+   race-safe, and cost queries never consult it), so a view answers
+   [enter_cost]/[usage]/[history] only — never [overused]. *)
+let view g =
+  {
+    g with
+    usage = Array.copy g.usage;
+    hist = Array.copy g.hist;
+    over = Hashtbl.create 1;
+  }
+
+let patch_cell ~src ~dst p =
+  guard src p "patch_cell";
+  let i = index src p in
+  dst.usage.(i) <- src.usage.(i);
+  dst.hist.(i) <- src.hist.(i)

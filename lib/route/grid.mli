@@ -46,6 +46,14 @@ val add_history : t -> Tqec_util.Vec3.t -> int -> unit
     (obstacles are handled by the router, not here). *)
 val enter_cost : t -> penalty:int -> Tqec_util.Vec3.t -> int
 
+(** [enter_cost_d g ~penalty ~dusage p] is {!enter_cost} computed as if
+    the cell's usage were [usage + dusage].  With [dusage = -1] on the
+    cells of a net's own current route, a read-only shared view prices
+    a re-route exactly as if that net had first been ripped up — the
+    trick that lets every worker search one immutable snapshot instead
+    of mutating a private copy. *)
+val enter_cost_d : t -> penalty:int -> dusage:int -> Tqec_util.Vec3.t -> int
+
 (** [overused g] lists cells with usage above capacity, in lexicographic
     (x, y, z) order.  The set is maintained incrementally by
     {!add_usage}/{!set_shared}, so the call is O(overused log overused) —
@@ -61,5 +69,19 @@ val overused_count : t -> int
     [g].  Concurrent readers may query a snapshot freely while claims are
     committed to the live grid. *)
 val snapshot : t -> t
+
+(** [view g] is a cost-query-only copy of the congestion state (usage +
+    history; obstacle/shared masks shared with [g]; the overused set is
+    NOT carried — {!overused}/{!overused_count} on a view are
+    meaningless).  Unlike {!snapshot} it may be built concurrently with
+    mutations to [g]: racy slots read as garbage ints (memory-safely),
+    and the caller must afterwards {!patch_cell} every cell that was
+    written during the copy, restoring exact agreement with [g]. *)
+val view : t -> t
+
+(** [patch_cell ~src ~dst p] copies [p]'s usage and history from [src]
+    into [dst] (a {!view} or {!snapshot} of the same grid), the fix-up
+    primitive for racily built and incrementally maintained views. *)
+val patch_cell : src:t -> dst:t -> Tqec_util.Vec3.t -> unit
 
 val capacity : int

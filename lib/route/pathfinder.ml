@@ -53,8 +53,11 @@ let scratch_key = Domain.DLS.new_key Astar.create_scratch
 
 (* Route one net as a Steiner tree; returns its cell set (or None when a
    pin is unreachable even with the widest region).  Only reads [grid] —
-   in the parallel phase it runs against an immutable snapshot. *)
-let route_net ?(avoid_used = false) grid ~penalty ~margin (n : net) =
+   in the parallel phase it runs against an immutable shared view, with
+   the net's own current route priced out via [exclude] (a -1 usage bias
+   inside A*, exactly equivalent to ripping the net up first). *)
+let route_net ?(avoid_used = false) ?(exclude = []) grid ~penalty ~margin
+    (n : net) =
   match dedup_cells n.pins with
   | [] -> Some []
   | first :: rest ->
@@ -95,7 +98,7 @@ let route_net ?(avoid_used = false) grid ~penalty ~margin (n : net) =
           in
           let corridor = Box3.bounding [ pin; nearest ] in
           let try_region region =
-            Astar.search ~scratch ~avoid_used grid ~region ~penalty
+            Astar.search ~scratch ~avoid_used ~exclude grid ~region ~penalty
               ~sources:!tree ~target:pin
           in
           (* Escalation ladder, each region clipped to the grid.  A step
@@ -143,50 +146,69 @@ let route_net ?(avoid_used = false) grid ~penalty ~margin (n : net) =
       done;
       if !ok then Some (List.rev !tree) else None
 
-(* Per-domain stale-snapshot view for the parallel phase.  Each worker
-   copies the frozen congestion state once per batch (tagged by a global
-   batch counter so reused domains refresh), then routes each of its nets
-   against that copy with the net's own old usage subtracted and restored
-   around the search — every net sees exactly "iteration start minus
-   itself", whichever domain routes it. *)
-let batch_counter = Atomic.make 0
-
-let view_key : (int * Grid.t) option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
-
-let domain_view ~tag grid =
-  let slot = Domain.DLS.get view_key in
-  match !slot with
-  | Some (t, v) when t = tag -> v
-  | _ ->
-      let v = Grid.snapshot grid in
-      slot := Some (tag, v);
-      v
-
 (* Negotiated congestion with a snapshot/commit iteration (parallel
    PathFinder): every iteration freezes the grid's congestion state,
    routes the nets under negotiation concurrently against that stale
-   snapshot (each minus its own previous route), then rips up and commits
-   their claims serially in deterministic net order.  Conflicts the stale
-   snapshot hides from the concurrent searches surface as overuse at
-   commit and are renegotiated on the next iteration.  Because every net
-   is routed against the same view and the commit order is the
+   view (each with its own previous route priced out), then rips up and
+   commits their claims serially in deterministic net order.  Conflicts
+   the stale view hides from the concurrent searches surface as overuse
+   at commit and are renegotiated on the next iteration.  Because every
+   net is routed against the same view and the commit order is the
    (deterministic) net order, the trajectory is bit-identical for any
-   worker count — including fully serial runs. *)
+   worker count — including fully serial runs.
+
+   The view itself is built and kept current off the critical path: one
+   copy of the congestion arrays is made as a pool task that overlaps
+   the first (serial) routing iteration, every cell the serial/commit
+   phases write is recorded, and an end-of-iteration patch of exactly
+   those cells brings the view back to "live grid, now" — so steady
+   state does O(cells touched) fix-up work per iteration instead of the
+   per-worker O(volume) copies the first parallel version made. *)
 let route_all grid config nets =
   let jobs =
     match config.jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
   in
   let routes : (int, Vec3.t list) Hashtbl.t = Hashtbl.create 64 in
+  (* Shared stale view, incrementally maintained.  [touched] records
+     every live-grid cell written since the view last agreed with the
+     grid; [sync_view] patches exactly those.  The initial [Grid.view]
+     copy races the first iteration's commits by design: any slot it
+     catches mid-write belongs to a recorded cell, so the patch heals
+     it (see the [Grid.view] contract). *)
+  let snap = ref None in
+  let snap_fill = ref None in
+  let recording = ref false in
+  let touched = ref [] in
+  let record c = if !recording then touched := c :: !touched in
+  let sync_view () =
+    (match !snap_fill with
+    | Some pr ->
+        snap := Some (Pool.await pr);
+        snap_fill := None
+    | None -> ());
+    match !snap with
+    | Some v ->
+        List.iter (fun c -> Grid.patch_cell ~src:grid ~dst:v c) !touched;
+        touched := []
+    | None -> touched := []
+  in
   let rip_up net_id =
     match Hashtbl.find_opt routes net_id with
     | None -> ()
     | Some cells ->
-        List.iter (fun c -> Grid.add_usage grid c (-1)) cells;
+        List.iter
+          (fun c ->
+            Grid.add_usage grid c (-1);
+            record c)
+          cells;
         Hashtbl.remove routes net_id
   in
   let claim net_id cells =
-    List.iter (fun c -> Grid.add_usage grid c 1) cells;
+    List.iter
+      (fun c ->
+        Grid.add_usage grid c 1;
+        record c)
+      cells;
     Hashtbl.replace routes net_id cells
   in
   let unrouted = ref [] in
@@ -212,20 +234,14 @@ let route_all grid config nets =
   let stagnation_limit = 3 in
   let best_overused = ref max_int in
   let stagnant = ref 0 in
-  (* Route one net against [view] as if its own old route were absent:
-     subtract the old usage, search, restore.  [view] is either the live
-     grid (serial phase — frozen because commits only happen after the
-     whole batch) or a worker's private snapshot copy. *)
-  let route_against_view view ~penalty ~margin old n =
-    (match old with
-    | Some cells -> List.iter (fun c -> Grid.add_usage view c (-1)) cells
-    | None -> ());
-    let found = route_net view ~penalty ~margin n in
-    (match old with
-    | Some cells -> List.iter (fun c -> Grid.add_usage view c 1) cells
-    | None -> ());
-    found
-  in
+  (* Parallel iterations are possible only when the negotiation set is
+     big enough to ever escape the serial cutoff; only then is the view
+     worth building.  Start the copy now — it overlaps the entire first
+     serial iteration (searches and commits). *)
+  if jobs > 1 && List.length nets > serial_batch_cutoff then begin
+    recording := true;
+    snap_fill := Some (Pool.async (fun () -> Grid.view grid))
+  end;
   while (not !finished) && !iterations_used < config.max_iterations do
     incr iterations_used;
     let batch = Array.of_list !route_set in
@@ -251,25 +267,39 @@ let route_all grid config nets =
           | None -> still_unrouted := n.net_id :: !still_unrouted)
         batch
     else begin
-      let old_routes =
-        Array.map (fun n -> Hashtbl.find_opt routes n.net_id) batch
+      let exclude_of n =
+        match Hashtbl.find_opt routes n.net_id with
+        | Some cells -> cells
+        | None -> []
       in
       let found =
         if jobs = 1 || Array.length batch <= 1 then
           (* single worker: the live grid is immutable until the commit
              phase below, so it doubles as the frozen view — no copy *)
-          Array.mapi
-            (fun i n ->
-              route_against_view grid ~penalty:penalty_now ~margin
-                old_routes.(i) n)
+          Array.map
+            (fun n ->
+              route_net grid ~exclude:(exclude_of n) ~penalty:penalty_now
+                ~margin n)
             batch
         else begin
-          let tag = Atomic.fetch_and_add batch_counter 1 in
+          let v =
+            match !snap with
+            | Some v -> v
+            | None ->
+                (* Defensive: a parallel batch can only follow a synced
+                   serial iteration, but if the view is missing, build
+                   it here — the grid is quiescent at this point. *)
+                recording := true;
+                let v = Grid.view grid in
+                snap := Some v;
+                v
+          in
+          (* pin the old routes down before fanning out: tasks must not
+             read the mutable [routes] table *)
+          let excludes = Array.map exclude_of batch in
           Pool.map ~jobs
             (fun (i, n) ->
-              let view = domain_view ~tag grid in
-              route_against_view view ~penalty:penalty_now ~margin
-                old_routes.(i) n)
+              route_net v ~exclude:excludes.(i) ~penalty:penalty_now ~margin n)
             (Array.mapi (fun i n -> (i, n)) batch)
         end
       in
@@ -296,7 +326,9 @@ let route_all grid config nets =
     if overused = [] && !unrouted = [] then finished := true
     else begin
       List.iter
-        (fun c -> Grid.add_history grid c config.history_increment)
+        (fun c ->
+          Grid.add_history grid c config.history_increment;
+          record c)
         overused;
       penalty := !penalty + config.penalty_growth;
       (* negotiate only where it matters: re-route just the nets that
@@ -312,8 +344,18 @@ let route_all grid config nets =
             | Some cells -> List.exists (Hashtbl.mem hot) cells
             | None -> true)
           nets
-    end
+    end;
+    (* Bring the shared view back in sync with the live grid (and land
+       the overlapped initial copy after the first iteration).  Doing
+       this even on the final iteration retires the fill task before
+       the cleanup phase mutates the grid unwatched. *)
+    if !recording then sync_view ()
   done;
+  (* cleanup below routes on the live grid only — retire any pending
+     fill (max_iterations = 0 edge) and stop paying for maintenance *)
+  if !recording then sync_view ();
+  recording := false;
+  snap := None;
   (* Endgame cleanup: negotiation can oscillate between net pairs on a
      handful of cells.  Resolve each residual conflict deterministically:
      hard-block the contested cells and reroute the smallest involved

@@ -1,28 +1,91 @@
-(** Small fork-join domain pool (OCaml 5 [Domain] + [Mutex], no
-    dependencies).
+(** Persistent work-stealing scheduler over OCaml 5 domains ([Domain] +
+    [Atomic] + [Mutex]/[Condition], no dependencies).
 
-    Tasks are independent; workers share them dynamically, so uneven
-    costs balance across domains.  Results keep input order, which makes
-    parallel runs bit-identical to serial ones whenever the tasks
-    themselves are deterministic — the property the placement and
-    benchmark fan-outs rely on. *)
+    Worker domains are spawned once and parked on a condition variable
+    when idle; {!map}/{!run}/{!async} are submission fronts onto
+    per-worker Chase–Lev deques plus a FIFO injector for external
+    callers.  A blocked parent helps by draining tasks instead of
+    sleeping, so nested parallelism composes: suite instances ×
+    annealing restart lanes × routing batches all feed one pool, and no
+    combination of nested [map]s can deadlock — even on a pool with
+    zero workers, where the caller simply runs everything itself.
 
-(** [default_jobs ()] is the worker count from the [TQEC_JOBS]
+    Determinism: the scheduler only chooses where and when tasks run.
+    Results land in submission-index order and the lowest-index failure
+    wins, so parallel runs are bit-identical to serial ones whenever
+    the tasks themselves are deterministic — the property every
+    placement/routing/benchmark fan-out in this repo relies on. *)
+
+type t
+(** A pool instance.  Most callers never touch this: omitting [?pool]
+    uses the lazily created process-wide pool, which grows on demand up
+    to the largest worker count ever requested and is intentionally
+    never shut down (parked domains cost nothing, and process exit with
+    parked domains is clean). *)
+
+(** [default_jobs ()] is the parallelism from the [TQEC_JOBS]
     environment variable when set to a positive integer, otherwise
     [Domain.recommended_domain_count ()].  [TQEC_JOBS=1] restores fully
     serial execution. *)
 val default_jobs : unit -> int
 
-(** [map ?jobs f arr] is [Array.map f arr] computed by [jobs] domains
-    (default {!default_jobs}).  Output order matches input order.
+(** [create ~workers] is a private fixed-size pool (it never grows past
+    [workers]; [0] is allowed and makes every caller self-help).  For
+    tests and benchmarks — production code should use the shared
+    default pool. *)
+val create : workers:int -> t
+
+(** Stop and join a private pool's workers.  The caller must have no
+    outstanding work on the pool.  Never needed for the default pool. *)
+val shutdown : t -> unit
+
+(** [map ?pool ?jobs f arr] is [Array.map f arr] computed with
+    parallelism [jobs] (default {!default_jobs}); the caller
+    participates, so [jobs = 2] means one worker plus the caller.
+    Output order matches input order.  Safe to call from inside a task
+    (nested fork-join): the nested caller helps drain its own subtasks.
 
     Exception safety: a raising task never deadlocks or poisons the
-    pool.  Remaining tasks still run, every spawned domain is joined,
-    and only then is the lowest-index task's exception re-raised on the
-    caller — with its original backtrace, matching what the serial path
-    would have thrown first.  A [Domain.spawn] failure degrades to fewer
-    workers instead of failing the call. *)
-val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+    pool.  Remaining tasks still run, and only then is the lowest-index
+    task's exception re-raised on the caller — with its original
+    backtrace, matching what the serial path would have thrown first.
+    A [Domain.spawn] failure degrades to fewer workers. *)
+val map : ?pool:t -> ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
-(** [run ?jobs thunks] forces an array of thunks in parallel. *)
-val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** [run ?pool ?jobs thunks] forces an array of thunks in parallel. *)
+val run : ?pool:t -> ?jobs:int -> (unit -> 'a) array -> 'a array
+
+type 'a promise
+(** A single in-flight task (see {!async}). *)
+
+(** [async ?pool f] submits [f] to run concurrently with the caller and
+    returns immediately.  On a pool without workers the task simply
+    waits for {!await}, which runs it inline — overlap is best-effort,
+    completion is guaranteed. *)
+val async : ?pool:t -> (unit -> 'a) -> 'a promise
+
+(** [await pr] returns the promise's value, helping with pool work
+    (including the promised task itself) while it is pending.  Re-raises
+    the task's exception with its original backtrace if it failed.  Must
+    be called exactly once. *)
+val await : 'a promise -> 'a
+
+(** Scheduler counters, cumulative since pool creation.  [executed]
+    counts tasks run anywhere (workers and helping callers), [stolen]
+    the subset obtained by stealing from another worker's deque,
+    [injected] the submissions that went through the external FIFO
+    rather than a worker's own deque, [parks] how many times any
+    participant slept on the condition variable, and [submitted] all
+    tasks ever submitted.  Read racily (no lock): totals can lag by a
+    few in-flight tasks. *)
+type stats = {
+  workers : int;
+  executed : int;
+  stolen : int;
+  injected : int;
+  parks : int;
+  submitted : int;
+}
+
+(** Counters for [pool] (default: the process-wide pool). *)
+val stats : ?pool:t -> unit -> stats

@@ -1,0 +1,92 @@
+(* Chase–Lev work-stealing deque on OCaml 5 atomics (SC semantics), after
+   Chase & Lev (SPAA '05) as formulated for C11 by Lê et al. (PPoPP '13).
+   Owner pushes/pops at [bottom]; thieves CAS [top] upward.  [top] is
+   monotonic, so a successful CAS uniquely claims one slot — no ABA.  The
+   buffer lives in an Atomic so a thief ordered after a [bottom] write
+   also sees the buffer that write stored into (growth publishes the new
+   buffer *before* advancing [bottom]). *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a array Atomic.t;
+  dummy : 'a;
+}
+
+let min_capacity = 16
+
+let create ~dummy () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.make min_capacity dummy);
+    dummy;
+  }
+
+let size d = max 0 (Atomic.get d.bottom - Atomic.get d.top)
+
+(* Owner only.  Copies live slots [t, b) into a doubled buffer at the
+   same logical indices (mod the new mask) and publishes it.  Thieves
+   holding the old buffer stay correct: any slot a thief can still win
+   holds the same element in both buffers. *)
+let grow d b t a =
+  let n = Array.length a in
+  let a' = Array.make (2 * n) d.dummy in
+  for i = t to b - 1 do
+    a'.(i land ((2 * n) - 1)) <- a.(i land (n - 1))
+  done;
+  Atomic.set d.buf a';
+  a'
+
+let push d x =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  let a = Atomic.get d.buf in
+  let a = if b - t >= Array.length a then grow d b t a else a in
+  a.(b land (Array.length a - 1)) <- x;
+  Atomic.set d.bottom (b + 1)
+
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* Empty: restore the canonical empty state. *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else begin
+    let a = Atomic.get d.buf in
+    let i = b land (Array.length a - 1) in
+    let x = a.(i) in
+    if b > t then begin
+      (* More than one element: slot [b] is unreachable by thieves (a
+         thief that could read index b would see bottom <= b first and
+         refuse), so the owner takes it without synchronization. *)
+      a.(i) <- d.dummy;
+      Some x
+    end
+    else begin
+      (* Last element: race thieves for it via the [top] CAS. *)
+      let won = Atomic.compare_and_set d.top t (t + 1) in
+      Atomic.set d.bottom (t + 1);
+      if won then begin
+        a.(i) <- d.dummy;
+        Some x
+      end
+      else None
+    end
+  end
+
+let steal d =
+  let t = Atomic.get d.top in
+  (* [bottom] must be read after [top]: seeing bottom > t then proves
+     slot t was populated no later than that bottom write, and the buf
+     read below (ordered later still) sees a buffer containing it. *)
+  let b = Atomic.get d.bottom in
+  if t >= b then None
+  else begin
+    let a = Atomic.get d.buf in
+    let x = a.(t land (Array.length a - 1)) in
+    if Atomic.compare_and_set d.top t (t + 1) then Some x else None
+  end

@@ -1,0 +1,39 @@
+(** Chase–Lev work-stealing deque (single owner, many thieves).
+
+    The owner pushes and pops at the bottom (LIFO — newest first, which
+    keeps nested fork-join work depth-first and cache-warm); thieves
+    steal from the top (FIFO — oldest first, which hands them the
+    coarsest-grained tasks).  [top] and [bottom] are OCaml [Atomic]s
+    (sequentially consistent), the element buffer is a plain array: the
+    protocol guarantees owner and thieves never access a live slot
+    concurrently, and the buffer pointer itself is re-read through an
+    [Atomic] after [bottom] so a thief that observes a push also
+    observes the (possibly grown) buffer it landed in.
+
+    Every element is returned exactly once: the single-element
+    owner/thief race and thief/thief races are decided by a CAS on
+    [top], which increases monotonically (no ABA). *)
+
+type 'a t
+
+(** [create ~dummy ()] is an empty deque.  [dummy] fills vacated and
+    never-used slots so popped elements don't linger for the GC; it is
+    never returned. *)
+val create : dummy:'a -> unit -> 'a t
+
+(** Owner only. Amortized O(1); the buffer grows geometrically. *)
+val push : 'a t -> 'a -> unit
+
+(** Owner only.  Takes the newest element, [None] when empty. *)
+val pop : 'a t -> 'a option
+
+(** Any domain.  Takes the oldest element; [None] when the deque looks
+    empty *or* when a race was lost — callers treat both as "try
+    another victim", so a lost race never spins here. *)
+val steal : 'a t -> 'a option
+
+(** Racy size hint (never negative); exact only when quiescent.  Used
+    by the scheduler's park double-check, where a stale non-zero answer
+    merely costs one extra scan and a stale zero is caught by the
+    submit-side wakeup. *)
+val size : 'a t -> int

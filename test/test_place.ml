@@ -466,12 +466,16 @@ let test_module_offsets_distinct () =
   let sm = Super_module.build g flipping in
   (* within every node, claimed offsets must be pairwise distinct *)
   let by_node = Hashtbl.create 16 in
+  (* hash-order: accumulation commutes (per-node offset lists are
+     sort_uniq'd and only counted below) *)
   Hashtbl.iter
     (fun m node ->
       let off = Hashtbl.find sm.Super_module.module_offset m in
       let existing = try Hashtbl.find by_node node with Not_found -> [] in
       Hashtbl.replace by_node node (off :: existing))
     sm.Super_module.node_of_module;
+  (* hash-order: independent per-node assertions; any order fails the
+     same set *)
   Hashtbl.iter
     (fun node offs ->
       let distinct = List.sort_uniq compare offs in
@@ -483,6 +487,7 @@ let test_module_offsets_distinct () =
 let test_offsets_inside_footprint () =
   let g, flipping, _ = pipeline_pieces (one_t_circuit ()) in
   let sm = Super_module.build g flipping in
+  (* hash-order: independent per-module assertions *)
   Hashtbl.iter
     (fun m node ->
       let dx, dy, dz = Hashtbl.find sm.Super_module.module_offset m in
@@ -522,7 +527,8 @@ let test_placer_with_t_gates () =
   let g, flipping, fvalue, p = place_circuit (one_t_circuit ()) in
   ignore g;
   check Alcotest.(list string) "placement valid" [] (Placer.check p);
-  (* every claimed module has a well-defined cell and pin *)
+  (* every claimed module has a well-defined cell and pin;
+     hash-order: independent per-module assertions *)
   Hashtbl.iter
     (fun m _ ->
       let cell = Placer.module_cell p m in

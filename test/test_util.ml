@@ -455,6 +455,115 @@ let test_pool_balances_uneven_tasks () =
        (Array.init 16 (fun i -> i)));
   check Alcotest.bool "each task once" true (Array.for_all (( = ) 1) hits)
 
+let test_pool_nested_map () =
+  (* nested Pool.map inside Pool.map must compose on the one persistent
+     scheduler — no deadlock at any job count, and the composed result
+     is the serial one (blocked parents help-drain instead of parking
+     for ever on work only they hold) *)
+  let input = Array.init 12 (fun i -> i) in
+  let expected =
+    Array.map
+      (fun o -> Array.fold_left ( + ) 0 (Array.map (fun i -> (o * 100) + i) input))
+      (Array.init 6 (fun o -> o))
+  in
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.map ~jobs
+          (fun o ->
+            Array.fold_left ( + ) 0
+              (Pool.map ~jobs (fun i -> (o * 100) + i) input))
+          (Array.init 6 (fun o -> o))
+      in
+      check Alcotest.bool
+        (Printf.sprintf "nested map with %d jobs" jobs)
+        true (got = expected))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_nested_exception () =
+  (* an exception inside an inner map must surface through the outer
+     map as the outer task's failure, lowest outer index first, and the
+     scheduler stays usable *)
+  let seen =
+    try
+      ignore
+        (Pool.map ~jobs:4
+           (fun o ->
+             Array.fold_left ( + ) 0
+               (Pool.map ~jobs:4
+                  (fun i ->
+                    if o >= 2 && i = 3 then
+                      failwith (Printf.sprintf "inner %d" o)
+                    else i)
+                  (Array.init 8 (fun i -> i))))
+           (Array.init 6 (fun o -> o)));
+      "none"
+    with Failure m -> m
+  in
+  check Alcotest.string "lowest outer index wins" "inner 2" seen;
+  let again = Pool.map ~jobs:4 succ (Array.init 8 (fun i -> i)) in
+  check Alcotest.bool "pool usable after nested failure" true
+    (again = Array.init 8 (fun i -> i + 1))
+
+let test_pool_helper_drains_without_workers () =
+  (* a pool with zero worker domains still completes any map: the
+     blocked submitter helps-drain its own submissions.  This is the
+     degenerate case of the help-first protocol — if the caller could
+     park without helping, this would deadlock. *)
+  let pool = Pool.create ~workers:0 in
+  let got = Pool.map ~pool ~jobs:4 (fun i -> i * 3) (Array.init 32 (fun i -> i)) in
+  check Alcotest.bool "helper drained every task" true
+    (got = Array.init 32 (fun i -> i * 3));
+  (* nested on the worker-less pool too *)
+  let nested =
+    Pool.map ~pool ~jobs:4
+      (fun o -> Array.length (Pool.map ~pool ~jobs:4 succ (Array.make (o + 1) 0)))
+      (Array.init 5 (fun o -> o))
+  in
+  check Alcotest.bool "nested without workers" true
+    (nested = [| 1; 2; 3; 4; 5 |]);
+  Pool.shutdown pool
+
+let test_pool_async_await () =
+  let p = Pool.async (fun () -> 6 * 7) in
+  check Alcotest.int "await returns" 42 (Pool.await p);
+  (* awaiting again returns the memoised value *)
+  check Alcotest.int "await idempotent" 42 (Pool.await p);
+  let q = Pool.async (fun () -> failwith "late") in
+  let raised = try ignore (Pool.await q); false with Failure m -> m = "late" in
+  check Alcotest.bool "await re-raises" true raised;
+  (* async composes with map running on the same scheduler *)
+  let r = Pool.async (fun () -> Array.fold_left ( + ) 0 (Pool.map ~jobs:4 succ (Array.init 10 (fun i -> i)))) in
+  check Alcotest.int "async over nested map" 55 (Pool.await r)
+
+let test_pool_jobs_invariance_combined () =
+  (* the jobs-invariance contract on a composed workload: an outer map
+     (suite instances) over inner maps with data-dependent sizes
+     (restart lanes / routing batches) must give identical results for
+     every job count, including the serial path *)
+  let workload jobs =
+    Pool.map ~jobs
+      (fun o ->
+        let lanes =
+          Pool.map ~jobs
+            (fun l ->
+              Array.fold_left ( + ) 0
+                (Pool.map ~jobs (fun i -> (o * 31) + (l * 7) + i)
+                   (Array.init ((l mod 3) + 2) (fun i -> i))))
+            (Array.init ((o mod 4) + 1) (fun l -> l))
+        in
+        Array.fold_left ( + ) 0 lanes)
+      (Array.init 9 (fun o -> o))
+  in
+  let serial = workload 1 in
+  List.iter
+    (fun jobs ->
+      check Alcotest.bool
+        (Printf.sprintf "combined workload invariant at %d jobs" jobs)
+        true
+        (workload jobs = serial))
+    [ 2; 4; 8 ]
+
 let test_rng_lane_zero_is_create () =
   let a = Rng.lane 42 0 and b = Rng.create 42 in
   let same = ref true in
@@ -554,6 +663,14 @@ let suites =
           test_pool_exception_keeps_backtrace;
         Alcotest.test_case "balances uneven tasks" `Quick
           test_pool_balances_uneven_tasks;
+        Alcotest.test_case "nested map composes" `Quick test_pool_nested_map;
+        Alcotest.test_case "nested exception surfaces" `Quick
+          test_pool_nested_exception;
+        Alcotest.test_case "helper drains without workers" `Quick
+          test_pool_helper_drains_without_workers;
+        Alcotest.test_case "async/await" `Quick test_pool_async_await;
+        Alcotest.test_case "combined jobs invariance" `Quick
+          test_pool_jobs_invariance_combined;
       ] );
     ( "util.rng-lanes",
       [
