@@ -15,6 +15,13 @@
      TQEC_RESTARTS = annealing trajectories per placement (default 1)
      TQEC_EARLY_STOP = adaptive multi-start early-stop margin
                    ("0.05" = 5%); "off" disables early stopping
+     TQEC_PARTITION = node cap for divide-and-conquer placement
+                   (unset keeps single-die annealing)
+     TQEC_SCALE_TIER = 1 to run the scale-tier sweep instead of the
+                   paper tables: tier-x<f> instances through the full
+                   pipeline, one row per factor with sparse-grid
+                   occupancy, peak RSS and wall time
+     TQEC_TIER_FACTORS = comma-separated tier factors (default 1,2,4)
      TQEC_BENCH_STAGES = 0 to skip the Bechamel stage timings
      TQEC_CHECK_MULTISTART = 1 to cross-check the adaptive multi-start
                    determinism contract (restarts=4, early stopping on,
@@ -45,6 +52,82 @@ let config () =
   in
   { base with Experiments.effort; benchmarks }
 
+let rss_cell () =
+  match Tqec_util.Stats.peak_rss_kb () with
+  | Some kb when kb >= 1024 -> Printf.sprintf "%.1f MB" (float_of_int kb /. 1024.)
+  | Some kb -> Printf.sprintf "%d kB" kb
+  | None -> "n/a"
+
+(* ------------------------------------------------------------------ *)
+(* Scale tiers: memory / wall-time curves beyond the paper suite       *)
+(* ------------------------------------------------------------------ *)
+
+(* TQEC_SCALE_TIER=1 switches the harness to the scaling sweep: the
+   synthetic tier-x<f> family (Generator.scale_tier) through the full
+   pipeline, one row per factor with the sparse routing grid's
+   occupancy next to volume, peak RSS and wall time.  The touched-cell
+   column against the bounding-box column is the tentpole's memory
+   claim: grid memory scales with routed volume, not substrate
+   volume.  TQEC_TIER_FACTORS picks the factors (default "1,2,4"). *)
+let run_scale_tiers (config : Experiments.config) =
+  let factors =
+    match Sys.getenv_opt "TQEC_TIER_FACTORS" with
+    | Some s ->
+        String.split_on_char ',' s
+        |> List.filter_map (fun t -> int_of_string_opt (String.trim t))
+        |> List.filter (fun f -> f >= 1)
+    | None -> [ 1; 2; 4 ]
+  in
+  let factors = if factors = [] then [ 1 ] else factors in
+  let pipeline_config =
+    {
+      Pipeline.default_config with
+      effort = config.Experiments.effort;
+      seed = config.Experiments.seed;
+      restarts = config.Experiments.restarts;
+      jobs = config.Experiments.jobs;
+      early_stop_margin = config.Experiments.early_stop_margin;
+      partition = config.Experiments.partition;
+    }
+  in
+  let t =
+    Tqec_util.Pretty.create
+      [ "tier"; "modules"; "nodes"; "volume"; "grid cells"; "touched";
+        "touched%"; "peak RSS"; "wall" ]
+  in
+  List.iter
+    (fun f ->
+      let c = Tqec_circuit.Generator.scale_tier ~factor:f () in
+      Printf.eprintf "[bench] running tier-x%d (%d gates, %d wires)...\n%!" f
+        (Tqec_circuit.Circuit.n_gates c) c.Tqec_circuit.Circuit.n_qubits;
+      let r = Pipeline.run ~config:pipeline_config c in
+      let m = r.Pipeline.grid_mem in
+      let module Grid = Tqec_route.Grid in
+      Printf.eprintf
+        "[bench]   tier-x%d: volume=%d grid=%d cells touched=%d (%.1f%%) \
+         rss=%s wall=%.1fs\n%!"
+        f r.Pipeline.volume m.Grid.mem_cells m.Grid.mem_touched_cells
+        (100. *. float_of_int m.Grid.mem_touched_cells
+         /. float_of_int (max 1 m.Grid.mem_cells))
+        (rss_cell ()) r.Pipeline.elapsed;
+      Tqec_util.Pretty.add_row t
+        [
+          Printf.sprintf "tier-x%d" f;
+          string_of_int r.Pipeline.stages.Pipeline.st_modules;
+          string_of_int r.Pipeline.stages.Pipeline.st_nodes;
+          Tqec_util.Pretty.int_with_commas r.Pipeline.volume;
+          Tqec_util.Pretty.int_with_commas m.Grid.mem_cells;
+          Tqec_util.Pretty.int_with_commas m.Grid.mem_touched_cells;
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int m.Grid.mem_touched_cells
+             /. float_of_int (max 1 m.Grid.mem_cells));
+          rss_cell ();
+          Printf.sprintf "%.1fs" r.Pipeline.elapsed;
+        ])
+    factors;
+  print_string "Scale tiers (sparse-grid occupancy, peak RSS, wall time):\n";
+  Tqec_util.Pretty.print t
+
 let regenerate_tables config =
   let entries =
     Suite.all
@@ -64,18 +147,21 @@ let regenerate_tables config =
         Printf.eprintf "[bench] running %s...\n%!" name;
         let row = Experiments.run_benchmark config e in
         Printf.eprintf
-          "[bench]   %s: canonical=%d dual-only=%d ours=%d (%.1fs + %.1fs)\n%!"
+          "[bench]   %s: canonical=%d dual-only=%d ours=%d (%.1fs + %.1fs, \
+           rss=%s)\n%!"
           name row.Report.r_canonical row.Report.r_dual_only row.Report.r_ours
-          row.Report.r_dual_only_runtime row.Report.r_ours_runtime;
+          row.Report.r_dual_only_runtime row.Report.r_ours_runtime
+          (rss_cell ());
         row)
       entries
     |> Array.to_list
   in
-  Printf.eprintf "[bench] suite wall-clock: %.1fs (jobs=%d)\n%!"
+  Printf.eprintf "[bench] suite wall-clock: %.1fs (jobs=%d, rss=%s)\n%!"
     (Unix.gettimeofday () -. t0)
     (match config.Experiments.jobs with
     | Some j -> j
-    | None -> Tqec_util.Pool.default_jobs ());
+    | None -> Tqec_util.Pool.default_jobs ())
+    (rss_cell ());
   print_string (Report.table1 rows);
   print_newline ();
   print_string (Report.table2 rows);
@@ -122,6 +208,7 @@ let check_multistart () =
         restarts = 4;
         jobs = Some jobs;
         early_stop_margin = Some 0.05;
+        partition = None;
       }
     in
     Placer.place ~config g flipping dual fvalue
@@ -172,6 +259,7 @@ let check_nested () =
         benchmarks = [ "4gt10-v1_81"; "4gt4-v0_73" ];
         jobs = Some jobs;
         early_stop_margin = Some 0.05;
+        partition = None;
       }
     |> List.map (fun (r : Report.row) ->
            (* strip wall-clock fields; everything else must match *)
@@ -306,6 +394,10 @@ let () =
   if Sys.getenv_opt "TQEC_CHECK_MULTISTART" = Some "1" then
     check_multistart ();
   if Sys.getenv_opt "TQEC_CHECK_NESTED" = Some "1" then check_nested ();
+  if Sys.getenv_opt "TQEC_SCALE_TIER" = Some "1" then begin
+    run_scale_tiers config;
+    exit 0
+  end;
   Printf.printf
     "TQEC bridge-compression benchmark harness (effort=%s, scale=%d)\n\n"
     (match config.Experiments.effort with

@@ -73,8 +73,90 @@ let run_one name =
           "[route-stress]   error: routing differs between jobs=1 and jobs=4\n%!";
       issues = [] && routed && deterministic
 
+(* Sparse-substrate stress: a routing box far larger than the occupied
+   skeleton — the tentpole's asymptotic regime.  A 96x96x64 substrate
+   (~590k cells) carries 24 long nets confined near the z=1 plane,
+   threaded through gaps in an obstacle wall.  The sparse grid must
+   materialize only the touched slab (the z-tile row the routes live
+   in), and the hierarchical corridor path (forced with
+   corridor_cells = 0) must stay legal and bit-identical between
+   jobs=1 and jobs=4. *)
+let sparse_substrate () =
+  let module Grid = Tqec_route.Grid in
+  let module Box3 = Tqec_util.Box3 in
+  let module Vec3 = Tqec_util.Vec3 in
+  let box = Box3.make Vec3.zero (Vec3.make 95 95 63) in
+  let nets =
+    List.init 24 (fun i ->
+        let x = (4 * i) + 1 in
+        {
+          Pathfinder.net_id = i;
+          pins = [ Vec3.make x 2 1; Vec3.make x 93 1 ];
+        })
+  in
+  let mk_grid () =
+    let g = Grid.create box in
+    (* obstacle wall across the die at y=48, z=0..3, with gaps every
+       16 columns: every net detours through a shared gap *)
+    for x = 0 to 95 do
+      if x mod 16 <> 4 then
+        for z = 0 to 3 do
+          Grid.set_obstacle g (Vec3.make x 48 z)
+        done
+    done;
+    List.iter
+      (fun (n : Pathfinder.net) ->
+        List.iter (Grid.set_shared g) n.Pathfinder.pins)
+      nets;
+    g
+  in
+  let route ~corridor_cells ~jobs =
+    let g = mk_grid () in
+    let r =
+      Pathfinder.route_all g
+        { Pathfinder.default_config with jobs; corridor_cells }
+        nets
+    in
+    (g, r)
+  in
+  let g_flat, flat = route ~corridor_cells:max_int ~jobs:(Some 1) in
+  let _, corr1 = route ~corridor_cells:0 ~jobs:(Some 1) in
+  let g_corr, corr4 = route ~corridor_cells:0 ~jobs:(Some 4) in
+  let flat_issues = Pathfinder.validate g_flat flat nets in
+  let corr_issues = Pathfinder.validate g_corr corr4 nets in
+  let jobs_invariant = corr1 = corr4 in
+  let m = Grid.mem g_corr in
+  (* the substrate is 8 z-tile rows; the routes live in the bottom one *)
+  let sparse = m.Grid.mem_touched_cells * 4 < m.Grid.mem_cells in
+  Printf.printf
+    "[route-stress] sparse-substrate    routed=%b/%b corridor-legal=%d \
+     flat-legal=%d jobs-invariant=%b touched=%d/%d cells (%.1f%%) sparse=%b\n%!"
+    flat.Pathfinder.success corr4.Pathfinder.success
+    (List.length corr_issues) (List.length flat_issues) jobs_invariant
+    m.Grid.mem_touched_cells m.Grid.mem_cells
+    (100. *. float_of_int m.Grid.mem_touched_cells
+     /. float_of_int (max 1 m.Grid.mem_cells))
+    sparse;
+  List.iter
+    (fun e -> Printf.eprintf "[route-stress]   corridor error: %s\n%!" e)
+    corr_issues;
+  List.iter
+    (fun e -> Printf.eprintf "[route-stress]   flat error: %s\n%!" e)
+    flat_issues;
+  if not jobs_invariant then
+    Printf.eprintf
+      "[route-stress]   error: corridor routing differs between jobs=1 and \
+       jobs=4\n%!";
+  if not sparse then
+    Printf.eprintf
+      "[route-stress]   error: sparse grid materialized most of the \
+       substrate\n%!";
+  flat.Pathfinder.success && corr4.Pathfinder.success && flat_issues = []
+  && corr_issues = [] && jobs_invariant && sparse
+
 let () =
   let ok = List.fold_left (fun acc name -> run_one name && acc) true benchmarks in
+  let ok = sparse_substrate () && ok in
   if ok then print_endline "[route-stress] all geometries legal"
   else begin
     prerr_endline "[route-stress] FAILED";

@@ -18,14 +18,18 @@ module Report = Tqec_compress.Report
 let load_circuit input =
   match Suite.find input with
   | Some entry -> Suite.circuit entry
-  | None ->
-      if Sys.file_exists input then Tqec_circuit.Revlib.parse_file input
-      else
-        failwith
-          (Printf.sprintf
-             "unknown benchmark %S (not a suite name, not a file); suite: %s"
-             input
-             (String.concat ", " Suite.names))
+  | None -> (
+      match Tqec_circuit.Generator.tier_of_name input with
+      | Some c -> c
+      | None ->
+          if Sys.file_exists input then Tqec_circuit.Revlib.parse_file input
+          else
+            failwith
+              (Printf.sprintf
+                 "unknown benchmark %S (not a suite name, not a tier-x<k> \
+                  scale tier, not a file); suite: %s"
+                 input
+                 (String.concat ", " Suite.names)))
 
 let input_arg =
   let doc =
@@ -98,6 +102,32 @@ let early_stop_arg =
         Pipeline.default_config.Pipeline.early_stop_margin
     & info [ "early-stop" ] ~docv:"MARGIN" ~doc)
 
+let partition_arg =
+  let doc =
+    "Node-count cap for divide-and-conquer placement: an instance with \
+     more super-module nodes is partitioned (deterministic BFS \
+     bisection of the net hypergraph), each part annealed \
+     independently, and the parts stitched by shelf packing.  Defaults \
+     to \\$(b,TQEC_PARTITION); $(b,off) keeps the single-die annealer \
+     on any instance size.  Results are deterministic in (seed, \
+     restarts, cap) for any worker count."
+  in
+  let parse s =
+    if String.lowercase_ascii s = "off" then Ok None
+    else
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> Ok (Some v)
+      | _ -> Error (`Msg "expected a positive node cap or 'off'")
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "off"
+    | Some v -> Format.pp_print_int ppf v
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (Experiments.partition_from_env ())
+    & info [ "partition" ] ~docv:"CAP" ~doc)
+
 let scale_arg =
   let doc = "Scale instances down by this divisor (benchmarks only)." in
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc)
@@ -162,7 +192,8 @@ let print_timings (r : Pipeline.t) =
     s.Tqec_util.Pool.injected s.Tqec_util.Pool.parks
 
 let compress_cmd =
-  let run input variant effort seed restarts jobs early_stop optimize timings =
+  let run input variant effort seed restarts jobs early_stop partition optimize
+      timings =
     let c = load_circuit input in
     let c =
       if optimize then begin
@@ -175,7 +206,8 @@ let compress_cmd =
     in
     let config =
       { Pipeline.default_config with variant; effort; seed;
-        restarts = max 1 restarts; jobs; early_stop_margin = early_stop }
+        restarts = max 1 restarts; jobs; early_stop_margin = early_stop;
+        partition }
     in
     let r = Pipeline.run ~config c in
     let p = r.Pipeline.placement in
@@ -199,8 +231,8 @@ let compress_cmd =
   Cmd.v
     (Cmd.info "compress" ~doc:"Run the bridge-compression flow.")
     Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
-          $ restarts_arg $ jobs_arg $ early_stop_arg $ optimize_arg
-          $ timings_arg)
+          $ restarts_arg $ jobs_arg $ early_stop_arg $ partition_arg
+          $ optimize_arg $ timings_arg)
 
 let experiment_config effort scale seed restarts jobs early_stop benchmarks =
   {
@@ -212,6 +244,7 @@ let experiment_config effort scale seed restarts jobs early_stop benchmarks =
     restarts = max 1 restarts;
     jobs;
     early_stop_margin = early_stop;
+    partition = Experiments.partition_from_env ();
   }
 
 let benchmarks_arg =
@@ -345,7 +378,8 @@ let check_cmd =
       & opt_all (conv (parse, print)) []
       & info [ "s"; "stage" ] ~docv:"STAGE" ~doc)
   in
-  let run input variant effort seed scale restarts jobs early_stop stages =
+  let run input variant effort seed scale restarts jobs early_stop partition
+      stages =
     let c =
       match Suite.find input with
       | Some entry -> Suite.scaled ~factor:(max 1 scale) entry
@@ -353,7 +387,8 @@ let check_cmd =
     in
     let config =
       { Pipeline.default_config with variant; effort; seed;
-        restarts = max 1 restarts; jobs; early_stop_margin = early_stop }
+        restarts = max 1 restarts; jobs; early_stop_margin = early_stop;
+        partition }
     in
     let r = Pipeline.run ~config c in
     let stages = match stages with [] -> None | ss -> Some ss in
@@ -370,7 +405,8 @@ let check_cmd =
           every stage boundary's invariants are re-derived independently \
           and cross-checked.  Non-zero exit on any violation.")
     Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
-          $ scale_arg $ restarts_arg $ jobs_arg $ early_stop_arg $ stage_arg)
+          $ scale_arg $ restarts_arg $ jobs_arg $ early_stop_arg
+          $ partition_arg $ stage_arg)
 
 let render_cmd =
   let run input =

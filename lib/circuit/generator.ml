@@ -111,6 +111,36 @@ let generate spec =
   let gates = if active > 0 then ensure_coverage active gates else gates in
   Circuit.make ~name:spec.name ~n_qubits:spec.n_wires gates
 
+(* Scale tiers: a family of synthetic instances with the suite's gate
+   mix but a size dial, for the memory/wall-time scaling curves.  The
+   per-factor gate counts keep the Toffoli:CNOT:NOT ratio of the mid
+   suite (~1:7.5:0.5) while wires grow with the square root of the
+   gate count, so routed congestion stays comparable across tiers. *)
+let scale_tier ~factor ?seed () =
+  let f = max 1 factor in
+  let seed = match seed with Some s -> s | None -> 4099 + f in
+  generate
+    {
+      name = Printf.sprintf "tier-x%d" f;
+      n_wires = 8 + (2 * f);
+      n_toffoli = 4 * f;
+      n_cnot = 30 * f;
+      n_not = 2 * f;
+      n_unused = 0;
+      seed;
+    }
+
+(* "tier-x<k>" -> the tier circuit; anything else -> None.  Lets the
+   CLI accept tier names wherever it accepts suite benchmark names. *)
+let tier_of_name name =
+  let prefix = "tier-x" in
+  let plen = String.length prefix in
+  if String.length name > plen && String.sub name 0 plen = prefix then
+    match int_of_string_opt (String.sub name plen (String.length name - plen)) with
+    | Some f when f >= 1 -> Some (scale_tier ~factor:f ())
+    | _ -> None
+  else None
+
 let random_clifford_t ~seed ~n_qubits ~n_gates =
   let rng = Tqec_util.Rng.create seed in
   let gate () =

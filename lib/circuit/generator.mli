@@ -28,6 +28,20 @@ type spec = {
     one CNOT or Toffoli. *)
 val generate : spec -> Circuit.t
 
+(** [scale_tier ~factor ()] is the synthetic scaling-curve instance
+    ["tier-x<factor>"]: [4*factor] Toffolis, [30*factor] CNOTs,
+    [2*factor] NOTs on [8 + 2*factor] wires, seeded [4099 + factor]
+    unless [?seed] overrides it.  The gate mix matches the mid suite, so
+    per-module statistics stay comparable as the size dial grows; the
+    scale-tier benchmarks sweep [factor] to produce memory/wall-time
+    curves far beyond the paper suite. *)
+val scale_tier : factor:int -> ?seed:int -> unit -> Circuit.t
+
+(** [tier_of_name "tier-x<k>"] builds that tier; [None] for any other
+    string — the hook that lets the CLI accept tier names wherever it
+    accepts suite benchmark names. *)
+val tier_of_name : string -> Circuit.t option
+
 (** [random_clifford_t ~seed ~n_qubits ~n_gates] builds a random
     Clifford+T circuit (used by property tests and small experiments). *)
 val random_clifford_t : seed:int -> n_qubits:int -> n_gates:int -> Circuit.t

@@ -14,7 +14,19 @@ type config = {
   restarts : int;
   jobs : int option;
   early_stop_margin : float option;
+  partition : int option;
 }
+
+(* TQEC_PARTITION: node-count cap for divide-and-conquer placement
+   ("400" = partition instances beyond 400 nodes); "off" / unset / a
+   non-positive value keeps the single-die annealer. *)
+let partition_from_env () =
+  match Sys.getenv_opt "TQEC_PARTITION" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> Some v
+      | _ -> None)
+  | None -> None
 
 (* Keep each instance near the largest size that places and routes in a
    few minutes (about rd84's 2600 modules). *)
@@ -63,7 +75,7 @@ let config_from_env () =
     | None -> Pipeline.default_config.Pipeline.early_stop_margin
   in
   { effort; scale; auto_scale; seed; benchmarks = Suite.names; restarts; jobs;
-    early_stop_margin }
+    early_stop_margin; partition = partition_from_env () }
 
 let run_benchmark config (entry : Suite.entry) =
   let factor =
@@ -84,6 +96,7 @@ let run_benchmark config (entry : Suite.entry) =
           seed = config.seed;
           restarts = config.restarts;
           early_stop_margin = config.early_stop_margin;
+          partition = config.partition;
           (* inner stages (placement multi-start, the router's
              per-iteration batches) share the same persistent pool as
              the suite fan-out: a blocked instance helps drain nested

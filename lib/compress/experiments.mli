@@ -25,11 +25,20 @@ type config = {
   early_stop_margin : float option;
       (** adaptive multi-start early-stop margin (see
           {!Tqec_place.Placer.config}); [None] disables early stopping *)
+  partition : int option;
+      (** divide-and-conquer placement cap (see
+          {!Tqec_place.Placer.config}); [None] keeps single-die
+          annealing *)
 }
 
 (** [config_from_env ()] reads TQEC_EFFORT / TQEC_SCALE / TQEC_SEED /
-    TQEC_RESTARTS / TQEC_JOBS / TQEC_EARLY_STOP ("off" to disable). *)
+    TQEC_RESTARTS / TQEC_JOBS / TQEC_EARLY_STOP ("off" to disable) /
+    TQEC_PARTITION (a node cap; unset or non-positive to disable). *)
 val config_from_env : unit -> config
+
+(** [partition_from_env ()] parses TQEC_PARTITION alone — the shared
+    default for [tqecc --partition] and the benchmark harness. *)
+val partition_from_env : unit -> int option
 
 (** [run_benchmark config entry] measures one suite entry end to end. *)
 val run_benchmark : config -> Tqec_circuit.Suite.entry -> Report.row

@@ -24,12 +24,14 @@ type config = {
   restarts : int;
   jobs : int option;
   early_stop_margin : float option;
+  partition : int option;
 }
 
 let default_config =
   { variant = Full; effort = Placer.Normal; seed = 42; enable_ishape = true;
     z_cap = None; strategy = Placer.Annealing; restarts = 1; jobs = None;
-    early_stop_margin = Placer.default_config.Placer.early_stop_margin }
+    early_stop_margin = Placer.default_config.Placer.early_stop_margin;
+    partition = None }
 
 type stage_stats = {
   st_modules : int;
@@ -51,6 +53,7 @@ type t = {
   fvalue : Fvalue.t;
   placement : Placer.t;
   routing : Pathfinder.result;
+  grid_mem : Grid.mem;
   volume : int;
   stages : stage_stats;
   elapsed : float;
@@ -262,6 +265,7 @@ let rec run_icm ?(config = default_config) icm =
       restarts = config.restarts;
       jobs = config.jobs;
       early_stop_margin = config.early_stop_margin;
+      partition = config.partition;
     }
   in
   let placement = Placer.place ~config:placer_config graph flipping dual fvalue in
@@ -283,6 +287,9 @@ let rec run_icm ?(config = default_config) icm =
       nets
   in
   mark "routing";
+  (* recorded before the grid is dropped: how much of the substrate
+     volume the sparse grid actually materialized *)
+  let grid_mem = Grid.mem grid in
   let all_boxes =
     List.init (Array.length placement.Placer.sm.Super_module.nodes) (fun i ->
         Placer.node_box placement i)
@@ -325,6 +332,7 @@ let rec run_icm ?(config = default_config) icm =
       fvalue;
       placement;
       routing;
+      grid_mem;
       volume;
       stages;
       elapsed = Unix.gettimeofday () -. t0;

@@ -31,6 +31,10 @@ type config = {
   early_stop_margin : float option;
       (** adaptive multi-start early-stop margin (see
           {!Tqec_place.Placer.config}); [None] disables early stopping *)
+  partition : int option;
+      (** divide-and-conquer placement threshold (see
+          {!Tqec_place.Placer.config}); [None] (the default) keeps the
+          historical single-die annealing on any instance size *)
 }
 
 val default_config : config
@@ -58,6 +62,10 @@ type t = {
   fvalue : Tqec_pdgraph.Fvalue.t;
   placement : Tqec_place.Placer.t;
   routing : Tqec_route.Pathfinder.result;
+  grid_mem : Tqec_route.Grid.mem;
+      (** sparse routing-grid occupancy after routing: how many tiles
+          (and cells) of the substrate volume were materialized — the
+          memory-scaling signal the scale-tier benchmarks track *)
   volume : int;  (** final space-time volume (routing-aware bbox) *)
   stages : stage_stats;
   elapsed : float;  (** seconds *)

@@ -1,0 +1,165 @@
+(* Deterministic divide-and-conquer partitioning of the node-level net
+   hypergraph: recursive bisection by BFS ordering, one KL/FM-style
+   greedy refinement sweep per cut.  Everything iterates in ascending
+   node-id order (adjacency lists are sorted, BFS ties break on id), so
+   the result is a pure function of (n, nets, max_part) — no hashing,
+   no randomness. *)
+
+let run ~n ~nets ~max_part =
+  if n < 0 then invalid_arg "Partition.run: negative n";
+  let max_part = max 1 max_part in
+  if n = 0 then [||]
+  else begin
+    (* Sorted adjacency lists.  Small nets contribute clique edges;
+       large nets contribute a star around their first (lowest-id after
+       net normalization) member, avoiding the quadratic blow-up of
+       high-fanout distillation nets. *)
+    let raw = Array.make n [] in
+    let add a b =
+      if a <> b && a >= 0 && a < n && b >= 0 && b < n then
+        raw.(a) <- b :: raw.(a)
+    in
+    Array.iter
+      (fun net ->
+        let k = Array.length net in
+        if k <= 8 then
+          for i = 0 to k - 1 do
+            for j = i + 1 to k - 1 do
+              add net.(i) net.(j);
+              add net.(j) net.(i)
+            done
+          done
+        else begin
+          let hub = net.(0) in
+          for i = 1 to k - 1 do
+            add hub net.(i);
+            add net.(i) hub
+          done
+        end)
+      nets;
+    let adj =
+      Array.map (fun l -> Array.of_list (List.sort_uniq Int.compare l)) raw
+    in
+    (* Net incidence per node, for the refinement gain computation. *)
+    let inc_raw = Array.make n [] in
+    Array.iteri
+      (fun ni net ->
+        Array.iter
+          (fun v -> if v >= 0 && v < n then inc_raw.(v) <- ni :: inc_raw.(v))
+          net)
+      nets;
+    let inc = Array.map (fun l -> Array.of_list (List.rev l)) inc_raw in
+    let n_nets = Array.length nets in
+    let in_group = Array.make n false in
+    let side = Array.make n (-1) in
+    let visited = Array.make n false in
+    (* Net member counts on each side, restricted to the group being
+       bisected (members outside the group are fixed context and are
+       ignored, as in classic KL). *)
+    let cnt0 = Array.make n_nets 0 in
+    let cnt1 = Array.make n_nets 0 in
+    (* [bisect group acc] appends the partitions of [group] (given
+       sorted ascending) to [acc] in left-to-right order. *)
+    let rec bisect group acc =
+      let gsize = Array.length group in
+      if gsize <= max_part then group :: acc
+      else begin
+        Array.iter (fun v -> in_group.(v) <- true) group;
+        (* BFS order over the group-restricted adjacency; restart from
+           the lowest unvisited id on each connected component. *)
+        let order = Array.make gsize 0 in
+        let filled = ref 0 in
+        let q = Queue.create () in
+        let push v =
+          if in_group.(v) && not visited.(v) then begin
+            visited.(v) <- true;
+            Queue.add v q
+          end
+        in
+        Array.iter
+          (fun v ->
+            if not visited.(v) then begin
+              push v;
+              while not (Queue.is_empty q) do
+                let u = Queue.pop q in
+                order.(!filled) <- u;
+                incr filled;
+                Array.iter push adj.(u)
+              done
+            end)
+          group;
+        let half = gsize / 2 in
+        for i = 0 to gsize - 1 do
+          side.(order.(i)) <- (if i < half then 0 else 1)
+        done;
+        (* Single greedy refinement sweep: move a node across the cut
+           when that strictly reduces the number of cut nets, within a
+           balance tolerance. *)
+        Array.iter
+          (fun v ->
+            Array.iter
+              (fun ni ->
+                if side.(v) = 0 then cnt0.(ni) <- cnt0.(ni) + 1
+                else cnt1.(ni) <- cnt1.(ni) + 1)
+              inc.(v))
+          group;
+        let s0 = ref half and s1 = ref (gsize - half) in
+        let tol = max 1 (gsize / 16) in
+        let lo_bound = max 1 ((gsize / 2) - tol) in
+        Array.iter
+          (fun v ->
+            let s = side.(v) in
+            let src_size = if s = 0 then s0 else s1 in
+            if !src_size - 1 >= lo_bound then begin
+              let gain = ref 0 in
+              Array.iter
+                (fun ni ->
+                  let c_s = if s = 0 then cnt0.(ni) else cnt1.(ni) in
+                  let c_o = if s = 0 then cnt1.(ni) else cnt0.(ni) in
+                  if c_s + c_o >= 2 then begin
+                    (* cut before: c_o > 0 (v itself sits on side s);
+                       cut after the move: c_s - 1 > 0 *)
+                    if c_o > 0 then incr gain;
+                    if c_s > 1 then decr gain
+                  end)
+                inc.(v);
+              if !gain > 0 then begin
+                Array.iter
+                  (fun ni ->
+                    if s = 0 then begin
+                      cnt0.(ni) <- cnt0.(ni) - 1;
+                      cnt1.(ni) <- cnt1.(ni) + 1
+                    end
+                    else begin
+                      cnt1.(ni) <- cnt1.(ni) - 1;
+                      cnt0.(ni) <- cnt0.(ni) + 1
+                    end)
+                  inc.(v);
+                side.(v) <- 1 - s;
+                decr src_size;
+                incr (if s = 0 then s1 else s0)
+              end
+            end)
+          group;
+        let left = Array.of_list (List.filter (fun v -> side.(v) = 0)
+                                    (Array.to_list group)) in
+        let right = Array.of_list (List.filter (fun v -> side.(v) = 1)
+                                     (Array.to_list group)) in
+        (* Reset shared scratch for the recursive calls. *)
+        Array.iter
+          (fun v ->
+            in_group.(v) <- false;
+            visited.(v) <- false;
+            side.(v) <- -1;
+            Array.iter
+              (fun ni ->
+                cnt0.(ni) <- 0;
+                cnt1.(ni) <- 0)
+              inc.(v))
+          group;
+        bisect left (bisect right acc)
+      end
+    in
+    let all = Array.init n (fun i -> i) in
+    Array.of_list (bisect all [])
+  end

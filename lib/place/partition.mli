@@ -1,0 +1,22 @@
+(** Deterministic net-hypergraph partitioning for divide-and-conquer
+    placement.
+
+    Recursive bisection: each over-sized group is laid out in BFS order
+    over the group-restricted adjacency graph (clique edges for nets of
+    up to 8 members, a star around the first member for larger nets),
+    split at the midpoint, then improved by a single KL/FM-style greedy
+    sweep that moves a node across the cut when doing so strictly
+    reduces the number of cut nets, within a balance tolerance of
+    [max 1 (size/16)] around an even split.
+
+    All iteration is in ascending node-id order, so the result is a
+    pure function of the inputs — no hashing, no randomness — which
+    keeps the partitioned placement path deterministic. *)
+
+(** [run ~n ~nets ~max_part] partitions nodes [0..n-1] into groups of
+    at most [max 1 max_part] members.  [nets] lists node ids per net
+    (out-of-range ids are ignored).  Returns the groups in a
+    deterministic left-to-right recursion order; each group is sorted
+    ascending, every node appears in exactly one group, and no group is
+    empty (for [n > 0]). *)
+val run : n:int -> nets:int array array -> max_part:int -> int array array

@@ -28,12 +28,13 @@ type config = {
   restarts : int;
   jobs : int option;
   early_stop_margin : float option;
+  partition : int option;
 }
 
 let default_config =
   { effort = Normal; seed = 42; alpha = 1.0; beta = 0.2; z_cap = None;
     strategy = Annealing; restarts = 1; jobs = None;
-    early_stop_margin = Some 0.05 }
+    early_stop_margin = Some 0.05; partition = None }
 
 type t = {
   sm : Super_module.t;
@@ -172,60 +173,13 @@ let force_directed ~iterations ~beta dims nets =
   done;
   !best
 
-let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
-    (dual : Dual_bridge.t) (_fvalue : Fvalue.t) =
-  let sm =
-    match config.z_cap with
-    | Some z -> Super_module.build ~z_cap:z g flipping
-    | None -> Super_module.build g flipping
-  in
-  let nodes = sm.Super_module.nodes in
-  let n = Array.length nodes in
-  if n = 0 then invalid_arg "Placer.place: no nodes";
-  let depth =
-    max 2
-      (Array.fold_left (fun acc nd -> max acc nd.Super_module.nd_d) 2 nodes)
-  in
-  let dims =
-    Array.map (fun nd -> (nd.Super_module.nd_w, nd.Super_module.nd_h)) nodes
-  in
-  let nets = build_nets g sm dual in
-  match config.strategy with
-  | Force_directed ->
-      let iterations =
-        match config.effort with Quick -> 10 | Normal -> 40 | Full -> 120
-      in
-      let pos, (width, height) =
-        force_directed ~iterations ~beta:config.beta dims nets
-      in
-      {
-        sm;
-        node_pos = pos;
-        rotated = Array.make n false;
-        width;
-        height;
-        depth;
-        volume = width * height * depth;
-        wirelength = hpwl nets pos;
-        sa_stats =
-          {
-            Sa.attempted = iterations;
-            accepted = iterations;
-            best_cost = float_of_int (width * height * depth);
-            final_temperature = 0.;
-          };
-      }
-  | Annealing ->
-  (* Time-dependent and distillation-injection super-modules keep their
-     internal sequence along the time (x) axis: never rotate them. *)
-  let rotatable =
-    Array.map
-      (fun nd ->
-        match nd.Super_module.nd_kind with
-        | Super_module.Plain _ | Super_module.Chain _ -> true
-        | Super_module.Time_sm _ | Super_module.Distill_sm _ -> false)
-      nodes
-  in
+(* One group's full adaptive multi-start annealing — the historical
+   single-die engine, extracted so the partitioned mode can run it on
+   each partition's subproblem.  With [seed = config.seed] over the
+   whole node set this consumes the RNG exactly as the historical code
+   did, so unpartitioned results are bit-identical. *)
+let anneal_group ~(config : config) ~depth ~dims ~nets ~rotatable ~seed =
+  let n = Array.length dims in
   let rotatable_ids =
     Array.of_list
       (List.filter
@@ -339,7 +293,7 @@ let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
      at the stop decision its best exceeds (1 + margin) * global best,
      and the eventual winner's cost is at most that global best. *)
   let restarts = max 1 config.restarts in
-  let lanes = Array.init restarts (Rng.lane config.seed) in
+  let lanes = Array.init restarts (Rng.lane seed) in
   let trajs = Pool.map ?jobs:config.jobs anneal_start lanes in
   let global_best = Atomic.make infinity in
   let rec publish v =
@@ -404,17 +358,220 @@ let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
       { win_stats with Sa.attempted = 0; accepted = 0 }
       runs
   in
-  {
-    sm;
+  (sa_stats, node_pos, rotated, (width, height))
+
+(* Divide-and-conquer annealing for instances beyond the single-die
+   scale knee: partition the net hypergraph (deterministic BFS bisection
+   + refinement, see {!Partition}), anneal each partition independently
+   over the pool with partition-indexed seed offsets, then stitch the
+   packed partitions with the same deterministic shelf packing the
+   force-directed legalizer uses.  Per-partition annealing sees only the
+   nets projected onto the partition (two or more members inside);
+   cross-partition wirelength is paid at the stitch, which orders
+   partitions by decreasing area for a tight skyline. *)
+let place_partitioned ~(config : config) ~depth ~dims ~nets ~rotatable ~cap =
+  let n = Array.length dims in
+  let parts = Partition.run ~n ~nets ~max_part:cap in
+  let k = Array.length parts in
+  let part_of = Array.make n 0 in
+  let local_id = Array.make n 0 in
+  Array.iteri
+    (fun pid members ->
+      Array.iteri
+        (fun li v ->
+          part_of.(v) <- pid;
+          local_id.(v) <- li)
+        members)
+    parts;
+  (* Project each net onto every partition holding >= 2 of its members
+     (first-seen partition order within the net keeps this allocation
+     pattern deterministic without any hashing). *)
+  let sub_nets_rev = Array.make k [] in
+  Array.iter
+    (fun net ->
+      let buckets = ref [] in
+      Array.iter
+        (fun v ->
+          let pid = part_of.(v) in
+          match List.assoc_opt pid !buckets with
+          | Some cell -> cell := local_id.(v) :: !cell
+          | None -> buckets := (pid, ref [ local_id.(v) ]) :: !buckets)
+        net;
+      List.iter
+        (fun (pid, cell) ->
+          match !cell with
+          | [] | [ _ ] -> ()
+          | members ->
+              sub_nets_rev.(pid) <-
+                Array.of_list (List.rev members) :: sub_nets_rev.(pid))
+        (List.rev !buckets))
+    nets;
+  let sub_problems =
+    Array.init k (fun pid ->
+        let members = parts.(pid) in
+        ( pid,
+          Array.map (fun v -> dims.(v)) members,
+          Array.of_list (List.rev sub_nets_rev.(pid)),
+          Array.map (fun v -> rotatable.(v)) members ))
+  in
+  (* Partition seeds are fixed offsets from the base seed, so results
+     are a pure function of (seed, restarts, partition cap) — never of
+     the job count.  anneal_group fans its restart lanes out on the same
+     pool; nested maps compose on the work-stealing scheduler. *)
+  let results =
+    Pool.map ?jobs:config.jobs
+      (fun (pid, p_dims, p_nets, p_rotatable) ->
+        anneal_group ~config ~depth ~dims:p_dims ~nets:p_nets
+          ~rotatable:p_rotatable
+          ~seed:(config.seed + ((pid + 1) * 7_368_787)))
+      sub_problems
+  in
+  (* Stitch: shelf-pack the partition bounding boxes, largest area
+     first (ties by partition id), against a width target that squares
+     up the die. *)
+  let total_area =
+    Array.fold_left (fun a (_, _, _, (w, h)) -> a + (w * h)) 0 results
+  in
+  let target_w =
+    max
+      (Array.fold_left (fun a (_, _, _, (w, _)) -> max a w) 1 results)
+      (int_of_float (sqrt (1.2 *. float_of_int total_area)))
+  in
+  let order = Array.init k (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let _, _, _, (aw, ah) = results.(a) and _, _, _, (bw, bh) = results.(b) in
+      let c = Int.compare (bw * bh) (aw * ah) in
+      if c <> 0 then c else Int.compare a b)
+    order;
+  let offsets = Array.make k (0, 0) in
+  let x = ref 0 and y = ref 0 and row_h = ref 0 in
+  Array.iter
+    (fun pid ->
+      let _, _, _, (w, h) = results.(pid) in
+      if !x + w > target_w && !x > 0 then begin
+        x := 0;
+        y := !y + !row_h;
+        row_h := 0
+      end;
+      offsets.(pid) <- (!x, !y);
+      x := !x + w;
+      row_h := max !row_h h)
+    order;
+  let node_pos = Array.make n (0, 0) in
+  let rotated = Array.make n false in
+  Array.iteri
+    (fun pid members ->
+      let _, pos, rot, _ = results.(pid) in
+      let ox, oy = offsets.(pid) in
+      Array.iteri
+        (fun li v ->
+          let lx, ly = pos.(li) in
+          node_pos.(v) <- (ox + lx, oy + ly);
+          rotated.(v) <- rot.(li))
+        members)
+    parts;
+  (* Exact packed extents: place_check requires width/height to equal
+     the maximum node reach, and each partition's (w, h) is already its
+     own packed extent, so the global extent comes straight from the
+     placed nodes. *)
+  let width = ref 0 and height = ref 0 in
+  Array.iteri
+    (fun v (px, py) ->
+      let dw, dh = dims.(v) in
+      let w, h = if rotated.(v) then (dh, dw) else (dw, dh) in
+      width := max !width (px + w);
+      height := max !height (py + h))
     node_pos;
-    rotated;
-    width;
-    height;
-    depth;
-    volume = width * height * depth;
-    wirelength = hpwl nets node_pos;
-    sa_stats;
-  }
+  let sa_stats =
+    let first, _, _, _ = results.(0) in
+    Array.fold_left
+      (fun acc (st, _, _, _) ->
+        {
+          acc with
+          Sa.attempted = acc.Sa.attempted + st.Sa.attempted;
+          accepted = acc.Sa.accepted + st.Sa.accepted;
+          best_cost = acc.Sa.best_cost +. st.Sa.best_cost;
+        })
+      { first with Sa.attempted = 0; accepted = 0; best_cost = 0. }
+      results
+  in
+  (sa_stats, node_pos, rotated, (!width, !height))
+
+let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
+    (dual : Dual_bridge.t) (_fvalue : Fvalue.t) =
+  let sm =
+    match config.z_cap with
+    | Some z -> Super_module.build ~z_cap:z g flipping
+    | None -> Super_module.build g flipping
+  in
+  let nodes = sm.Super_module.nodes in
+  let n = Array.length nodes in
+  if n = 0 then invalid_arg "Placer.place: no nodes";
+  let depth =
+    max 2
+      (Array.fold_left (fun acc nd -> max acc nd.Super_module.nd_d) 2 nodes)
+  in
+  let dims =
+    Array.map (fun nd -> (nd.Super_module.nd_w, nd.Super_module.nd_h)) nodes
+  in
+  let nets = build_nets g sm dual in
+  match config.strategy with
+  | Force_directed ->
+      let iterations =
+        match config.effort with Quick -> 10 | Normal -> 40 | Full -> 120
+      in
+      let pos, (width, height) =
+        force_directed ~iterations ~beta:config.beta dims nets
+      in
+      {
+        sm;
+        node_pos = pos;
+        rotated = Array.make n false;
+        width;
+        height;
+        depth;
+        volume = width * height * depth;
+        wirelength = hpwl nets pos;
+        sa_stats =
+          {
+            Sa.attempted = iterations;
+            accepted = iterations;
+            best_cost = float_of_int (width * height * depth);
+            final_temperature = 0.;
+          };
+      }
+  | Annealing ->
+      (* Time-dependent and distillation-injection super-modules keep
+         their internal sequence along the time (x) axis: never rotate
+         them. *)
+      let rotatable =
+        Array.map
+          (fun nd ->
+            match nd.Super_module.nd_kind with
+            | Super_module.Plain _ | Super_module.Chain _ -> true
+            | Super_module.Time_sm _ | Super_module.Distill_sm _ -> false)
+          nodes
+      in
+      let sa_stats, node_pos, rotated, (width, height) =
+        match config.partition with
+        | Some cap when n > max 1 cap ->
+            place_partitioned ~config ~depth ~dims ~nets ~rotatable
+              ~cap:(max 1 cap)
+        | _ -> anneal_group ~config ~depth ~dims ~nets ~rotatable
+                 ~seed:config.seed
+      in
+      {
+        sm;
+        node_pos;
+        rotated;
+        width;
+        height;
+        depth;
+        volume = width * height * depth;
+        wirelength = hpwl nets node_pos;
+        sa_stats;
+      }
 
 let module_cell p m =
   Super_module.module_cell p.sm ~node_pos:p.node_pos

@@ -46,6 +46,21 @@ type config = {
           multi-start best is never worse than single-start.  [None]
           disables early stopping (every lane runs its full budget);
           the default is [Some 0.05] *)
+  partition : int option;
+      (** divide-and-conquer threshold for the [Annealing] strategy:
+          with [Some cap] and more than [cap] nodes, the net hypergraph
+          is partitioned ({!Partition.run}) into groups of at most
+          [cap], each group annealed independently (partition-indexed
+          seed offsets, fanned out over the pool alongside each group's
+          restart lanes), and the packed groups stitched with a
+          deterministic largest-first shelf packing.  Annealing cost
+          then scales near-linearly in the node count instead of with
+          the full quadratic move/net coupling, at some area/wirelength
+          quality loss across the cuts.  Results are a pure function of
+          (seed, restarts, cap) — never of [jobs].  [None] (the
+          default) and [Some cap >= n] reproduce the historical
+          single-die trajectory bit-for-bit.  [Force_directed] ignores
+          it *)
 }
 
 val default_config : config

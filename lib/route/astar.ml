@@ -168,6 +168,341 @@ let search ?scratch ?(max_expansions = 400_000) ?(avoid_used = false)
     end
   end
 
+(* ------------------------------------------------------------------ *)
+(* Hierarchical corridor search.                                       *)
+(*                                                                     *)
+(* Above a region-volume threshold (the caller's call), flat A* pays   *)
+(* O(region volume) scratch and wavefront costs even when the useful   *)
+(* geometry is a thin skeleton.  The hierarchical variant first runs a *)
+(* coarse A* over the tile graph — one node per Grid tile, 6-neighbor  *)
+(* adjacency, costs from the incrementally maintained per-tile         *)
+(* summaries — then restricts the fine cell-level A* to the corridor:  *)
+(* the coarse path's tiles plus their axis neighbors.  Scratch and     *)
+(* wavefront now scale with the corridor volume.                       *)
+(*                                                                     *)
+(* The fine pass deliberately re-implements the A* loop of [search]    *)
+(* instead of sharing it behind closures: the corridor uses a          *)
+(* tile-slot cell encoding, and cell codes feed the priority queue, so *)
+(* any encoding change reorders equal-cost pops — [search] must keep   *)
+(* its exact historical behavior for the bit-identical routes          *)
+(* guarantee, and closure-parameterizing its hot loop would tax every  *)
+(* existing caller.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let grow scr cells =
+  if scr.cap < cells then begin
+    let cap = max cells (max 64 (2 * scr.cap)) in
+    scr.g_score <- Array.make cap max_int;
+    scr.parent <- Array.make cap (-1);
+    scr.h_cache <- Array.make cap 0;
+    scr.stamp <- Array.make cap 0;
+    scr.own <- Array.make cap false;
+    scr.cap <- cap
+  end
+
+(* Coarse pass: A* over the tile graph restricted to tiles meeting
+   [region], from the sources' tiles to the target's tile.  Returns the
+   corridor as a list of tile indices (path tiles plus axis neighbors),
+   or None when even the coarse graph offers no path. *)
+let coarse_corridor scr grid ~region ~penalty ~sources ~(target : Vec3.t) =
+  let _, tdy, tdz = Grid.tile_dims grid in
+  let n_tiles = Grid.n_tiles grid in
+  grow scr n_tiles;
+  scr.gen <- scr.gen + 1;
+  let gen = scr.gen in
+  let g_score = scr.g_score
+  and parent = scr.parent
+  and h_cache = scr.h_cache
+  and stamp = scr.stamp in
+  let open_q = scr.queue in
+  Pqueue.clear open_q;
+  let edge = Grid.tile_edge in
+  (* tile-coordinate bounds of the region: a tile is in play iff its
+     coordinates fall inside (its cell box then meets [region]) *)
+  let lo = (Grid.box grid).Box3.lo in
+  let tlo = region.Box3.lo and thi = region.Box3.hi in
+  let tlx = (tlo.Vec3.x - lo.Vec3.x) / edge
+  and tly = (tlo.Vec3.y - lo.Vec3.y) / edge
+  and tlz = (tlo.Vec3.z - lo.Vec3.z) / edge in
+  let thx = (thi.Vec3.x - lo.Vec3.x) / edge
+  and thy = (thi.Vec3.y - lo.Vec3.y) / edge
+  and thz = (thi.Vec3.z - lo.Vec3.z) / edge in
+  let encode x y z = ((x * tdy) + y) * tdz + z in
+  let die = Grid.die grid in
+  let ttx = Grid.tile_index grid target / (tdy * tdz) in
+  let tty = Grid.tile_index grid target / tdz mod tdy in
+  let ttz = Grid.tile_index grid target mod tdz in
+  let target_code = encode ttx tty ttz in
+  let exempt = Hashtbl.create 8 in
+  Hashtbl.replace exempt target_code ();
+  List.iter
+    (fun s ->
+      if Box3.contains region s then
+        Hashtbl.replace exempt (Grid.tile_index grid s) ())
+    sources;
+  let touch x y z code =
+    if stamp.(code) <> gen then begin
+      stamp.(code) <- gen;
+      g_score.(code) <- max_int;
+      parent.(code) <- -1;
+      h_cache.(code) <- (abs (x - ttx) + abs (y - tty) + abs (z - ttz)) * edge
+    end
+  in
+  (* Entering a tile costs roughly a tile traversal: the edge length at
+     base cost, scaled up by the tile's average congestion (summed usage
+     weighted by the negotiation penalty, plus history) and by the
+     outside-die surcharge when the tile lies wholly outside the die.
+     This is a guide, not a guarantee — feasibility is re-established by
+     the fine pass. *)
+  let enter_tile x y z code =
+    let congestion = Grid.tile_congestion grid code in
+    let ox = lo.Vec3.x + (x * edge) and oy = lo.Vec3.y + (y * edge)
+    and oz = lo.Vec3.z + (z * edge) in
+    let outside =
+      ox > die.Box3.hi.Vec3.x
+      || oy > die.Box3.hi.Vec3.y
+      || oz > die.Box3.hi.Vec3.z
+      || ox + edge - 1 < die.Box3.lo.Vec3.x
+      || oy + edge - 1 < die.Box3.lo.Vec3.y
+      || oz + edge - 1 < die.Box3.lo.Vec3.z
+    in
+    let base = if outside then edge * (1 + Grid.outside_die_cost) else edge in
+    base + (congestion * penalty * edge / Grid.tile_cells)
+  in
+  List.iter
+    (fun (s : Vec3.t) ->
+      if Box3.contains region s then begin
+        let code = Grid.tile_index grid s in
+        let x = code / (tdy * tdz) and y = code / tdz mod tdy and z = code mod tdz in
+        touch x y z code;
+        if g_score.(code) <> 0 then begin
+          g_score.(code) <- 0;
+          Pqueue.push open_q h_cache.(code) code
+        end
+      end)
+    sources;
+  let found = ref false in
+  let expansions = ref 0 in
+  while (not !found) && (not (Pqueue.is_empty open_q)) && !expansions < n_tiles * 8
+  do
+    incr expansions;
+    let f, code = Pqueue.pop open_q in
+    let gp = g_score.(code) in
+    if f <= gp + h_cache.(code) then begin
+      if code = target_code then found := true
+      else begin
+        let x = code / (tdy * tdz) and y = code / tdz mod tdy and z = code mod tdz in
+        let expand nx ny nz =
+          if
+            nx >= tlx && nx <= thx && ny >= tly && ny <= thy && nz >= tlz
+            && nz <= thz
+          then begin
+            let ncode = encode nx ny nz in
+            if Hashtbl.mem exempt ncode || not (Grid.tile_blocked grid ncode)
+            then begin
+              touch nx ny nz ncode;
+              let tentative = gp + enter_tile nx ny nz ncode in
+              if tentative < g_score.(ncode) then begin
+                g_score.(ncode) <- tentative;
+                parent.(ncode) <- code;
+                Pqueue.push open_q (tentative + h_cache.(ncode)) ncode
+              end
+            end
+          end
+        in
+        expand (x - 1) y z;
+        expand (x + 1) y z;
+        expand x (y - 1) z;
+        expand x (y + 1) z;
+        expand x y (z - 1);
+        expand x y (z + 1)
+      end
+    end
+  done;
+  if not !found then None
+  else begin
+    (* corridor = path tiles plus their in-range axis neighbors, in
+       deterministic discovery order (slot numbering feeds cell codes,
+       and codes break priority-queue ties) *)
+    let member = Hashtbl.create 64 in
+    let corridor = ref [] in
+    let add code =
+      if not (Hashtbl.mem member code) then begin
+        Hashtbl.replace member code ();
+        corridor := code :: !corridor
+      end
+    in
+    let rec walk code =
+      add code;
+      if parent.(code) <> -1 then walk parent.(code)
+    in
+    walk target_code;
+    let on_path = List.rev !corridor in
+    List.iter
+      (fun code ->
+        let x = code / (tdy * tdz) and y = code / tdz mod tdy and z = code mod tdz in
+        let ring nx ny nz =
+          if
+            nx >= tlx && nx <= thx && ny >= tly && ny <= thy && nz >= tlz
+            && nz <= thz
+          then add (encode nx ny nz)
+        in
+        ring (x - 1) y z;
+        ring (x + 1) y z;
+        ring x (y - 1) z;
+        ring x (y + 1) z;
+        ring x y (z - 1);
+        ring x y (z + 1))
+      on_path;
+    Some (List.rev !corridor)
+  end
+
+let search_corridor ?scratch ?(max_expansions = 400_000) ?(avoid_used = false)
+    ?(exclude = []) grid ~region ~penalty ~sources ~target =
+  let region =
+    match Box3.inter region (Grid.box grid) with
+    | Some r -> r
+    | None -> Grid.box grid
+  in
+  if not (Box3.contains region target) then None
+  else begin
+    let scr = match scratch with Some s -> s | None -> create_scratch () in
+    match coarse_corridor scr grid ~region ~penalty ~sources ~target with
+    | None -> None
+    | Some corridor ->
+        (* fine pass: cells are encoded as slot * tile_cells + in-tile
+           offset, so scratch scales with the corridor, never with the
+           region's bounding volume *)
+        let tcells = Grid.tile_cells in
+        let slots = Array.of_list corridor in
+        let n_slots = Array.length slots in
+        let slot_of = Hashtbl.create (2 * n_slots) in
+        Array.iteri (fun i ti -> Hashtbl.replace slot_of ti i) slots;
+        let cells = n_slots * tcells in
+        grow scr cells;
+        scr.gen <- scr.gen + 1;
+        let gen = scr.gen in
+        let g_score = scr.g_score
+        and parent = scr.parent
+        and h_cache = scr.h_cache
+        and stamp = scr.stamp
+        and own = scr.own in
+        let open_q = scr.queue in
+        Pqueue.clear open_q;
+        (* -1: outside the corridor *)
+        let encode (p : Vec3.t) =
+          let ti, ci = Grid.tile_cell grid p in
+          match Hashtbl.find_opt slot_of ti with
+          | None -> -1
+          | Some s -> (s * tcells) + ci
+        in
+        let edge = Grid.tile_edge in
+        let decode code =
+          let ci = code mod tcells in
+          let origin = Grid.tile_origin grid slots.(code / tcells) in
+          let lx = ci / (edge * edge) in
+          let ly = ci / edge mod edge in
+          let lz = ci mod edge in
+          Vec3.make (origin.Vec3.x + lx) (origin.Vec3.y + ly)
+            (origin.Vec3.z + lz)
+        in
+        let exempt = Hashtbl.create 8 in
+        List.iter
+          (fun s ->
+            if Box3.contains region s then begin
+              let c = encode s in
+              if c >= 0 then Hashtbl.replace exempt c ()
+            end)
+          sources;
+        let target_code = encode target in
+        if target_code < 0 then None
+        else begin
+          Hashtbl.replace exempt target_code ();
+          let passable p code =
+            Hashtbl.mem exempt code
+            || ((not (Grid.is_obstacle grid p))
+               && ((not avoid_used)
+                  || Grid.is_shared grid p
+                  || Grid.usage grid p < Grid.capacity))
+          in
+          let tx = target.Vec3.x and ty = target.Vec3.y and tz = target.Vec3.z in
+          let touch (p : Vec3.t) code =
+            if stamp.(code) <> gen then begin
+              stamp.(code) <- gen;
+              g_score.(code) <- max_int;
+              parent.(code) <- -1;
+              own.(code) <- false;
+              h_cache.(code) <- abs (p.x - tx) + abs (p.y - ty) + abs (p.z - tz)
+            end
+          in
+          let have_own = exclude <> [] in
+          if have_own then
+            List.iter
+              (fun c ->
+                if Box3.contains region c then begin
+                  let code = encode c in
+                  if code >= 0 then begin
+                    touch c code;
+                    own.(code) <- true
+                  end
+                end)
+              exclude;
+          List.iter
+            (fun s ->
+              if Box3.contains region s then begin
+                let code = encode s in
+                if code >= 0 && passable s code then begin
+                  touch s code;
+                  g_score.(code) <- 0;
+                  Pqueue.push open_q h_cache.(code) code
+                end
+              end)
+            sources;
+          let found = ref false in
+          let expansions = ref 0 in
+          while (not !found) && (not (Pqueue.is_empty open_q))
+                && !expansions < max_expansions do
+            incr expansions;
+            let f, code = Pqueue.pop open_q in
+            let gp = g_score.(code) in
+            if f <= gp + h_cache.(code) then begin
+              if code = target_code then found := true
+              else
+                let p = decode code in
+                List.iter
+                  (fun q ->
+                    if Box3.contains region q then begin
+                      let qcode = encode q in
+                      if qcode >= 0 && passable q qcode then begin
+                        touch q qcode;
+                        let tentative =
+                          gp
+                          +
+                          if have_own && own.(qcode) then
+                            Grid.enter_cost_d grid ~penalty ~dusage:(-1) q
+                          else Grid.enter_cost grid ~penalty q
+                        in
+                        if tentative < g_score.(qcode) then begin
+                          g_score.(qcode) <- tentative;
+                          parent.(qcode) <- code;
+                          Pqueue.push open_q (tentative + h_cache.(qcode)) qcode
+                        end
+                      end
+                    end)
+                  (Vec3.axis_neighbors p)
+            end
+          done;
+          if not !found then None
+          else begin
+            let rec backtrack acc code =
+              let acc = decode code :: acc in
+              if parent.(code) = -1 then acc else backtrack acc parent.(code)
+            in
+            Some (backtrack [] target_code)
+          end
+        end
+  end
+
 let path_cost grid ~penalty = function
   | [] -> 0
   | _ :: rest ->

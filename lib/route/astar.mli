@@ -42,6 +42,35 @@ val search :
   target:Tqec_util.Vec3.t ->
   Tqec_util.Vec3.t list option
 
+(** [search_corridor grid ~region ~penalty ~sources ~target] is the
+    hierarchical variant of {!search} for large regions: a coarse A*
+    over the grid's tile graph (6-neighbor adjacency; costs from the
+    per-tile congestion summaries {!Grid.tile_congestion}, fully
+    obstacled tiles impassable) picks a corridor — the coarse path's
+    tiles plus their axis neighbors — and the fine cell-level search
+    then runs restricted to corridor cells, with scratch sized by the
+    corridor volume instead of the region's bounding volume.
+
+    Returns [None] when the coarse graph offers no path, when the
+    corridor turns out infeasible at cell level, or when the target
+    falls outside [region]: the caller is expected to fall back to the
+    exhaustive {!search} over the full window.  Cost semantics
+    (penalty, [avoid_used], [exclude], obstacle exemption of sources
+    and target) match {!search}, but the returned path may differ from
+    {!search}'s on equal-cost ties — callers gating on a region-volume
+    threshold keep small instances bit-identical to the flat search. *)
+val search_corridor :
+  ?scratch:scratch ->
+  ?max_expansions:int ->
+  ?avoid_used:bool ->
+  ?exclude:Tqec_util.Vec3.t list ->
+  Grid.t ->
+  region:Tqec_util.Box3.t ->
+  penalty:int ->
+  sources:Tqec_util.Vec3.t list ->
+  target:Tqec_util.Vec3.t ->
+  Tqec_util.Vec3.t list option
+
 (** [path_cost grid ~penalty path] sums entry costs along a path,
     excluding the first cell (test oracle: A* returns minimal-cost
     paths). *)

@@ -5,42 +5,84 @@ let capacity = 1
 
 let outside_die_cost = 6
 
+(* Chunked sparse congestion state: the bounding box is carved into
+   fixed-size [tile_edge]^3 tiles, allocated on first touch through a
+   flat tile directory.  Memory and copy work (snapshot / view / patch)
+   scale with the number of touched tiles — the routed skeleton — not
+   with the substrate volume, which for sparse assemblies is orders of
+   magnitude larger. *)
+let tile_bits = 3
+
+let tile_edge = 1 lsl tile_bits
+
+let tile_mask = tile_edge - 1
+
+let tile_cells = tile_edge * tile_edge * tile_edge
+
+type tile = {
+  t_usage : int array;
+  t_hist : int array;
+  (* obstacle / shared masks are fixed once routing starts and therefore
+     shared (never copied) between a grid and its snapshots and views *)
+  t_obst : Bytes.t;
+  t_shared : Bytes.t;
+  (* Incrementally maintained tile summaries, the capacity signal the
+     coarse corridor search reads: total usage + history over the tile,
+     and the count of obstacle cells (a fully-obstacled tile is
+     impassable at the coarse level). *)
+  mutable t_sum_usage : int;
+  mutable t_sum_hist : int;
+  mutable t_n_obst : int;
+}
+
 type t = {
   box : Box3.t;
   die : Box3.t;
   nx : int;
   ny : int;
   nz : int;
-  obstacle : Bytes.t;
-  shared : Bytes.t;
-  usage : int array;
-  hist : int array;
+  (* tile directory dimensions: ceil (n / tile_edge) per axis *)
+  tx : int;
+  ty : int;
+  tz : int;
+  tiles : tile option array;
   (* Cells currently above capacity, by flat index.  Maintained
      incrementally by [add_usage]/[set_shared], so [overused] is
      O(overused) instead of rescanning the whole x*y*z volume every
      negotiation iteration. *)
   over : (int, unit) Hashtbl.t;
+  (* true for [view] results: congestion-cost queries only — the overuse
+     table is not carried, so [overused]/[overused_count] must fail
+     loudly instead of answering from an empty table *)
+  view_only : bool;
 }
 
 let create ?die box =
   let nx = Box3.dx box and ny = Box3.dy box and nz = Box3.dz box in
-  let cells = nx * ny * nz in
+  let tx = (nx + tile_mask) lsr tile_bits in
+  let ty = (ny + tile_mask) lsr tile_bits in
+  let tz = (nz + tile_mask) lsr tile_bits in
   {
     box;
     die = (match die with Some d -> d | None -> box);
     nx;
     ny;
     nz;
-    obstacle = Bytes.make cells '\000';
-    shared = Bytes.make cells '\000';
-    usage = Array.make cells 0;
-    hist = Array.make cells 0;
+    tx;
+    ty;
+    tz;
+    tiles = Array.make (tx * ty * tz) None;
     over = Hashtbl.create 64;
+    view_only = false;
   }
 
 let box g = g.box
+let die g = g.die
 let in_bounds g p = Box3.contains g.box p
 
+(* Global flat cell index — unchanged from the dense grid, so the
+   [overused] ordering (x, then y, then z ascending) is bit-identical to
+   the historical full-scan order. *)
 let index g (p : Vec3.t) =
   let x = p.x - g.box.Box3.lo.Vec3.x in
   let y = p.y - g.box.Box3.lo.Vec3.y in
@@ -55,13 +97,51 @@ let cell_of_index g i =
   let x = rest / g.ny in
   Vec3.make (lo.Vec3.x + x) (lo.Vec3.y + y) (lo.Vec3.z + z)
 
+(* Tile directory index and within-tile cell index of [p]. *)
+let tile_cell g (p : Vec3.t) =
+  let x = p.x - g.box.Box3.lo.Vec3.x in
+  let y = p.y - g.box.Box3.lo.Vec3.y in
+  let z = p.z - g.box.Box3.lo.Vec3.z in
+  let ti =
+    (((x lsr tile_bits) * g.ty) + (y lsr tile_bits)) * g.tz + (z lsr tile_bits)
+  in
+  let ci =
+    (((x land tile_mask) lsl tile_bits) lor (y land tile_mask)) lsl tile_bits
+    lor (z land tile_mask)
+  in
+  (ti, ci)
+
 let guard g p name =
   if not (in_bounds g p) then
     invalid_arg (Printf.sprintf "Grid.%s: out of bounds %s" name (Vec3.to_string p))
 
+let fresh_tile () =
+  {
+    t_usage = Array.make tile_cells 0;
+    t_hist = Array.make tile_cells 0;
+    t_obst = Bytes.make tile_cells '\000';
+    t_shared = Bytes.make tile_cells '\000';
+    t_sum_usage = 0;
+    t_sum_hist = 0;
+    t_n_obst = 0;
+  }
+
+let ensure_tile g ti =
+  match g.tiles.(ti) with
+  | Some t -> t
+  | None ->
+      let t = fresh_tile () in
+      g.tiles.(ti) <- Some t;
+      t
+
 let set_obstacle g p =
   guard g p "set_obstacle";
-  Bytes.set g.obstacle (index g p) '\001'
+  let ti, ci = tile_cell g p in
+  let t = ensure_tile g ti in
+  if Bytes.get t.t_obst ci <> '\001' then begin
+    Bytes.set t.t_obst ci '\001';
+    t.t_n_obst <- t.t_n_obst + 1
+  end
 
 let set_obstacle_box g b =
   match Box3.inter g.box b with
@@ -69,89 +149,239 @@ let set_obstacle_box g b =
   | Some clipped -> List.iter (set_obstacle g) (Box3.cells clipped)
 
 let is_obstacle g p =
-  in_bounds g p && Bytes.get g.obstacle (index g p) = '\001'
+  in_bounds g p
+  &&
+  let ti, ci = tile_cell g p in
+  match g.tiles.(ti) with
+  | None -> false
+  | Some t -> Bytes.get t.t_obst ci = '\001'
 
 let set_shared g p =
   guard g p "set_shared";
-  let i = index g p in
-  Bytes.set g.shared i '\001';
+  let ti, ci = tile_cell g p in
+  let t = ensure_tile g ti in
+  Bytes.set t.t_shared ci '\001';
   (* shared cells have unlimited capacity: whatever their usage, they can
      no longer be overused *)
-  Hashtbl.remove g.over i
+  Hashtbl.remove g.over (index g p)
 
-let is_shared g p = in_bounds g p && Bytes.get g.shared (index g p) = '\001'
+let is_shared g p =
+  in_bounds g p
+  &&
+  let ti, ci = tile_cell g p in
+  match g.tiles.(ti) with
+  | None -> false
+  | Some t -> Bytes.get t.t_shared ci = '\001'
 
 let usage g p =
   guard g p "usage";
-  g.usage.(index g p)
+  let ti, ci = tile_cell g p in
+  match g.tiles.(ti) with None -> 0 | Some t -> t.t_usage.(ci)
 
 let add_usage g p delta =
   guard g p "add_usage";
-  let i = index g p in
-  let u = g.usage.(i) + delta in
-  g.usage.(i) <- u;
+  let ti, ci = tile_cell g p in
+  let t = ensure_tile g ti in
+  let u = t.t_usage.(ci) + delta in
+  t.t_usage.(ci) <- u;
+  t.t_sum_usage <- t.t_sum_usage + delta;
   if u < 0 then invalid_arg "Grid.add_usage: negative usage";
-  if Bytes.get g.shared i <> '\001' then
-    if u > capacity then Hashtbl.replace g.over i ()
-    else Hashtbl.remove g.over i
+  if Bytes.get t.t_shared ci <> '\001' then
+    if u > capacity then Hashtbl.replace g.over (index g p) ()
+    else Hashtbl.remove g.over (index g p)
 
 let history g p =
   guard g p "history";
-  g.hist.(index g p)
+  let ti, ci = tile_cell g p in
+  match g.tiles.(ti) with None -> 0 | Some t -> t.t_hist.(ci)
 
 let add_history g p delta =
   guard g p "add_history";
-  let i = index g p in
-  g.hist.(i) <- g.hist.(i) + delta
+  let ti, ci = tile_cell g p in
+  let t = ensure_tile g ti in
+  t.t_hist.(ci) <- t.t_hist.(ci) + delta;
+  t.t_sum_hist <- t.t_sum_hist + delta
 
 let enter_cost_d g ~penalty ~dusage p =
   guard g p "enter_cost";
-  let i = index g p in
   let base = if Box3.contains g.die p then 1 else 1 + outside_die_cost in
-  if Bytes.get g.shared i = '\001' then base + g.hist.(i)
-  else
-    let over = g.usage.(i) + dusage + 1 - capacity in
-    base + g.hist.(i) + (if over > 0 then penalty * over else 0)
+  let ti, ci = tile_cell g p in
+  match g.tiles.(ti) with
+  | None ->
+      (* untouched tile: usage 0, history 0, not shared *)
+      let over = dusage + 1 - capacity in
+      base + (if over > 0 then penalty * over else 0)
+  | Some t ->
+      if Bytes.get t.t_shared ci = '\001' then base + t.t_hist.(ci)
+      else
+        let over = t.t_usage.(ci) + dusage + 1 - capacity in
+        base + t.t_hist.(ci) + (if over > 0 then penalty * over else 0)
 
 let enter_cost g ~penalty p = enter_cost_d g ~penalty ~dusage:0 p
 
+let check_not_view g name =
+  if g.view_only then
+    invalid_arg
+      (Printf.sprintf
+         "Grid.%s: views carry no overuse table (cost queries only)" name)
+
 let overused g =
+  check_not_view g "overused";
   (* hash-order: sorted by flat index so the order matches the historical
      full scan (x, then y, then z ascending) whatever the hash layout *)
   Hashtbl.fold (fun i () acc -> i :: acc) g.over []
   |> List.sort Int.compare
   |> List.map (cell_of_index g)
 
-let overused_count g = Hashtbl.length g.over
+let overused_count g =
+  check_not_view g "overused_count";
+  Hashtbl.length g.over
+
+(* Exact copy of an allocated tile: congestion arrays and summaries are
+   deep-copied, the fixed obstacle/shared masks are shared. *)
+let copy_tile t =
+  {
+    t_usage = Array.copy t.t_usage;
+    t_hist = Array.copy t.t_hist;
+    t_obst = t.t_obst;
+    t_shared = t.t_shared;
+    t_sum_usage = t.t_sum_usage;
+    t_sum_hist = t.t_sum_hist;
+    t_n_obst = t.t_n_obst;
+  }
 
 let snapshot g =
   {
     g with
-    usage = Array.copy g.usage;
-    hist = Array.copy g.hist;
+    tiles = Array.map (Option.map copy_tile) g.tiles;
     over = Hashtbl.copy g.over;
   }
 
 (* Unlike [snapshot], a view may be built WHILE [g] is being mutated by
-   another domain: [Array.copy] reads each slot exactly once, and any
-   slot read concurrently with a write yields one of the two tagged
-   ints byte-mixed — still an immediate int (both have the tag bit
-   set), just a garbage value.  The caller records every cell written
-   during the race window and overwrites it via [patch_cell], after
-   which the view equals [g] at the patch point.  The [over] table is
-   deliberately NOT copied ([Hashtbl.copy] of a mutating table is not
-   race-safe, and cost queries never consult it), so a view answers
-   [enter_cost]/[usage]/[history] only — never [overused]. *)
+   another domain, and only pays for allocated tiles.  [Array.copy] of a
+   tile's int arrays reads each slot exactly once; a slot read
+   concurrently with a write yields one of the two tagged ints byte-mixed
+   — still an immediate int, just a garbage value.  A tile directory slot
+   read while another domain installs a fresh tile is a racy pointer
+   read: it returns either [None] or the new tile (immutable fields of
+   which always read their initialized values — the OCaml 5 memory model
+   guarantees this even under a race); the mutable summary fields may
+   read garbage ints.  Every cell the mutator writes during the race
+   window is recorded by the caller and overwritten via [patch_cell]
+   (which re-materializes tiles the racy directory read missed and
+   restores the summaries), after which the view equals [g] at the patch
+   point.  The [over] table is deliberately NOT copied ([Hashtbl.copy]
+   of a mutating table is not race-safe, and cost queries never consult
+   it): a view answers [enter_cost]/[usage]/[history] only — never
+   [overused]. *)
 let view g =
   {
     g with
-    usage = Array.copy g.usage;
-    hist = Array.copy g.hist;
+    tiles = Array.map (Option.map copy_tile) g.tiles;
     over = Hashtbl.create 1;
+    view_only = true;
   }
 
 let patch_cell ~src ~dst p =
   guard src p "patch_cell";
-  let i = index src p in
-  dst.usage.(i) <- src.usage.(i);
-  dst.hist.(i) <- src.hist.(i)
+  let ti, ci = tile_cell src p in
+  match src.tiles.(ti) with
+  | None -> (
+      (* the cell was written and then sank back into a never-allocated
+         tile — impossible today (writes allocate), kept total for
+         safety *)
+      match dst.tiles.(ti) with
+      | None -> ()
+      | Some d ->
+          d.t_sum_usage <- d.t_sum_usage - d.t_usage.(ci);
+          d.t_sum_hist <- d.t_sum_hist - d.t_hist.(ci);
+          d.t_usage.(ci) <- 0;
+          d.t_hist.(ci) <- 0)
+  | Some s -> (
+      match dst.tiles.(ti) with
+      | None ->
+          (* the racy directory read missed this tile (or the copy caught
+             it half-built): re-materialize it wholesale from the now
+             quiescent source *)
+          dst.tiles.(ti) <- Some (copy_tile s)
+      | Some d ->
+          d.t_usage.(ci) <- s.t_usage.(ci);
+          d.t_hist.(ci) <- s.t_hist.(ci);
+          (* summaries are whole-tile state: once every recorded cell of
+             the tile is patched, copying the source's (quiescent) sums
+             makes them exact again *)
+          d.t_sum_usage <- s.t_sum_usage;
+          d.t_sum_hist <- s.t_sum_hist)
+
+(* ------------------------------------------------------------------ *)
+(* Tile-level queries for the hierarchical corridor search.            *)
+(* ------------------------------------------------------------------ *)
+
+let n_tiles g = g.tx * g.ty * g.tz
+
+let tile_dims g = (g.tx, g.ty, g.tz)
+
+let tile_index g (p : Vec3.t) =
+  let x = p.x - g.box.Box3.lo.Vec3.x in
+  let y = p.y - g.box.Box3.lo.Vec3.y in
+  let z = p.z - g.box.Box3.lo.Vec3.z in
+  (((x lsr tile_bits) * g.ty) + (y lsr tile_bits)) * g.tz + (z lsr tile_bits)
+
+let tile_coords g ti =
+  let z = ti mod g.tz in
+  let rest = ti / g.tz in
+  let y = rest mod g.ty in
+  let x = rest / g.ty in
+  (x, y, z)
+
+let tile_origin g ti =
+  let x, y, z = tile_coords g ti in
+  let lo = g.box.Box3.lo in
+  Vec3.make
+    (lo.Vec3.x + (x lsl tile_bits))
+    (lo.Vec3.y + (y lsl tile_bits))
+    (lo.Vec3.z + (z lsl tile_bits))
+
+(* In-bounds cell count of a (possibly boundary-clipped) tile. *)
+let tile_volume g ti =
+  let x, y, z = tile_coords g ti in
+  let w = min tile_edge (g.nx - (x lsl tile_bits)) in
+  let h = min tile_edge (g.ny - (y lsl tile_bits)) in
+  let d = min tile_edge (g.nz - (z lsl tile_bits)) in
+  w * h * d
+
+let tile_congestion g ti =
+  match g.tiles.(ti) with
+  | None -> 0
+  | Some t -> t.t_sum_usage + t.t_sum_hist
+
+let tile_blocked g ti =
+  match g.tiles.(ti) with
+  | None -> false
+  | Some t -> t.t_n_obst >= tile_volume g ti
+
+(* ------------------------------------------------------------------ *)
+(* Memory accounting for the scale-tier benchmarks.                    *)
+(* ------------------------------------------------------------------ *)
+
+type mem = {
+  mem_tiles : int;
+  mem_tiles_total : int;
+  mem_cells : int;
+  mem_touched_cells : int;
+  mem_words : int;
+}
+
+let mem g =
+  let tiles = Array.fold_left (fun a t -> if t = None then a else a + 1) 0 g.tiles in
+  let per_tile =
+    (* two boxed int arrays, two byte masks (in words), record header *)
+    (2 * (tile_cells + 1)) + (2 * ((tile_cells / 8) + 1)) + 8
+  in
+  {
+    mem_tiles = tiles;
+    mem_tiles_total = Array.length g.tiles;
+    mem_cells = g.nx * g.ny * g.nz;
+    mem_touched_cells = tiles * tile_cells;
+    mem_words = Array.length g.tiles + (tiles * per_tile) + (2 * Hashtbl.length g.over);
+  }

@@ -1,4 +1,5 @@
-(** 3D routing grid with PathFinder-style congestion bookkeeping.
+(** 3D routing grid with PathFinder-style congestion bookkeeping, stored
+    as a chunked sparse volume.
 
     Each unit cell has capacity 1 (one dual strand), a present usage
     count, an accumulated history cost, and an obstacle flag (primal
@@ -7,17 +8,29 @@
 
     [base + history + penalty * max 0 (usage + 1 - capacity)]
 
-    so shared cells become increasingly expensive across iterations. *)
+    so shared cells become increasingly expensive across iterations.
+
+    Storage is tiled: the bounding box is carved into {!tile_edge}^3
+    chunks allocated on first touch through a flat tile directory, so
+    memory — and the copy cost of {!snapshot}/{!view}/{!patch_cell} —
+    scales with the touched (routed/obstacled) volume instead of the
+    substrate volume.  Untouched cells read as usage 0, history 0, no
+    obstacle, not shared.  Each tile also carries incrementally
+    maintained summaries (total usage + history, obstacle count) that the
+    hierarchical corridor search reads as tile-level capacity signals. *)
 
 type t
 
-(** [create ?die box] allocates the grid.  Cells outside [die] (the
-    placement bounding box) cost extra to enter, so wires spill out of
-    the die — growing the space-time volume — only under real
-    congestion pressure. *)
+(** [create ?die box] allocates the tile directory (no tiles yet).  Cells
+    outside [die] (the placement bounding box) cost extra to enter, so
+    wires spill out of the die — growing the space-time volume — only
+    under real congestion pressure. *)
 val create : ?die:Tqec_util.Box3.t -> Tqec_util.Box3.t -> t
 
 val box : t -> Tqec_util.Box3.t
+
+(** The extra-cost boundary passed to {!create} ([box] when omitted). *)
+val die : t -> Tqec_util.Box3.t
 
 val in_bounds : t -> Tqec_util.Vec3.t -> bool
 
@@ -57,31 +70,103 @@ val enter_cost_d : t -> penalty:int -> dusage:int -> Tqec_util.Vec3.t -> int
 (** [overused g] lists cells with usage above capacity, in lexicographic
     (x, y, z) order.  The set is maintained incrementally by
     {!add_usage}/{!set_shared}, so the call is O(overused log overused) —
-    it never rescans the grid volume. *)
+    it never rescans the grid volume.
+
+    Raises [Invalid_argument] on a {!view}: views carry no overuse
+    table, so answering would be silently meaningless (historically this
+    contract lived only in prose; it is now enforced). *)
 val overused : t -> Tqec_util.Vec3.t list
 
-(** [overused_count g] is [List.length (overused g)] in O(1). *)
+(** [overused_count g] is [List.length (overused g)] in O(1).  Raises
+    [Invalid_argument] on a {!view}, like {!overused}. *)
 val overused_count : t -> int
 
 (** [snapshot g] is an immutable-by-convention copy of the congestion
-    state: usage, history and the overused set are deep-copied, while the
-    obstacle and shared masks (fixed once routing starts) are shared with
-    [g].  Concurrent readers may query a snapshot freely while claims are
-    committed to the live grid. *)
+    state: usage, history and the overused set are deep-copied (touched
+    tiles only), while the obstacle and shared masks (fixed once routing
+    starts) are shared with [g].  Concurrent readers may query a
+    snapshot freely while claims are committed to the live grid. *)
 val snapshot : t -> t
 
 (** [view g] is a cost-query-only copy of the congestion state (usage +
-    history; obstacle/shared masks shared with [g]; the overused set is
-    NOT carried — {!overused}/{!overused_count} on a view are
-    meaningless).  Unlike {!snapshot} it may be built concurrently with
-    mutations to [g]: racy slots read as garbage ints (memory-safely),
-    and the caller must afterwards {!patch_cell} every cell that was
-    written during the copy, restoring exact agreement with [g]. *)
+    history; obstacle/shared masks shared with [g]).  The overuse set is
+    NOT carried: {!overused}/{!overused_count} on a view raise
+    [Invalid_argument] — a view answers {!enter_cost}/{!usage}/
+    {!history} only.  Unlike {!snapshot} it may be built concurrently
+    with mutations to [g]: racy slots read as garbage ints and racy tile
+    directory reads may miss freshly allocated tiles (both
+    memory-safely), and the caller must afterwards {!patch_cell} every
+    cell that was written during the copy, restoring exact agreement
+    with [g].  Only allocated tiles are copied, so the cost is
+    O(touched volume). *)
 val view : t -> t
 
 (** [patch_cell ~src ~dst p] copies [p]'s usage and history from [src]
     into [dst] (a {!view} or {!snapshot} of the same grid), the fix-up
-    primitive for racily built and incrementally maintained views. *)
+    primitive for racily built and incrementally maintained views.  A
+    tile present in [src] but absent from [dst] (allocated during a racy
+    {!view} copy) is re-materialized wholesale; tile summaries are
+    restored from [src], so once every written cell has been patched the
+    destination's tiles — summaries included — agree exactly with
+    [src]. *)
 val patch_cell : src:t -> dst:t -> Tqec_util.Vec3.t -> unit
 
 val capacity : int
+
+(** Additive surcharge on the base entry cost of cells outside the die
+    (the coarse corridor search prices whole out-of-die tiles with it). *)
+val outside_die_cost : int
+
+(** {2 Tile geometry and summaries}
+
+    The coarse level of the hierarchical router works on the tile graph:
+    one node per directory slot, 6-neighbor adjacency, capacity signals
+    from the incrementally maintained per-tile summaries. *)
+
+(** Tile side length in cells (a compile-time constant). *)
+val tile_edge : int
+
+(** Cells per tile ([tile_edge]^3). *)
+val tile_cells : int
+
+(** Directory size ([n_tiles g = tx * ty * tz]). *)
+val n_tiles : t -> int
+
+(** Tile directory dimensions [(tx, ty, tz)]. *)
+val tile_dims : t -> int * int * int
+
+(** [tile_index g p] is the directory index of the tile containing [p]
+    (which must be in bounds); layout is x-major, matching
+    {!tile_dims}. *)
+val tile_index : t -> Tqec_util.Vec3.t -> int
+
+(** [tile_origin g ti] is the lowest cell of tile [ti] (boundary tiles
+    may extend past the grid box; clip with {!box}). *)
+val tile_origin : t -> int -> Tqec_util.Vec3.t
+
+(** [tile_cell g p] is [p]'s (directory index, within-tile index); the
+    within-tile index is x-major over the [tile_edge]^3 cells. *)
+val tile_cell : t -> Tqec_util.Vec3.t -> int * int
+
+(** [tile_congestion g ti] is the tile's summed usage + history — the
+    coarse congestion signal, maintained incrementally by
+    {!add_usage}/{!add_history} (O(1) per cell update). *)
+val tile_congestion : t -> int -> int
+
+(** [tile_blocked g ti] is true when every in-bounds cell of the tile is
+    an obstacle: the tile is impassable at the coarse level. *)
+val tile_blocked : t -> int -> bool
+
+(** {2 Memory accounting} *)
+
+type mem = {
+  mem_tiles : int;  (** allocated (touched) tiles *)
+  mem_tiles_total : int;  (** tile directory capacity *)
+  mem_cells : int;  (** bounding-box volume in cells *)
+  mem_touched_cells : int;  (** [mem_tiles * tile_cells] *)
+  mem_words : int;  (** approximate live heap words held by the grid *)
+}
+
+(** [mem g] reports how much of the substrate volume is actually
+    materialized — the asymptotics the scale-tier benchmarks track. *)
+val mem : t -> mem

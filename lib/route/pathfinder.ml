@@ -11,6 +11,7 @@ type config = {
   history_increment : int;
   region_margin : int;
   jobs : int option;
+  corridor_cells : int;
 }
 
 let default_config =
@@ -21,6 +22,10 @@ let default_config =
     history_increment = 2;
     region_margin = 3;
     jobs = None;
+    (* Every paper-suite instance routes in well under this volume, so
+       the hierarchical path never perturbs their bit-identical
+       dense-era routes; scale-tier substrates blow past it. *)
+    corridor_cells = 1_000_000;
   }
 
 let debug = Sys.getenv_opt "TQEC_DEBUG" <> None
@@ -56,8 +61,8 @@ let scratch_key = Domain.DLS.new_key Astar.create_scratch
    in the parallel phase it runs against an immutable shared view, with
    the net's own current route priced out via [exclude] (a -1 usage bias
    inside A*, exactly equivalent to ripping the net up first). *)
-let route_net ?(avoid_used = false) ?(exclude = []) grid ~penalty ~margin
-    (n : net) =
+let route_net ?(avoid_used = false) ?(exclude = []) ?(corridor_cells = max_int)
+    grid ~penalty ~margin (n : net) =
   match dedup_cells n.pins with
   | [] -> Some []
   | first :: rest ->
@@ -97,9 +102,24 @@ let route_net ?(avoid_used = false) ?(exclude = []) grid ~penalty ~margin
               (List.hd !tree) !tree
           in
           let corridor = Box3.bounding [ pin; nearest ] in
+          (* Small windows take the historical flat search (bit-identical
+             routes).  Past the volume threshold, a coarse corridor over
+             the tile graph bounds the fine search; if the corridor is
+             infeasible at cell level, fall back to the exhaustive
+             full-window search so completeness is unchanged. *)
           let try_region region =
-            Astar.search ~scratch ~avoid_used ~exclude grid ~region ~penalty
-              ~sources:!tree ~target:pin
+            if Box3.volume region <= corridor_cells then
+              Astar.search ~scratch ~avoid_used ~exclude grid ~region ~penalty
+                ~sources:!tree ~target:pin
+            else
+              match
+                Astar.search_corridor ~scratch ~avoid_used ~exclude grid
+                  ~region ~penalty ~sources:!tree ~target:pin
+              with
+              | Some path -> Some path
+              | None ->
+                  Astar.search ~scratch ~avoid_used ~exclude grid ~region
+                    ~penalty ~sources:!tree ~target:pin
           in
           (* Escalation ladder, each region clipped to the grid.  A step
              whose clipped region does not strictly grow past the previous
@@ -262,7 +282,10 @@ let route_all grid config nets =
       Array.iter
         (fun n ->
           rip_up n.net_id;
-          match route_net grid ~penalty:penalty_now ~margin n with
+          match
+            route_net ~corridor_cells:config.corridor_cells grid
+              ~penalty:penalty_now ~margin n
+          with
           | Some cells -> claim n.net_id cells
           | None -> still_unrouted := n.net_id :: !still_unrouted)
         batch
@@ -278,8 +301,8 @@ let route_all grid config nets =
              phase below, so it doubles as the frozen view — no copy *)
           Array.map
             (fun n ->
-              route_net grid ~exclude:(exclude_of n) ~penalty:penalty_now
-                ~margin n)
+              route_net ~corridor_cells:config.corridor_cells grid
+                ~exclude:(exclude_of n) ~penalty:penalty_now ~margin n)
             batch
         else begin
           let v =
@@ -299,7 +322,8 @@ let route_all grid config nets =
           let excludes = Array.map exclude_of batch in
           Pool.map ~jobs
             (fun (i, n) ->
-              route_net v ~exclude:excludes.(i) ~penalty:penalty_now ~margin n)
+              route_net ~corridor_cells:config.corridor_cells v
+                ~exclude:excludes.(i) ~penalty:penalty_now ~margin n)
             (Array.mapi (fun i n -> (i, n)) batch)
         end
       in
@@ -384,7 +408,8 @@ let route_all grid config nets =
             let old = Hashtbl.find routes victim.net_id in
             rip_up victim.net_id;
             match
-              route_net ~avoid_used:true grid ~penalty:!penalty
+              route_net ~avoid_used:true
+                ~corridor_cells:config.corridor_cells grid ~penalty:!penalty
                 ~margin:config.region_margin victim
             with
             | Some cells ->

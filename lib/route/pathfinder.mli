@@ -30,6 +30,16 @@ type config = {
       (** worker domains for the per-iteration net batch; [None] defers
           to [TQEC_JOBS] / the machine's domain count, [Some 1] routes the
           batch serially (same results either way) *)
+  corridor_cells : int;
+      (** search-window volume (in cells) above which a connection takes
+          the hierarchical path: a coarse corridor over the grid's tile
+          graph bounds the fine A*, falling back to the exhaustive flat
+          search when the corridor proves infeasible
+          ({!Astar.search_corridor}).  Windows at or below the threshold
+          always use the flat search, so results on them are
+          bit-identical to the historical dense-grid router.  The
+          default (1M cells) exceeds every paper-suite instance;
+          [max_int] disables the hierarchical path entirely. *)
 }
 
 val default_config : config

@@ -28,3 +28,32 @@ let percent_reduction before after =
   if before = 0. then nan else 100. *. (before -. after) /. before
 let clamp lo hi v = max lo (min hi v)
 let clamp_float lo hi v = Float.max lo (Float.min hi v)
+
+(* Peak resident set size from /proc/self/status (VmHWM), in kB.  Linux
+   only; None where the proc file or the field is missing, so callers
+   degrade to "n/a" instead of failing on other platforms. *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let prefix = "VmHWM:" in
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line ->
+            if String.length line > String.length prefix
+               && String.sub line 0 (String.length prefix) = prefix
+            then
+              let rest =
+                String.sub line (String.length prefix)
+                  (String.length line - String.length prefix)
+              in
+              let digits =
+                String.to_seq rest
+                |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                |> String.of_seq
+              in
+              int_of_string_opt digits
+            else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) scan

@@ -26,3 +26,9 @@ val percent_reduction : float -> float -> float
 val clamp : int -> int -> int -> int
 
 val clamp_float : float -> float -> float -> float
+
+(** [peak_rss_kb ()] is the process's peak resident set size in kB, read
+    from [/proc/self/status] ([VmHWM]); [None] where unavailable
+    (non-Linux).  The scale-tier benchmarks report it next to wall
+    time. *)
+val peak_rss_kb : unit -> int option

@@ -220,6 +220,7 @@ let test_report_rendering () =
       restarts = 1;
       jobs = Some 1;
       early_stop_margin = Some 0.05;
+      partition = None;
     }
   in
   let rows = Experiments.run_all config in
@@ -256,6 +257,7 @@ let test_summary_mentions_paper () =
       restarts = 1;
       jobs = Some 1;
       early_stop_margin = Some 0.05;
+      partition = None;
     }
   in
   let rows = Experiments.run_all config in

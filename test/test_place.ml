@@ -654,6 +654,131 @@ let test_placer_early_stop () =
   check Alcotest.bool "same positions under early stop" true
     (eager.Placer.node_pos = eager_par.Placer.node_pos)
 
+(* ------------------------------------------------------------------ *)
+(* Partition + divide-and-conquer placement                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_partition_balanced () =
+  let rng = Rng.create 99 in
+  let n = 100 in
+  let nets =
+    Array.init 60 (fun _ ->
+        let k = 2 + Rng.int rng 4 in
+        Array.init k (fun _ -> Rng.int rng n))
+  in
+  let parts = Partition.run ~n ~nets ~max_part:16 in
+  let seen = Array.make n 0 in
+  Array.iter
+    (fun group ->
+      check Alcotest.bool "group non-empty" true (Array.length group > 0);
+      check Alcotest.bool "group within cap" true (Array.length group <= 16);
+      let sorted = Array.copy group in
+      Array.sort Int.compare sorted;
+      check Alcotest.bool "group sorted" true (sorted = group);
+      Array.iter (fun v -> seen.(v) <- seen.(v) + 1) group)
+    parts;
+  check Alcotest.bool "every node in exactly one group" true
+    (Array.for_all (fun c -> c = 1) seen);
+  (* pure function of the inputs *)
+  check Alcotest.bool "deterministic" true
+    (parts = Partition.run ~n ~nets ~max_part:16)
+
+let test_partition_separates_components () =
+  (* two 4-cliques with no cross nets and a cap of 4: the bisection must
+     recover the connected components exactly *)
+  let nets =
+    [| [| 0; 1; 2; 3 |]; [| 0; 2 |]; [| 4; 5; 6; 7 |]; [| 5; 7 |] |]
+  in
+  let parts = Partition.run ~n:8 ~nets ~max_part:4 in
+  check Alcotest.int "two groups" 2 (Array.length parts);
+  check Alcotest.bool "components preserved" true
+    (parts = [| [| 0; 1; 2; 3 |]; [| 4; 5; 6; 7 |] |])
+
+let place_partitioned ?(restarts = 1) ?(jobs = Some 1) ~partition seed circuit =
+  let icm = Decompose.run (Clifford_t.decompose circuit) in
+  let g = Pd_graph.of_icm icm in
+  ignore (Ishape.run g);
+  let time_sms = Super_module.time_sm_modules g in
+  let in_sm = Hashtbl.create 16 in
+  List.iter (fun (_, ms) -> List.iter (fun m -> Hashtbl.replace in_sm m ()) ms) time_sms;
+  let flipping = Flipping.run ~exclude:(Hashtbl.mem in_sm) g in
+  let dual = Dual_bridge.run g in
+  let fvalue = Fvalue.plan flipping in
+  let config =
+    { Placer.default_config with effort = Placer.Quick; seed; restarts; jobs;
+      partition }
+  in
+  Placer.place ~config g flipping dual fvalue
+
+let test_placer_partitioned_valid () =
+  (* a cap of 2 forces many partitions and a non-trivial stitch *)
+  let p = place_partitioned ~partition:(Some 2) 42 (one_t_circuit ()) in
+  check Alcotest.(list string) "partitioned placement valid" []
+    (Placer.check p);
+  check Alcotest.int "volume consistent" p.Placer.volume
+    (p.Placer.width * p.Placer.height * p.Placer.depth);
+  check Alcotest.bool "wirelength non-negative" true (p.Placer.wirelength >= 0)
+
+(* A cap at or above the node count must reproduce the single-die
+   trajectory bit for bit: the partitioned path is only entered beyond
+   the cap, and anneal_group with the base seed IS the historical
+   engine. *)
+let test_placer_partition_cap_above_n_identical () =
+  let base = place_partitioned ~partition:None 7 (one_t_circuit ()) in
+  let capped = place_partitioned ~partition:(Some 100_000) 7 (one_t_circuit ()) in
+  check Alcotest.bool "same positions" true
+    (base.Placer.node_pos = capped.Placer.node_pos);
+  check Alcotest.bool "same rotations" true
+    (base.Placer.rotated = capped.Placer.rotated);
+  check
+    Alcotest.(list int)
+    "same extents"
+    [ base.Placer.width; base.Placer.height; base.Placer.depth ]
+    [ capped.Placer.width; capped.Placer.height; capped.Placer.depth ]
+
+(* Partitioned placement is a pure function of (seed, restarts, cap):
+   the per-partition anneals fan out over the pool (nested with their
+   restart lanes), but seeds are partition-indexed, the stitch order is
+   deterministic, so jobs=1 and jobs=4 agree bit for bit. *)
+let test_placer_partitioned_jobs_invariant () =
+  let circuit = one_t_circuit () in
+  let serial =
+    place_partitioned ~restarts:2 ~jobs:(Some 1) ~partition:(Some 3) 11 circuit
+  in
+  let parallel =
+    place_partitioned ~restarts:2 ~jobs:(Some 4) ~partition:(Some 3) 11 circuit
+  in
+  check Alcotest.(list string) "parallel partitioned placement valid" []
+    (Placer.check parallel);
+  check Alcotest.bool "same positions" true
+    (serial.Placer.node_pos = parallel.Placer.node_pos);
+  check Alcotest.bool "same rotations" true
+    (serial.Placer.rotated = parallel.Placer.rotated);
+  check
+    Alcotest.(list int)
+    "same extents and attempts"
+    [ serial.Placer.width; serial.Placer.height; serial.Placer.volume;
+      serial.Placer.sa_stats.Sa.attempted ]
+    [ parallel.Placer.width; parallel.Placer.height; parallel.Placer.volume;
+      parallel.Placer.sa_stats.Sa.attempted ]
+
+let prop_partition_well_formed =
+  QCheck.Test.make ~name:"partition covers nodes within cap" ~count:60
+    QCheck.(
+      triple (int_range 1 60) (int_range 1 12)
+        (small_list (small_list (int_range 0 59))))
+    (fun (n, cap, raw_nets) ->
+      let nets =
+        raw_nets
+        |> List.map (fun l -> Array.of_list (List.filter (fun v -> v < n) l))
+        |> Array.of_list
+      in
+      let parts = Partition.run ~n ~nets ~max_part:cap in
+      let seen = Array.make n 0 in
+      Array.iter (fun g -> Array.iter (fun v -> seen.(v) <- seen.(v) + 1) g) parts;
+      Array.for_all (fun g -> Array.length g > 0 && Array.length g <= cap) parts
+      && Array.for_all (fun c -> c = 1) seen)
+
 let prop_placer_valid_on_random =
   QCheck.Test.make ~name:"placement valid on random circuits" ~count:10
     (QCheck.int_range 1 500)
@@ -706,5 +831,18 @@ let suites =
           test_placer_early_stop;
         Alcotest.test_case "force-directed" `Quick test_placer_force_directed;
         qtest prop_placer_valid_on_random;
+      ] );
+    ( "place.partition",
+      [
+        Alcotest.test_case "balanced groups" `Quick test_partition_balanced;
+        Alcotest.test_case "separates components" `Quick
+          test_partition_separates_components;
+        Alcotest.test_case "partitioned placement valid" `Quick
+          test_placer_partitioned_valid;
+        Alcotest.test_case "cap above n identical" `Quick
+          test_placer_partition_cap_above_n_identical;
+        Alcotest.test_case "partitioned jobs-invariant" `Quick
+          test_placer_partitioned_jobs_invariant;
+        qtest prop_partition_well_formed;
       ] );
   ]

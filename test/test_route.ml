@@ -106,6 +106,132 @@ let test_grid_snapshot_isolated () =
   Grid.add_usage s (vec 7 7 7) 9;
   check Alcotest.int "live grid unaffected" 0 (Grid.usage g (vec 7 7 7))
 
+(* The sparse chunked grid against a dense mirror of its semantics:
+   random usage/history/shared trajectories — including a racy-view
+   lifecycle (view, keep mutating, patch every written cell) — must
+   agree cell-for-cell on usage, history and enter_cost, and on the
+   [overused] list in value AND order.  The box spans several tiles per
+   axis with a non-zero, non-tile-aligned origin, so tile and offset
+   arithmetic is exercised on both sides of every boundary. *)
+let prop_grid_sparse_vs_dense_oracle =
+  QCheck.Test.make ~name:"sparse grid matches dense oracle (with view/patch)"
+    ~count:40
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let lo = vec 3 (-5) 2 in
+      let nx = 20 and ny = 11 and nz = 9 in
+      let hi = vec (3 + nx - 1) (-5 + ny - 1) (2 + nz - 1) in
+      let box = Box3.make lo hi in
+      let die = Box3.make lo (vec (3 + nx - 6) (-5 + ny - 3) (2 + nz - 2)) in
+      let g = Grid.create ~die box in
+      (* dense oracle state *)
+      let cells = nx * ny * nz in
+      let o_usage = Array.make cells 0 in
+      let o_hist = Array.make cells 0 in
+      let o_shared = Array.make cells false in
+      let idx (c : Vec3.t) =
+        (((c.Vec3.x - 3) * ny) + (c.Vec3.y + 5)) * nz + (c.Vec3.z - 2)
+      in
+      let rand_cell () =
+        vec (3 + Rng.int rng nx) (-5 + Rng.int rng ny) (2 + Rng.int rng nz)
+      in
+      let touched = ref [] in
+      let step record =
+        let c = rand_cell () in
+        let i = idx c in
+        (match Rng.int rng 5 with
+        | 0 ->
+            Grid.set_shared g c;
+            o_shared.(i) <- true
+        | 1 ->
+            if Grid.usage g c > 0 then begin
+              Grid.add_usage g c (-1);
+              o_usage.(i) <- o_usage.(i) - 1;
+              if record then touched := c :: !touched
+            end
+        | 2 ->
+            let d = 1 + Rng.int rng 3 in
+            Grid.add_history g c d;
+            o_hist.(i) <- o_hist.(i) + d;
+            if record then touched := c :: !touched
+        | _ ->
+            let d = 1 + Rng.int rng 2 in
+            Grid.add_usage g c d;
+            o_usage.(i) <- o_usage.(i) + d;
+            if record then touched := c :: !touched);
+        ()
+      in
+      for _ = 1 to 150 do
+        step false
+      done;
+      (* single-threaded view: an exact copy at this instant; the cells
+         mutated afterwards are recorded and patched, after which the
+         view must equal the live grid everywhere *)
+      let v = Grid.view g in
+      for _ = 1 to 150 do
+        step true
+      done;
+      List.iter (fun c -> Grid.patch_cell ~src:g ~dst:v c) !touched;
+      let agree c =
+        let i = idx c in
+        let expected_cost penalty =
+          let base = if Box3.contains die c then 1 else 7 in
+          if o_shared.(i) then base + o_hist.(i)
+          else
+            let over = o_usage.(i) + 1 - Grid.capacity in
+            base + o_hist.(i) + (if over > 0 then penalty * over else 0)
+        in
+        Grid.usage g c = o_usage.(i)
+        && Grid.history g c = o_hist.(i)
+        && Grid.is_shared g c = o_shared.(i)
+        && Grid.enter_cost g ~penalty:3 c = expected_cost 3
+        && Grid.usage v c = o_usage.(i)
+        && Grid.history v c = o_hist.(i)
+        && Grid.enter_cost v ~penalty:3 c = expected_cost 3
+      in
+      let brute =
+        List.filter
+          (fun c -> o_usage.(idx c) > Grid.capacity && not o_shared.(idx c))
+          (Box3.cells box)
+      in
+      List.for_all agree (Box3.cells box)
+      && Grid.overused g = brute
+      && Grid.overused_count g = List.length brute)
+
+(* Satellite of the sparse-grid PR: the long-documented "views answer
+   cost queries only" contract is now enforced instead of silently
+   returning an empty overuse set. *)
+let test_grid_view_rejects_overuse_queries () =
+  let g = grid10 () in
+  Grid.add_usage g (vec 1 1 1) 2;
+  let v = Grid.view g in
+  check Alcotest.int "cost queries still served" 2 (Grid.usage v (vec 1 1 1));
+  (match Grid.overused v with
+  | _ -> Alcotest.fail "overused on a view must raise"
+  | exception Invalid_argument _ -> ());
+  (match Grid.overused_count v with
+  | _ -> Alcotest.fail "overused_count on a view must raise"
+  | exception Invalid_argument _ -> ());
+  (* snapshots keep the full interface *)
+  check Alcotest.int "snapshot still answers" 1
+    (Grid.overused_count (Grid.snapshot g))
+
+let test_grid_mem_tracks_touched_tiles () =
+  let g = Grid.create (Box3.make (vec 0 0 0) (vec 63 63 63)) in
+  let m0 = Grid.mem g in
+  check Alcotest.int "fresh grid holds no tiles" 0 m0.Grid.mem_tiles;
+  Grid.add_usage g (vec 0 0 0) 1;
+  Grid.add_usage g (vec 1 1 1) 1;
+  (* same tile: no new allocation *)
+  Grid.add_usage g (vec 60 60 60) 1;
+  let m = Grid.mem g in
+  check Alcotest.int "two touched tiles" 2 m.Grid.mem_tiles;
+  check Alcotest.bool "touched volume stays far below capacity" true
+    (m.Grid.mem_touched_cells * 100 < m.Grid.mem_cells);
+  check Alcotest.bool "directory covers the box" true
+    (m.Grid.mem_tiles_total * Grid.tile_cells >= m.Grid.mem_cells)
+
 let test_grid_die_cost () =
   let die = Box3.make (vec 0 0 0) (vec 4 4 4) in
   let g = Grid.create ~die (Box3.make (vec 0 0 0) (vec 9 9 9)) in
@@ -489,6 +615,100 @@ let test_pathfinder_jobs_invariant_saturated () =
   check Alcotest.bool "saturation reported" true
     (serial.Pathfinder.overused_after > 0 && not serial.Pathfinder.success)
 
+(* ------------------------------------------------------------------ *)
+(* Hierarchical corridor search                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Planted fixture for the corridor fallback: a straight source→target
+   line whose coarse corridor (the tile row plus its one-tile ring,
+   y < 16) is severed by a wall at x = 16; the only gap lies at y ≥ 16,
+   outside the corridor.  The coarse search cannot see the wall (no
+   tile is fully obstacled), so it confidently picks the straight
+   corridor — and the fine pass must fail, forcing the full-window
+   fallback. *)
+let corridor_wall_fixture () =
+  let g = Grid.create (Box3.make (vec 0 0 0) (vec 31 23 7)) in
+  for y = 0 to 15 do
+    for z = 0 to 7 do
+      Grid.set_obstacle g (vec 16 y z)
+    done
+  done;
+  g
+
+let test_corridor_infeasible_reports_none () =
+  let g = corridor_wall_fixture () in
+  let region = Grid.box g in
+  let sources = [ vec 0 4 4 ] and target = vec 31 4 4 in
+  check Alcotest.bool "corridor infeasible" true
+    (Astar.search_corridor g ~region ~penalty:2 ~sources ~target = None);
+  match Astar.search g ~region ~penalty:2 ~sources ~target with
+  | None -> Alcotest.fail "flat search must find the gap detour"
+  | Some path ->
+      check Alcotest.bool "detour leaves the corridor" true
+        (List.exists (fun (c : Vec3.t) -> c.Vec3.y >= 16) path)
+
+(* The acceptance-critical regression: with the hierarchical path forced
+   on ([corridor_cells = 0]) over the planted fixture, the corridor
+   fails, the router falls back to the full-window search, and the
+   resulting routes are bit-identical to the flat ([corridor_cells =
+   max_int]) configuration. *)
+let test_corridor_fallback_matches_flat_route () =
+  let run corridor_cells =
+    let g = corridor_wall_fixture () in
+    let nets =
+      [ { Pathfinder.net_id = 0; pins = [ vec 0 4 4; vec 31 4 4 ] } ]
+    in
+    let r =
+      Pathfinder.route_all g
+        { Pathfinder.default_config with corridor_cells }
+        nets
+    in
+    check Alcotest.(list string) "valid" [] (Pathfinder.validate g r nets);
+    r
+  in
+  let flat = run max_int in
+  let hier = run 0 in
+  check Alcotest.bool "routes bit-identical" true (flat = hier);
+  check Alcotest.bool "routed" true flat.Pathfinder.success
+
+(* On an empty (hence congestion-free) multi-tile grid the corridor must
+   contain a minimal path: hierarchical and flat searches agree on
+   cost. *)
+let test_corridor_minimal_when_feasible () =
+  let g = Grid.create (Box3.make (vec 0 0 0) (vec 63 63 15)) in
+  let region = Grid.box g in
+  let sources = [ vec 1 2 3 ] and target = vec 60 50 12 in
+  match Astar.search_corridor g ~region ~penalty:2 ~sources ~target with
+  | None -> Alcotest.fail "corridor search failed on an empty grid"
+  | Some path ->
+      let flat =
+        match Astar.search g ~region ~penalty:2 ~sources ~target with
+        | Some p -> p
+        | None -> Alcotest.fail "flat search failed on an empty grid"
+      in
+      check Alcotest.int "same cost as flat A*"
+        (Astar.path_cost g ~penalty:2 flat)
+        (Astar.path_cost g ~penalty:2 path)
+
+(* Worker-count invariance holds with the hierarchical path forced on:
+   the corridor decisions read only deterministic tile summaries. *)
+let test_corridor_jobs_invariant () =
+  let route jobs =
+    let g, nets = congested_scenario 4 in
+    let r =
+      Pathfinder.route_all g
+        { Pathfinder.default_config with jobs; corridor_cells = 0 }
+        nets
+    in
+    (r, Pathfinder.validate g r nets)
+  in
+  let serial, errs1 = route (Some 1) in
+  let parallel, errs4 = route (Some 4) in
+  check Alcotest.(list string) "serial valid" [] errs1;
+  check Alcotest.(list string) "parallel valid" [] errs4;
+  check Alcotest.bool "identical results" true (serial = parallel);
+  check Alcotest.bool "converged" true serial.Pathfinder.success
+
 (* Corridor-widening regression: when the margin-inflated corridor
    already covers the whole grid, the escalation must stop after one
    failed search instead of repeating it — and still report the net
@@ -577,7 +797,12 @@ let suites =
         Alcotest.test_case "overused" `Quick test_grid_overused;
         Alcotest.test_case "snapshot isolated" `Quick test_grid_snapshot_isolated;
         Alcotest.test_case "die cost" `Quick test_grid_die_cost;
+        Alcotest.test_case "view rejects overuse queries" `Quick
+          test_grid_view_rejects_overuse_queries;
+        Alcotest.test_case "mem tracks touched tiles" `Quick
+          test_grid_mem_tracks_touched_tiles;
         qtest prop_grid_overused_incremental;
+        qtest prop_grid_sparse_vs_dense_oracle;
       ] );
     ( "route.astar",
       [
@@ -601,6 +826,17 @@ let suites =
         Alcotest.test_case "jobs invariant (saturated)" `Quick
           test_pathfinder_jobs_invariant_saturated;
         qtest prop_pathfinder_random_nets_valid;
+      ] );
+    ( "route.corridor",
+      [
+        Alcotest.test_case "infeasible corridor reports none" `Quick
+          test_corridor_infeasible_reports_none;
+        Alcotest.test_case "fallback matches flat route" `Quick
+          test_corridor_fallback_matches_flat_route;
+        Alcotest.test_case "minimal when feasible" `Quick
+          test_corridor_minimal_when_feasible;
+        Alcotest.test_case "jobs invariant (corridor forced)" `Quick
+          test_corridor_jobs_invariant;
       ] );
     ( "route.validate",
       [
