@@ -1,0 +1,84 @@
+(* Open-ended fuzzing campaign driver (`bench/fuzz.exe`).
+
+   Environment knobs:
+     TQEC_FUZZ_COUNT   cases to attempt (default 200)
+     TQEC_FUZZ_SEED    campaign seed (default 1337); a fixed seed
+                       replays the same case sequence
+     TQEC_FUZZ_TIME    wall-clock budget in seconds (default none);
+                       the campaign stops between chunks once exceeded
+     TQEC_FUZZ_FAULT   plant a stage fault ("volume" | "route" |
+                       "overlap") into every pipeline result; the run
+                       then MUST fail (exit 1) — exiting 0 means the
+                       fleet lost its teeth, so that is reported as the
+                       error.  The dune @fuzz-smoke alias runs this
+                       inverted gate with `with-accepted-exit-codes 1`.
+
+   On a property failure the shrunk minimal reproducer is written next
+   to the current directory as a replayable `.qct` fixture and the
+   exact `tqecc check` flag vector is printed. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None | Some "" -> default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "fuzz: %s wants an integer, got %S\n" name v;
+          exit 2)
+
+let () =
+  let count = env_int "TQEC_FUZZ_COUNT" 200 in
+  let seed = env_int "TQEC_FUZZ_SEED" 1337 in
+  let budget_s =
+    match Sys.getenv_opt "TQEC_FUZZ_TIME" with
+    | None | Some "" -> None
+    | Some v -> (
+        match float_of_string_opt v with
+        | Some b -> Some b
+        | None ->
+            Printf.eprintf "fuzz: TQEC_FUZZ_TIME wants seconds, got %S\n" v;
+            exit 2)
+  in
+  let fault =
+    match Sys.getenv_opt "TQEC_FUZZ_FAULT" with
+    | None | Some "" -> None
+    | Some v -> (
+        match Tqec_fuzz.Oracle.fault_of_string v with
+        | Some f -> Some f
+        | None ->
+            Printf.eprintf
+              "fuzz: unknown TQEC_FUZZ_FAULT %S (want volume|route|overlap)\n"
+              v;
+            exit 2)
+  in
+  Printf.printf "fuzz: seed=%d count=%d%s%s\n%!" seed count
+    (match budget_s with
+    | None -> ""
+    | Some b -> Printf.sprintf " budget=%.0fs" b)
+    (match fault with
+    | None -> ""
+    | Some f ->
+        Printf.sprintf " planted-fault=%s" (Tqec_fuzz.Oracle.fault_name f));
+  let outcome = Tqec_fuzz.Harness.run ?fault ?budget_s ~seed ~count () in
+  Printf.printf "fuzz: executed %d/%d cases in %.1fs\n%!"
+    outcome.Tqec_fuzz.Harness.executed count
+    outcome.Tqec_fuzz.Harness.elapsed;
+  match (outcome.Tqec_fuzz.Harness.failure, fault) with
+  | None, None ->
+      print_endline "fuzz: all properties held";
+      exit 0
+  | None, Some f ->
+      Printf.printf
+        "fuzz: ERROR - planted fault %S was never caught; the oracle is blind\n"
+        (Tqec_fuzz.Oracle.fault_name f);
+      exit 3
+  | Some failure, _ ->
+      let fixture = Printf.sprintf "fuzz-failure-%d.qct" seed in
+      Tqec_circuit.Qct.write_file fixture
+        failure.Tqec_fuzz.Harness.case.Tqec_fuzz.Case.circuit;
+      print_string (Tqec_fuzz.Harness.render_failure failure);
+      Printf.printf "fuzz: reproducer written to %s\nfuzz: replay: tqecc check %s %s\n"
+        fixture fixture
+        (Tqec_fuzz.Case.flag_vector failure.Tqec_fuzz.Harness.case);
+      exit 1

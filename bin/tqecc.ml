@@ -15,6 +15,15 @@ module Pipeline = Tqec_compress.Pipeline
 module Experiments = Tqec_compress.Experiments
 module Report = Tqec_compress.Report
 
+(* CLI-grade failure: a malformed instance name or fixture is a usage
+   error (message + exit 2), never an uncaught exception trace. *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("tqecc: " ^ msg);
+      exit 2)
+    fmt
+
 let load_circuit input =
   match Suite.find input with
   | Some entry -> Suite.circuit entry
@@ -22,18 +31,28 @@ let load_circuit input =
       match Tqec_circuit.Generator.tier_of_name input with
       | Some c -> c
       | None ->
-          if Sys.file_exists input then Tqec_circuit.Revlib.parse_file input
+          if Sys.file_exists input then
+            if Filename.check_suffix input ".qct" then
+              match Tqec_circuit.Qct.parse_file input with
+              | c -> c
+              | exception Tqec_circuit.Qct.Parse_error { line; message } ->
+                  die "%s:%d: %s" input line message
+            else (
+              try Tqec_circuit.Revlib.parse_file input
+              with Failure msg | Invalid_argument msg ->
+                die "%s: %s" input msg)
           else
-            failwith
-              (Printf.sprintf
-                 "unknown benchmark %S (not a suite name, not a tier-x<k> \
-                  scale tier, not a file); suite: %s"
-                 input
-                 (String.concat ", " Suite.names)))
+            die
+              "unknown benchmark %S (not a suite name, not a tier-x<k> scale \
+               tier, not a file); suite: %s"
+              input
+              (String.concat ", " Suite.names))
 
 let input_arg =
   let doc =
-    "Input circuit: a RevLib .real file or a benchmark name (e.g. rd84_142)."
+    "Input circuit: a RevLib .real file, a Clifford+T .qct fixture (e.g. a \
+     shrunk fuzzing reproducer), a benchmark name (e.g. rd84_142) or a \
+     tier-x<k> scale tier."
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
 
@@ -128,6 +147,29 @@ let partition_arg =
     & opt (conv (parse, print)) (Experiments.partition_from_env ())
     & info [ "partition" ] ~docv:"CAP" ~doc)
 
+let corridor_arg =
+  let doc =
+    "Hierarchical-routing threshold: search windows above this many cells \
+     take the coarse corridor path.  $(b,off) keeps the router's default.  \
+     Recorded in fuzzing reproducers so a shrunk case replays its exact \
+     routing trajectory."
+  in
+  let parse s =
+    if String.lowercase_ascii s = "off" then Ok None
+    else
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> Ok (Some v)
+      | _ -> Error (`Msg "expected a positive cell count or 'off'")
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "off"
+    | Some v -> Format.pp_print_int ppf v
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) None
+    & info [ "corridor" ] ~docv:"CELLS" ~doc)
+
 let scale_arg =
   let doc = "Scale instances down by this divisor (benchmarks only)." in
   Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc)
@@ -192,8 +234,8 @@ let print_timings (r : Pipeline.t) =
     s.Tqec_util.Pool.injected s.Tqec_util.Pool.parks
 
 let compress_cmd =
-  let run input variant effort seed restarts jobs early_stop partition optimize
-      timings =
+  let run input variant effort seed restarts jobs early_stop partition corridor
+      optimize timings =
     let c = load_circuit input in
     let c =
       if optimize then begin
@@ -207,7 +249,7 @@ let compress_cmd =
     let config =
       { Pipeline.default_config with variant; effort; seed;
         restarts = max 1 restarts; jobs; early_stop_margin = early_stop;
-        partition }
+        partition; corridor_cells = corridor }
     in
     let r = Pipeline.run ~config c in
     let p = r.Pipeline.placement in
@@ -232,7 +274,7 @@ let compress_cmd =
     (Cmd.info "compress" ~doc:"Run the bridge-compression flow.")
     Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
           $ restarts_arg $ jobs_arg $ early_stop_arg $ partition_arg
-          $ optimize_arg $ timings_arg)
+          $ corridor_arg $ optimize_arg $ timings_arg)
 
 let experiment_config effort scale seed restarts jobs early_stop benchmarks =
   {
@@ -379,7 +421,7 @@ let check_cmd =
       & info [ "s"; "stage" ] ~docv:"STAGE" ~doc)
   in
   let run input variant effort seed scale restarts jobs early_stop partition
-      stages =
+      corridor stages =
     let c =
       match Suite.find input with
       | Some entry -> Suite.scaled ~factor:(max 1 scale) entry
@@ -388,7 +430,7 @@ let check_cmd =
     let config =
       { Pipeline.default_config with variant; effort; seed;
         restarts = max 1 restarts; jobs; early_stop_margin = early_stop;
-        partition }
+        partition; corridor_cells = corridor }
     in
     let r = Pipeline.run ~config c in
     let stages = match stages with [] -> None | ss -> Some ss in
@@ -406,7 +448,7 @@ let check_cmd =
           and cross-checked.  Non-zero exit on any violation.")
     Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
           $ scale_arg $ restarts_arg $ jobs_arg $ early_stop_arg
-          $ partition_arg $ stage_arg)
+          $ partition_arg $ corridor_arg $ stage_arg)
 
 let render_cmd =
   let run input =

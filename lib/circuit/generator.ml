@@ -130,16 +130,126 @@ let scale_tier ~factor ?seed () =
       seed;
     }
 
-(* "tier-x<k>" -> the tier circuit; anything else -> None.  Lets the
-   CLI accept tier names wherever it accepts suite benchmark names. *)
-let tier_of_name name =
+(* Largest accepted tier factor: far beyond anything a machine can run
+   (tier-x100000 is ~3.6M gates) but small enough that a parsed factor
+   can never overflow the gate-count arithmetic in [scale_tier]. *)
+let max_tier_factor = 100_000
+
+(* Strict decimal parse: plain digits only.  [int_of_string_opt] also
+   accepts "0x10", "0b1", "1_0" and a leading sign — none of which a
+   "tier-x<k>" instance name should smuggle in — and arbitrarily long
+   digit strings overflow to [None] rather than raising. *)
+let tier_factor_of_name name =
   let prefix = "tier-x" in
   let plen = String.length prefix in
   if String.length name > plen && String.sub name 0 plen = prefix then
-    match int_of_string_opt (String.sub name plen (String.length name - plen)) with
-    | Some f when f >= 1 -> Some (scale_tier ~factor:f ())
-    | _ -> None
+    let suffix = String.sub name plen (String.length name - plen) in
+    let all_digits =
+      String.for_all (fun c -> c >= '0' && c <= '9') suffix
+    in
+    if not all_digits then None
+    else
+      match int_of_string_opt suffix with
+      | Some f when f >= 1 && f <= max_tier_factor -> Some f
+      | Some _ | None -> None
   else None
+
+(* "tier-x<k>" -> the tier circuit; anything else -> None.  Lets the
+   CLI accept tier names wherever it accepts suite benchmark names.
+   Malformed suffixes ("tier-x0", "tier-x-3", non-numeric, overflowing
+   or radix-prefixed digits) are rejected with [None], never an
+   exception. *)
+let tier_of_name name =
+  match tier_factor_of_name name with
+  | Some f -> Some (scale_tier ~factor:f ())
+  | None -> None
+
+(* Parameterized Clifford+T generation: per-kind weights plus an idle
+   tail, covering the degenerate corners of the parameter space the
+   fixed-mix [random_clifford_t] cannot reach (all-T streams, CNOT-free
+   circuits, mostly-idle registers).  Weights need not be normalized;
+   all-zero weights degenerate to all-T. *)
+type mix = {
+  w_h : int;
+  w_s : int;
+  w_t : int;
+  w_x : int;
+  w_cnot : int;
+}
+
+let uniform_mix = { w_h = 2; w_s = 2; w_t = 2; w_x = 2; w_cnot = 2 }
+let all_t_mix = { w_h = 0; w_s = 0; w_t = 1; w_x = 0; w_cnot = 0 }
+
+let random_clifford_t_mix ~seed ~n_qubits ~n_idle ~n_gates ~mix =
+  if n_qubits < 1 then
+    invalid_arg "Generator.random_clifford_t_mix: n_qubits must be positive";
+  let n_idle = Tqec_util.Stats.clamp 0 (n_qubits - 1) n_idle in
+  let active = n_qubits - n_idle in
+  let rng = Tqec_util.Rng.create seed in
+  let total =
+    mix.w_h + mix.w_s + mix.w_t + mix.w_x
+    + if active >= 2 then mix.w_cnot else 0
+  in
+  let wire () = Tqec_util.Rng.int rng active in
+  let gate () =
+    if total = 0 then Gate.T (wire ())
+    else begin
+      let r = Tqec_util.Rng.int rng total in
+      if r < mix.w_h then Gate.H (wire ())
+      else if r < mix.w_h + mix.w_s then
+        if Tqec_util.Rng.float rng < 0.5 then Gate.S (wire ())
+        else Gate.Sdg (wire ())
+      else if r < mix.w_h + mix.w_s + mix.w_t then
+        if Tqec_util.Rng.float rng < 0.5 then Gate.T (wire ())
+        else Gate.Tdg (wire ())
+      else if r < mix.w_h + mix.w_s + mix.w_t + mix.w_x then
+        if Tqec_util.Rng.float rng < 0.5 then Gate.X (wire ())
+        else Gate.Z (wire ())
+      else begin
+        let control = wire () in
+        let rec pick () =
+          let t = wire () in
+          if t = control then pick () else t
+        in
+        Gate.Cnot { control; target = pick () }
+      end
+    end
+  in
+  Circuit.make
+    ~name:(Printf.sprintf "fuzz-%d" seed)
+    ~n_qubits
+    (List.init n_gates (fun _ -> gate ()))
+
+let add_idle_qubit (c : Circuit.t) =
+  Circuit.make ~name:(c.Circuit.name ^ "+idle")
+    ~n_qubits:(c.Circuit.n_qubits + 1) c.Circuit.gates
+
+let commuting g1 g2 =
+  let q1 = Gate.qubits g1 and q2 = Gate.qubits g2 in
+  not (List.exists (fun q -> List.mem q q2) q1)
+
+let permute_commuting ~seed ~swaps (c : Circuit.t) =
+  let gates = Array.of_list c.Circuit.gates in
+  let n = Array.length gates in
+  let rng = Tqec_util.Rng.create seed in
+  let swapped = ref 0 in
+  if n >= 2 then
+    (* bounded sweep: random adjacent positions, swap when the pair acts
+       on disjoint wire sets (such gates commute, and the swap provably
+       preserves the per-wire gate order) *)
+    for _ = 1 to max 0 swaps * 4 do
+      if !swapped < max 0 swaps then begin
+        let i = Tqec_util.Rng.int rng (n - 1) in
+        if commuting gates.(i) gates.(i + 1) then begin
+          let t = gates.(i) in
+          gates.(i) <- gates.(i + 1);
+          gates.(i + 1) <- t;
+          incr swapped
+        end
+      end
+    done;
+  Circuit.make ~name:c.Circuit.name ~n_qubits:c.Circuit.n_qubits
+    (Array.to_list gates)
 
 let random_clifford_t ~seed ~n_qubits ~n_gates =
   let rng = Tqec_util.Rng.create seed in

@@ -1,0 +1,96 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let parse_string ~name text =
+  let lines = String.split_on_char '\n' text in
+  let n_qubits = ref None in
+  let gates = ref [] in
+  let wire lineno n s =
+    match int_of_string_opt s with
+    | Some q when q >= 0 && q < n -> q
+    | Some q -> fail lineno "wire %d out of range [0, %d)" q n
+    | None -> fail lineno "expected a wire index, got %S" s
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line <> "" then
+        match (split_words (String.lowercase_ascii line), !n_qubits) with
+        | [ "qubits"; n ], None -> (
+            match int_of_string_opt n with
+            | Some v when v >= 1 -> n_qubits := Some v
+            | _ -> fail lineno "qubits wants a positive count, got %S" n)
+        | [ "qubits"; _ ], Some _ -> fail lineno "duplicate qubits directive"
+        | _, None -> fail lineno "a qubits directive must precede the gates"
+        | words, Some n -> (
+            let w = wire lineno n in
+            match words with
+            | [ "h"; q ] -> gates := Gate.H (w q) :: !gates
+            | [ "s"; q ] -> gates := Gate.S (w q) :: !gates
+            | [ "sdg"; q ] -> gates := Gate.Sdg (w q) :: !gates
+            | [ "t"; q ] -> gates := Gate.T (w q) :: !gates
+            | [ "tdg"; q ] -> gates := Gate.Tdg (w q) :: !gates
+            | [ "x"; q ] -> gates := Gate.X (w q) :: !gates
+            | [ "z"; q ] -> gates := Gate.Z (w q) :: !gates
+            | [ "cnot"; c; t ] ->
+                let control = w c and target = w t in
+                if control = target then
+                  fail lineno "cnot control and target coincide";
+                gates := Gate.Cnot { control; target } :: !gates
+            | mnemonic :: _ -> fail lineno "unknown gate %S" mnemonic
+            | [] -> assert false))
+    lines;
+  match !n_qubits with
+  | None -> fail 0 "missing qubits directive"
+  | Some n -> Circuit.make ~name ~n_qubits:n (List.rev !gates)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name text
+
+let to_string (c : Circuit.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "# %s\n" c.Circuit.name);
+  Buffer.add_string b (Printf.sprintf "qubits %d\n" c.Circuit.n_qubits);
+  List.iter
+    (fun g ->
+      let line =
+        match (g : Gate.t) with
+        | H q -> Printf.sprintf "h %d" q
+        | S q -> Printf.sprintf "s %d" q
+        | Sdg q -> Printf.sprintf "sdg %d" q
+        | T q -> Printf.sprintf "t %d" q
+        | Tdg q -> Printf.sprintf "tdg %d" q
+        | X q -> Printf.sprintf "x %d" q
+        | Z q -> Printf.sprintf "z %d" q
+        | Cnot { control; target } -> Printf.sprintf "cnot %d %d" control target
+        | Swap _ | Toffoli _ | Fredkin _ | Mct _ ->
+            invalid_arg "Qct.to_string: only Clifford+T gates are printable"
+      in
+      Buffer.add_string b line;
+      Buffer.add_char b '\n')
+    c.Circuit.gates;
+  Buffer.contents b
+
+let write_file path c =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string c))

@@ -1,0 +1,41 @@
+(** Reader/writer for a minimal Clifford+T circuit text format ([.qct]).
+
+    RevLib's [.real] format only carries reversible gates, so shrunk
+    fuzzing reproducers — arbitrary Clifford+T circuits — need their own
+    fixture syntax.  A [.qct] file is line-oriented:
+
+    {v
+    # optional comments
+    qubits 3
+    h 0
+    s 1
+    sdg 1
+    t 2
+    tdg 2
+    x 0
+    z 1
+    cnot 0 2
+    v}
+
+    [qubits N] must precede the first gate; gate lines are a lowercase
+    mnemonic plus wire indices in [0, N).  Blank lines and [#] comments
+    are ignored.  The format round-trips exactly through
+    {!to_string} / {!parse_string} and is accepted by the [tqecc] CLI
+    wherever a circuit file is expected. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [parse_string ~name s] parses [.qct] text.
+    @raise Parse_error on malformed input. *)
+val parse_string : name:string -> string -> Circuit.t
+
+(** [parse_file path] parses a [.qct] file, naming the circuit after the
+    file's basename. *)
+val parse_file : string -> Circuit.t
+
+(** [to_string c] prints [c] in [.qct] syntax.  Only Clifford+T gates
+    ([H], [S]/[Sdg], [T]/[Tdg], [X], [Z], [CNOT]) are printable.
+    @raise Invalid_argument if the circuit contains other gates. *)
+val to_string : Circuit.t -> string
+
+val write_file : string -> Circuit.t -> unit

@@ -25,13 +25,15 @@ type config = {
   jobs : int option;
   early_stop_margin : float option;
   partition : int option;
+  corridor_cells : int option;
+  sa_moves_cap : int option;
 }
 
 let default_config =
   { variant = Full; effort = Placer.Normal; seed = 42; enable_ishape = true;
     z_cap = None; strategy = Placer.Annealing; restarts = 1; jobs = None;
     early_stop_margin = Placer.default_config.Placer.early_stop_margin;
-    partition = None }
+    partition = None; corridor_cells = None; sa_moves_cap = None }
 
 type stage_stats = {
   st_modules : int;
@@ -266,6 +268,7 @@ let rec run_icm ?(config = default_config) icm =
       jobs = config.jobs;
       early_stop_margin = config.early_stop_margin;
       partition = config.partition;
+      sa_moves_cap = config.sa_moves_cap;
     }
   in
   let placement = Placer.place ~config:placer_config graph flipping dual fvalue in
@@ -282,9 +285,14 @@ let rec run_icm ?(config = default_config) icm =
       extra_z;
   let grid = build_route_grid ~extra_z graph placement nets in
   let routing =
-    Pathfinder.route_all grid
-      { Pathfinder.default_config with jobs = config.jobs }
-      nets
+    let route_config =
+      match config.corridor_cells with
+      | None -> { Pathfinder.default_config with jobs = config.jobs }
+      | Some cells ->
+          { Pathfinder.default_config with jobs = config.jobs;
+            corridor_cells = cells }
+    in
+    Pathfinder.route_all grid route_config nets
   in
   mark "routing";
   (* recorded before the grid is dropped: how much of the substrate
@@ -297,18 +305,18 @@ let rec run_icm ?(config = default_config) icm =
   let route_cells =
     List.concat_map (fun r -> r.Pathfinder.r_cells) routing.Pathfinder.routes
   in
+  (* Empty-tolerant bounding box: a circuit with zero placeable blocks
+     and zero routes (empty / Pauli-only / H-only inputs) has volume 0,
+     matching the verifier's from-scratch recompute — not the volume-1
+     phantom cell a [Vec3.zero] seed box would report. *)
   let bbox =
-    List.fold_left
-      (fun acc b -> Box3.join acc b)
-      (match all_boxes with
-      | b :: _ -> b
-      | [] -> Box3.of_cell Vec3.zero)
-      all_boxes
+    let join acc b =
+      match acc with None -> Some b | Some a -> Some (Box3.join a b)
+    in
+    let acc = List.fold_left join None all_boxes in
+    List.fold_left (fun acc c -> join acc (Box3.of_cell c)) acc route_cells
   in
-  let bbox =
-    List.fold_left (fun acc c -> Box3.join acc (Box3.of_cell c)) bbox route_cells
-  in
-  let volume = Box3.volume bbox in
+  let volume = match bbox with None -> 0 | Some b -> Box3.volume b in
   let stages =
     {
       st_modules;

@@ -35,6 +35,17 @@ type config = {
       (** divide-and-conquer placement threshold (see
           {!Tqec_place.Placer.config}); [None] (the default) keeps the
           historical single-die annealing on any instance size *)
+  corridor_cells : int option;
+      (** hierarchical-routing threshold override (see
+          {!Tqec_route.Pathfinder.config}); [None] (the default) keeps
+          the router's default.  Exposed so a fuzz/replay harness can
+          reproduce a run's exact routing trajectory from its recorded
+          flag vector *)
+  sa_moves_cap : int option;
+      (** hard ceiling on annealing moves per trajectory (see
+          {!Tqec_place.Placer.config}); [None] (the default) keeps the
+          effort-derived budget.  The fuzzing harness bounds per-case
+          placement work with it *)
 }
 
 val default_config : config

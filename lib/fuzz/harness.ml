@@ -1,0 +1,87 @@
+type failure = { case : Case.t; message : string; shrink_steps : int }
+type outcome = { executed : int; failure : failure option; elapsed : float }
+
+(* The property itself is a plain boolean: the oracle's messages are
+   regenerated deterministically from the shrunk case afterwards, so
+   the harness never depends on QCheck's in-flight message plumbing. *)
+let prop ?fault case = Oracle.check_case ?fault case = []
+
+let test ?fault ~count ~name () =
+  QCheck2.Test.make ~count ~name ~print:Case.print Case.gen (prop ?fault)
+
+let messages_of ?fault case =
+  match Oracle.check_case ?fault case with
+  | [] -> "(oracle failure did not reproduce on the shrunk case)"
+  | msgs -> String.concat "\n" msgs
+  | exception e -> "oracle raised: " ^ Printexc.to_string e
+
+let run ?fault ?budget_s ~seed ~count () =
+  let rand = Random.State.make [| seed |] in
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let over_budget () =
+    match budget_s with None -> false | Some b -> elapsed () >= b
+  in
+  let chunk = 20 in
+  let rec loop executed =
+    if executed >= count || over_budget () then
+      { executed; failure = None; elapsed = elapsed () }
+    else begin
+      let n = min chunk (count - executed) in
+      let cell =
+        QCheck2.Test.make_cell ~count:n ~name:"pipeline-fuzz" Case.gen
+          (prop ?fault)
+      in
+      let res = QCheck2.Test.check_cell ~rand cell in
+      let executed = executed + QCheck2.TestResult.get_count res in
+      let fail_of (ce : Case.t QCheck2.TestResult.counter_ex) message =
+        {
+          executed;
+          failure =
+            Some
+              {
+                case = ce.QCheck2.TestResult.instance;
+                message;
+                shrink_steps = ce.QCheck2.TestResult.shrink_steps;
+              };
+          elapsed = elapsed ();
+        }
+      in
+      match QCheck2.TestResult.get_state res with
+      | QCheck2.TestResult.Success -> loop executed
+      | QCheck2.TestResult.Failed { instances = ce :: _ } ->
+          fail_of ce (messages_of ?fault ce.QCheck2.TestResult.instance)
+      | QCheck2.TestResult.Failed { instances = [] }
+      | QCheck2.TestResult.Failed_other _ ->
+          (* no counterexample to print: surface the raw report *)
+          {
+            executed;
+            failure =
+              Some
+                {
+                  case =
+                    {
+                      Case.circuit =
+                        Tqec_circuit.Circuit.make ~name:"fuzz" ~n_qubits:1 [];
+                      seed = 0;
+                      restarts = 1;
+                      jobs = 1;
+                      partition = None;
+                      corridor_cells = None;
+                    };
+                  message = "property failed without a counterexample";
+                  shrink_steps = 0;
+                };
+            elapsed = elapsed ();
+          }
+      | QCheck2.TestResult.Error { instance = ce; exn; backtrace = _ } ->
+          fail_of ce
+            (Printf.sprintf "oracle raised %s\n%s" (Printexc.to_string exn)
+               (messages_of ?fault ce.QCheck2.TestResult.instance))
+    end
+  in
+  loop 0
+
+let render_failure f =
+  Printf.sprintf "=== fuzz failure (shrunk %d steps) ===\n%s%s\n"
+    f.shrink_steps (Case.print f.case) f.message

@@ -1,0 +1,41 @@
+(** Budgeted QCheck2 driver for the fuzzing fleet.
+
+    Wraps {!Oracle.check_case} as a QCheck2 property with integrated
+    shrinking and runs it in fixed-size chunks against one random
+    state, stopping at a case count or a wall-clock budget — the shape
+    [bench/fuzz.exe] and the [@fuzz-smoke] alias share.  A failure
+    comes back as the {e shrunk} minimal case plus the oracle's
+    messages, ready to print as a replayable [.qct] reproducer. *)
+
+type failure = {
+  case : Case.t;  (** the shrunk counterexample *)
+  message : string;  (** oracle failure descriptions *)
+  shrink_steps : int;
+}
+
+type outcome = {
+  executed : int;  (** property evaluations actually run *)
+  failure : failure option;
+  elapsed : float;  (** seconds *)
+}
+
+(** [test ?fault ~count ~name ()] is a self-contained QCheck2 test
+    (fixed generator, oracle property, reproducer printer) for
+    [QCheck_alcotest.to_alcotest] and friends. *)
+val test : ?fault:Oracle.fault -> count:int -> name:string -> unit -> QCheck2.Test.t
+
+(** [run ?fault ?budget_s ~seed ~count ()] fuzzes up to [count] cases
+    (in chunks, so a wall-clock [budget_s] can cut the campaign between
+    chunks), deterministic in [seed] when the budget does not
+    intervene.  Stops at the first failure. *)
+val run :
+  ?fault:Oracle.fault ->
+  ?budget_s:float ->
+  seed:int ->
+  count:int ->
+  unit ->
+  outcome
+
+(** [render_failure f] is the full reproducer block: the [.qct] fixture
+    text, the exact replay flag vector, and the oracle messages. *)
+val render_failure : failure -> string

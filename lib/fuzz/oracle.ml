@@ -1,0 +1,188 @@
+open Tqec_compress
+
+type fault = Volume_misreport | Route_drop_cell | Placement_collide
+
+let fault_of_string = function
+  | "volume" -> Some Volume_misreport
+  | "route" -> Some Route_drop_cell
+  | "overlap" -> Some Placement_collide
+  | _ -> None
+
+let fault_name = function
+  | Volume_misreport -> "volume"
+  | Route_drop_cell -> "route"
+  | Placement_collide -> "overlap"
+
+let misreport (r : Pipeline.t) =
+  { r with Pipeline.volume = r.Pipeline.volume + 1 }
+
+let plant fault (r : Pipeline.t) =
+  match fault with
+  | Volume_misreport -> misreport r
+  | Route_drop_cell -> (
+      let routing = r.Pipeline.routing in
+      let rec amputate = function
+        | (route : Tqec_route.Pathfinder.routed) :: rest
+          when List.length route.Tqec_route.Pathfinder.r_cells >= 2 ->
+            Some
+              ({
+                 route with
+                 Tqec_route.Pathfinder.r_cells =
+                   List.tl route.Tqec_route.Pathfinder.r_cells;
+               }
+              :: rest)
+        | route :: rest ->
+            Option.map (fun tail -> route :: tail) (amputate rest)
+        | [] -> None
+      in
+      match amputate routing.Tqec_route.Pathfinder.routes with
+      | Some routes ->
+          {
+            r with
+            Pipeline.routing =
+              { routing with Tqec_route.Pathfinder.routes };
+          }
+      | None -> misreport r)
+  | Placement_collide ->
+      let p = r.Pipeline.placement in
+      if Array.length p.Tqec_place.Placer.node_pos < 2 then misreport r
+      else begin
+        let node_pos = Array.copy p.Tqec_place.Placer.node_pos in
+        node_pos.(1) <- node_pos.(0);
+        { r with Pipeline.placement = { p with Tqec_place.Placer.node_pos } }
+      end
+
+let fingerprint (r : Pipeline.t) =
+  let b = Buffer.create 1024 in
+  let p = r.Pipeline.placement in
+  Printf.bprintf b "v=%d w=%d h=%d d=%d|" r.Pipeline.volume
+    p.Tqec_place.Placer.width p.Tqec_place.Placer.height
+    p.Tqec_place.Placer.depth;
+  Array.iter (fun (x, y) -> Printf.bprintf b "%d,%d;" x y)
+    p.Tqec_place.Placer.node_pos;
+  Array.iter
+    (fun rot -> Buffer.add_char b (if rot then 'R' else '.'))
+    p.Tqec_place.Placer.rotated;
+  List.iter
+    (fun (route : Tqec_route.Pathfinder.routed) ->
+      Printf.bprintf b "|n%d:" route.Tqec_route.Pathfinder.r_net;
+      List.iter
+        (fun (c : Tqec_util.Vec3.t) ->
+          Printf.bprintf b "%d.%d.%d," c.Tqec_util.Vec3.x c.Tqec_util.Vec3.y
+            c.Tqec_util.Vec3.z)
+        route.Tqec_route.Pathfinder.r_cells)
+    r.Pipeline.routing.Tqec_route.Pathfinder.routes;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let run_with config circuit = Pipeline.run ~config circuit
+
+let verify_failures ~label (r : Pipeline.t) =
+  let report = Pipeline.verify r in
+  let fails =
+    if Tqec_verify.Violation.ok report then []
+    else
+      List.map
+        (fun v -> label ^ ": " ^ Tqec_verify.Violation.to_string v)
+        report.Tqec_verify.Violation.violations
+  in
+  if r.Pipeline.routing.Tqec_route.Pathfinder.success then fails
+  else (label ^ ": routing rip-up did not converge") :: fails
+
+let check_case ?fault (case : Case.t) =
+  let config = Case.config_of case in
+  let r = run_with config case.Case.circuit in
+  match fault with
+  | Some f ->
+      (* fault mode: the mutation must be caught by the verify family
+         alone; derived runs would re-run the clean pipeline and mask
+         the plant *)
+      verify_failures ~label:("fault " ^ fault_name f) (plant f r)
+  | None ->
+      let failures = ref [] in
+      let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+      (* family 1: translation validation on the primary run *)
+      List.iter (fun m -> failures := m :: !failures)
+        (List.rev (verify_failures ~label:"verify" r));
+      (* family 2: determinism.  jobs = 1 must be byte-identical to the
+         case's jobs; a partition cap at the node count must be
+         byte-identical to single-die placement *)
+      let fp = fingerprint r in
+      if case.Case.jobs > 1 then begin
+        let r1 =
+          run_with { config with Pipeline.jobs = Some 1 } case.Case.circuit
+        in
+        if fingerprint r1 <> fp then
+          fail "determinism: jobs=1 diverges from jobs=%d (%s <> %s)"
+            case.Case.jobs (fingerprint r1) fp
+      end;
+      let n_nodes =
+        Array.length r.Pipeline.placement.Tqec_place.Placer.node_pos
+      in
+      if case.Case.partition = None && n_nodes > 0 then begin
+        let rp =
+          run_with
+            { config with Pipeline.partition = Some n_nodes }
+            case.Case.circuit
+        in
+        if fingerprint rp <> fp then
+          fail "determinism: partition cap %d diverges from single-die"
+            n_nodes
+      end;
+      (* family 3: metamorphic *)
+      let idle =
+        run_with config (Tqec_circuit.Generator.add_idle_qubit case.Case.circuit)
+      in
+      if idle.Pipeline.volume > r.Pipeline.volume then
+        fail "metamorphic: idle qubit raised volume %d -> %d"
+          r.Pipeline.volume idle.Pipeline.volume;
+      let permuted =
+        Tqec_circuit.Generator.permute_commuting ~seed:case.Case.seed
+          ~swaps:
+            (List.length case.Case.circuit.Tqec_circuit.Circuit.gates / 2)
+          case.Case.circuit
+      in
+      let icm_stats c = Tqec_icm.Icm.stats (Tqec_icm.Decompose.run c) in
+      if icm_stats permuted <> icm_stats case.Case.circuit then
+        fail "metamorphic: commuting permutation changed the ICM statistics";
+      let canonical = Baselines.canonical_volume r.Pipeline.icm in
+      let canonical' =
+        Baselines.canonical_volume (Tqec_icm.Decompose.run permuted)
+      in
+      if canonical' <> canonical then
+        fail "metamorphic: commuting permutation moved canonical volume %d -> %d"
+          canonical canonical';
+      (* compression tripwire against the closed-form uncompressed
+         baseline.  Per-instance dominance over the canonical volume is
+         not a theorem — on tiny circuits a single distillation box plus
+         routing clearance exceeds it (worst observed full/canonical =
+         2.4x on one-gate circuits) — so the oracle is a calibrated
+         bound that a catastrophic volume regression still trips *)
+      if canonical = 0 then begin
+        if r.Pipeline.volume <> 0 then
+          fail "metamorphic: module-free circuit placed volume %d (want 0)"
+            r.Pipeline.volume
+      end
+      else if r.Pipeline.volume > (3 * canonical) + 64 then
+        fail
+          "metamorphic: compression blew past the canonical baseline (full %d > 3 * %d + 64)"
+          r.Pipeline.volume canonical;
+      (* restarts monotonicity: the multi-start winner minimizes the
+         annealer's cost (alpha * placed volume + beta * wirelength) and
+         lane 0 always completes, so on a single die best-of-R is never
+         worse than single-start {e in that cost}.  Routed volume is not
+         the compared metric, and partitioned placement composes
+         per-group winners whose stitching carries no global guarantee —
+         so the check is scoped to unpartitioned runs and the SA cost *)
+      if case.Case.restarts > 1 && case.Case.partition = None then begin
+        let r1 =
+          run_with { config with Pipeline.restarts = 1 } case.Case.circuit
+        in
+        let cost (p : Pipeline.t) =
+          p.Pipeline.placement.Tqec_place.Placer.sa_stats
+            .Tqec_place.Sa.best_cost
+        in
+        if cost r > cost r1 +. 1e-6 then
+          fail "metamorphic: %d restarts beat by 1 restart (cost %.1f > %.1f)"
+            case.Case.restarts (cost r) (cost r1)
+      end;
+      List.rev !failures

@@ -1,0 +1,54 @@
+(** The property oracles the fuzzing fleet checks on every {!Case.t},
+    plus the fault injector used to prove the fleet can actually catch
+    and shrink a pipeline bug.
+
+    Three oracle families (issue terminology):
+
+    - {b verify}: the full translation-validation pass
+      ({!Tqec_compress.Pipeline.verify}) reports clean and routing
+      rip-up converged;
+    - {b determinism}: a [jobs = 1] re-run is byte-identical (same
+      {!fingerprint}) to the case's [jobs = N] run; when the case runs
+      single-die placement, capping the partition at the node count is
+      byte-identical too;
+    - {b metamorphic}: appending an idle qubit never increases the
+      space-time volume; permuting commuting gates preserves the ICM
+      statistics and the canonical volume (placed volume is {e not}
+      invariant — the annealer is seeded by gate position — so the
+      oracle pins the schedule-independent quantities, and permuted
+      circuits are additionally fuzzed as a first-class generator
+      shape); a module-free circuit places to volume 0 and otherwise
+      compressed volume stays within a calibrated bound of the
+      closed-form canonical baseline ([3x + 64] — per-instance
+      dominance is not a theorem on tiny circuits, the bound is a
+      regression tripwire); and more restarts never produce a worse
+      volume. *)
+
+type fault =
+  | Volume_misreport  (** final volume off by one (Routing/"volume") *)
+  | Route_drop_cell  (** amputate a route cell (Routing legality) *)
+  | Placement_collide  (** two nodes on one anchor (Placement/"overlap") *)
+
+val fault_of_string : string -> fault option
+val fault_name : fault -> string
+
+(** [plant fault r] returns a mutated pipeline result carrying the
+    fault.  Total: when the artifact the fault targets is empty (no
+    routes / fewer than two nodes) it degrades to {!Volume_misreport},
+    so a planted fault is observable on every case — the monotonicity
+    shrinking needs to reach a minimal reproducer. *)
+val plant : fault -> Tqec_compress.Pipeline.t -> Tqec_compress.Pipeline.t
+
+(** [fingerprint r] digests everything the determinism contract
+    promises: final volume, per-node anchors and rotations, die extent,
+    and every routed cell in net order.  Byte-identical runs (any
+    [jobs], capped partition) must agree on it. *)
+val fingerprint : Tqec_compress.Pipeline.t -> string
+
+(** [check_case ?fault case] runs the pipeline on the case and applies
+    every oracle family; the returned list of human-readable failure
+    descriptions is empty when all properties hold.  With [?fault] the
+    planted fault is applied to the primary run and only the verify
+    family is consulted (the mutation must be {e caught}, not
+    cross-checked against derived runs). *)
+val check_case : ?fault:fault -> Case.t -> string list

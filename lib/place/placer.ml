@@ -29,12 +29,13 @@ type config = {
   jobs : int option;
   early_stop_margin : float option;
   partition : int option;
+  sa_moves_cap : int option;
 }
 
 let default_config =
   { effort = Normal; seed = 42; alpha = 1.0; beta = 0.2; z_cap = None;
     strategy = Annealing; restarts = 1; jobs = None;
-    early_stop_margin = Some 0.05; partition = None }
+    early_stop_margin = Some 0.05; partition = None; sa_moves_cap = None }
 
 type t = {
   sm : Super_module.t;
@@ -186,7 +187,12 @@ let anneal_group ~(config : config) ~depth ~dims ~nets ~rotatable ~seed =
          (fun i -> rotatable.(i))
          (List.init n (fun i -> i)))
   in
-  let iterations = iterations_for config.effort n in
+  let iterations =
+    let base = iterations_for config.effort n in
+    match config.sa_moves_cap with
+    | None -> base
+    | Some cap -> min base (max 1 cap)
+  in
   let params =
     {
       Sa.iterations;
@@ -507,7 +513,24 @@ let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
   in
   let nodes = sm.Super_module.nodes in
   let n = Array.length nodes in
-  if n = 0 then invalid_arg "Placer.place: no nodes";
+  if n = 0 then
+    (* Zero blocks to place (no CNOTs, no injections): the empty
+       placement on a degenerate 0x0 die.  Depth stays at the checker's
+       floor of 2 so the from-scratch recompute agrees; volume and
+       wirelength are 0. *)
+    {
+      sm;
+      node_pos = [||];
+      rotated = [||];
+      width = 0;
+      height = 0;
+      depth = 2;
+      volume = 0;
+      wirelength = 0;
+      sa_stats =
+        { Sa.attempted = 0; accepted = 0; best_cost = 0.; final_temperature = 0. };
+    }
+  else
   let depth =
     max 2
       (Array.fold_left (fun acc nd -> max acc nd.Super_module.nd_d) 2 nodes)

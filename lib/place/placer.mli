@@ -61,6 +61,13 @@ type config = {
           default) and [Some cap >= n] reproduce the historical
           single-die trajectory bit-for-bit.  [Force_directed] ignores
           it *)
+  sa_moves_cap : int option;
+      (** hard ceiling on annealing moves per trajectory, applied after
+          the effort-derived budget.  A testing/replay hook: the fuzzing
+          harness bounds per-case placement work with it so thousands of
+          pipeline executions stay cheap.  Results remain deterministic
+          in (seed, restarts, cap); [None] (the default) keeps the pure
+          effort-derived budget — production behavior is unchanged *)
 }
 
 val default_config : config

@@ -30,16 +30,18 @@ let clamp lo hi v = max lo (min hi v)
 let clamp_float lo hi v = Float.max lo (Float.min hi v)
 
 (* Peak resident set size from /proc/self/status (VmHWM), in kB.  Linux
-   only; None where the proc file or the field is missing, so callers
-   degrade to "n/a" instead of failing on other platforms. *)
-let peak_rss_kb () =
-  match open_in "/proc/self/status" with
+   only; None where the proc file or the field is missing, truncated or
+   unreadable mid-scan, so callers degrade to "n/a" instead of failing
+   on other platforms (?path exists for the degradation tests). *)
+let peak_rss_kb ?(path = "/proc/self/status") () =
+  match open_in path with
   | exception Sys_error _ -> None
   | ic ->
       let prefix = "VmHWM:" in
       let rec scan () =
         match input_line ic with
         | exception End_of_file -> None
+        | exception Sys_error _ -> None
         | line ->
             if String.length line > String.length prefix
                && String.sub line 0 (String.length prefix) = prefix

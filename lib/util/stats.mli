@@ -28,7 +28,9 @@ val clamp : int -> int -> int -> int
 val clamp_float : float -> float -> float -> float
 
 (** [peak_rss_kb ()] is the process's peak resident set size in kB, read
-    from [/proc/self/status] ([VmHWM]); [None] where unavailable
-    (non-Linux).  The scale-tier benchmarks report it next to wall
-    time. *)
-val peak_rss_kb : unit -> int option
+    from [/proc/self/status] ([VmHWM]); [None] where unavailable —
+    non-Linux hosts, a missing or unreadable status file, a [VmHWM] line
+    with no digits — never an exception.  The scale-tier benchmarks
+    render [None] as "n/a" next to wall time.  [?path] overrides the
+    proc file location (used by the degradation tests). *)
+val peak_rss_kb : ?path:string -> unit -> int option

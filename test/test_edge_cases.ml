@@ -68,6 +68,51 @@ let test_deep_t_chain () =
       check Alcotest.int "30 ordered modules" 30 (List.length modules)
   | _ -> assert false
 
+(* Fuzz-fleet regression pins: circuits with no placeable module used
+   to raise ("Placer.place: no nodes") or report a phantom volume of 1
+   (the bbox fold was seeded with a zero cell).  The whole flow now
+   returns the empty placement with volume 0 and verifies clean. *)
+let test_empty_circuit_pipeline () =
+  List.iter
+    (fun n_qubits ->
+      let c =
+        Circuit.make ~name:(Printf.sprintf "empty%d" n_qubits) ~n_qubits []
+      in
+      let r = Pipeline.run ~config:quick c in
+      check Alcotest.int "volume 0" 0 r.Pipeline.volume;
+      check Alcotest.int "no nodes" 0
+        (Array.length r.Pipeline.placement.Tqec_place.Placer.node_pos);
+      check Alcotest.bool "routes (vacuous)" true
+        r.Pipeline.routing.Tqec_route.Pathfinder.success;
+      check Alcotest.(list string) "sound" [] (Pipeline.check r))
+    [ 1; 3 ]
+
+let test_pauli_only_pipeline_full_flow () =
+  (* X/Z fold into the Pauli frame: no modules, no nets, volume 0 *)
+  let c = Circuit.make ~name:"paulis" ~n_qubits:2 [ Gate.X 0; Gate.Z 1 ] in
+  let r = Pipeline.run ~config:quick c in
+  check Alcotest.int "volume 0" 0 r.Pipeline.volume;
+  check Alcotest.(list string) "sound" [] (Pipeline.check r)
+
+let test_h_only_pipeline () =
+  (* H only flips the interpretation frame: still module-free *)
+  let c = Circuit.make ~name:"hs" ~n_qubits:2 [ Gate.H 0; Gate.H 0; Gate.H 1 ] in
+  let r = Pipeline.run ~config:quick c in
+  check Alcotest.int "volume 0" 0 r.Pipeline.volume;
+  check Alcotest.(list string) "sound" [] (Pipeline.check r)
+
+let test_empty_circuit_partitioned () =
+  (* the divide-and-conquer path must also survive zero nodes *)
+  let c = Circuit.make ~name:"empty" ~n_qubits:2 [] in
+  let config = { quick with Pipeline.partition = Some 1 } in
+  let r = Pipeline.run ~config c in
+  check Alcotest.int "volume 0" 0 r.Pipeline.volume;
+  check Alcotest.(list string) "sound" [] (Pipeline.check r)
+
+let test_partition_zero_nodes () =
+  check Alcotest.int "empty partition" 0
+    (Array.length (Tqec_place.Partition.run ~n:0 ~nets:[||] ~max_part:4))
+
 (* ------------------------------------------------------------------ *)
 (* Parser / format edges                                               *)
 (* ------------------------------------------------------------------ *)
@@ -195,6 +240,53 @@ let test_generator_rejects_impossible () =
     Alcotest.fail "expected rejection (2 active wires, needs 3)"
   with Invalid_argument _ -> ()
 
+let test_tier_name_hardening () =
+  (* well-formed *)
+  check Alcotest.(option int) "x1" (Some 1) (Generator.tier_factor_of_name "tier-x1");
+  check Alcotest.(option int) "x007" (Some 7)
+    (Generator.tier_factor_of_name "tier-x007");
+  check Alcotest.(option int) "max" (Some Generator.max_tier_factor)
+    (Generator.tier_factor_of_name
+       (Printf.sprintf "tier-x%d" Generator.max_tier_factor));
+  (* malformed: zero, negative, non-numeric, radix prefixes, overflow *)
+  List.iter
+    (fun name ->
+      check Alcotest.(option int) name None (Generator.tier_factor_of_name name);
+      check Alcotest.bool (name ^ " no circuit") true
+        (Generator.tier_of_name name = None))
+    [
+      "tier-x0"; "tier-x-3"; "tier-x"; "tier-xx"; "tier-x1.5"; "tier-x1e3";
+      "tier-x0x10"; "tier-x0b1"; "tier-x1_0"; "tier-x+2"; "tier-x 2";
+      "tier-x100001"; "tier-x99999999999999999999999"; "tier-y4"; "rd84_142";
+    ]
+
+let test_peak_rss_degrades () =
+  let write content =
+    let path = Filename.temp_file "tqec-status" ".txt" in
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc;
+    path
+  in
+  (* a real-looking status file parses *)
+  let ok = write "Name:\tx\nVmHWM:\t  123456 kB\nVmRSS:\t 99 kB\n" in
+  check Alcotest.(option int) "parses VmHWM" (Some 123456)
+    (Stats.peak_rss_kb ~path:ok ());
+  (* missing file, missing field, digit-free field: None, no exception *)
+  check Alcotest.(option int) "missing file" None
+    (Stats.peak_rss_kb ~path:"/nonexistent/status" ());
+  let absent = write "Name:\tx\nVmRSS:\t 99 kB\n" in
+  check Alcotest.(option int) "field absent" None
+    (Stats.peak_rss_kb ~path:absent ());
+  let garbage = write "VmHWM:\tkB\n" in
+  check Alcotest.(option int) "digit-free field" None
+    (Stats.peak_rss_kb ~path:garbage ());
+  List.iter Sys.remove [ ok; absent; garbage ];
+  (* and the live Linux path still answers on this platform *)
+  match Stats.peak_rss_kb () with
+  | Some kb -> check Alcotest.bool "positive" true (kb > 0)
+  | None -> ()
+
 let test_suite_scaled_floor () =
   (* extreme scaling still yields a legal circuit *)
   let e = List.hd Suite.all in
@@ -226,6 +318,13 @@ let suites =
         Alcotest.test_case "pauli only" `Quick test_pauli_only_circuit;
         Alcotest.test_case "t only" `Quick test_t_only_circuit_pipeline;
         Alcotest.test_case "deep T chain" `Quick test_deep_t_chain;
+        Alcotest.test_case "empty circuit" `Quick test_empty_circuit_pipeline;
+        Alcotest.test_case "pauli-only full flow" `Quick
+          test_pauli_only_pipeline_full_flow;
+        Alcotest.test_case "h only" `Quick test_h_only_pipeline;
+        Alcotest.test_case "empty partitioned" `Quick
+          test_empty_circuit_partitioned;
+        Alcotest.test_case "partition n=0" `Quick test_partition_zero_nodes;
       ] );
     ( "edge.revlib",
       [
@@ -255,6 +354,8 @@ let suites =
         Alcotest.test_case "coverage guarantee" `Quick
           test_generator_coverage_guarantee;
         Alcotest.test_case "impossible spec" `Quick test_generator_rejects_impossible;
+        Alcotest.test_case "tier name hardening" `Quick test_tier_name_hardening;
+        Alcotest.test_case "peak rss degrades" `Quick test_peak_rss_degrades;
         Alcotest.test_case "scaled floor" `Quick test_suite_scaled_floor;
       ] );
     ( "edge.report",
