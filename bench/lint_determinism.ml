@@ -1,30 +1,69 @@
-(* Determinism lint: every [Hashtbl.iter] / [Hashtbl.fold] in the swept
-   trees (hash-order: these are quoted pattern names, not sites) is an
-   iteration whose order depends on the hash layout — a silent source of
-   run-to-run nondeterminism whenever the order can reach an output.
-   Each site must carry a nearby [hash-order:] audit comment stating why
-   the order cannot leak (result sorted, operation commutative, ...);
-   unaudited sites fail the lint, and so `dune runtest`.
+(* Determinism/daemon-readiness lint over the swept source trees.
+   Two rule families:
+
+   - [Hashtbl.iter] / [Hashtbl.fold] (hash-order: these are quoted
+     pattern names, not sites): iteration order depends on the hash
+     layout — a silent source of run-to-run nondeterminism whenever the
+     order can reach an output.  Each site must carry a nearby
+     [hash-order:] audit comment stating why the order cannot leak
+     (result sorted, operation commutative, ...).
+
+   - [Sys.getenv] under lib/ (env-read: a quoted pattern name, not a
+     site): an environment read in library code is a daemon hazard —
+     captured at module load it freezes one process-wide value across
+     every served request.  Each site must carry a nearby [env-read:]
+     audit comment stating why the capture is call-time and why it is
+     not request-scoped behavior (or how requests override it).  The
+     CLI/bench/test layers are exempt: one env read per process
+     invocation is exactly where defaults belong.
+
+   Unaudited sites fail the lint, and so `dune runtest`.
 
    Usage: lint_determinism <dir>...   (the lib/, test/, bin/ and bench/
    source trees; defaults to lib) *)
-
-let marker = "hash-order:"
-
-(* hash-order: these are the patterns the lint greps for, quoted, not
-   iteration sites (and this audit keeps the lint from flagging its own
-   source when bench/ is swept) *)
-let pattern = [ "Hashtbl.iter"; "Hashtbl.fold" ]
-
-(* a site passes if the marker appears on the site's line, within the 3
-   lines above (leading comment) or on the line below (trailing note) *)
-let window_before = 3
-let window_after = 1
 
 let contains ~sub s =
   let n = String.length s and m = String.length sub in
   let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
   m = 0 || at 0
+
+type rule = {
+  patterns : string list;
+  marker : string;
+  (* a site passes if the marker appears on the site's line, within
+     [before] lines above (leading comment) or [after] below *)
+  before : int;
+  after : int;
+  applies : string -> bool;  (* path filter *)
+  advice : string;
+}
+
+let rules =
+  [
+    {
+      (* hash-order: quoted pattern names, and this audit keeps the lint
+         from flagging its own source when bench/ is swept *)
+      patterns = [ "Hashtbl.iter"; "Hashtbl.fold" ];
+      marker = "hash-order:";
+      before = 3;
+      after = 1;
+      applies = (fun _ -> true);
+      advice = "order-sensitive iteration; sort the output or add a";
+    };
+    {
+      (* env-read: quoted pattern name, not a site (bench/ is swept) *)
+      patterns = [ "Sys.getenv" ];
+      marker = "env-read:";
+      (* audit comments here explain capture time AND request scoping,
+         so they run longer than a hash-order note *)
+      before = 6;
+      after = 1;
+      applies = (fun path -> contains ~sub:"lib/" path);
+      advice =
+        "environment read in library code; thread it through a config \
+         (the CLI layer owns env defaults) or add a";
+    };
+  ]
 
 let read_lines path =
   let ic = open_in path in
@@ -51,16 +90,21 @@ let lint_file path =
   let lines = read_lines path in
   let n = Array.length lines in
   let bad = ref [] in
-  for i = 0 to n - 1 do
-    if List.exists (fun p -> contains ~sub:p lines.(i)) pattern then begin
-      let audited = ref false in
-      for j = max 0 (i - window_before) to min (n - 1) (i + window_after) do
-        if contains ~sub:marker lines.(j) then audited := true
-      done;
-      if not !audited then bad := (i + 1) :: !bad
-    end
-  done;
-  List.rev_map (fun line -> (path, line)) !bad |> List.rev
+  List.iter
+    (fun rule ->
+      if rule.applies path then
+        for i = 0 to n - 1 do
+          if List.exists (fun p -> contains ~sub:p lines.(i)) rule.patterns
+          then begin
+            let audited = ref false in
+            for j = max 0 (i - rule.before) to min (n - 1) (i + rule.after) do
+              if contains ~sub:rule.marker lines.(j) then audited := true
+            done;
+            if not !audited then bad := (i + 1, rule) :: !bad
+          end
+        done)
+    rules;
+  List.rev_map (fun (line, rule) -> (path, line, rule)) !bad
 
 let () =
   let dirs =
@@ -70,15 +114,13 @@ let () =
     List.concat_map (fun dir -> List.concat_map lint_file (ml_files dir)) dirs
   in
   match offenders with
-  | [] ->
-      Printf.printf "lint-determinism: all Hashtbl iteration sites audited\n"
+  | [] -> Printf.printf "lint-determinism: all audited\n"
   | offenders ->
       List.iter
-        (fun (path, line) ->
-          (* hash-order: quoted pattern names in the message, not a site *)
-          Printf.printf
-            "%s:%d: unaudited Hashtbl.iter/fold — order-sensitive \
-             iteration; sort the output or add a `%s` audit comment\n"
-            path line marker)
+        (fun (path, line, rule) ->
+          Printf.printf "%s:%d: unaudited %s — %s `%s` audit comment\n" path
+            line
+            (String.concat "/" rule.patterns)
+            rule.advice rule.marker)
         offenders;
       exit 1

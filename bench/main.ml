@@ -260,6 +260,7 @@ let check_nested () =
         jobs = Some jobs;
         early_stop_margin = Some 0.05;
         partition = None;
+        debug = false;
       }
     |> List.map (fun (r : Report.row) ->
            (* strip wall-clock fields; everything else must match *)

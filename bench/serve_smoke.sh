@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Serve smoke (@serve-smoke, in `dune runtest`): boots a real daemon on
+# a temp socket and pins the serving contract end to end —
+#
+#   parity    three suite instances x two knob sets: the daemon's payload
+#             is byte-identical to `tqecc compress --porcelain`, and each
+#             combo passes the whole-pipeline `tqecc check`;
+#   caching   a duplicate .qct request is served from cache (hit counter
+#             increments) with identical bytes;
+#   overload  a second daemon with capacity 1, pinned in the computing
+#             state by TQEC_SERVE_HOLD_MS, answers concurrent extra
+#             requests with a structured busy response (exit 3) while the
+#             admitted request still completes with the right bytes;
+#   faults    a third daemon with TQEC_SERVE_FAULT planted answers every
+#             compression with a structured error (exit 1, Stage_failure
+#             text) and keeps serving afterwards instead of dying.
+set -eu
+
+TQECC="$1"
+TMP="$(mktemp -d)"
+SOCK="$TMP/serve.sock"
+SOCK2="$TMP/hold.sock"
+SOCK3="$TMP/fault.sock"
+SERVE_PID=""
+HOLD_PID=""
+FAULT_PID=""
+
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  [ -n "$HOLD_PID" ] && kill "$HOLD_PID" 2>/dev/null || true
+  [ -n "$FAULT_PID" ] && kill "$FAULT_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+await() { # await <socket>: poll until the daemon answers a stats request
+  for _ in $(seq 1 200); do
+    if "$TQECC" request --socket "$1" --stats >/dev/null 2>&1; then return 0; fi
+    sleep 0.05
+  done
+  fail "daemon on $1 never became ready"
+}
+
+stat_of() { # stat_of <socket> <field>
+  "$TQECC" request --socket "$1" --stats | tr ' ' '\n' | sed -n "s/^$2=//p"
+}
+
+# ---------------------------------------------------------------- parity
+
+"$TQECC" serve --socket "$SOCK" --capacity 2 >/dev/null &
+SERVE_PID=$!
+await "$SOCK"
+
+for combo in "4gt10-v1_81 16" "4gt4-v0_73 32" "rd84_142 96"; do
+  set -- $combo; b="$1"; s="$2"
+  for knobs in "--seed 1 -r 1" "--seed 9 -r 2"; do
+    "$TQECC" compress "$b" --scale "$s" -e quick $knobs --porcelain \
+      > "$TMP/cli.out" || fail "compress $b/$s $knobs"
+    "$TQECC" request --socket "$SOCK" "$b" --scale "$s" -e quick $knobs \
+      > "$TMP/srv.out" 2>/dev/null || fail "request $b/$s $knobs"
+    cmp -s "$TMP/cli.out" "$TMP/srv.out" \
+      || fail "parity broke for $b scale $s ($knobs): $(cat "$TMP/cli.out") vs $(cat "$TMP/srv.out")"
+    "$TQECC" check "$b" --scale "$s" -e quick $knobs >/dev/null \
+      || fail "check rejected $b scale $s ($knobs)"
+  done
+done
+echo "serve-smoke: parity holds on 3 instances x 2 knob sets (+check clean)"
+
+# ---------------------------------------------------------------- caching
+
+cat > "$TMP/fix.qct" <<'EOF'
+qubits 3
+h 0
+cnot 0 1
+t 1
+cnot 1 2
+EOF
+
+H0="$(stat_of "$SOCK" hits)"
+"$TQECC" request --socket "$SOCK" "$TMP/fix.qct" > "$TMP/fix1.out" 2>/dev/null \
+  || fail "fixture request"
+"$TQECC" request --socket "$SOCK" "$TMP/fix.qct" > "$TMP/fix2.out" 2>"$TMP/fix2.err" \
+  || fail "duplicate fixture request"
+H1="$(stat_of "$SOCK" hits)"
+cmp -s "$TMP/fix1.out" "$TMP/fix2.out" || fail "cached payload differs"
+[ "$H1" -eq $((H0 + 1)) ] || fail "hit counter did not increment ($H0 -> $H1)"
+grep -q "served from cache" "$TMP/fix2.err" || fail "duplicate not marked cached"
+echo "serve-smoke: duplicate request served from cache ($H0 -> $H1 hits), identical bytes"
+
+"$TQECC" request --socket "$SOCK" --shutdown >/dev/null || fail "shutdown"
+wait "$SERVE_PID" || fail "daemon exited non-zero"
+SERVE_PID=""
+[ ! -e "$SOCK" ] || fail "socket file left behind"
+
+# --------------------------------------------------------------- overload
+
+TQEC_SERVE_HOLD_MS=2000 "$TQECC" serve --socket "$SOCK2" --capacity 1 \
+  >/dev/null &
+HOLD_PID=$!
+await "$SOCK2"
+
+"$TQECC" compress 4gt10-v1_81 --scale 16 -e quick --seed 1 --porcelain \
+  > "$TMP/want.out"
+"$TQECC" request --socket "$SOCK2" 4gt10-v1_81 --scale 16 -e quick --seed 1 \
+  > "$TMP/admitted.out" 2>/dev/null &
+ADM_PID=$!
+sleep 0.5
+
+P1= P2= P3=
+for i in 1 2 3; do
+  "$TQECC" request --socket "$SOCK2" 4gt4-v0_73 --scale 32 -e quick --seed "$i" \
+    >/dev/null 2>"$TMP/busy$i.err" &
+  eval "P$i=$!"
+done
+for i in 1 2 3; do
+  rc=0; eval "wait \$P$i" || rc=$?
+  [ "$rc" -eq 3 ] || fail "overflow request $i exited $rc, want 3 (busy)"
+  grep -q "server busy" "$TMP/busy$i.err" || fail "request $i missing busy message"
+done
+
+rc=0; wait "$ADM_PID" || rc=$?
+[ "$rc" -eq 0 ] || fail "admitted request exited $rc"
+cmp -s "$TMP/want.out" "$TMP/admitted.out" \
+  || fail "admitted request payload diverged under overload"
+
+BUSY="$(stat_of "$SOCK2" busy)"
+[ "$BUSY" -eq 3 ] || fail "busy counter is $BUSY, want 3"
+echo "serve-smoke: overload refused 3/3 with structured busy; admitted request completed"
+
+"$TQECC" request --socket "$SOCK2" --shutdown >/dev/null || fail "shutdown (hold)"
+wait "$HOLD_PID" || fail "hold daemon exited non-zero"
+HOLD_PID=""
+
+# ----------------------------------------------------------------- faults
+
+TQEC_SERVE_FAULT=verification "$TQECC" serve --socket "$SOCK3" >/dev/null &
+FAULT_PID=$!
+await "$SOCK3"
+
+rc=0
+"$TQECC" request --socket "$SOCK3" 4gt10-v1_81 --scale 16 -e quick \
+  >/dev/null 2>"$TMP/fault.err" || rc=$?
+[ "$rc" -eq 1 ] || fail "planted-fault request exited $rc, want 1"
+grep -q "verification: planted fault" "$TMP/fault.err" \
+  || fail "planted fault not surfaced as structured error: $(cat "$TMP/fault.err")"
+ERRS="$(stat_of "$SOCK3" errors)" \
+  || fail "daemon died after planted fault instead of serving stats"
+[ "$ERRS" -eq 1 ] || fail "error counter is $ERRS, want 1"
+echo "serve-smoke: planted pipeline failure answered as structured error; daemon survived"
+
+"$TQECC" request --socket "$SOCK3" --shutdown >/dev/null || fail "shutdown (fault)"
+wait "$FAULT_PID" || fail "fault daemon exited non-zero"
+FAULT_PID=""
+
+echo "serve-smoke: OK"

@@ -7,7 +7,10 @@
                 space-time volume
      table1 / table2 / table3 — regenerate the paper's tables
      fig1     — regenerate the Fig. 1 volume sequence
-     render   — print the canonical geometric description (small inputs) *)
+     render   — print the canonical geometric description (small inputs)
+     serve    — long-lived compression daemon on a unix socket, with an
+                LRU result cache and bounded admission
+     request  — client for a running daemon *)
 
 open Cmdliner
 module Suite = Tqec_circuit.Suite
@@ -55,6 +58,17 @@ let input_arg =
      tier-x<k> scale tier."
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+(* The CLI layer is where the environment becomes a default: one read
+   per process invocation, passed down as explicit config — library code
+   below never captures TQEC_DEBUG ambiently. *)
+let debug_from_env () = Sys.getenv_opt "TQEC_DEBUG" <> None
+
+let debug_arg =
+  let doc =
+    "Per-stage progress trace on stderr (also enabled by \\$(b,TQEC_DEBUG))."
+  in
+  Arg.(value & flag & info [ "debug" ] ~doc)
 
 let effort_arg =
   let doc = "Placement effort: quick, normal or full." in
@@ -233,10 +247,22 @@ let print_timings (r : Pipeline.t) =
     s.Tqec_util.Pool.executed s.Tqec_util.Pool.stolen
     s.Tqec_util.Pool.injected s.Tqec_util.Pool.parks
 
+let porcelain_arg =
+  let doc =
+    "Deterministic single-line output: the result summary without the \
+     elapsed time — byte-identical to what $(b,tqecc request) receives \
+     from a serving daemon for the same input and knobs."
+  in
+  Arg.(value & flag & info [ "porcelain" ] ~doc)
+
 let compress_cmd =
-  let run input variant effort seed restarts jobs early_stop partition corridor
-      optimize timings =
-    let c = load_circuit input in
+  let run input variant effort seed scale restarts jobs early_stop partition
+      corridor optimize timings porcelain debug =
+    let c =
+      match Suite.find input with
+      | Some entry -> Suite.scaled ~factor:(max 1 scale) entry
+      | None -> load_circuit input
+    in
     let c =
       if optimize then begin
         let c' = Tqec_circuit.Optimize.run c in
@@ -249,32 +275,42 @@ let compress_cmd =
     let config =
       { Pipeline.default_config with variant; effort; seed;
         restarts = max 1 restarts; jobs; early_stop_margin = early_stop;
-        partition; corridor_cells = corridor }
+        partition; corridor_cells = corridor;
+        debug = debug || debug_from_env () }
     in
-    let r = Pipeline.run ~config c in
-    let p = r.Pipeline.placement in
-    Format.printf
-      "%s: volume=%s (%dx%dx%d) modules=%d nodes=%d bridges=%d routed=%b \
-       elapsed=%.2fs@."
-      c.Tqec_circuit.Circuit.name
-      (Tqec_util.Pretty.int_with_commas r.Pipeline.volume)
-      p.Tqec_place.Placer.width p.Tqec_place.Placer.height
-      p.Tqec_place.Placer.depth r.Pipeline.stages.Pipeline.st_modules
-      r.Pipeline.stages.Pipeline.st_nodes
-      r.Pipeline.stages.Pipeline.st_dual_bridges
-      r.Pipeline.routing.Tqec_route.Pathfinder.success r.Pipeline.elapsed;
+    let r =
+      match Pipeline.run ~config c with
+      | r -> r
+      | exception Pipeline.Stage_failure { stage; message } ->
+          die "%s stage failed: %s" stage message
+    in
+    if porcelain then print_endline (Pipeline.summary r)
+    else begin
+      let p = r.Pipeline.placement in
+      Format.printf
+        "%s: volume=%s (%dx%dx%d) modules=%d nodes=%d bridges=%d routed=%b \
+         elapsed=%.2fs@."
+        c.Tqec_circuit.Circuit.name
+        (Tqec_util.Pretty.int_with_commas r.Pipeline.volume)
+        p.Tqec_place.Placer.width p.Tqec_place.Placer.height
+        p.Tqec_place.Placer.depth r.Pipeline.stages.Pipeline.st_modules
+        r.Pipeline.stages.Pipeline.st_nodes
+        r.Pipeline.stages.Pipeline.st_dual_bridges
+        r.Pipeline.routing.Tqec_route.Pathfinder.success r.Pipeline.elapsed
+    end;
     if timings then print_timings r;
     match Pipeline.check r with
     | [] -> ()
     | issues ->
-        List.iter (Format.printf "warning: %s@.") issues;
+        List.iter (Format.eprintf "warning: %s@.") issues;
         exit 1
   in
   Cmd.v
     (Cmd.info "compress" ~doc:"Run the bridge-compression flow.")
     Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
-          $ restarts_arg $ jobs_arg $ early_stop_arg $ partition_arg
-          $ corridor_arg $ optimize_arg $ timings_arg)
+          $ scale_arg $ restarts_arg $ jobs_arg $ early_stop_arg
+          $ partition_arg $ corridor_arg $ optimize_arg $ timings_arg
+          $ porcelain_arg $ debug_arg)
 
 let experiment_config effort scale seed restarts jobs early_stop benchmarks =
   {
@@ -287,6 +323,7 @@ let experiment_config effort scale seed restarts jobs early_stop benchmarks =
     jobs;
     early_stop_margin = early_stop;
     partition = Experiments.partition_from_env ();
+    debug = debug_from_env ();
   }
 
 let benchmarks_arg =
@@ -347,13 +384,16 @@ let export_cmd =
             "Write the OBJ even when verification fails (the report is \
              still printed to stderr).")
   in
-  let run input variant effort seed scale jobs out force =
+  let run input variant effort seed scale jobs out force debug =
     let c =
       match Suite.find input with
       | Some entry -> Suite.scaled ~factor:(max 1 scale) entry
       | None -> load_circuit input
     in
-    let config = { Pipeline.default_config with variant; effort; seed; jobs } in
+    let config =
+      { Pipeline.default_config with variant; effort; seed; jobs;
+        debug = debug || debug_from_env () }
+    in
     let r = Pipeline.run ~config c in
     (* Undocumented test hook: plant a fault after the run so the
        export-gate regression rule (bench/dune) can prove the gate
@@ -394,7 +434,7 @@ let export_cmd =
           unsound result is refused (non-zero exit) unless --force is \
           given.")
     Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
-          $ scale_arg $ jobs_arg $ out_arg $ force_arg)
+          $ scale_arg $ jobs_arg $ out_arg $ force_arg $ debug_arg)
 
 let check_cmd =
   let stage_arg =
@@ -421,7 +461,7 @@ let check_cmd =
       & info [ "s"; "stage" ] ~docv:"STAGE" ~doc)
   in
   let run input variant effort seed scale restarts jobs early_stop partition
-      corridor stages =
+      corridor stages debug =
     let c =
       match Suite.find input with
       | Some entry -> Suite.scaled ~factor:(max 1 scale) entry
@@ -430,7 +470,8 @@ let check_cmd =
     let config =
       { Pipeline.default_config with variant; effort; seed;
         restarts = max 1 restarts; jobs; early_stop_margin = early_stop;
-        partition; corridor_cells = corridor }
+        partition; corridor_cells = corridor;
+        debug = debug || debug_from_env () }
     in
     let r = Pipeline.run ~config c in
     let stages = match stages with [] -> None | ss -> Some ss in
@@ -448,7 +489,216 @@ let check_cmd =
           and cross-checked.  Non-zero exit on any violation.")
     Term.(const run $ input_arg $ variant_arg $ effort_arg $ seed_arg
           $ scale_arg $ restarts_arg $ jobs_arg $ early_stop_arg
-          $ partition_arg $ corridor_arg $ stage_arg)
+          $ partition_arg $ corridor_arg $ stage_arg $ debug_arg)
+
+(* ------------------------------------------------------------------ *)
+(* serve / request                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Tqec_serve.Server
+module Client = Tqec_serve.Client
+module Protocol = Tqec_serve.Protocol
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the serving daemon." in
+  Arg.(
+    value
+    & opt string Serve.default_config.Serve.socket_path
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let capacity_arg =
+    let doc =
+      "Admission cap: cache-miss requests admitted but not yet answered.  \
+       Beyond it, requests receive a structured busy response immediately."
+    in
+    Arg.(value & opt int Serve.default_config.Serve.capacity
+         & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let cache_mb_arg =
+    let doc = "Result-cache byte budget in MiB (0 disables caching)." in
+    Arg.(value & opt int 16 & info [ "cache-mb" ] ~docv:"MB" ~doc)
+  in
+  let max_jobs_arg =
+    let doc = "Clamp on worker domains any single request may use." in
+    Arg.(value & opt (some int) None & info [ "max-jobs" ] ~docv:"N" ~doc)
+  in
+  let verbose_arg =
+    let doc = "Log requests (hits, misses, busy) on stderr." in
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+  in
+  let run socket capacity cache_mb max_jobs verbose =
+    if capacity < 1 then die "--capacity must be >= 1";
+    if cache_mb < 0 then die "--cache-mb must be >= 0";
+    (* env-read: call-time capture at the CLI layer, like TQEC_DEBUG
+       above — a test hook making overload deterministic, read once at
+       daemon startup, never per request. *)
+    let hold_ms =
+      match Sys.getenv_opt "TQEC_SERVE_HOLD_MS" with
+      | None -> 0
+      | Some s -> (
+          match int_of_string_opt s with
+          | Some v when v >= 0 -> v
+          | _ -> die "TQEC_SERVE_HOLD_MS must be a non-negative integer")
+    in
+    (* env-read: same CLI-layer startup capture — plants a pipeline
+       Stage_failure so the smoke test can prove a compute-time
+       exception answers as a structured error without killing the
+       daemon. *)
+    let fault = Sys.getenv_opt "TQEC_SERVE_FAULT" in
+    let config =
+      {
+        Serve.socket_path = socket;
+        capacity;
+        cache_bytes = cache_mb * 1024 * 1024;
+        max_jobs;
+        hold_ms;
+        fault;
+        verbose;
+      }
+    in
+    let s =
+      try Serve.run config
+      with Unix.Unix_error (e, _, arg) ->
+        die "cannot serve on %s: %s %s" socket (Unix.error_message e) arg
+    in
+    Printf.printf
+      "serve: done served=%d busy=%d errors=%d hits=%d misses=%d\n%!"
+      s.Protocol.sv_served s.Protocol.sv_busy s.Protocol.sv_errors
+      s.Protocol.sv_hits s.Protocol.sv_misses
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived compression daemon on a unix-domain socket.  \
+          Results are cached by a canonical fingerprint of the decomposed \
+          circuit plus the result-affecting knobs; served payloads are \
+          byte-identical to $(b,tqecc compress --porcelain) for the same \
+          input and knobs.  Overload yields structured busy responses, \
+          never a crash.  Stop it with $(b,tqecc request --shutdown).")
+    Term.(const run $ socket_arg $ capacity_arg $ cache_mb_arg $ max_jobs_arg
+          $ verbose_arg)
+
+let request_cmd =
+  let input_arg =
+    let doc =
+      "Input circuit: a benchmark name (e.g. rd84_142), a tier-x<k> scale \
+       tier, or a Clifford+T .qct fixture (sent inline).  RevLib .real \
+       files are not accepted over the wire — decompose locally first."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let stats_flag =
+    let doc = "Query the daemon's counters instead of compressing." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let shutdown_flag =
+    let doc = "Ask the daemon to shut down (after draining in-flight work)." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let verify_flag =
+    let doc =
+      "Ask the daemon to run the whole-pipeline translation validation \
+       before answering; a violation comes back as a structured error."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let progress_flag =
+    let doc = "Print streamed per-stage progress frames on stderr." in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  let run socket input variant effort seed scale restarts jobs early_stop
+      partition corridor verify stats shutdown progress debug =
+    let request =
+      if stats then Protocol.Stats
+      else if shutdown then Protocol.Shutdown
+      else
+        let name = match input with
+          | Some name -> name
+          | None -> die "missing CIRCUIT (or use --stats / --shutdown)"
+        in
+        let input =
+          match Suite.find name with
+          | Some _ -> Protocol.Named { name; scale = max 1 scale }
+          | None ->
+              if Tqec_circuit.Generator.tier_of_name name <> None then
+                Protocol.Named { name; scale = max 1 scale }
+              else if Sys.file_exists name then
+                if Filename.check_suffix name ".qct" then
+                  let ic = open_in_bin name in
+                  let text =
+                    Fun.protect
+                      ~finally:(fun () -> close_in_noerr ic)
+                      (fun () -> really_input_string ic (in_channel_length ic))
+                  in
+                  Protocol.Qct
+                    {
+                      name =
+                        Filename.remove_extension (Filename.basename name);
+                      text;
+                    }
+                else
+                  die
+                    "%S: only .qct fixtures can be sent inline (decompose \
+                     .real files locally first)"
+                    name
+              else
+                die
+                  "unknown benchmark %S (not a suite name, not a tier-x<k> \
+                   scale tier, not a .qct file); suite: %s"
+                  name
+                  (String.concat ", " Suite.names)
+        in
+        let knobs =
+          {
+            Protocol.variant;
+            effort;
+            seed;
+            restarts = max 1 restarts;
+            jobs;
+            early_stop;
+            partition;
+            corridor;
+            debug = debug || debug_from_env ();
+            verify;
+          }
+        in
+        Protocol.Compress { input; knobs }
+    in
+    let on_progress ~stage ~seconds =
+      if progress then Printf.eprintf "[%-10s] %6.2fs\n%!" stage seconds
+    in
+    match Client.call ~socket ~on_progress request with
+    | Protocol.Result { payload; cached; timings = _ } ->
+        if cached then prerr_endline "request: served from cache";
+        print_endline payload
+    | Protocol.Busy { in_flight; capacity } ->
+        Printf.eprintf "tqecc: server busy (in-flight=%d capacity=%d)\n"
+          in_flight capacity;
+        exit 3
+    | Protocol.Failed { message } ->
+        Printf.eprintf "tqecc: server error: %s\n" message;
+        exit 1
+    | Protocol.Stats_reply s ->
+        Printf.printf
+          "hits=%d misses=%d entries=%d bytes=%d served=%d busy=%d \
+           errors=%d in-flight=%d capacity=%d\n"
+          s.Protocol.sv_hits s.Protocol.sv_misses s.Protocol.sv_entries
+          s.Protocol.sv_bytes s.Protocol.sv_served s.Protocol.sv_busy
+          s.Protocol.sv_errors s.Protocol.sv_in_flight s.Protocol.sv_capacity
+    | Protocol.Bye -> print_endline "bye"
+    | Protocol.Progress _ -> die "protocol violation: progress as terminal frame"
+    | exception Client.Connect_error m -> die "%s" m
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running $(b,tqecc serve) daemon and print \
+          the result (exit 3 when the daemon refuses with busy).")
+    Term.(const run $ socket_arg $ input_arg $ variant_arg $ effort_arg
+          $ seed_arg $ scale_arg $ restarts_arg $ jobs_arg $ early_stop_arg
+          $ partition_arg $ corridor_arg $ verify_flag $ stats_flag
+          $ shutdown_flag $ progress_flag $ debug_arg)
 
 let render_cmd =
   let run input =
@@ -475,4 +725,5 @@ let () =
           [
             stats_cmd; compress_cmd; check_cmd; table1_cmd; table2_cmd;
             table3_cmd; fig1_cmd; render_cmd; ablate_cmd; export_cmd;
+            serve_cmd; request_cmd;
           ]))

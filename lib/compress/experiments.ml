@@ -15,13 +15,21 @@ type config = {
   jobs : int option;
   early_stop_margin : float option;
   partition : int option;
+  debug : bool;
 }
+
+(* env-read: call-time capture, daemon-safe by construction — [env] is
+   only reached from [partition_from_env] / [config_from_env], which the
+   CLI and bench entry points call once per invocation to build their
+   defaults.  The serving daemon never consults the environment for
+   request-scoped behavior: every request carries explicit knobs. *)
+let env name = Sys.getenv_opt name
 
 (* TQEC_PARTITION: node-count cap for divide-and-conquer placement
    ("400" = partition instances beyond 400 nodes); "off" / unset / a
    non-positive value keeps the single-die annealer. *)
 let partition_from_env () =
-  match Sys.getenv_opt "TQEC_PARTITION" with
+  match env "TQEC_PARTITION" with
   | Some s -> (
       match int_of_string_opt s with
       | Some v when v >= 1 -> Some v
@@ -36,7 +44,7 @@ let auto_factor (entry : Suite.entry) =
 
 let config_from_env () =
   let effort =
-    match Sys.getenv_opt "TQEC_EFFORT" with
+    match env "TQEC_EFFORT" with
     | Some s -> (
         match Placer.effort_of_string (String.lowercase_ascii s) with
         | Some e -> e
@@ -44,30 +52,30 @@ let config_from_env () =
     | None -> Placer.Quick
   in
   let scale =
-    match Sys.getenv_opt "TQEC_SCALE" with
+    match env "TQEC_SCALE" with
     | Some s -> ( match int_of_string_opt s with Some v when v >= 1 -> v | _ -> 1)
     | None -> 1
   in
   let seed =
-    match Sys.getenv_opt "TQEC_SEED" with
+    match env "TQEC_SEED" with
     | Some s -> ( match int_of_string_opt s with Some v -> v | None -> 42)
     | None -> 42
   in
-  let auto_scale = Sys.getenv_opt "TQEC_FULLSIZE" = None in
+  let auto_scale = env "TQEC_FULLSIZE" = None in
   let restarts =
-    match Sys.getenv_opt "TQEC_RESTARTS" with
+    match env "TQEC_RESTARTS" with
     | Some s -> ( match int_of_string_opt s with Some v when v >= 1 -> v | _ -> 1)
     | None -> 1
   in
   let jobs =
-    match Sys.getenv_opt "TQEC_JOBS" with
+    match env "TQEC_JOBS" with
     | Some s -> ( match int_of_string_opt s with Some v when v >= 1 -> Some v | _ -> None)
     | None -> None
   in
   (* TQEC_EARLY_STOP: relative margin for adaptive multi-start early
      stopping ("0.05" = 5%); "off" (or any non-float) disables it. *)
   let early_stop_margin =
-    match Sys.getenv_opt "TQEC_EARLY_STOP" with
+    match env "TQEC_EARLY_STOP" with
     | Some s -> (
         match float_of_string_opt s with
         | Some m when m >= 0. -> Some m
@@ -75,7 +83,8 @@ let config_from_env () =
     | None -> Pipeline.default_config.Pipeline.early_stop_margin
   in
   { effort; scale; auto_scale; seed; benchmarks = Suite.names; restarts; jobs;
-    early_stop_margin; partition = partition_from_env () }
+    early_stop_margin; partition = partition_from_env ();
+    debug = env "TQEC_DEBUG" <> None }
 
 let run_benchmark config (entry : Suite.entry) =
   let factor =
@@ -97,6 +106,7 @@ let run_benchmark config (entry : Suite.entry) =
           restarts = config.restarts;
           early_stop_margin = config.early_stop_margin;
           partition = config.partition;
+          debug = config.debug;
           (* inner stages (placement multi-start, the router's
              per-iteration batches) share the same persistent pool as
              the suite fan-out: a blocked instance helps drain nested

@@ -29,11 +29,18 @@ type config = {
       (** divide-and-conquer placement cap (see
           {!Tqec_place.Placer.config}); [None] keeps single-die
           annealing *)
+  debug : bool;
+      (** per-stage pipeline/router traces on stderr (see
+          {!Pipeline.config}); defaults from [TQEC_DEBUG] in
+          {!config_from_env} *)
 }
 
 (** [config_from_env ()] reads TQEC_EFFORT / TQEC_SCALE / TQEC_SEED /
     TQEC_RESTARTS / TQEC_JOBS / TQEC_EARLY_STOP ("off" to disable) /
-    TQEC_PARTITION (a node cap; unset or non-positive to disable). *)
+    TQEC_PARTITION (a node cap; unset or non-positive to disable) /
+    TQEC_DEBUG.  All reads happen at call time (an entry point builds
+    its defaults once per invocation); nothing is captured at module
+    load, so a long-running process never freezes these. *)
 val config_from_env : unit -> config
 
 (** [partition_from_env ()] parses TQEC_PARTITION alone — the shared

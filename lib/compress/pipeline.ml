@@ -27,13 +27,28 @@ type config = {
   partition : int option;
   corridor_cells : int option;
   sa_moves_cap : int option;
+  debug : bool;
+  verify : bool option;
 }
 
 let default_config =
   { variant = Full; effort = Placer.Normal; seed = 42; enable_ishape = true;
     z_cap = None; strategy = Placer.Annealing; restarts = 1; jobs = None;
     early_stop_margin = Placer.default_config.Placer.early_stop_margin;
-    partition = None; corridor_cells = None; sa_moves_cap = None }
+    partition = None; corridor_cells = None; sa_moves_cap = None;
+    debug = false; verify = None }
+
+exception
+  Stage_failure of {
+    stage : string;
+    message : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Stage_failure { stage; message } ->
+        Some (Printf.sprintf "Pipeline.Stage_failure(%s): %s" stage message)
+    | _ -> None)
 
 type stage_stats = {
   st_modules : int;
@@ -220,16 +235,17 @@ let build_route_grid ?extra_z graph placement nets =
     nets;
   grid
 
-let debug = Sys.getenv_opt "TQEC_DEBUG" <> None
-
-let rec run_icm ?(config = default_config) icm =
+let rec run_icm ?(config = default_config) ?on_stage icm =
+  let debug = config.debug in
   let t0 = Unix.gettimeofday () in
   let timings = ref [] in
   let last_mark = ref t0 in
   let mark name =
     let now = Unix.gettimeofday () in
-    timings := (name, now -. !last_mark) :: !timings;
+    let dt = now -. !last_mark in
+    timings := (name, dt) :: !timings;
     last_mark := now;
+    (match on_stage with Some f -> f name dt | None -> ());
     if debug then
       Printf.eprintf "[pipeline] %-12s %6.2fs\n%!" name (now -. t0)
   in
@@ -287,10 +303,12 @@ let rec run_icm ?(config = default_config) icm =
   let routing =
     let route_config =
       match config.corridor_cells with
-      | None -> { Pathfinder.default_config with jobs = config.jobs }
+      | None ->
+          { Pathfinder.default_config with jobs = config.jobs;
+            debug = config.debug }
       | Some cells ->
           { Pathfinder.default_config with jobs = config.jobs;
-            corridor_cells = cells }
+            corridor_cells = cells; debug = config.debug }
     in
     Pathfinder.route_all grid route_config nets
   in
@@ -347,17 +365,35 @@ let rec run_icm ?(config = default_config) icm =
       timings = List.rev !timings;
     }
   in
-  (match Sys.getenv_opt "TQEC_VERIFY" with
-  | Some "" | Some "0" | None -> ()
-  | Some _ ->
-      let report = verify r in
-      if not (Tqec_verify.Violation.ok report) then begin
-        prerr_string (Tqec_verify.Violation.render report);
-        failwith
-          (Printf.sprintf "TQEC_VERIFY: %d violation(s) on %s"
-             (List.length report.Tqec_verify.Violation.violations)
-             icm.Icm.name)
-      end);
+  let want_verify =
+    match config.verify with
+    | Some explicit -> explicit
+    | None -> (
+        (* env-read: call-time capture — consulted once per run, never
+           frozen at module load, so a daemon re-reads it per request;
+           request-scoped control goes through [config.verify]. *)
+        match Sys.getenv_opt "TQEC_VERIFY" with
+        | Some "" | Some "0" | None -> false
+        | Some _ -> true)
+  in
+  if want_verify then begin
+    let report = verify r in
+    if not (Tqec_verify.Violation.ok report) then begin
+      prerr_string (Tqec_verify.Violation.render report);
+      (* A structured, catchable failure: a serving daemon turns it into
+         a failed-request response instead of losing a worker to an
+         anonymous [Failure] (the pre-daemon behavior). *)
+      raise
+        (Stage_failure
+           {
+             stage = "verify";
+             message =
+               Printf.sprintf "%d violation(s) on %s"
+                 (List.length report.Tqec_verify.Violation.violations)
+                 icm.Icm.name;
+           })
+    end
+  end;
   r
 
 and verify ?stages (r : t) =
@@ -379,11 +415,25 @@ and verify ?stages (r : t) =
       a_geometry = Some geometry;
     }
 
-let run ?(config = default_config) circuit =
+let run ?(config = default_config) ?on_stage circuit =
   let circuit =
     if Tqec_circuit.Circuit.is_clifford_t circuit then circuit
     else Tqec_circuit.Clifford_t.decompose circuit
   in
-  run_icm ~config (Tqec_icm.Decompose.run circuit)
+  run_icm ~config ?on_stage (Tqec_icm.Decompose.run circuit)
 
 let check r = Tqec_verify.Violation.to_strings (verify r)
+
+(* The deterministic result record: exactly what `tqecc compress` prints
+   minus the wall-clock tail.  A pure function of (input, seed, knobs) —
+   the serving daemon caches and returns these bytes verbatim, so parity
+   between a served response and a local CLI run is a string equality. *)
+let summary (r : t) =
+  let p = r.placement in
+  Printf.sprintf
+    "%s: volume=%s (%dx%dx%d) modules=%d nodes=%d bridges=%d routed=%b"
+    r.icm.Icm.name
+    (Tqec_util.Pretty.int_with_commas r.volume)
+    p.Placer.width p.Placer.height p.Placer.depth r.stages.st_modules
+    r.stages.st_nodes r.stages.st_dual_bridges
+    r.routing.Pathfinder.success

@@ -46,9 +46,27 @@ type config = {
           {!Tqec_place.Placer.config}); [None] (the default) keeps the
           effort-derived budget.  The fuzzing harness bounds per-case
           placement work with it *)
+  debug : bool;
+      (** per-stage progress trace on stderr (also threaded into the
+          router's negotiation trace).  A config field rather than an
+          ambient [TQEC_DEBUG] read, so concurrent pipeline runs — e.g.
+          requests inside the serving daemon — are isolated; the CLI
+          layer defaults it from the environment *)
+  verify : bool option;
+      (** [Some true] forces the whole-pipeline translation validation
+          after the run ({!verify}), [Some false] disables it; [None]
+          (the default) defers to the [TQEC_VERIFY] environment hook,
+          which is re-read on every call (never captured at load time) *)
 }
 
 val default_config : config
+
+(** Raised when a requested post-run validation finds violations (and,
+    over time, by any stage that detects an unrecoverable inconsistency).
+    Structured — stage plus message — so a long-running server can catch
+    it at the request boundary and answer with a failed-request response
+    instead of dying; the CLI layers report it and exit non-zero. *)
+exception Stage_failure of { stage : string; message : string }
 
 (** Per-stage observability: counts after each stage. *)
 type stage_stats = {
@@ -86,17 +104,33 @@ type t = {
           Consumed by [tqecc --timings]. *)
 }
 
-(** [run ?config circuit] executes the flow on a reversible or Clifford+T
-    circuit (gate decomposition runs first when needed). *)
-val run : ?config:config -> Tqec_circuit.Circuit.t -> t
+(** [run ?config ?on_stage circuit] executes the flow on a reversible or
+    Clifford+T circuit (gate decomposition runs first when needed).
+    [on_stage name seconds] is invoked as each stage completes — the
+    serving daemon streams these as progress frames. *)
+val run :
+  ?config:config -> ?on_stage:(string -> float -> unit) ->
+  Tqec_circuit.Circuit.t -> t
 
-(** [run_icm ?config icm] enters the flow after the preprocess stage.
+(** [run_icm ?config ?on_stage icm] enters the flow after the preprocess
+    stage.
 
-    When the environment variable [TQEC_VERIFY] is set (to anything but
-    ["0"] or the empty string), the full translation-validation pass
-    ({!verify}) runs on the result and a violated invariant aborts with
-    [Failure] after rendering the report to stderr. *)
-val run_icm : ?config:config -> Tqec_icm.Icm.t -> t
+    When [config.verify] asks for it (explicitly, or via the [TQEC_VERIFY]
+    environment hook re-read on each call), the full translation
+    validation ({!verify}) runs on the result and a violated invariant
+    raises {!Stage_failure} after rendering the report to stderr. *)
+val run_icm :
+  ?config:config -> ?on_stage:(string -> float -> unit) ->
+  Tqec_icm.Icm.t -> t
+
+(** [summary r] is the deterministic one-line result record (name,
+    volume, die dimensions, module/node/bridge counts, routing success)
+    — byte-identical across runs with the same (input, seed, knobs) for
+    any worker count.  [tqecc compress] prints it (adding wall-clock
+    unless [--porcelain]) and the serving daemon caches and returns it
+    verbatim, which is what makes served-vs-CLI parity checkable by
+    string comparison. *)
+val summary : t -> string
 
 (** [verify ?stages r] re-derives and cross-checks the invariants of
     every pipeline boundary (default: all stages) via {!Tqec_verify};

@@ -76,6 +76,35 @@ let fingerprint (r : Pipeline.t) =
 
 let run_with config circuit = Pipeline.run ~config circuit
 
+(* family 4: serve codec.  A case expressed as a daemon request must
+   survive encode -> decode byte-exactly — the wire format and the fuzz
+   generator evolve independently, and this is the tripwire that keeps
+   them in sync.  Pure value-level round-trip; no socket, no server. *)
+let check_codec (case : Case.t) =
+  let module P = Tqec_serve.Protocol in
+  let text = Tqec_circuit.Qct.to_string case.Case.circuit in
+  let request =
+    P.Compress
+      {
+        input =
+          P.Qct
+            { name = case.Case.circuit.Tqec_circuit.Circuit.name; text };
+        knobs =
+          {
+            P.default_knobs with
+            P.seed = case.Case.seed;
+            restarts = case.Case.restarts;
+            jobs = Some case.Case.jobs;
+            partition = case.Case.partition;
+            corridor = case.Case.corridor_cells;
+          };
+      }
+  in
+  match P.decode_request (P.encode_request request) with
+  | Ok decoded when decoded = request -> []
+  | Ok _ -> [ "codec: decoded request differs from the encoded one" ]
+  | Error m -> [ Printf.sprintf "codec: round-trip failed to decode: %s" m ]
+
 let verify_failures ~label (r : Pipeline.t) =
   let report = Pipeline.verify r in
   let fails =
@@ -100,6 +129,8 @@ let check_case ?fault (case : Case.t) =
   | None ->
       let failures = ref [] in
       let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+      (* family 4 first (cheap, pure): the serve-codec round trip *)
+      List.iter (fun m -> failures := m :: !failures) (check_codec case);
       (* family 1: translation validation on the primary run *)
       List.iter (fun m -> failures := m :: !failures)
         (List.rev (verify_failures ~label:"verify" r));

@@ -45,6 +45,14 @@ val plant : fault -> Tqec_compress.Pipeline.t -> Tqec_compress.Pipeline.t
     [jobs], capped partition) must agree on it. *)
 val fingerprint : Tqec_compress.Pipeline.t -> string
 
+(** [check_codec case] round-trips the case, expressed as a serving
+    daemon request (inline [.qct] text plus its knob vector), through
+    {!Tqec_serve.Protocol}'s encode/decode and reports any lossiness.
+    Pure value-level property — no socket, no server; it keeps the wire
+    format honest as the fuzz generator and the protocol evolve
+    independently.  Also applied by {!check_case} as a fourth family. *)
+val check_codec : Case.t -> string list
+
 (** [check_case ?fault case] runs the pipeline on the case and applies
     every oracle family; the returned list of human-readable failure
     descriptions is empty when all properties hold.  With [?fault] the

@@ -12,6 +12,7 @@ type config = {
   region_margin : int;
   jobs : int option;
   corridor_cells : int;
+  debug : bool;
 }
 
 let default_config =
@@ -26,9 +27,11 @@ let default_config =
        the hierarchical path never perturbs their bit-identical
        dense-era routes; scale-tier substrates blow past it. *)
     corridor_cells = 1_000_000;
+    (* Per-call, never ambient: a long-running server routes many
+       requests with different settings, so the debug switch lives in
+       the config (the CLI layer defaults it from TQEC_DEBUG). *)
+    debug = false;
   }
-
-let debug = Sys.getenv_opt "TQEC_DEBUG" <> None
 
 type routed = { r_net : int; r_cells : Vec3.t list }
 
@@ -344,7 +347,7 @@ let route_all grid config nets =
       stagnant := 0
     end
     else incr stagnant;
-    if debug then
+    if config.debug then
       Printf.eprintf "[pathfinder] iter=%d rerouted=%d overused=%d jobs=%d\n%!"
         !iterations_used (Array.length batch) (List.length overused) jobs;
     if overused = [] && !unrouted = [] then finished := true
@@ -425,7 +428,7 @@ let route_all grid config nets =
   in
   cleanup ();
   let final_overused = Grid.overused grid in
-  if debug then
+  if config.debug then
     List.iter
       (fun c ->
         let users =

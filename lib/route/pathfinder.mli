@@ -40,6 +40,11 @@ type config = {
           bit-identical to the historical dense-grid router.  The
           default (1M cells) exceeds every paper-suite instance;
           [max_int] disables the hierarchical path entirely. *)
+  debug : bool;
+      (** per-iteration negotiation trace on stderr.  A config field —
+          not an ambient environment read — so concurrent callers (a
+          serving daemon handling several requests) stay isolated; the
+          CLI layer defaults it from [TQEC_DEBUG]. *)
 }
 
 val default_config : config

@@ -1,0 +1,94 @@
+(* Byte-budgeted LRU with lazy deletion.
+
+   Recency lives in a FIFO queue of (key, stamp) pairs; each touch pushes
+   a fresh stamp and bumps the per-key counter, so stale queue entries
+   are recognized (stamp mismatch) and discarded when they surface during
+   eviction.  This keeps every operation O(1) amortized without a
+   hand-rolled doubly-linked list.  The structure is deliberately
+   unsynchronized: the server only calls it while holding its state
+   lock. *)
+
+type entry = {
+  e_payload : string;
+  e_timings : (string * float) list;
+}
+
+type t = {
+  budget : int;  (* payload bytes; <= 0 disables caching *)
+  table : (string, entry) Hashtbl.t;
+  stamps : (string, int) Hashtbl.t;  (* key -> current stamp *)
+  order : (string * int) Queue.t;  (* oldest first, may hold stale pairs *)
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~budget =
+  {
+    budget;
+    table = Hashtbl.create 64;
+    stamps = Hashtbl.create 64;
+    order = Queue.create ();
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let entry_bytes e = String.length e.e_payload
+
+let touch t key =
+  let stamp =
+    match Hashtbl.find_opt t.stamps key with Some s -> s + 1 | None -> 0
+  in
+  Hashtbl.replace t.stamps key stamp;
+  Queue.push (key, stamp) t.order
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      touch t key;
+      Some (e.e_payload, e.e_timings)
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let remove_entry t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some e ->
+      t.bytes <- t.bytes - entry_bytes e;
+      Hashtbl.remove t.table key;
+      Hashtbl.remove t.stamps key
+
+let rec evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some (key, stamp) -> (
+      match Hashtbl.find_opt t.stamps key with
+      | Some live when live = stamp ->
+          remove_entry t key;
+          t.evictions <- t.evictions + 1
+      | _ -> evict_one t (* stale queue residue from an earlier touch *))
+
+let add t key ~payload ~timings =
+  let size = String.length payload in
+  (* An oversized payload would evict the whole cache and still not fit;
+     serve it uncached instead. *)
+  if size <= t.budget then begin
+    remove_entry t key;
+    Hashtbl.replace t.table key { e_payload = payload; e_timings = timings };
+    t.bytes <- t.bytes + size;
+    touch t key;
+    while t.bytes > t.budget do
+      evict_one t
+    done
+  end
+
+let entries t = Hashtbl.length t.table
+let bytes t = t.bytes
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions

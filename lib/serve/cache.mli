@@ -1,0 +1,29 @@
+(** Byte-budgeted LRU cache of served compression results.
+
+    Keys are {!Fingerprint} hex digests; values are the result payload
+    plus its original per-stage timings (replayed to cache-hit clients
+    so the response shape is uniform).  Accounting counts payload bytes
+    against [budget]; when an insertion pushes past it, least-recently
+    used entries are evicted until it fits.  A payload larger than the
+    whole budget is not cached at all.
+
+    Unsynchronized by design — the server calls every operation while
+    holding its state lock. *)
+
+type t
+
+val create : budget:int -> t
+
+(** [find t key] returns the cached payload and timings, counting a hit
+    (and refreshing recency) or a miss. *)
+val find : t -> string -> (string * (string * float) list) option
+
+val add : t -> string -> payload:string -> timings:(string * float) list -> unit
+
+(** Introspection for the [Stats] request and tests. *)
+
+val entries : t -> int
+val bytes : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int

@@ -1,0 +1,38 @@
+exception Connect_error of string
+
+let with_connection ~socket f =
+  let fd =
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | fd -> fd
+    | exception Unix.Unix_error (e, _, _) ->
+        raise (Connect_error (Unix.error_message e))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> ()
+      | exception Unix.Unix_error (e, _, _) ->
+          raise
+            (Connect_error
+               (Printf.sprintf "%s: %s" socket (Unix.error_message e))));
+      f fd)
+
+let call ~socket ?(on_progress = fun ~stage:_ ~seconds:_ -> ()) request =
+  with_connection ~socket (fun fd ->
+      Protocol.write_frame fd (Protocol.encode_request request);
+      let rec await () =
+        let frame =
+          match Protocol.read_frame fd with
+          | frame -> frame
+          | exception End_of_file ->
+              raise (Connect_error "server closed the connection early")
+        in
+        match Protocol.decode_response frame with
+        | Error m -> raise (Connect_error ("malformed response: " ^ m))
+        | Ok (Protocol.Progress { stage; seconds }) ->
+            on_progress ~stage ~seconds;
+            await ()
+        | Ok terminal -> terminal
+      in
+      await ())

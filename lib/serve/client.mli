@@ -1,0 +1,18 @@
+(** Client side of the serve protocol: one request per connection.
+
+    [call ~socket request] connects, sends the request, forwards any
+    streamed progress frames to [on_progress], and returns the terminal
+    response ([Result], [Busy], [Failed], [Stats_reply] or [Bye]).
+
+    Raises {!Connect_error} when the socket cannot be reached, the
+    server closes the connection before a terminal frame, or a response
+    fails to decode.  Never raises on a {e structured} failure — a
+    [Failed] response is a normal return value. *)
+
+exception Connect_error of string
+
+val call :
+  socket:string ->
+  ?on_progress:(stage:string -> seconds:float -> unit) ->
+  Protocol.request ->
+  Protocol.response

@@ -1,0 +1,12 @@
+(** Canonical cache keys for served compression results.
+
+    [of_icm icm ~knobs] hashes a canonical serialization of the full ICM
+    (every field, in order — CNOT order matters, so reordered
+    non-commuting gates fingerprint differently) together with the
+    result-affecting knobs.  [knobs.jobs] and [knobs.debug] are excluded
+    by design: the pipeline is deterministic in worker count, and the
+    debug trace never reaches the result payload — requests differing
+    only there must share a cache entry.  [knobs.verify] is likewise
+    excluded: validation checks the result, it doesn't change it. *)
+
+val of_icm : Tqec_icm.Icm.t -> knobs:Protocol.knobs -> string

@@ -1,0 +1,263 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape_into b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* %.17g round-trips every finite binary64 through decimal.  Integral
+   values keep an explicit ".0" so they re-read as Float, preserving the
+   Int/Float distinction across a round trip ([to_float] still accepts
+   Int for foreign producers). *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec print_into b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s -> escape_into b s
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          print_into b v)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_into b k;
+          Buffer.add_char b ':';
+          print_into b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  print_into b v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (recursive descent)                                        *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { text : string; mutable pos : int }
+
+let fail c fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (Printf.sprintf "at byte %d: %s" c.pos m))) fmt
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let continue = ref true in
+  while !continue do
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance c
+    | _ -> continue := false
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c "expected %C, found %C" ch x
+  | None -> fail c "expected %C, found end of input" ch
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.text && String.sub c.text c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c "invalid literal"
+
+let parse_string_body c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | None -> fail c "unterminated escape"
+        | Some e ->
+            advance c;
+            (match e with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if c.pos + 4 > String.length c.text then
+                  fail c "truncated \\u escape";
+                let hex = String.sub c.text c.pos 4 in
+                c.pos <- c.pos + 4;
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some v -> v
+                  | None -> fail c "malformed \\u escape %S" hex
+                in
+                (* we only ever emit \u00XX (control bytes); decode any
+                   BMP code point as UTF-8 for good measure *)
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char b
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | e -> fail c "unknown escape \\%c" e);
+            loop ())
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.text start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail c "malformed number %S" s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string_body c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              items (v :: acc)
+          | Some ']' ->
+              advance c;
+              List (List.rev (v :: acc))
+          | _ -> fail c "expected ',' or ']'"
+        in
+        items []
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance c;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail c "expected ',' or '}'"
+        in
+        fields []
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c "unexpected character %C" ch
+
+let of_string s =
+  let c = { text = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List l -> Some l | _ -> None

@@ -1,0 +1,41 @@
+(** A minimal JSON tree, printer and recursive-descent parser — just
+    enough for the serve protocol, with no dependency beyond the
+    standard library.
+
+    Totality and round-tripping are the contract the wire format needs:
+    [of_string (to_string v)] reproduces [v] for every value built from
+    finite floats and arbitrary byte strings (control characters are
+    emitted as [\u00XX] escapes; non-ASCII bytes pass through verbatim).
+    Integral floats are printed with an explicit ".0" so the Int/Float
+    distinction survives the round trip.  [of_string] never raises
+    anything but {!Parse_error} on hostile input. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+
+(** [of_string s] parses [s]; raises {!Parse_error} (with a byte
+    offset) on malformed input, including trailing garbage. *)
+val of_string : string -> t
+
+(** Accessors; [None] on a type mismatch or missing member. *)
+
+val member : string -> t -> t option
+val to_str : t -> string option
+val to_int : t -> int option
+
+(** Accepts [Int] too: the printer renders integral floats without a
+    fraction, so a float field can come back as an integer token. *)
+val to_float : t -> float option
+
+val to_bool : t -> bool option
+val to_list : t -> t list option

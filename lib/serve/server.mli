@@ -1,0 +1,42 @@
+(** The [tqecc serve] daemon: accepts framed {!Protocol} requests on a
+    unix-domain socket, runs the compression pipeline on cache misses,
+    and answers with payloads byte-identical to the CLI's porcelain
+    output for the same (input, seed, knobs).
+
+    Concurrency model: one accept loop, one lightweight thread per
+    connection.  Connection threads do bookkeeping under a state lock;
+    actual pipeline execution is serialized by a compute lock (the
+    pipeline's scratch state is per-domain, and systhreads share their
+    domain), with parallelism coming from the domain pool {e inside}
+    each run.  Admission control bounds admitted-but-unfinished
+    cache-miss requests at [capacity]; beyond that a request receives a
+    structured [Busy] response immediately — the daemon never queues
+    unboundedly and never crashes on overload.  Cache hits and stats
+    bypass admission entirely. *)
+
+type config = {
+  socket_path : string;
+  capacity : int;  (** max admitted cache-miss requests in flight *)
+  cache_bytes : int;  (** result-cache byte budget; [0] disables *)
+  max_jobs : int option;  (** clamp on per-request worker domains *)
+  hold_ms : int;
+      (** test hook: stall this long inside the compute section before
+          each pipeline run, so overload tests can pin the daemon in the
+          busy state deterministically.  [0] (the default) disables *)
+  fault : string option;
+      (** test hook: raise a planted {!Tqec_compress.Pipeline.Stage_failure}
+          with this stage name instead of running the pipeline, proving
+          the exception surfaces as a structured error response while the
+          daemon keeps serving.  [None] (the default) disables *)
+  verbose : bool;  (** request log on stderr *)
+}
+
+(** [/tmp/tqecc.sock], capacity 2, 16 MiB cache, no jobs clamp, no
+    hold, quiet. *)
+val default_config : config
+
+(** [run config] binds the socket (replacing any stale file), serves
+    until a [Shutdown] request arrives, drains admitted requests, and
+    removes the socket file.  Returns the final counters.  Blocks the
+    calling thread for the daemon's whole lifetime. *)
+val run : config -> Protocol.server_stats

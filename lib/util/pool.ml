@@ -31,6 +31,10 @@
    sleeper's re-check sees the condition — there is no interleaving in
    which both miss. *)
 
+(* env-read: call-time capture — re-read on every call, never frozen at
+   module load, so a long-running daemon sees updates and per-request
+   [jobs] overrides (which all pool entry points accept) bypass it
+   entirely.  Worker count never changes results, only speed. *)
 let default_jobs () =
   match Sys.getenv_opt "TQEC_JOBS" with
   | Some s -> (

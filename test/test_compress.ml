@@ -221,6 +221,7 @@ let test_report_rendering () =
       jobs = Some 1;
       early_stop_margin = Some 0.05;
       partition = None;
+      debug = false;
     }
   in
   let rows = Experiments.run_all config in
@@ -258,6 +259,7 @@ let test_summary_mentions_paper () =
       jobs = Some 1;
       early_stop_margin = Some 0.05;
       partition = None;
+      debug = false;
     }
   in
   let rows = Experiments.run_all config in
