@@ -1,126 +1,25 @@
-(* Determinism/daemon-readiness lint over the swept source trees.
-   Two rule families:
-
-   - [Hashtbl.iter] / [Hashtbl.fold] (hash-order: these are quoted
-     pattern names, not sites): iteration order depends on the hash
-     layout — a silent source of run-to-run nondeterminism whenever the
-     order can reach an output.  Each site must carry a nearby
-     [hash-order:] audit comment stating why the order cannot leak
-     (result sorted, operation commutative, ...).
-
-   - [Sys.getenv] under lib/ (env-read: a quoted pattern name, not a
-     site): an environment read in library code is a daemon hazard —
-     captured at module load it freezes one process-wide value across
-     every served request.  Each site must carry a nearby [env-read:]
-     audit comment stating why the capture is call-time and why it is
-     not request-scoped behavior (or how requests override it).  The
-     CLI/bench/test layers are exempt: one env read per process
-     invocation is exactly where defaults belong.
-
-   Unaudited sites fail the lint, and so `dune runtest`.
-
-   Usage: lint_determinism <dir>...   (the lib/, test/, bin/ and bench/
-   source trees; defaults to lib) *)
-
-let contains ~sub s =
-  let n = String.length s and m = String.length sub in
-  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
-  m = 0 || at 0
-
-type rule = {
-  patterns : string list;
-  marker : string;
-  (* a site passes if the marker appears on the site's line, within
-     [before] lines above (leading comment) or [after] below *)
-  before : int;
-  after : int;
-  applies : string -> bool;  (* path filter *)
-  advice : string;
-}
-
-let rules =
-  [
-    {
-      (* hash-order: quoted pattern names, and this audit keeps the lint
-         from flagging its own source when bench/ is swept *)
-      patterns = [ "Hashtbl.iter"; "Hashtbl.fold" ];
-      marker = "hash-order:";
-      before = 3;
-      after = 1;
-      applies = (fun _ -> true);
-      advice = "order-sensitive iteration; sort the output or add a";
-    };
-    {
-      (* env-read: quoted pattern name, not a site (bench/ is swept) *)
-      patterns = [ "Sys.getenv" ];
-      marker = "env-read:";
-      (* audit comments here explain capture time AND request scoping,
-         so they run longer than a hash-order note *)
-      before = 6;
-      after = 1;
-      applies = (fun path -> contains ~sub:"lib/" path);
-      advice =
-        "environment read in library code; thread it through a config \
-         (the CLI layer owns env defaults) or add a";
-    };
-  ]
-
-let read_lines path =
-  let ic = open_in path in
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> close_in ic);
-  Array.of_list (List.rev !lines)
-
-let rec ml_files dir =
-  let entries = Array.to_list (Sys.readdir dir) in
-  List.concat_map
-    (fun e ->
-      let path = Filename.concat dir e in
-      if Sys.is_directory path then ml_files path
-      else if Filename.check_suffix e ".ml" then [ path ]
-      else [])
-    entries
-  |> List.sort compare
-
-let lint_file path =
-  let lines = read_lines path in
-  let n = Array.length lines in
-  let bad = ref [] in
-  List.iter
-    (fun rule ->
-      if rule.applies path then
-        for i = 0 to n - 1 do
-          if List.exists (fun p -> contains ~sub:p lines.(i)) rule.patterns
-          then begin
-            let audited = ref false in
-            for j = max 0 (i - rule.before) to min (n - 1) (i + rule.after) do
-              if contains ~sub:rule.marker lines.(j) then audited := true
-            done;
-            if not !audited then bad := (i + 1, rule) :: !bad
-          end
-        done)
-    rules;
-  List.rev_map (fun (line, rule) -> (path, line, rule)) !bad
+(* Thin shim over the Tqec_lint subsystem (lib/lint), kept for direct
+   runs: dune exec bench/lint_determinism.exe -- [dirs].  The [@lint]
+   alias drives the same engine through `tqecc lint`, which adds
+   --format json / --rule / --baseline; this shim is the full catalog
+   over the given trees, text report, exit 1 on findings. *)
 
 let () =
   let dirs =
-    match List.tl (Array.to_list Sys.argv) with [] -> [ "lib" ] | ds -> ds
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "lib"; "test"; "bin"; "bench" ]
+    | ds -> ds
   in
-  let offenders =
-    List.concat_map (fun dir -> List.concat_map lint_file (ml_files dir)) dirs
+  let rules = Tqec_lint.Rules.all in
+  let findings = Tqec_lint.Engine.lint_dirs ~rules dirs in
+  let files = List.concat_map Tqec_lint.Engine.ml_files dirs |> List.length in
+  let summary =
+    {
+      Tqec_lint.Report.files;
+      rules = Tqec_lint.Rules.ids;
+      suppressed = 0;
+      unused_baseline = 0;
+    }
   in
-  match offenders with
-  | [] -> Printf.printf "lint-determinism: all audited\n"
-  | offenders ->
-      List.iter
-        (fun (path, line, rule) ->
-          Printf.printf "%s:%d: unaudited %s — %s `%s` audit comment\n" path
-            line
-            (String.concat "/" rule.patterns)
-            rule.advice rule.marker)
-        offenders;
-      exit 1
+  print_string (Tqec_lint.Report.text summary findings);
+  exit (if findings = [] then 0 else 1)

@@ -3,11 +3,23 @@
 module Bstar_tree = Tqec_place.Bstar_tree
 module Rng = Tqec_util.Rng
 
+(* Absent argv slots and non-numeric input both fall back to defaults;
+   match the two exceptions by name rather than swallowing everything. *)
+let argv_int i default =
+  match int_of_string Sys.argv.(i) with
+  | v -> v
+  | exception (Invalid_argument _ | Failure _) -> default
+
+let argv_string i default =
+  match Sys.argv.(i) with
+  | s -> s
+  | exception Invalid_argument _ -> default
+
 let () =
-  let n = try int_of_string Sys.argv.(1) with _ -> 128 in
-  let moves = try int_of_string Sys.argv.(2) with _ -> 120_000 in
+  let n = argv_int 1 128 in
+  let moves = argv_int 2 120_000 in
   let mode =
-    match (try Sys.argv.(3) with _ -> "flat") with
+    match argv_string 3 "flat" with
     | "balanced" -> `Balanced
     | "flat" -> `Flat
     | _ -> `Auto

@@ -245,7 +245,10 @@ let print_timings (r : Pipeline.t) =
      parks=%d@."
     s.Tqec_util.Pool.workers s.Tqec_util.Pool.submitted
     s.Tqec_util.Pool.executed s.Tqec_util.Pool.stolen
-    s.Tqec_util.Pool.injected s.Tqec_util.Pool.parks
+    s.Tqec_util.Pool.injected s.Tqec_util.Pool.parks;
+  match s.Tqec_util.Pool.spawn_error with
+  | None -> ()
+  | Some msg -> Format.printf "scheduler: degraded (spawn failed: %s)@." msg
 
 let porcelain_arg =
   let doc =
@@ -714,6 +717,111 @@ let render_cmd =
     (Cmd.info "render" ~doc:"Print the canonical geometric description.")
     Term.(const run $ input_arg)
 
+let lint_cmd =
+  let module Lint = Tqec_lint in
+  let dirs_arg =
+    let doc =
+      "Directories to lint (every .ml file, recursively).  Defaults to \
+       whichever of lib, test, bin, bench exist under the current \
+       directory."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"DIR" ~doc)
+  in
+  let format_arg =
+    let doc = "Report format: $(b,text) or $(b,json)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let rule_arg =
+    let doc =
+      "Run only this rule (repeatable).  Default: the full catalog."
+    in
+    Arg.(value & opt_all string [] & info [ "rule" ] ~docv:"ID" ~doc)
+  in
+  let baseline_arg =
+    let doc =
+      "Waive the findings listed in $(docv) (one $(b,rule path:line \
+       token) entry per line, # comments).  Stale entries are counted \
+       in the report."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let list_rules_flag =
+    let doc = "Print the rule catalog and exit." in
+    Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let run dirs format rule_ids baseline_path list_rules jobs =
+    if list_rules then begin
+      List.iter
+        (fun (r : Lint.Rule.t) ->
+          Printf.printf "%-10s [%s] %s (audit marker: %s)\n" r.Lint.Rule.r_id
+            (Lint.Rule.severity_name r.Lint.Rule.r_severity)
+            r.Lint.Rule.r_doc r.Lint.Rule.r_marker)
+        Lint.Rules.all;
+      exit 0
+    end;
+    let rules =
+      match rule_ids with
+      | [] -> Lint.Rules.all
+      | ids ->
+          List.map
+            (fun id ->
+              match Lint.Rules.find id with
+              | Some r -> r
+              | None ->
+                  die "unknown rule %s (known: %s)" id
+                    (String.concat ", " Lint.Rules.ids))
+            ids
+    in
+    let dirs =
+      match dirs with
+      | [] ->
+          List.filter Sys.file_exists [ "lib"; "test"; "bin"; "bench" ]
+      | ds -> ds
+    in
+    if dirs = [] then die "no directories to lint";
+    let baseline =
+      match baseline_path with
+      | None -> Lint.Engine.baseline_empty
+      | Some path -> (
+          match Lint.Engine.load_baseline path with
+          | Ok b -> b
+          | Error msg -> die "cannot read baseline: %s" msg)
+    in
+    let findings = Lint.Engine.lint_dirs ~jobs ~rules dirs in
+    let kept, suppressed, unused =
+      Lint.Engine.apply_baseline baseline findings
+    in
+    let files = List.concat_map Lint.Engine.ml_files dirs |> List.length in
+    let summary =
+      {
+        Lint.Report.files;
+        rules = List.map (fun (r : Lint.Rule.t) -> r.Lint.Rule.r_id) rules;
+        suppressed;
+        unused_baseline = unused;
+      }
+    in
+    print_string
+      (match format with
+      | `Text -> Lint.Report.text summary kept
+      | `Json -> Lint.Report.json summary kept);
+    exit (if kept = [] then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Token-accurate static analysis over the tree: partiality, \
+          swallowed exceptions, wall-clock reads, hash-order and \
+          environment dependence, unsafe primitives, and unsynchronized \
+          mutation inside pool closures.  Exit 0 when clean, 1 with \
+          findings, 2 on usage errors.")
+    Term.(
+      const run $ dirs_arg $ format_arg $ rule_arg $ baseline_arg
+      $ list_rules_flag $ jobs_arg)
+
 let () =
   let info =
     Cmd.info "tqecc" ~version:"1.0.0"
@@ -725,5 +833,5 @@ let () =
           [
             stats_cmd; compress_cmd; check_cmd; table1_cmd; table2_cmd;
             table3_cmd; fig1_cmd; render_cmd; ablate_cmd; export_cmd;
-            serve_cmd; request_cmd;
+            serve_cmd; request_cmd; lint_cmd;
           ]))

@@ -100,10 +100,13 @@ let generate spec =
     | `Toffoli -> (
         match distinct_wires rng active 3 with
         | [ c1; c2; target ] -> Gate.Toffoli { c1; c2; target }
+        (* partial: distinct_wires returns exactly as many wires as
+           asked; [active >= 3] is checked by the caller *)
         | _ -> assert false)
     | `Cnot -> (
         match distinct_wires rng active 2 with
         | [ control; target ] -> Gate.Cnot { control; target }
+        (* partial: same distinct_wires length invariant, two wires *)
         | _ -> assert false)
     | `Not -> Gate.X (Tqec_util.Rng.int rng active)
   in

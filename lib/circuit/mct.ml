@@ -27,6 +27,8 @@ let expand_mct ~first_ancilla controls target =
       (* The last chain Toffoli targets the real target instead of a fresh
          ancilla: drop it and retarget. *)
       let rec retarget = function
+        (* partial: the chain always ends in at least one Toffoli for
+           [k >= 3] controls, which is the only path into this branch *)
         | [] -> assert false
         | [ Gate.Toffoli { c1; c2; _ } ] ->
             [ Gate.Toffoli { c1; c2; target } ]

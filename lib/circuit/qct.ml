@@ -51,6 +51,8 @@ let parse_string ~name text =
                   fail lineno "cnot control and target coincide";
                 gates := Gate.Cnot { control; target } :: !gates
             | mnemonic :: _ -> fail lineno "unknown gate %S" mnemonic
+            (* partial: blank lines are filtered before dispatch, so
+               the token list is never empty here *)
             | [] -> assert false))
     lines;
   match !n_qubits with

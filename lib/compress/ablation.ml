@@ -92,6 +92,8 @@ let run_default ?(scale = 8) () =
   let entry =
     match Tqec_circuit.Suite.find "rd84_142" with
     | Some e -> e
+    (* partial: rd84_142 is a compiled-in suite entry; its absence is a
+       build defect, not a runtime condition *)
     | None -> assert false
   in
   let circuit = Tqec_circuit.Suite.scaled ~factor:scale entry in

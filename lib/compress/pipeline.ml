@@ -237,10 +237,30 @@ let build_route_grid ?extra_z graph placement nets =
 
 let rec run_icm ?(config = default_config) ?on_stage icm =
   let debug = config.debug in
+  (* Generated ICMs are acyclic by construction, but hand-built or
+     corrupted ones are not: gate here so a cyclic constraint DAG
+     surfaces as a structured stage failure instead of escaping as a
+     bare exception from deep inside a stage. *)
+  (match Tqec_icm.Constraints.topological_order icm with
+  | (_ : int list) -> ()
+  | exception Tqec_icm.Constraints.Cycle { emitted; total } ->
+      raise
+        (Stage_failure
+           {
+             stage = "icm";
+             message =
+               Printf.sprintf
+                 "constraint graph is cyclic (%d of %d measurements \
+                  ordered)"
+                 emitted total;
+           }));
+  (* wallclock: stage timings are reporting-only; they never reach
+     compression results or any diffed output *)
   let t0 = Unix.gettimeofday () in
   let timings = ref [] in
   let last_mark = ref t0 in
   let mark name =
+    (* wallclock: same reporting-only timing as [t0] above *)
     let now = Unix.gettimeofday () in
     let dt = now -. !last_mark in
     timings := (name, dt) :: !timings;
@@ -361,6 +381,8 @@ let rec run_icm ?(config = default_config) ?on_stage icm =
       grid_mem;
       volume;
       stages;
+      (* wallclock: [elapsed] is reporting-only and excluded from every
+         porcelain/diffed output *)
       elapsed = Unix.gettimeofday () -. t0;
       timings = List.rev !timings;
     }

@@ -17,6 +17,8 @@ let messages_of ?fault case =
 
 let run ?fault ?budget_s ~seed ~count () =
   let rand = Random.State.make [| seed |] in
+  (* wallclock: the budget clock bounds how long fuzzing runs; case
+     generation and oracle verdicts depend only on [seed] *)
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
   let over_budget () =

@@ -1,0 +1,70 @@
+module Lexer = Tqec_lint.Lexer
+
+(* Fragments chosen to hit every lexer mode transition: comment
+   open/close (nested and unbalanced), string quotes and escapes,
+   quoted-string delimiters with and without ids, char-literal
+   lookalikes vs type variables, operator runs, and plain idents.
+   Concatenated with no separator discipline, so fragments merge into
+   new forms (an open paren landing before a comment closer, a
+   quoted-string opener before a stray bar, ...). *)
+let fragments =
+  [|
+    "(*"; "*)"; "(**"; "\""; "\\\""; "\\\\"; "\\"; "{|"; "|}"; "{x|";
+    "|x}"; "{|x"; "'"; "'a"; "'\\n'"; "'c'"; "Hashtbl.iter"; "with";
+    "_"; "->"; "<-"; ":="; "|"; "("; ")"; "assert"; "false"; "A.b";
+    "x"; " "; "\n"; "\t"; "0x1f"; "3.14"; "~-"; "@@"; "."; "*";
+  |]
+
+let gen =
+  let open QCheck2.Gen in
+  let fragment = map (fun i -> fragments.(i)) (int_bound (Array.length fragments - 1)) in
+  let raw = map (String.make 1) (map Char.chr (int_bound 255)) in
+  map (String.concat "")
+    (list_size (int_bound 60) (frequency [ (9, fragment); (1, raw) ]))
+
+let oracle src =
+  match Lexer.scan src with
+  | exception e -> Some ("scan raised: " ^ Printexc.to_string e)
+  | lx ->
+      let n = String.length src in
+      let bad = ref None in
+      let fail fmt = Printf.ksprintf (fun m -> if !bad = None then bad := Some m) fmt in
+      let last_off = ref (-1) and last_line = ref 1 in
+      Array.iter
+        (fun (t : Lexer.token) ->
+          let len = String.length t.Lexer.t_text in
+          if len = 0 then fail "empty token at offset %d" t.Lexer.t_offset;
+          if t.Lexer.t_offset <= !last_off then
+            fail "offsets not increasing: %d after %d" t.Lexer.t_offset
+              !last_off;
+          if t.Lexer.t_line < !last_line then
+            fail "line went backwards: %d after %d" t.Lexer.t_line !last_line;
+          if t.Lexer.t_col < 1 then fail "column %d < 1" t.Lexer.t_col;
+          if t.Lexer.t_offset < 0 || t.Lexer.t_offset + len > n then
+            fail "token out of bounds at %d (+%d, src %d)" t.Lexer.t_offset
+              len n
+          else if String.sub src t.Lexer.t_offset len <> t.Lexer.t_text then
+            fail "token text mismatch at offset %d" t.Lexer.t_offset;
+          last_off := t.Lexer.t_offset;
+          last_line := t.Lexer.t_line)
+        lx.Lexer.tokens;
+      let last_c = ref (-1) in
+      Array.iter
+        (fun (c : Lexer.comment) ->
+          if c.Lexer.c_offset <= !last_c then
+            fail "comment offsets not increasing at %d" c.Lexer.c_offset;
+          if c.Lexer.c_end_line < c.Lexer.c_start_line then
+            fail "comment ends (%d) before it starts (%d)" c.Lexer.c_end_line
+              c.Lexer.c_start_line;
+          last_c := c.Lexer.c_offset)
+        lx.Lexer.comments;
+      !bad
+
+let test ~count =
+  QCheck2.Test.make ~count ~name:"lint lexer total on token soup"
+    ~print:(fun s -> Printf.sprintf "%S" s)
+    gen
+    (fun src ->
+      match oracle src with
+      | None -> true
+      | Some msg -> QCheck2.Test.fail_report msg)

@@ -1,0 +1,17 @@
+(** Token-soup fuzzing for the lint lexer ({!Tqec_lint.Lexer}).
+
+    The generator emits adversarial pseudo-OCaml: unbalanced comment
+    delimiters, stray quotes and backslashes, quoted-string openers
+    with and without their closers, char-literal lookalikes, raw
+    bytes.  The oracle asserts [Lexer.scan] is total on all of it and
+    that its output is well-formed: token offsets strictly increasing
+    and in bounds, lines and columns positive, token text non-empty
+    and matching the source bytes at its offset. *)
+
+val gen : string QCheck2.Gen.t
+
+val oracle : string -> string option
+(** [None] when the scan is well-formed, [Some msg] describing the
+    first violation otherwise. *)
+
+val test : count:int -> QCheck2.Test.t

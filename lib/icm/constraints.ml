@@ -52,6 +52,18 @@ let violations pairs ~time_of =
 
 let satisfied pairs ~time_of = violations pairs ~time_of = []
 
+exception Cycle of { emitted : int; total : int }
+
+let () =
+  Printexc.register_printer (function
+    | Cycle { emitted; total } ->
+        Some
+          (Printf.sprintf
+             "Constraints.Cycle: constraint graph is cyclic (%d of %d \
+              measurements ordered)"
+             emitted total)
+    | _ -> None)
+
 let topological_order (icm : Icm.t) =
   let n = Array.length icm.meas in
   let pairs = of_icm icm in
@@ -78,5 +90,5 @@ let topological_order (icm : Icm.t) =
         if indegree.(j) = 0 then Queue.add j ready)
       succs.(i)
   done;
-  if !emitted <> n then failwith "Constraints.topological_order: cycle";
+  if !emitted <> n then raise (Cycle { emitted = !emitted; total = n });
   List.rev !order

@@ -22,9 +22,16 @@ val violations : pair list -> time_of:(int -> int) -> pair list
 (** [satisfied pairs ~time_of] is [violations pairs ~time_of = []]. *)
 val satisfied : pair list -> time_of:(int -> int) -> bool
 
+(** Raised by {!topological_order} when the constraint DAG has a cycle:
+    [emitted] measurements could be ordered out of [total].  Never
+    raised for generated ICMs; a hand-built or corrupted ICM reaching
+    the pipeline is mapped to [Pipeline.Stage_failure] at the stage
+    boundary. *)
+exception Cycle of { emitted : int; total : int }
+
 (** [topological_order icm] returns the measurement indices of [icm] in
     some order satisfying all constraints (Kahn's algorithm; unconstrained
     measurements keep index order).
-    @raise Failure if the constraints are cyclic (never for generated
+    @raise Cycle if the constraints are cyclic (never for generated
     ICMs). *)
 val topological_order : Icm.t -> int list

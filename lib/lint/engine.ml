@@ -1,0 +1,168 @@
+(* Audit resolution: a site is waived by a comment that (a) contains
+   the rule's marker followed by a non-empty justification and (b)
+   overlaps the site's audit window — from [r_before] lines above the
+   site's context line (the site line itself, or the opening Pool.*
+   call for window rules) to [r_after] lines below the site.  Marker
+   hits inside string literals never count: markers are searched in
+   comments only, which is the point of lexing instead of grepping. *)
+
+let contains_at s i sub =
+  let m = String.length sub in
+  i + m <= String.length s && String.sub s i m = sub
+
+let marker_with_justification comment marker =
+  let n = String.length comment and m = String.length marker in
+  let rec find i =
+    if i + m > n then false
+    else if contains_at comment i marker then begin
+      (* non-whitespace after the marker: an empty audit is no audit *)
+      let rec justified j =
+        j < n
+        && (match comment.[j] with
+           | ' ' | '\t' | '\n' | '\r' -> justified (j + 1)
+           | _ -> true)
+      in
+      justified (i + m) || find (i + m)
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let audited (lx : Lexer.t) (rule : Rule.t) (site : Rule.site) =
+  let lo = min site.Rule.s_line site.Rule.s_context_line - rule.Rule.r_before in
+  let hi = site.Rule.s_line + rule.Rule.r_after in
+  Array.exists
+    (fun (c : Lexer.comment) ->
+      c.Lexer.c_end_line >= lo
+      && c.Lexer.c_start_line <= hi
+      && marker_with_justification c.Lexer.c_text rule.Rule.r_marker)
+    lx.Lexer.comments
+
+let compare_findings (a : Rule.finding) (b : Rule.finding) =
+  let c = compare a.Rule.f_path b.Rule.f_path in
+  if c <> 0 then c
+  else
+    let c = compare a.Rule.f_line b.Rule.f_line in
+    if c <> 0 then c
+    else
+      let c = compare a.Rule.f_col b.Rule.f_col in
+      if c <> 0 then c else compare a.Rule.f_rule b.Rule.f_rule
+
+let lint_string ~rules ~path source =
+  let lx = Lexer.scan source in
+  rules
+  |> List.concat_map (fun (rule : Rule.t) ->
+         if not (rule.Rule.r_applies path) then []
+         else
+           rule.Rule.r_sites lx
+           |> List.filter_map (fun (site : Rule.site) ->
+                  if audited lx rule site then None
+                  else
+                    Some
+                      {
+                        Rule.f_rule = rule.Rule.r_id;
+                        f_severity = rule.Rule.r_severity;
+                        f_path = path;
+                        f_line = site.Rule.s_line;
+                        f_col = site.Rule.s_col;
+                        f_token = site.Rule.s_token;
+                        f_advice = rule.Rule.r_advice;
+                      }))
+  |> List.sort compare_findings
+
+let io_finding path message =
+  {
+    Rule.f_rule = "io";
+    f_severity = Rule.Error;
+    f_path = path;
+    f_line = 0;
+    f_col = 0;
+    f_token = "";
+    f_advice = message;
+  }
+
+let lint_file ~rules path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | source -> lint_string ~rules ~path source
+  | exception Sys_error message -> [ io_finding path message ]
+
+let rec ml_files dir =
+  match Sys.is_directory dir with
+  | false | (exception Sys_error _) -> []
+  | true ->
+      let entries =
+        match Sys.readdir dir with
+        | entries -> Array.to_list entries
+        | exception Sys_error _ -> []
+      in
+      List.concat_map
+        (fun e ->
+          let path = Filename.concat dir e in
+          match Sys.is_directory path with
+          | true -> ml_files path
+          | false ->
+              if Filename.check_suffix e ".ml" then [ path ] else []
+          | exception Sys_error _ -> [])
+        entries
+      |> List.sort compare
+
+let lint_dirs ?(jobs = None) ~rules dirs =
+  let files = Array.of_list (List.concat_map ml_files dirs) in
+  (* parallel over files; each task is a pure function of its file, and
+     the per-file lists are concatenated in the sorted submission
+     order, so the report is identical for any worker count *)
+  Tqec_util.Pool.map ?jobs (fun path -> lint_file ~rules path) files
+  |> Array.to_list |> List.concat
+
+(* --- baseline ------------------------------------------------------ *)
+
+type baseline = string list (* entry lines, exactly as matched *)
+
+let baseline_empty = []
+
+let baseline_entry (f : Rule.finding) =
+  Printf.sprintf "%s %s:%d %s" f.Rule.f_rule f.Rule.f_path f.Rule.f_line
+    f.Rule.f_token
+
+let baseline_of_string text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some line)
+
+let load_baseline path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> Ok (baseline_of_string text)
+  | exception Sys_error message -> Error message
+
+let apply_baseline baseline findings =
+  let used = Array.make (List.length baseline) false in
+  let kept =
+    List.filter
+      (fun f ->
+        let entry = baseline_entry f in
+        let rec find i = function
+          | [] -> false
+          | e :: rest ->
+              if e = entry then begin
+                used.(i) <- true;
+                true
+              end
+              else find (i + 1) rest
+        in
+        not (find 0 baseline))
+      findings
+  in
+  let suppressed = List.length findings - List.length kept in
+  let unused = Array.fold_left (fun a u -> if u then a else a + 1) 0 used in
+  (kept, suppressed, unused)

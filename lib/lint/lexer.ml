@@ -1,0 +1,267 @@
+type token = { t_text : string; t_line : int; t_col : int; t_offset : int }
+
+type comment = {
+  c_text : string;
+  c_start_line : int;
+  c_end_line : int;
+  c_offset : int;
+}
+
+type t = { tokens : token array; comments : comment array }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Number continuation: digits, hex/octal/binary markers, underscores,
+   exponent letters, width suffixes and the decimal dot.  Deliberately
+   loose — a lint lexer only needs to move past the literal without
+   misclassifying what follows. *)
+let is_number_char c =
+  is_digit c
+  || (c >= 'a' && c <= 'f')
+  || (c >= 'A' && c <= 'F')
+  || c = '_' || c = 'x' || c = 'X' || c = 'o' || c = 'O' || c = 'b'
+  || c = 'B' || c = 'n' || c = 'l' || c = 'L' || c = '.'
+
+let is_op_char c =
+  match c with
+  | '!' | '$' | '%' | '&' | '*' | '+' | '-' | '/' | ':' | '<' | '=' | '>'
+  | '?' | '@' | '^' | '|' | '~' | '.' | '#' ->
+      true
+  | _ -> false
+
+type state = {
+  src : string;
+  n : int;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the current line's first byte *)
+  mutable toks : token list;
+  mutable comms : comment list;
+}
+
+let peek st k = if st.pos + k < st.n then Some st.src.[st.pos + k] else None
+
+(* Advance one byte, maintaining the line map. *)
+let advance st =
+  (if st.pos < st.n then
+     match st.src.[st.pos] with
+     | '\n' ->
+         st.line <- st.line + 1;
+         st.bol <- st.pos + 1
+     | _ -> ());
+  st.pos <- st.pos + 1
+
+let emit st ~start ~start_line ~start_col =
+  st.toks <-
+    {
+      t_text = String.sub st.src start (st.pos - start);
+      t_line = start_line;
+      t_col = start_col;
+      t_offset = start;
+    }
+    :: st.toks
+
+(* Skip a double-quoted string literal; [st.pos] is on the opening
+   quote.  Backslash escapes the next byte (covers escaped quotes,
+   doubled backslashes and the backslash-newline continuation); an
+   unterminated string runs to end of input. *)
+let skip_string st =
+  advance st;
+  let rec go () =
+    match peek st 0 with
+    | None -> ()
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        if peek st 0 <> None then advance st;
+        go ()
+    | Some _ ->
+        advance st;
+        go ()
+  in
+  go ()
+
+(* Skip a [{id|...|id}] quoted string if one starts here; returns false
+   (position unchanged) when the [{] is ordinary punctuation. *)
+let try_skip_quoted_string st =
+  let rec ident_end k =
+    match peek st k with
+    | Some c when (c >= 'a' && c <= 'z') || c = '_' -> ident_end (k + 1)
+    | _ -> k
+  in
+  let id_len = ident_end 1 - 1 in
+  match peek st (1 + id_len) with
+  | Some '|' ->
+      let id = String.sub st.src (st.pos + 1) id_len in
+      let closer = "|" ^ id ^ "}" in
+      let m = String.length closer in
+      for _ = 0 to id_len + 1 do
+        advance st
+      done;
+      let rec go () =
+        if st.pos + m <= st.n && String.sub st.src st.pos m = closer then
+          for _ = 1 to m do
+            advance st
+          done
+        else if st.pos < st.n then begin
+          advance st;
+          go ()
+        end
+      in
+      go ();
+      true
+  | _ -> false
+
+(* Skip a char literal if one starts at ['], distinguishing it from a
+   type variable; returns true when a literal was consumed.  ['X'] and
+   [', escape, up-to-12-bytes, '] are literals; anything else leaves
+   the quote for the caller. *)
+let try_skip_char_literal st =
+  match (peek st 1, peek st 2) with
+  | Some c, Some '\'' when c <> '\\' ->
+      advance st;
+      advance st;
+      advance st;
+      true
+  | Some '\\', Some _ ->
+      let rec closing k =
+        if k > 13 then None
+        else
+          match peek st k with
+          | Some '\'' -> Some k
+          | Some _ -> closing (k + 1)
+          | None -> None
+      in
+      (match closing 2 with
+      | Some k ->
+          for _ = 0 to k do
+            advance st
+          done;
+          true
+      | None -> false)
+  | _ -> false
+
+(* Skip a nested comment; [st.pos] is on the opening paren of the
+   comment delimiter.  String,
+   quoted-string and char literals inside the comment are honored the
+   way OCaml's own lexer honors them (a ["*)"] inside a string does not
+   close the comment).  Unterminated comments run to end of input. *)
+let skip_comment st =
+  let c_offset = st.pos in
+  let c_start_line = st.line in
+  advance st;
+  advance st;
+  let body_start = st.pos in
+  let depth = ref 1 in
+  let body_end = ref st.n in
+  let rec go () =
+    if !depth > 0 && st.pos < st.n then begin
+      (match (peek st 0, peek st 1) with
+      | Some '(', Some '*' ->
+          incr depth;
+          advance st;
+          advance st
+      | Some '*', Some ')' ->
+          decr depth;
+          if !depth = 0 then body_end := st.pos;
+          advance st;
+          advance st
+      | Some '"', _ -> skip_string st
+      | Some '{', _ -> if not (try_skip_quoted_string st) then advance st
+      | Some '\'', _ -> if not (try_skip_char_literal st) then advance st
+      | _ -> advance st);
+      go ()
+    end
+  in
+  go ();
+  if !depth > 0 then body_end := st.n;
+  st.comms <-
+    {
+      c_text = String.sub st.src body_start (max 0 (!body_end - body_start));
+      c_start_line;
+      c_end_line = st.line;
+      c_offset;
+    }
+    :: st.comms
+
+(* Lex an identifier, joining module-qualified paths: after a segment
+   that starts with an uppercase letter, a dot followed by an
+   identifier start continues the same token ([Hashtbl.iter],
+   [Tqec_util.Pool.map]); after a lowercase segment it does not
+   ([p.spawn_failed] stays three tokens, so record mutations still
+   expose their [<-]). *)
+let lex_ident st =
+  let start = st.pos in
+  let start_line = st.line and start_col = st.pos - st.bol + 1 in
+  let rec segment () =
+    let seg_start = st.pos in
+    while (match peek st 0 with Some c -> is_ident_char c | None -> false) do
+      advance st
+    done;
+    let upper =
+      seg_start < st.n
+      && st.src.[seg_start] >= 'A'
+      && st.src.[seg_start] <= 'Z'
+    in
+    match (upper, peek st 0, peek st 1) with
+    | true, Some '.', Some c when is_ident_start c ->
+        advance st;
+        segment ()
+    | _ -> ()
+  in
+  segment ();
+  emit st ~start ~start_line ~start_col
+
+let lex_number st =
+  let start = st.pos in
+  let start_line = st.line and start_col = st.pos - st.bol + 1 in
+  while (match peek st 0 with Some c -> is_number_char c | None -> false) do
+    advance st
+  done;
+  emit st ~start ~start_line ~start_col
+
+let lex_operator st =
+  let start = st.pos in
+  let start_line = st.line and start_col = st.pos - st.bol + 1 in
+  while (match peek st 0 with Some c -> is_op_char c | None -> false) do
+    advance st
+  done;
+  emit st ~start ~start_line ~start_col
+
+let single st =
+  let start = st.pos in
+  let start_line = st.line and start_col = st.pos - st.bol + 1 in
+  advance st;
+  emit st ~start ~start_line ~start_col
+
+let scan src =
+  let st =
+    { src; n = String.length src; pos = 0; line = 1; bol = 0; toks = [];
+      comms = [] }
+  in
+  while st.pos < st.n do
+    match st.src.[st.pos] with
+    | ' ' | '\t' | '\r' | '\n' -> advance st
+    | '(' when peek st 1 = Some '*' -> skip_comment st
+    | '"' -> skip_string st
+    | '{' -> if not (try_skip_quoted_string st) then single st
+    | '\'' ->
+        (* a consumed literal leaves no token; a bare quote (type
+           variable or stray byte) becomes one and the variable's name
+           lexes as an ordinary identifier after it *)
+        if not (try_skip_char_literal st) then single st
+    | c when is_ident_start c -> lex_ident st
+    | c when is_digit c -> lex_number st
+    | c when is_op_char c -> lex_operator st
+    | _ -> single st
+  done;
+  {
+    tokens = Array.of_list (List.rev st.toks);
+    comments = Array.of_list (List.rev st.comms);
+  }

@@ -1,0 +1,48 @@
+(** A lint-grade OCaml lexer: splits a source file into code tokens and
+    comments so rules fire only on code, never on a pattern that merely
+    appears inside a comment or a string literal.
+
+    The lexer understands the full set of OCaml "text" forms:
+    - nested [(* ... *)] comments, including string and quoted-string
+      literals inside them (which OCaml requires to be well formed and
+      which may contain ["*)"] without closing the comment);
+    - ["..."] string literals with backslash escapes (including escaped
+      quotes and line continuations);
+    - [{|...|}] / [{id|...|id}] quoted strings, matched on the exact
+      delimiter identifier;
+    - char literals (['a'], ['\n'], ['\123'], ['\xFF']), distinguished
+      from type variables (['a] in [let f (x : 'a) = ...]).
+
+    It is total: unterminated comments, strings and quoted strings
+    degrade gracefully (the open form simply runs to end of input) and
+    no input raises.  Positions are byte-exact; token offsets are
+    strictly increasing, which the fuzz oracle in [lib/fuzz] pins. *)
+
+type token = {
+  t_text : string;
+      (** Token text.  Module-qualified identifiers are joined into a
+          single token ([Hashtbl.iter], [Tqec_util.Pool.map]) whenever
+          the segment before the dot starts with an uppercase letter, so
+          rules can match dotted paths directly.  Operators are
+          maximal-munch ([:=], [<-], [->]). *)
+  t_line : int;  (** 1-based line of the token's first byte. *)
+  t_col : int;  (** 1-based column of the token's first byte. *)
+  t_offset : int;  (** byte offset of the token's first byte. *)
+}
+
+type comment = {
+  c_text : string;
+      (** Comment body without the outermost [(*]/[*)] delimiters (an
+          unterminated comment keeps everything to end of input). *)
+  c_start_line : int;
+  c_end_line : int;
+  c_offset : int;
+}
+
+type t = {
+  tokens : token array;  (** code tokens, in source order *)
+  comments : comment array;  (** comments, in source order *)
+}
+
+val scan : string -> t
+(** [scan source] lexes [source].  Never raises. *)

@@ -1,0 +1,76 @@
+type summary = {
+  files : int;
+  rules : string list;
+  suppressed : int;
+  unused_baseline : int;
+}
+
+let text summary findings =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (f : Rule.finding) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s:%d:%d: [%s] %s: `%s` — %s\n" f.Rule.f_path
+           f.Rule.f_line f.Rule.f_col
+           (Rule.severity_name f.Rule.f_severity)
+           f.Rule.f_rule f.Rule.f_token f.Rule.f_advice))
+    findings;
+  let tail =
+    if summary.suppressed > 0 || summary.unused_baseline > 0 then
+      Printf.sprintf " (%d baseline-suppressed, %d stale baseline entr%s)"
+        summary.suppressed summary.unused_baseline
+        (if summary.unused_baseline = 1 then "y" else "ies")
+    else ""
+  in
+  (match findings with
+  | [] ->
+      Buffer.add_string b
+        (Printf.sprintf "lint: clean — %d files, %d rules%s\n" summary.files
+           (List.length summary.rules) tail)
+  | fs ->
+      Buffer.add_string b
+        (Printf.sprintf "lint: %d finding(s) — %d files, %d rules%s\n"
+           (List.length fs) summary.files (List.length summary.rules) tail));
+  Buffer.contents b
+
+(* Minimal JSON string escaping (the report is ASCII paths, tokens and
+   advice; anything non-printable goes out as \u00XX). *)
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json summary findings =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"version\":1,\"files\":%d,\"rules\":[%s]" summary.files
+       (String.concat ","
+          (List.map (fun r -> Printf.sprintf "\"%s\"" (escape r))
+             summary.rules)));
+  Buffer.add_string b
+    (Printf.sprintf ",\"suppressed\":%d,\"unused_baseline\":%d,\"findings\":["
+       summary.suppressed summary.unused_baseline);
+  List.iteri
+    (fun i (f : Rule.finding) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"rule\":\"%s\",\"severity\":\"%s\",\"path\":\"%s\",\"line\":%d,\"col\":%d,\"token\":\"%s\",\"advice\":\"%s\"}"
+           (escape f.Rule.f_rule)
+           (Rule.severity_name f.Rule.f_severity)
+           (escape f.Rule.f_path) f.Rule.f_line f.Rule.f_col
+           (escape f.Rule.f_token) (escape f.Rule.f_advice)))
+    findings;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b

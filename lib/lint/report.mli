@@ -1,0 +1,20 @@
+(** Deterministic lint reporters.  Neither format contains wall-clock
+    times, absolute paths beyond what the caller passed, or any other
+    run-dependent bytes: identical trees produce identical reports,
+    which the [@lint] alias diffs across worker counts and runs. *)
+
+type summary = {
+  files : int;  (** files scanned *)
+  rules : string list;  (** rule ids that ran, catalog order *)
+  suppressed : int;  (** findings waived by the baseline *)
+  unused_baseline : int;  (** stale baseline entries *)
+}
+
+val text : summary -> Rule.finding list -> string
+(** One [path:line:col: [severity] rule: ...] line per finding plus a
+    trailing summary line. *)
+
+val json : summary -> Rule.finding list -> string
+(** A single-line JSON object:
+    [{"version":1,"files":N,"rules":[...],"suppressed":K,
+      "unused_baseline":U,"findings":[{...}]}]. *)

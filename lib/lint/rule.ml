@@ -1,0 +1,110 @@
+type severity = Error | Warning
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+type site = {
+  s_line : int;
+  s_col : int;
+  s_token : string;
+  s_context_line : int;
+}
+
+type finding = {
+  f_rule : string;
+  f_severity : severity;
+  f_path : string;
+  f_line : int;
+  f_col : int;
+  f_token : string;
+  f_advice : string;
+}
+
+type t = {
+  r_id : string;
+  r_severity : severity;
+  r_marker : string;
+  r_before : int;
+  r_after : int;
+  r_applies : string -> bool;
+  r_doc : string;
+  r_advice : string;
+  r_sites : Lexer.t -> site list;
+}
+
+let starts_with ~prefix s =
+  let np = String.length prefix in
+  String.length s >= np && String.sub s 0 np = prefix
+
+let ends_with ~suffix s =
+  let ns = String.length suffix and n = String.length s in
+  n >= ns && String.sub s (n - ns) ns = suffix
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* Module-path tolerant matching: unit [Pool.map] matches tokens
+   [Pool.map] and [Tqec_util.Pool.map]; a trailing [*] makes the unit a
+   prefix, so [Array.unsafe_*] matches [Array.unsafe_get] and
+   [Float.Array.unsafe_set]. *)
+let unit_matches unit token =
+  if ends_with ~suffix:"*" unit then begin
+    let p = String.sub unit 0 (String.length unit - 1) in
+    starts_with ~prefix:p token || contains ~sub:("." ^ p) token
+  end
+  else unit = token || ends_with ~suffix:("." ^ unit) token
+
+let split_units pattern = String.split_on_char ' ' pattern
+
+let seq_matches_at (tokens : Lexer.token array) i units =
+  let n = Array.length tokens in
+  let rec go i = function
+    | [] -> true
+    | u :: rest ->
+        i < n && unit_matches u tokens.(i).Lexer.t_text && go (i + 1) rest
+  in
+  go i units
+
+let site_of_token (tok : Lexer.token) ~text =
+  {
+    s_line = tok.Lexer.t_line;
+    s_col = tok.Lexer.t_col;
+    s_token = text;
+    s_context_line = tok.Lexer.t_line;
+  }
+
+let pattern_sites patterns (lx : Lexer.t) =
+  let unit_lists = List.map (fun p -> (p, split_units p)) patterns in
+  let sites = ref [] in
+  Array.iteri
+    (fun i tok ->
+      List.iter
+        (fun (pattern, units) ->
+          if seq_matches_at lx.Lexer.tokens i units then
+            sites :=
+              site_of_token tok
+                ~text:(if List.length units = 1 then tok.Lexer.t_text
+                       else pattern)
+              :: !sites)
+        unit_lists)
+    lx.Lexer.tokens;
+  List.rev !sites
+
+let make ~id ?(severity = Error) ~marker ?(before = 3) ?(after = 1)
+    ?(applies = fun _ -> true) ~doc ~advice sites =
+  {
+    r_id = id;
+    r_severity = severity;
+    r_marker = marker;
+    r_before = before;
+    r_after = after;
+    r_applies = applies;
+    r_doc = doc;
+    r_advice = advice;
+    r_sites = sites;
+  }
+
+(* [lib/...] at the sweep root or [.../lib/...] deeper (the dune rule
+   sweeps from bench/, so paths arrive as [../lib/...]). *)
+let in_lib path = starts_with ~prefix:"lib/" path || contains ~sub:"/lib/" path

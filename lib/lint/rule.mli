@@ -1,0 +1,76 @@
+(** Lint rules: what to look for in a token stream, where it applies,
+    and which audit marker waives a finding.
+
+    A rule produces candidate {e sites} from a lexed file; the engine
+    ({!Engine}) then drops every site carrying a nearby audit comment —
+    a comment containing the rule's marker ([hash-order:], [partial:],
+    ...) followed by a non-empty justification — and reports the rest
+    as findings. *)
+
+type severity = Error | Warning
+
+val severity_name : severity -> string
+
+type site = {
+  s_line : int;
+  s_col : int;
+  s_token : string;  (** the offending token (or token sequence) *)
+  s_context_line : int;
+      (** first line of the construct the site belongs to — equal to
+          [s_line] except for window rules (race), where an audit at
+          the closure's opening [Pool.*] call also counts *)
+}
+
+type finding = {
+  f_rule : string;
+  f_severity : severity;
+  f_path : string;
+  f_line : int;
+  f_col : int;
+  f_token : string;
+  f_advice : string;
+}
+
+type t = {
+  r_id : string;
+  r_severity : severity;
+  r_marker : string;  (** audit-comment marker, e.g. ["partial:"] *)
+  r_before : int;
+      (** how many lines above a site an audit comment may end *)
+  r_after : int;  (** how many lines below a site it may start *)
+  r_applies : string -> bool;  (** path scope *)
+  r_doc : string;  (** one-line description for [--list-rules] / README *)
+  r_advice : string;  (** appended to each finding *)
+  r_sites : Lexer.t -> site list;
+}
+
+(** {2 Token-pattern matching}
+
+    A pattern is a space-separated sequence of token units matched
+    against consecutive code tokens (comments between them are
+    invisible, so [assert (* sic *) false] still matches
+    ["assert false"]).  A unit ending in [*] is a prefix
+    ([Array.unsafe_*]); otherwise it matches exactly.  Both forms are
+    module-path tolerant: unit [Pool.map] also matches the token
+    [Tqec_util.Pool.map]. *)
+
+val unit_matches : string -> string -> bool
+(** [unit_matches unit token] — exposed for tests. *)
+
+val pattern_sites : string list -> Lexer.t -> site list
+(** Sites of every occurrence of any of the given patterns. *)
+
+val make :
+  id:string ->
+  ?severity:severity ->
+  marker:string ->
+  ?before:int ->
+  ?after:int ->
+  ?applies:(string -> bool) ->
+  doc:string ->
+  advice:string ->
+  (Lexer.t -> site list) ->
+  t
+
+val in_lib : string -> bool
+(** Path filter: true for files under a [lib/] directory. *)

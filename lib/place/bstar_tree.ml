@@ -39,8 +39,10 @@ end = struct
             match lr with
             | Node { l = lrl; x = lrx; y = lry; r = lrr; _ } ->
                 mk (mk ll lx ly lrl) lrx lry (mk lrr x y r)
+            (* partial: height > sibling + 2 forces a Node (AVL) *)
             | Leaf -> assert false
           end
+      (* partial: hl > hr + 2 >= 2 means l cannot be a Leaf (AVL) *)
       | Leaf -> assert false
     else if hr > hl + 2 then
       match r with
@@ -50,8 +52,10 @@ end = struct
             match rl with
             | Node { l = rll; x = rlx; y = rly; r = rlr; _ } ->
                 mk (mk l x y rll) rlx rly (mk rlr rx ry rr)
+            (* partial: height > sibling + 2 forces a Node (AVL) *)
             | Leaf -> assert false
           end
+      (* partial: hr > hl + 2 >= 2 means r cannot be a Leaf (AVL) *)
       | Leaf -> assert false
     else mk l x y r
 
@@ -62,12 +66,14 @@ end = struct
       match l with
       | Node { l = ll; x = lx; y = ly; r = lr; _ } ->
           bal ll lx ly (join lr x y r)
+      (* partial: hl > hr + 2 >= 2 means l cannot be a Leaf (AVL) *)
       | Leaf -> assert false
     end
     else if hr > hl + 2 then begin
       match r with
       | Node { l = rl; x = rx; y = ry; r = rr; _ } ->
           bal (join l x y rl) rx ry rr
+      (* partial: hr > hl + 2 >= 2 means r cannot be a Leaf (AVL) *)
       | Leaf -> assert false
     end
     else mk l x y r
@@ -377,6 +383,7 @@ let detach t b =
   done;
   let leaf = !cursor in
   let p = t.parent.(leaf) in
+  (* partial: perturbations only run on >= 2 blocks (Placer gate) *)
   if p = -1 then failwith "Bstar_tree.detach: cannot detach the only block";
   if t.left.(p) = leaf then t.left.(p) <- -1 else t.right.(p) <- -1;
   t.parent.(leaf) <- -1;
@@ -390,6 +397,7 @@ let detach t b =
    internal swap-removal order (deterministic for a given move history),
    which replaces the pre-maintained-set descending-slot scan order. *)
 let attach t ~rng leaf =
+  (* partial: detach always frees an arity before attach re-draws *)
   if t.free_len = 0 then failwith "Bstar_tree.attach: no free slot";
   let target = t.free.(Rng.int rng t.free_len) in
   let use_left =

@@ -129,6 +129,7 @@ let build ?z_cap (g : Pd_graph.t) (flipping : Flipping.t) =
               match kind with
               | Icm.Inject_y -> Geometry.y_box_dims
               | Icm.Inject_a -> Geometry.a_box_dims
+              (* partial: distill_modules only yields injection kinds *)
               | Icm.Init_z | Icm.Init_x -> assert false
             in
             fixed_area := !fixed_area + ((bw + 1) * (bh + 1)))
@@ -226,6 +227,7 @@ let build ?z_cap (g : Pd_graph.t) (flipping : Flipping.t) =
         match kind with
         | Icm.Inject_y -> (Geometry.Y_box, Geometry.y_box_dims)
         | Icm.Inject_a -> (Geometry.A_box, Geometry.a_box_dims)
+        (* partial: distill_modules only yields injection kinds *)
         | Icm.Init_z | Icm.Init_x -> assert false
       in
       let line = (Pd_graph.module_get g box_module).Pd_graph.m_row in

@@ -162,6 +162,8 @@ let route_net ?(avoid_used = false) ?(exclude = []) ?(corridor_cells = max_int)
         let (_, pin), rest' =
           match List.sort compare refreshed with
           | best :: others -> (best, others)
+          (* partial: the enclosing loop runs only while [remaining]
+             is non-empty, so the sorted list has a head *)
           | [] -> assert false
         in
         remaining := rest';

@@ -1,5 +1,45 @@
 module Pipeline = Tqec_compress.Pipeline
 
+(* A minimal ICM whose measurement constraints form a 2-cycle: gadget 0
+   wants measurement 0 before 1, gadget 1 wants 1 before 0.  Never a
+   legal pipeline input — used only by the [icm-cycle] fault seam to
+   drive the acyclicity gate from a live daemon. *)
+let cyclic_icm : Tqec_icm.Icm.t =
+  let open Tqec_icm.Icm in
+  {
+    name = "planted-cycle";
+    n_lines = 2;
+    inits = [| Init_z; Init_z |];
+    cnots = [||];
+    meas =
+      [|
+        { m_line = 0; m_basis = Mz; m_order = Order_first 0 };
+        { m_line = 1; m_basis = Mz; m_order = Order_first 1 };
+      |];
+    t_gadgets =
+      [|
+        {
+          t_id = 0;
+          t_wire = 0;
+          t_seq = 0;
+          t_lines = [];
+          t_cnots = [];
+          t_first_meas = 0;
+          t_second_meas = [ 1 ];
+        };
+        {
+          t_id = 1;
+          t_wire = 1;
+          t_seq = 0;
+          t_lines = [];
+          t_cnots = [];
+          t_first_meas = 1;
+          t_second_meas = [ 0 ];
+        };
+      |];
+    line_of_wire = [| 0; 1 |];
+  }
+
 type config = {
   socket_path : string;
   capacity : int;
@@ -180,6 +220,18 @@ let run_compress st fd input knobs =
                       the daemon in the computing state deterministically *)
                    Thread.delay (float_of_int st.cfg.hold_ms /. 1000.);
                  (match st.cfg.fault with
+                 | Some "icm-cycle" ->
+                     (* planted cyclic ICM: drives the real pipeline
+                        acyclicity gate end-to-end — the crafted ICM has
+                        two T gadgets whose first/second-order
+                        measurements mutually constrain each other, so
+                        [Pipeline.run_icm] raises the structured
+                        [Stage_failure] that the handler below maps to a
+                        Failed response *)
+                     ignore
+                       (Pipeline.run_icm
+                          ~config:(pipeline_config st knobs)
+                          cyclic_icm)
                  | Some stage ->
                      (* planted stage failure: proves the daemon maps a
                         pipeline exception to a structured error response

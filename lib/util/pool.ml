@@ -71,6 +71,7 @@ type t = {
   mutable stopping : bool; (* written under [lock] *)
   max_workers : int;
   mutable spawn_failed : bool; (* degrade quietly, don't retry forever *)
+  mutable spawn_error : string option; (* why, for [stats] *)
   (* Counters for non-worker participants (atomics: many writers). *)
   h_exec : int Atomic.t;
   h_steal : int Atomic.t;
@@ -257,6 +258,7 @@ let make_pool ~max_workers =
     stopping = false;
     max_workers;
     spawn_failed = false;
+    spawn_error = None;
     h_exec = Atomic.make 0;
     h_steal = Atomic.make 0;
     h_park = Atomic.make 0;
@@ -292,11 +294,17 @@ let ensure_workers p want =
   let want = min want p.max_workers in
   if Array.length p.workers < want && not p.spawn_failed then begin
     Mutex.lock p.lock;
+    (* swallow: spawn failure (domain/resource limit) is an expected
+       degradation, not an error — but the cause is kept on the pool
+       and surfaced through [stats] so operators can see why the pool
+       is running under-provisioned. *)
     (try
        while Array.length p.workers < want && not p.spawn_failed do
          spawn_worker p
        done
-     with _ -> p.spawn_failed <- true);
+     with e ->
+       p.spawn_failed <- true;
+       p.spawn_error <- Some (Printexc.to_string e));
     Mutex.unlock p.lock
   end
 
@@ -360,6 +368,9 @@ let map ?pool ?jobs f arr =
       Array.map
         (function
           | Some (Ok v) -> v
+          (* partial: the completion barrier above filled every slot
+             and re-raised any Error; an empty slot here is a
+             scheduler bug, not an input condition *)
           | Some (Error _) | None -> assert false)
         results
     end
@@ -394,6 +405,7 @@ let await pr =
   match Atomic.get pr.cell with
   | Some (Ok v) -> v
   | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+  (* partial: [help ~until] returns only once the cell is filled *)
   | None -> assert false
 
 (* ---- observability ---------------------------------------------- *)
@@ -405,6 +417,7 @@ type stats = {
   injected : int;
   parks : int;
   submitted : int;
+  spawn_error : string option;
 }
 
 let stats ?pool () =
@@ -426,4 +439,5 @@ let stats ?pool () =
     injected = Atomic.get p.injected;
     parks = !parks;
     submitted = Atomic.get p.submitted;
+    spawn_error = p.spawn_error;
   }

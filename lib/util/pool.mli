@@ -77,7 +77,10 @@ val await : 'a promise -> 'a
     rather than a worker's own deque, [parks] how many times any
     participant slept on the condition variable, and [submitted] all
     tasks ever submitted.  Read racily (no lock): totals can lag by a
-    few in-flight tasks. *)
+    few in-flight tasks.  [spawn_error] is [Some msg] when a
+    [Domain.spawn] failed and the pool degraded to fewer workers than
+    requested — callers still complete by helping, but the cause is
+    kept for diagnosis. *)
 type stats = {
   workers : int;
   executed : int;
@@ -85,6 +88,7 @@ type stats = {
   injected : int;
   parks : int;
   submitted : int;
+  spawn_error : string option;
 }
 
 (** Counters for [pool] (default: the process-wide pool). *)

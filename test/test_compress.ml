@@ -26,6 +26,36 @@ let test_pipeline_three_cnot_all_variants () =
       check Alcotest.(list string) "checks clean" [] (Pipeline.check r))
     [ Pipeline.Full; Pipeline.Dual_only; Pipeline.Modular_only ]
 
+(* The pipeline's acyclicity gate: a cyclic constraint DAG must surface
+   as Stage_failure at the icm stage, never as a bare exception. *)
+let test_pipeline_rejects_cyclic_icm () =
+  let icm =
+    Tqec_icm.Decompose.run
+      (Circuit.make ~name:"cyc" ~n_qubits:1 [ Gate.T 0; Gate.T 0 ])
+  in
+  let gadgets = icm.Tqec_icm.Icm.t_gadgets in
+  let g0 = gadgets.(0) and g1 = gadgets.(1) in
+  let stolen = List.hd g0.Tqec_icm.Icm.t_second_meas in
+  gadgets.(1) <-
+    {
+      g1 with
+      Tqec_icm.Icm.t_second_meas =
+        stolen :: List.tl g1.Tqec_icm.Icm.t_second_meas;
+    };
+  match Pipeline.run_icm ~config:(quick Pipeline.Full) icm with
+  | _ -> Alcotest.fail "cyclic ICM accepted"
+  | exception Pipeline.Stage_failure { stage; message } ->
+      check Alcotest.string "stage" "icm" stage;
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i =
+          i + n <= h && (String.sub hay i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      check Alcotest.bool "message says cyclic" true
+        (contains message "cyclic")
+
 let test_pipeline_full_beats_dual_only () =
   (* On the 3-CNOT example the full flow must compress at least as well
      as dual-only bridging. *)
@@ -287,6 +317,8 @@ let suites =
         Alcotest.test_case "gate decomposition entry" `Quick
           test_pipeline_gate_decomposition_entry;
         Alcotest.test_case "stage stats" `Quick test_pipeline_stage_stats;
+        Alcotest.test_case "cyclic ICM -> Stage_failure" `Quick
+          test_pipeline_rejects_cyclic_icm;
         Alcotest.test_case "deterministic" `Quick test_pipeline_deterministic;
         qtest prop_pipeline_sound_on_random;
         qtest prop_full_never_worse_than_modular;

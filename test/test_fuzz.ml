@@ -19,6 +19,7 @@ let qcheck_tests =
     (fun t -> QCheck_alcotest.to_alcotest ~rand:(rand ()) t)
     [
       Harness.test ~count:8 ~name:"pipeline oracles hold" ();
+      Lint_soup.test ~count:500;
       QCheck2.Test.make ~count:50 ~name:"qct round-trips"
         ~print:(fun c -> Qct.to_string c)
         Case.gen_circuit

@@ -326,10 +326,10 @@ let test_validate_cyclic_fixture () =
          v.Tqec_verify.Violation.v_code = "constraint-cycle")
        (Tqec_verify.Icm_check.check icm));
   check Alcotest.bool "topological order refuses" true
-    (try
-       ignore (Constraints.topological_order icm);
-       false
-     with Failure _ -> true)
+    (match Constraints.topological_order icm with
+    | _ -> false
+    | exception Constraints.Cycle { emitted; total } ->
+        emitted < total && total = Array.length icm.Icm.meas)
 
 let suites =
   [

@@ -1,0 +1,365 @@
+(* The Tqec_lint subsystem: lexer edge cases (nested comments, literals
+   that contain rule patterns, unterminated forms), one planted fixture
+   per rule family proving it fails unaudited and passes audited, the
+   audit-marker grammar, and the baseline mechanism. *)
+
+open Tqec_lint
+
+let check = Alcotest.check
+
+let rule id =
+  match Rules.find id with
+  | Some r -> r
+  | None -> Alcotest.failf "rule %s missing from catalog" id
+
+let findings ?(path = "lib/fixture.ml") ids src =
+  Engine.lint_string ~rules:(List.map rule ids) ~path src
+  |> List.map (fun (f : Rule.finding) -> f.Rule.f_rule)
+
+(* --- lexer ---------------------------------------------------------- *)
+
+let test_lexer_nested_comments () =
+  let lx = Lexer.scan "before (* a (* nested *) b *) after" in
+  let texts = Array.map (fun (t : Lexer.token) -> t.Lexer.t_text) lx.Lexer.tokens in
+  check Alcotest.(array string) "only code tokens" [| "before"; "after" |] texts;
+  check Alcotest.int "one comment" 1 (Array.length lx.Lexer.comments);
+  check Alcotest.string "nested body kept" " a (* nested *) b "
+    lx.Lexer.comments.(0).Lexer.c_text
+
+let test_lexer_patterns_in_literals () =
+  (* rule patterns inside string, quoted-string and comment bodies are
+     invisible: only the code token fires *)
+  check
+    Alcotest.(list string)
+    "plain string literal" []
+    (findings [ "hash-order" ] "let s = \"Hashtbl.iter\"");
+  check
+    Alcotest.(list string)
+    "quoted string literal" []
+    (findings [ "hash-order" ] "let s = {|Hashtbl.iter|}");
+  check
+    Alcotest.(list string)
+    "id-delimited quoted string" []
+    (findings [ "hash-order" ] "let s = {ext|Hashtbl.iter|ext}");
+  check
+    Alcotest.(list string)
+    "comment body" []
+    (findings [ "hash-order" ] "(* Hashtbl.iter is discussed here *)");
+  check
+    Alcotest.(list string)
+    "code token still fires" [ "hash-order" ]
+    (findings [ "hash-order" ] "let () = Hashtbl.iter f t")
+
+let test_lexer_escapes () =
+  (* escaped quotes stay inside the string *)
+  check
+    Alcotest.(list string)
+    "escaped quote" []
+    (findings [ "hash-order" ] "let s = \"a\\\"Hashtbl.iter\\\"b\"");
+  (* a char literal holding a quote must not open a string *)
+  check
+    Alcotest.(list string)
+    "quote char literal" [ "hash-order" ]
+    (findings [ "hash-order" ] "let c = '\"' let () = Hashtbl.iter f t");
+  (* a type variable's quote is not a char literal *)
+  let lx = Lexer.scan "let f (x : 'a) = x" in
+  check Alcotest.bool "type variable lexes" true
+    (Array.exists
+       (fun (t : Lexer.token) -> t.Lexer.t_text = "a")
+       lx.Lexer.tokens)
+
+let test_lexer_unterminated () =
+  (* all unterminated forms degrade to end-of-input without raising and
+     without leaking their contents as code tokens *)
+  check
+    Alcotest.(list string)
+    "unterminated comment" []
+    (findings [ "hash-order" ] "(* never closed Hashtbl.iter");
+  check
+    Alcotest.(list string)
+    "unterminated string" []
+    (findings [ "hash-order" ] "let s = \"Hashtbl.iter");
+  check
+    Alcotest.(list string)
+    "unterminated quoted string" []
+    (findings [ "hash-order" ] "let s = {x|Hashtbl.iter");
+  let lx = Lexer.scan "x (* open" in
+  check Alcotest.int "unterminated comment recorded" 1
+    (Array.length lx.Lexer.comments)
+
+let test_lexer_positions () =
+  let lx = Lexer.scan "a\n  bb\n   Hashtbl.iter" in
+  let t = lx.Lexer.tokens in
+  check Alcotest.int "three tokens" 3 (Array.length t);
+  check Alcotest.int "line of bb" 2 t.(1).Lexer.t_line;
+  check Alcotest.int "col of bb" 3 t.(1).Lexer.t_col;
+  check Alcotest.int "line of path token" 3 t.(2).Lexer.t_line;
+  check Alcotest.string "module path joined" "Hashtbl.iter"
+    t.(2).Lexer.t_text
+
+let test_lexer_lowercase_paths_stay_split () =
+  (* [p.field <- v] must keep its [<-] visible to the race rule *)
+  let lx = Lexer.scan "p.spawn_failed <- true" in
+  let texts = Array.map (fun (t : Lexer.token) -> t.Lexer.t_text) lx.Lexer.tokens in
+  check
+    Alcotest.(array string)
+    "record mutation tokens"
+    [| "p"; "."; "spawn_failed"; "<-"; "true" |]
+    texts
+
+(* --- one planted fixture per rule family ---------------------------- *)
+
+let expect_rule ~id ~unaudited ~audited ?(path = "lib/fixture.ml") () =
+  check
+    Alcotest.(list string)
+    (id ^ " fires unaudited") [ id ]
+    (findings ~path [ id ] unaudited);
+  check
+    Alcotest.(list string)
+    (id ^ " passes audited") []
+    (findings ~path [ id ] audited)
+
+let test_rule_hash_order () =
+  expect_rule ~id:"hash-order"
+    ~unaudited:"let () = Hashtbl.iter f t"
+    ~audited:"(* hash-order: output sorted below *)\nlet () = Hashtbl.iter f t"
+    ()
+
+let test_rule_env_read () =
+  expect_rule ~id:"env-read"
+    ~unaudited:"let v = Sys.getenv_opt \"TQEC_X\""
+    ~audited:
+      "(* env-read: call-time capture, CLI owns the default *)\n\
+       let v = Sys.getenv_opt \"TQEC_X\""
+    ();
+  (* CLI/test layers are exempt *)
+  check
+    Alcotest.(list string)
+    "env-read exempt outside lib" []
+    (findings ~path:"bin/fixture.ml" [ "env-read" ]
+       "let v = Sys.getenv_opt \"TQEC_X\"")
+
+let test_rule_partial () =
+  expect_rule ~id:"partial"
+    ~unaudited:"let f () = failwith \"nope\""
+    ~audited:"(* partial: caller guarantees non-empty input *)\nlet f () = failwith \"nope\""
+    ();
+  (* a comment between the pattern tokens neither hides nor audits *)
+  check
+    Alcotest.(list string)
+    "assert false with comment between" [ "partial" ]
+    (findings [ "partial" ] "let f () = assert (* sic *) false");
+  check
+    Alcotest.(list string)
+    "partial exempt outside lib" []
+    (findings ~path:"test/fixture.ml" [ "partial" ] "let f () = failwith \"x\"")
+
+let test_rule_swallow () =
+  expect_rule ~id:"swallow"
+    ~unaudited:"let x = try f () with _ -> 0"
+    ~audited:
+      "(* swallow: absence of the optional file is the common case *)\n\
+       let x = try f () with _ -> 0"
+    ();
+  (* a catch-all value match is not an exception swallow *)
+  check
+    Alcotest.(list string)
+    "match catch-all exempt" []
+    (findings [ "swallow" ] "let x = match f () with | _ -> 0");
+  check
+    Alcotest.(list string)
+    "match without bar exempt" []
+    (findings [ "swallow" ] "let x = match f () with _ -> 0");
+  (* a try nested inside a match arm still fires *)
+  check
+    Alcotest.(list string)
+    "try inside match arm" [ "swallow" ]
+    (findings [ "swallow" ]
+       "let x = match y with | A -> (try f () with _ -> 0) | B -> 1")
+
+let test_rule_wallclock () =
+  expect_rule ~id:"wallclock"
+    ~unaudited:"let t0 = Unix.gettimeofday ()"
+    ~audited:
+      "(* wallclock: reporting-only stage timing *)\n\
+       let t0 = Unix.gettimeofday ()"
+    ();
+  expect_rule ~id:"wallclock" ~unaudited:"let t = Sys.time ()"
+    ~audited:"(* wallclock: coarse budget clock only *)\nlet t = Sys.time ()"
+    ()
+
+let test_rule_unsafe () =
+  expect_rule ~id:"unsafe"
+    ~unaudited:"let y = Obj.magic x"
+    ~audited:
+      "(* unsafe: both sides are the same runtime representation *)\n\
+       let y = Obj.magic x"
+    ();
+  (* the prefix unit matches the whole Array.unsafe_* family *)
+  check
+    Alcotest.(list string)
+    "unsafe_get" [ "unsafe" ]
+    (findings [ "unsafe" ] "let v = Array.unsafe_get a 0");
+  check
+    Alcotest.(list string)
+    "unsafe_set" [ "unsafe" ]
+    (findings [ "unsafe" ] "let () = Array.unsafe_set a 0 v")
+
+let race_unaudited =
+  "let () =\n  Pool.map\n    (fun i ->\n      total := !total + i)\n    items"
+
+let race_audited_at_site =
+  "let () =\n\
+   \  Pool.map\n\
+   \    (fun i ->\n\
+   \      (* race: total is an atomic-free demo accumulator guarded by\n\
+   \         the pool's completion barrier *)\n\
+   \      total := !total + i)\n\
+   \    items"
+
+let race_audited_at_call =
+  "(* race: per-index slots, no two tasks share a cell *)\n\
+   let () =\n\
+   \  Pool.map\n\
+   \    (fun i ->\n\
+   \      slots.(i) <- i)\n\
+   \    items"
+
+let test_rule_race () =
+  check
+    Alcotest.(list string)
+    "race fires unaudited" [ "race" ]
+    (findings [ "race" ] race_unaudited);
+  check
+    Alcotest.(list string)
+    "race passes audited at mutation" []
+    (findings [ "race" ] race_audited_at_site);
+  check
+    Alcotest.(list string)
+    "race passes audited at the Pool call" []
+    (findings [ "race" ] race_audited_at_call);
+  (* a fully-qualified call opens the same window *)
+  check
+    Alcotest.(list string)
+    "qualified Pool.map" [ "race" ]
+    (findings [ "race" ]
+       "let () = Tqec_util.Pool.map (fun i -> c := i) items");
+  (* passing a named function opens no window *)
+  check
+    Alcotest.(list string)
+    "named task function" []
+    (findings [ "race" ] "let r = Pool.map ~jobs work items\nlet () = c := 1")
+
+(* --- audit grammar -------------------------------------------------- *)
+
+let test_audit_requires_justification () =
+  (* a bare marker with nothing after it is not an audit *)
+  check
+    Alcotest.(list string)
+    "empty audit rejected" [ "partial" ]
+    (findings [ "partial" ] "(* partial: *)\nlet f () = failwith \"x\"");
+  check Alcotest.bool "marker grammar direct" false
+    (Engine.marker_with_justification " partial: " "partial:");
+  check Alcotest.bool "justified" true
+    (Engine.marker_with_justification " partial: invariant holds " "partial:")
+
+let test_audit_window () =
+  (* an audit too far above the site does not waive it (before = 3) *)
+  let far =
+    "(* partial: too far away *)\n\n\n\n\nlet f () = failwith \"x\""
+  in
+  check Alcotest.(list string) "audit out of window" [ "partial" ]
+    (findings [ "partial" ] far);
+  (* on the line after the site still counts (after = 1) *)
+  let below = "let f () = failwith \"x\"\n(* partial: caller checked *)" in
+  check Alcotest.(list string) "audit below the site" []
+    (findings [ "partial" ] below)
+
+let test_unit_matches () =
+  check Alcotest.bool "exact" true (Rule.unit_matches "failwith" "failwith");
+  check Alcotest.bool "module-path suffix" true
+    (Rule.unit_matches "Pool.map" "Tqec_util.Pool.map");
+  check Alcotest.bool "prefix unit" true
+    (Rule.unit_matches "Array.unsafe_*" "Array.unsafe_blit");
+  check Alcotest.bool "prefix after module path" true
+    (Rule.unit_matches "Array.unsafe_*" "Stdlib.Array.unsafe_get");
+  check Alcotest.bool "no substring match" false
+    (Rule.unit_matches "exit" "exited");
+  check Alcotest.bool "no mid-segment match" false
+    (Rule.unit_matches "Pool.map" "Whirlpool.map")
+
+(* --- reports and baseline ------------------------------------------- *)
+
+let test_reports_deterministic () =
+  let src = "let () = Hashtbl.iter f t\nlet g () = failwith \"x\"" in
+  let run () =
+    Engine.lint_string ~rules:Rules.all ~path:"lib/fixture.ml" src
+  in
+  let fs = run () in
+  check Alcotest.int "two findings" 2 (List.length fs);
+  let summary =
+    { Report.files = 1; rules = Rules.ids; suppressed = 0; unused_baseline = 0 }
+  in
+  check Alcotest.string "text stable" (Report.text summary fs)
+    (Report.text summary (run ()));
+  check Alcotest.string "json stable" (Report.json summary fs)
+    (Report.json summary (run ()));
+  (* ordered by (path, line, col, rule) *)
+  check
+    Alcotest.(list string)
+    "sorted findings" [ "hash-order"; "partial" ]
+    (List.map (fun (f : Rule.finding) -> f.Rule.f_rule) fs)
+
+let test_baseline () =
+  let src = "let () = Hashtbl.iter f t\nlet g () = failwith \"x\"" in
+  let fs = Engine.lint_string ~rules:Rules.all ~path:"lib/fixture.ml" src in
+  let entry = Engine.baseline_entry (List.hd fs) in
+  let b =
+    Engine.baseline_of_string
+      ("# a comment\n\n" ^ entry ^ "\nstale lib/gone.ml:9 token\n")
+  in
+  let kept, suppressed, unused = Engine.apply_baseline b fs in
+  check Alcotest.int "one suppressed" 1 suppressed;
+  check Alcotest.int "one stale" 1 unused;
+  check
+    Alcotest.(list string)
+    "kept the other" [ "partial" ]
+    (List.map (fun (f : Rule.finding) -> f.Rule.f_rule) kept)
+
+let suites =
+  [
+    ( "lint.lexer",
+      [
+        Alcotest.test_case "nested comments" `Quick test_lexer_nested_comments;
+        Alcotest.test_case "patterns inside literals" `Quick
+          test_lexer_patterns_in_literals;
+        Alcotest.test_case "escapes" `Quick test_lexer_escapes;
+        Alcotest.test_case "unterminated forms" `Quick test_lexer_unterminated;
+        Alcotest.test_case "positions" `Quick test_lexer_positions;
+        Alcotest.test_case "lowercase paths stay split" `Quick
+          test_lexer_lowercase_paths_stay_split;
+      ] );
+    ( "lint.rules",
+      [
+        Alcotest.test_case "hash-order" `Quick test_rule_hash_order;
+        Alcotest.test_case "env-read" `Quick test_rule_env_read;
+        Alcotest.test_case "partial" `Quick test_rule_partial;
+        Alcotest.test_case "swallow" `Quick test_rule_swallow;
+        Alcotest.test_case "wallclock" `Quick test_rule_wallclock;
+        Alcotest.test_case "unsafe" `Quick test_rule_unsafe;
+        Alcotest.test_case "race" `Quick test_rule_race;
+      ] );
+    ( "lint.audits",
+      [
+        Alcotest.test_case "justification required" `Quick
+          test_audit_requires_justification;
+        Alcotest.test_case "window" `Quick test_audit_window;
+        Alcotest.test_case "unit matching" `Quick test_unit_matches;
+      ] );
+    ( "lint.report",
+      [
+        Alcotest.test_case "deterministic reports" `Quick
+          test_reports_deterministic;
+        Alcotest.test_case "baseline" `Quick test_baseline;
+      ] );
+  ]

@@ -356,6 +356,64 @@ let test_server_e2e () =
   Thread.join daemon;
   check Alcotest.bool "socket removed" false (Sys.file_exists socket)
 
+(* A cyclic constraint DAG reaching the daemon's compute path must come
+   back as a structured Failed response naming the icm stage — not kill
+   the daemon.  The [icm-cycle] fault seam runs the real pipeline on a
+   crafted cyclic ICM, driving the acyclicity gate end to end. *)
+let test_server_cycle_failure () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tqecc-test-cycle-%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    {
+      Server.default_config with
+      Server.socket_path = socket;
+      capacity = 1;
+      fault = Some "icm-cycle";
+    }
+  in
+  let daemon = Thread.create (fun () -> ignore (Server.run config)) () in
+  let rec await n =
+    match Client.call ~socket Protocol.Stats with
+    | _ -> ()
+    | exception Client.Connect_error _ when n > 0 ->
+        Thread.delay 0.02;
+        await (n - 1)
+  in
+  await 250;
+  let request =
+    Protocol.Compress
+      {
+        input = Protocol.Qct { name = "cyc"; text = "qubits 2\ncnot 0 1\n" };
+        knobs = Protocol.default_knobs;
+      }
+  in
+  (match Client.call ~socket request with
+  | Protocol.Failed { message } ->
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "failure names the icm stage" true
+        (contains message "icm");
+      check Alcotest.bool "failure says cyclic" true
+        (contains message "cyclic")
+  | other ->
+      Alcotest.failf "expected structured failure, got: %s"
+        (Protocol.encode_response other));
+  (* the daemon survived the failure and still serves *)
+  (match Client.call ~socket Protocol.Stats with
+  | Protocol.Stats_reply s ->
+      check Alcotest.int "error counted" 1 s.Protocol.sv_errors
+  | _ -> Alcotest.fail "stats after failure");
+  (match Client.call ~socket Protocol.Shutdown with
+  | Protocol.Bye -> ()
+  | _ -> Alcotest.fail "shutdown not acknowledged");
+  Thread.join daemon
+
 let suites =
   [
     ( "serve.json",
@@ -386,5 +444,9 @@ let suites =
       ] );
     ("serve.codec-fuzz", qcheck_tests);
     ( "serve.e2e",
-      [ Alcotest.test_case "daemon round trip" `Quick test_server_e2e ] );
+      [
+        Alcotest.test_case "daemon round trip" `Quick test_server_e2e;
+        Alcotest.test_case "cyclic ICM -> structured failure" `Quick
+          test_server_cycle_failure;
+      ] );
   ]

@@ -451,6 +451,8 @@ let test_pool_balances_uneven_tasks () =
     (Pool.map ~jobs:4
        (fun i ->
          if i < 2 then ignore (Sys.opaque_identity (Array.make 10_000 i));
+         (* race: slot [i] is written by task [i] only — disjoint
+            indices, no two tasks share a cell *)
          hits.(i) <- hits.(i) + 1)
        (Array.init 16 (fun i -> i)));
   check Alcotest.bool "each task once" true (Array.for_all (( = ) 1) hits)
@@ -523,6 +525,21 @@ let test_pool_helper_drains_without_workers () =
   check Alcotest.bool "nested without workers" true
     (nested = [| 1; 2; 3; 4; 5 |]);
   Pool.shutdown pool
+
+let test_pool_spawn_error_surfaced () =
+  (* healthy pools report no spawn failure; the field is the seam
+     through which a Domain.spawn failure (recorded, not swallowed)
+     reaches operators *)
+  let pool = Pool.create ~workers:1 in
+  ignore (Pool.map ~pool ~jobs:1 succ (Array.init 4 (fun i -> i)));
+  (match Pool.stats ~pool () with
+  | { Pool.spawn_error = None; _ } -> ()
+  | { Pool.spawn_error = Some msg; _ } ->
+      Alcotest.failf "unexpected spawn error: %s" msg);
+  Pool.shutdown pool;
+  (* the global pool too *)
+  check Alcotest.bool "global pool healthy" true
+    ((Pool.stats ()).Pool.spawn_error = None)
 
 let test_pool_async_await () =
   let p = Pool.async (fun () -> 6 * 7) in
@@ -669,6 +686,8 @@ let suites =
         Alcotest.test_case "helper drains without workers" `Quick
           test_pool_helper_drains_without_workers;
         Alcotest.test_case "async/await" `Quick test_pool_async_await;
+        Alcotest.test_case "spawn error surfaced in stats" `Quick
+          test_pool_spawn_error_surfaced;
         Alcotest.test_case "combined jobs invariance" `Quick
           test_pool_jobs_invariance_combined;
       ] );
