@@ -25,7 +25,9 @@ type config = {
   jobs : int option;
   early_stop_margin : float option;
   partition : int option;
+  auto_partition : int option;
   corridor_cells : int option;
+  corridor_cache : bool;
   sa_moves_cap : int option;
   debug : bool;
   verify : bool option;
@@ -35,8 +37,9 @@ let default_config =
   { variant = Full; effort = Placer.Normal; seed = 42; enable_ishape = true;
     z_cap = None; strategy = Placer.Annealing; restarts = 1; jobs = None;
     early_stop_margin = Placer.default_config.Placer.early_stop_margin;
-    partition = None; corridor_cells = None; sa_moves_cap = None;
-    debug = false; verify = None }
+    partition = None; auto_partition = None; corridor_cells = None;
+    corridor_cache = Pathfinder.default_config.Pathfinder.corridor_cache;
+    sa_moves_cap = None; debug = false; verify = None }
 
 exception
   Stage_failure of {
@@ -304,6 +307,10 @@ let rec run_icm ?(config = default_config) ?on_stage icm =
       jobs = config.jobs;
       early_stop_margin = config.early_stop_margin;
       partition = config.partition;
+      auto_partition =
+        (match config.auto_partition with
+        | Some t -> t
+        | None -> Placer.default_config.Placer.auto_partition);
       sa_moves_cap = config.sa_moves_cap;
     }
   in
@@ -325,10 +332,11 @@ let rec run_icm ?(config = default_config) ?on_stage icm =
       match config.corridor_cells with
       | None ->
           { Pathfinder.default_config with jobs = config.jobs;
-            debug = config.debug }
+            corridor_cache = config.corridor_cache; debug = config.debug }
       | Some cells ->
           { Pathfinder.default_config with jobs = config.jobs;
-            corridor_cells = cells; debug = config.debug }
+            corridor_cells = cells; corridor_cache = config.corridor_cache;
+            debug = config.debug }
     in
     Pathfinder.route_all grid route_config nets
   in
@@ -459,3 +467,29 @@ let summary (r : t) =
     p.Placer.width p.Placer.height p.Placer.depth r.stages.st_modules
     r.stages.st_nodes r.stages.st_dual_bridges
     r.routing.Pathfinder.success
+
+(* Digest of everything the determinism contract promises: reported
+   volume, die dimensions, every node position and rotation, and every
+   routed cell of every net in order.  Two runs agree on this hex
+   string iff they agree on the full geometric result — the equality
+   the jobs-invariance and corridor-cache cross-checks pin.  Lives here
+   (not in the fuzz harness) so the CLI can print it and build rules
+   can diff it. *)
+let fingerprint (r : t) =
+  let b = Buffer.create 1024 in
+  let p = r.placement in
+  Printf.bprintf b "v=%d w=%d h=%d d=%d|" r.volume p.Placer.width
+    p.Placer.height p.Placer.depth;
+  Array.iter (fun (x, y) -> Printf.bprintf b "%d,%d;" x y) p.Placer.node_pos;
+  Array.iter
+    (fun rot -> Buffer.add_char b (if rot then 'R' else '.'))
+    p.Placer.rotated;
+  List.iter
+    (fun (route : Pathfinder.routed) ->
+      Printf.bprintf b "|n%d:" route.Pathfinder.r_net;
+      List.iter
+        (fun (c : Vec3.t) ->
+          Printf.bprintf b "%d.%d.%d," c.Vec3.x c.Vec3.y c.Vec3.z)
+        route.Pathfinder.r_cells)
+    r.routing.Pathfinder.routes;
+  Digest.to_hex (Digest.string (Buffer.contents b))

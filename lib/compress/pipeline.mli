@@ -33,14 +33,25 @@ type config = {
           {!Tqec_place.Placer.config}); [None] disables early stopping *)
   partition : int option;
       (** divide-and-conquer placement threshold (see
+          {!Tqec_place.Placer.config}); [None] (the default) defers to
+          the placer's automatic node-count threshold
+          ([auto_partition]) *)
+  auto_partition : int option;
+      (** override for the placer's automatic partition threshold (see
           {!Tqec_place.Placer.config}); [None] (the default) keeps the
-          historical single-die annealing on any instance size *)
+          placer's default (4000 nodes — above every paper-suite
+          instance, so those stay single-die bit-for-bit) *)
   corridor_cells : int option;
       (** hierarchical-routing threshold override (see
           {!Tqec_route.Pathfinder.config}); [None] (the default) keeps
           the router's default.  Exposed so a fuzz/replay harness can
           reproduce a run's exact routing trajectory from its recorded
           flag vector *)
+  corridor_cache : bool;
+      (** corridor reuse across negotiation iterations (see
+          {!Tqec_route.Pathfinder.config}; default [true]).  Routes are
+          bit-identical either way — [false] exists for cross-checks
+          and benchmark baselines *)
   sa_moves_cap : int option;
       (** hard ceiling on annealing moves per trajectory (see
           {!Tqec_place.Placer.config}); [None] (the default) keeps the
@@ -131,6 +142,14 @@ val run_icm :
     verbatim, which is what makes served-vs-CLI parity checkable by
     string comparison. *)
 val summary : t -> string
+
+(** [fingerprint r] is a hex digest of everything the determinism
+    contract promises — reported volume, die dimensions, every node
+    position/rotation, and every routed cell of every net in order.
+    Two runs agree on it iff they agree on the full geometric result:
+    the equality the jobs-invariance and corridor-cache cross-checks
+    pin ([tqecc check --fingerprint], the fuzz determinism oracles). *)
+val fingerprint : t -> string
 
 (** [verify ?stages r] re-derives and cross-checks the invariants of
     every pipeline boundary (default: all stages) via {!Tqec_verify};

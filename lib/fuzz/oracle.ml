@@ -52,27 +52,9 @@ let plant fault (r : Pipeline.t) =
         { r with Pipeline.placement = { p with Tqec_place.Placer.node_pos } }
       end
 
-let fingerprint (r : Pipeline.t) =
-  let b = Buffer.create 1024 in
-  let p = r.Pipeline.placement in
-  Printf.bprintf b "v=%d w=%d h=%d d=%d|" r.Pipeline.volume
-    p.Tqec_place.Placer.width p.Tqec_place.Placer.height
-    p.Tqec_place.Placer.depth;
-  Array.iter (fun (x, y) -> Printf.bprintf b "%d,%d;" x y)
-    p.Tqec_place.Placer.node_pos;
-  Array.iter
-    (fun rot -> Buffer.add_char b (if rot then 'R' else '.'))
-    p.Tqec_place.Placer.rotated;
-  List.iter
-    (fun (route : Tqec_route.Pathfinder.routed) ->
-      Printf.bprintf b "|n%d:" route.Tqec_route.Pathfinder.r_net;
-      List.iter
-        (fun (c : Tqec_util.Vec3.t) ->
-          Printf.bprintf b "%d.%d.%d," c.Tqec_util.Vec3.x c.Tqec_util.Vec3.y
-            c.Tqec_util.Vec3.z)
-        route.Tqec_route.Pathfinder.r_cells)
-    r.Pipeline.routing.Tqec_route.Pathfinder.routes;
-  Digest.to_hex (Digest.string (Buffer.contents b))
+(* Promoted into the pipeline library so the CLI and build rules can
+   print/diff it; the oracle families keep their historical name. *)
+let fingerprint = Pipeline.fingerprint
 
 let run_with config circuit = Pipeline.run ~config circuit
 
@@ -159,6 +141,38 @@ let check_case ?fault (case : Case.t) =
           fail "determinism: partition cap %d diverges from single-die"
             n_nodes
       end;
+      (* family 5: corridor equivalence.  A case fuzzed with a small
+         corridor threshold routed hierarchically (coarse tile-graph
+         corridor + fine in-corridor search, corridor cache on); re-run
+         flat, the exhaustive router must also verify clean, the
+         placement — computed before routing and blind to the corridor
+         knob — must be bit-identical, and the routed bounding volume
+         may differ only by detour slack (corridor tie-breaks pick
+         different equal-cost shapes, but a corridor route that blows
+         the volume past the calibrated band means the coarse pass
+         guided the fine search somewhere catastrophic) *)
+      (match case.Case.corridor_cells with
+      | None -> ()
+      | Some _ ->
+          let rflat =
+            run_with
+              { config with Pipeline.corridor_cells = None }
+              case.Case.circuit
+          in
+          List.iter
+            (fun m -> failures := m :: !failures)
+            (List.rev (verify_failures ~label:"corridor-flat" rflat));
+          if
+            rflat.Pipeline.placement.Tqec_place.Placer.node_pos
+            <> r.Pipeline.placement.Tqec_place.Placer.node_pos
+            || rflat.Pipeline.placement.Tqec_place.Placer.rotated
+               <> r.Pipeline.placement.Tqec_place.Placer.rotated
+          then fail "corridor: corridor threshold perturbed the placement";
+          let v = r.Pipeline.volume and vf = rflat.Pipeline.volume in
+          if v > (2 * vf) + 64 || vf > (2 * v) + 64 then
+            fail
+              "corridor: corridor volume %d vs flat %d beyond the detour band"
+              v vf);
       (* family 3: metamorphic *)
       let idle =
         run_with config (Tqec_circuit.Generator.add_idle_qubit case.Case.circuit)

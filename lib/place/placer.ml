@@ -29,13 +29,20 @@ type config = {
   jobs : int option;
   early_stop_margin : float option;
   partition : int option;
+  auto_partition : int;
   sa_moves_cap : int option;
 }
 
 let default_config =
   { effort = Normal; seed = 42; alpha = 1.0; beta = 0.2; z_cap = None;
     strategy = Annealing; restarts = 1; jobs = None;
-    early_stop_margin = Some 0.05; partition = None; sa_moves_cap = None }
+    early_stop_margin = Some 0.05; partition = None;
+    (* Auto-partition threshold: with [partition = None], instances
+       above this node count take the divide-and-conquer path with this
+       cap.  Chosen above every paper-suite instance (~2.6k modules at
+       auto scale) so their single-die placements stay bit-identical;
+       synthetic scale-tier substrates cross it around tier-x9. *)
+    auto_partition = 4000; sa_moves_cap = None }
 
 type t = {
   sm : Super_module.t;
@@ -581,6 +588,15 @@ let place ?(config = default_config) (g : Pd_graph.t) (flipping : Flipping.t)
         | Some cap when n > max 1 cap ->
             place_partitioned ~config ~depth ~dims ~nets ~rotatable
               ~cap:(max 1 cap)
+        | None when n > max 1 config.auto_partition ->
+            (* nobody asked for partitioning, but the instance is past
+               the threshold where monolithic annealing stops scaling:
+               pick the cap automatically.  Same dispatch guard as the
+               explicit case, so [auto_partition >= n] — like
+               [Some cap >= n] — reproduces the single-die placement
+               bit for bit. *)
+            place_partitioned ~config ~depth ~dims ~nets ~rotatable
+              ~cap:(max 1 config.auto_partition)
         | _ -> anneal_group ~config ~depth ~dims ~nets ~rotatable
                  ~seed:config.seed
       in

@@ -58,9 +58,20 @@ type config = {
           the full quadratic move/net coupling, at some area/wirelength
           quality loss across the cuts.  Results are a pure function of
           (seed, restarts, cap) — never of [jobs].  [None] (the
-          default) and [Some cap >= n] reproduce the historical
-          single-die trajectory bit-for-bit.  [Force_directed] ignores
-          it *)
+          default) defers to [auto_partition], and [Some cap >= n]
+          reproduces the historical single-die trajectory bit-for-bit.
+          [Force_directed] ignores it *)
+  auto_partition : int;
+      (** node count above which an unset [partition] engages
+          divide-and-conquer automatically, with [cap = auto_partition]
+          — monolithic annealing past a few thousand modules burns its
+          move budget without converging, so the placer picks the
+          partitioned path by itself at scale.  Same dispatch rule as
+          an explicit cap, so [auto_partition >= n] reproduces the
+          single-die trajectory bit-for-bit; an explicit [partition]
+          always wins.  The default (4000) sits above every paper-suite
+          instance and below the larger synthetic scale tiers.
+          [Force_directed] ignores it *)
   sa_moves_cap : int option;
       (** hard ceiling on annealing moves per trajectory, applied after
           the effort-derived budget.  A testing/replay hook: the fuzzing

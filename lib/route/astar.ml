@@ -15,6 +15,15 @@ type scratch = {
   mutable own : bool array;
   mutable gen : int;
   queue : int Pqueue.t;
+  (* Small per-search side tables, hoisted here so repeated searches —
+     in particular the corridor-widening escalation ladder, which can
+     run several attempts per connect — reuse their bucket arrays
+     instead of allocating fresh hashtables per attempt.  [Hashtbl.clear]
+     keeps the grown bucket table (where [reset] would shrink it). *)
+  exempt : (int, unit) Hashtbl.t;
+  slot_of : (int, int) Hashtbl.t;
+  member : (int, unit) Hashtbl.t;
+  excl_tiles : (int, int) Hashtbl.t;
 }
 
 let create_scratch () =
@@ -27,7 +36,28 @@ let create_scratch () =
     own = [||];
     gen = 0;
     queue = Pqueue.create ();
+    exempt = Hashtbl.create 64;
+    slot_of = Hashtbl.create 64;
+    member = Hashtbl.create 64;
+    excl_tiles = Hashtbl.create 64;
   }
+
+(* Grow the dense arrays to at least [cells] slots.  Geometric growth:
+   once the scratch has warmed to the largest region seen, further
+   searches — including every widening step of the corridor escalation
+   ladder — reallocate nothing ([Counters.scratch_grows] stays flat,
+   which bench/route_stress.ml pins). *)
+let grow scr cells =
+  if scr.cap < cells then begin
+    Atomic.incr Counters.scratch_grows;
+    let cap = max cells (max 64 (2 * scr.cap)) in
+    scr.g_score <- Array.make cap max_int;
+    scr.parent <- Array.make cap (-1);
+    scr.h_cache <- Array.make cap 0;
+    scr.stamp <- Array.make cap 0;
+    scr.own <- Array.make cap false;
+    scr.cap <- cap
+  end
 
 (* Region-local dense state: corridors are small, so flat arrays beat
    hashing on both speed and allocation. *)
@@ -51,12 +81,16 @@ let search ?scratch ?(max_expansions = 400_000) ?(avoid_used = false)
     let x = rest / ny in
     Vec3.make (x + lo.Vec3.x) (y + lo.Vec3.y) (z + lo.Vec3.z)
   in
-  let exempt = Hashtbl.create 8 in
-  List.iter
-    (fun s -> if Box3.contains region s then Hashtbl.replace exempt (encode s) ())
-    sources;
   if not (Box3.contains region target) then None
   else begin
+    Atomic.incr Counters.flat_searches;
+    let scr = match scratch with Some s -> s | None -> create_scratch () in
+    let exempt = scr.exempt in
+    Hashtbl.clear exempt;
+    List.iter
+      (fun s ->
+        if Box3.contains region s then Hashtbl.replace exempt (encode s) ())
+      sources;
     let target_code = encode target in
     Hashtbl.replace exempt target_code ();
     let passable p code =
@@ -66,16 +100,7 @@ let search ?scratch ?(max_expansions = 400_000) ?(avoid_used = false)
             || Grid.is_shared grid p
             || Grid.usage grid p < Grid.capacity))
     in
-    let scr = match scratch with Some s -> s | None -> create_scratch () in
-    if scr.cap < cells then begin
-      let cap = max cells (max 64 (2 * scr.cap)) in
-      scr.g_score <- Array.make cap max_int;
-      scr.parent <- Array.make cap (-1);
-      scr.h_cache <- Array.make cap 0;
-      scr.stamp <- Array.make cap 0;
-      scr.own <- Array.make cap false;
-      scr.cap <- cap
-    end;
+    grow scr cells;
     scr.gen <- scr.gen + 1;
     let gen = scr.gen in
     let g_score = scr.g_score
@@ -189,22 +214,47 @@ let search ?scratch ?(max_expansions = 400_000) ?(avoid_used = false)
 (* existing caller.                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let grow scr cells =
-  if scr.cap < cells then begin
-    let cap = max cells (max 64 (2 * scr.cap)) in
-    scr.g_score <- Array.make cap max_int;
-    scr.parent <- Array.make cap (-1);
-    scr.h_cache <- Array.make cap 0;
-    scr.stamp <- Array.make cap 0;
-    scr.own <- Array.make cap false;
-    scr.cap <- cap
-  end
+(* The coarse pass prices tile congestion with a FIXED penalty instead
+   of the caller's negotiation penalty.  The corridor choice is a guide
+   (feasibility and exact costs are re-established by the fine pass), so
+   the iteration-dependent penalty bought nothing — and removing it
+   makes the coarse search a function of (sources' tiles, target tile,
+   region, tile summaries) alone, which is what lets the corridor cache
+   reuse one corridor across negotiation iterations and between the
+   negotiation and cleanup phases. *)
+let coarse_penalty = 6
 
 (* Coarse pass: A* over the tile graph restricted to tiles meeting
    [region], from the sources' tiles to the target's tile.  Returns the
    corridor as a list of tile indices (path tiles plus axis neighbors),
-   or None when even the coarse graph offers no path. *)
-let coarse_corridor scr grid ~region ~penalty ~sources ~(target : Vec3.t) =
+   or None when even the coarse graph offers no path.
+
+   [exclude] prices the net's own current route out of the tile
+   congestion (each excluded cell carries exactly the +1 usage the net
+   itself claimed, so a per-tile count subtraction is exact) — the
+   coarse-level analogue of the fine pass's own-route bias.  Beyond
+   route quality, this makes the coarse effective input invariant under
+   the net's own rip-up/re-claim, which is what lets the corridor cache
+   survive the batch-phase route/commit cycle (see the cache contract
+   in pathfinder.ml).
+
+   [source_tiles], when given, must be the deduplicated in-region
+   source tiles in first-occurrence order — exactly the list the
+   corridor cache computes for its key.  The coarse pass then seeds
+   from it directly instead of re-walking the (much longer) source cell
+   list; both derivations visit tiles in the same order, so the search
+   is bit-identical either way. *)
+let coarse_corridor ?(exclude = []) ?source_tiles scr grid ~region ~sources
+    ~(target : Vec3.t) =
+  let region =
+    match Box3.inter region (Grid.box grid) with
+    | Some r -> r
+    | None -> Grid.box grid
+  in
+  if not (Box3.contains region target) then None
+  else begin
+  Atomic.incr Counters.coarse_searches;
+  let penalty = coarse_penalty in
   let _, tdy, tdz = Grid.tile_dims grid in
   let n_tiles = Grid.n_tiles grid in
   grow scr n_tiles;
@@ -233,13 +283,27 @@ let coarse_corridor scr grid ~region ~penalty ~sources ~(target : Vec3.t) =
   let tty = Grid.tile_index grid target / tdz mod tdy in
   let ttz = Grid.tile_index grid target mod tdz in
   let target_code = encode ttx tty ttz in
-  let exempt = Hashtbl.create 8 in
+  let exempt = scr.exempt in
+  Hashtbl.clear exempt;
   Hashtbl.replace exempt target_code ();
+  (match source_tiles with
+  | Some tiles -> List.iter (fun ti -> Hashtbl.replace exempt ti ()) tiles
+  | None ->
+      List.iter
+        (fun s ->
+          if Box3.contains region s then
+            Hashtbl.replace exempt (Grid.tile_index grid s) ())
+        sources);
+  let excl = scr.excl_tiles in
+  Hashtbl.clear excl;
   List.iter
-    (fun s ->
-      if Box3.contains region s then
-        Hashtbl.replace exempt (Grid.tile_index grid s) ())
-    sources;
+    (fun c ->
+      if Box3.contains region c then begin
+        let ti = Grid.tile_index grid c in
+        Hashtbl.replace excl ti
+          (1 + Option.value ~default:0 (Hashtbl.find_opt excl ti))
+      end)
+    exclude;
   let touch x y z code =
     if stamp.(code) <> gen then begin
       stamp.(code) <- gen;
@@ -255,7 +319,14 @@ let coarse_corridor scr grid ~region ~penalty ~sources ~(target : Vec3.t) =
      This is a guide, not a guarantee — feasibility is re-established by
      the fine pass. *)
   let enter_tile x y z code =
-    let congestion = Grid.tile_congestion grid code in
+    (* clamped defensively: with the route_all call discipline the
+       excluded cells' usage is really present, so the subtraction
+       cannot go negative — but A* must never see a negative edge *)
+    let congestion =
+      max 0
+        (Grid.tile_congestion grid code
+        - Option.value ~default:0 (Hashtbl.find_opt excl code))
+    in
     let ox = lo.Vec3.x + (x * edge) and oy = lo.Vec3.y + (y * edge)
     and oz = lo.Vec3.z + (z * edge) in
     let outside =
@@ -269,18 +340,21 @@ let coarse_corridor scr grid ~region ~penalty ~sources ~(target : Vec3.t) =
     let base = if outside then edge * (1 + Grid.outside_die_cost) else edge in
     base + (congestion * penalty * edge / Grid.tile_cells)
   in
-  List.iter
-    (fun (s : Vec3.t) ->
-      if Box3.contains region s then begin
-        let code = Grid.tile_index grid s in
-        let x = code / (tdy * tdz) and y = code / tdz mod tdy and z = code mod tdz in
-        touch x y z code;
-        if g_score.(code) <> 0 then begin
-          g_score.(code) <- 0;
-          Pqueue.push open_q h_cache.(code) code
-        end
-      end)
-    sources;
+  let seed code =
+    let x = code / (tdy * tdz) and y = code / tdz mod tdy and z = code mod tdz in
+    touch x y z code;
+    if g_score.(code) <> 0 then begin
+      g_score.(code) <- 0;
+      Pqueue.push open_q h_cache.(code) code
+    end
+  in
+  (match source_tiles with
+  | Some tiles -> List.iter seed tiles
+  | None ->
+      List.iter
+        (fun (s : Vec3.t) ->
+          if Box3.contains region s then seed (Grid.tile_index grid s))
+        sources);
   let found = ref false in
   let expansions = ref 0 in
   while (not !found) && (not (Pqueue.is_empty open_q)) && !expansions < n_tiles * 8
@@ -324,7 +398,8 @@ let coarse_corridor scr grid ~region ~penalty ~sources ~(target : Vec3.t) =
     (* corridor = path tiles plus their in-range axis neighbors, in
        deterministic discovery order (slot numbering feeds cell codes,
        and codes break priority-queue ties) *)
-    let member = Hashtbl.create 64 in
+    let member = scr.member in
+    Hashtbl.clear member;
     let corridor = ref [] in
     let add code =
       if not (Hashtbl.mem member code) then begin
@@ -356,9 +431,16 @@ let coarse_corridor scr grid ~region ~penalty ~sources ~(target : Vec3.t) =
       on_path;
     Some (List.rev !corridor)
   end
+  end
 
-let search_corridor ?scratch ?(max_expansions = 400_000) ?(avoid_used = false)
-    ?(exclude = []) grid ~region ~penalty ~sources ~target =
+(* Fine pass: cell-level A* restricted to [corridor], a tile-index list
+   from [coarse_corridor] — freshly computed or replayed from the
+   corridor cache; the result depends only on the corridor's content,
+   never on where it came from.  Cells are encoded as slot * tile_cells
+   + in-tile offset, so scratch scales with the corridor, never with
+   the region's bounding volume. *)
+let fine_in_corridor ?(max_expansions = 400_000) ?(avoid_used = false)
+    ?(exclude = []) scr grid ~corridor ~region ~penalty ~sources ~target =
   let region =
     match Box3.inter region (Grid.box grid) with
     | Some r -> r
@@ -366,18 +448,13 @@ let search_corridor ?scratch ?(max_expansions = 400_000) ?(avoid_used = false)
   in
   if not (Box3.contains region target) then None
   else begin
-    let scr = match scratch with Some s -> s | None -> create_scratch () in
-    match coarse_corridor scr grid ~region ~penalty ~sources ~target with
-    | None -> None
-    | Some corridor ->
-        (* fine pass: cells are encoded as slot * tile_cells + in-tile
-           offset, so scratch scales with the corridor, never with the
-           region's bounding volume *)
-        let tcells = Grid.tile_cells in
-        let slots = Array.of_list corridor in
-        let n_slots = Array.length slots in
-        let slot_of = Hashtbl.create (2 * n_slots) in
-        Array.iteri (fun i ti -> Hashtbl.replace slot_of ti i) slots;
+    Atomic.incr Counters.fine_searches;
+    let tcells = Grid.tile_cells in
+    let slots = Array.of_list corridor in
+    let n_slots = Array.length slots in
+    let slot_of = scr.slot_of in
+    Hashtbl.clear slot_of;
+    Array.iteri (fun i ti -> Hashtbl.replace slot_of ti i) slots;
         let cells = n_slots * tcells in
         grow scr cells;
         scr.gen <- scr.gen + 1;
@@ -406,7 +483,8 @@ let search_corridor ?scratch ?(max_expansions = 400_000) ?(avoid_used = false)
           Vec3.make (origin.Vec3.x + lx) (origin.Vec3.y + ly)
             (origin.Vec3.z + lz)
         in
-        let exempt = Hashtbl.create 8 in
+        let exempt = scr.exempt in
+        Hashtbl.clear exempt;
         List.iter
           (fun s ->
             if Box3.contains region s then begin
@@ -502,6 +580,22 @@ let search_corridor ?scratch ?(max_expansions = 400_000) ?(avoid_used = false)
           end
         end
   end
+
+let search_corridor ?scratch ?(max_expansions = 400_000) ?(avoid_used = false)
+    ?(exclude = []) grid ~region ~penalty ~sources ~target =
+  let region =
+    match Box3.inter region (Grid.box grid) with
+    | Some r -> r
+    | None -> Grid.box grid
+  in
+  if not (Box3.contains region target) then None
+  else
+    let scr = match scratch with Some s -> s | None -> create_scratch () in
+    match coarse_corridor ~exclude scr grid ~region ~sources ~target with
+    | None -> None
+    | Some corridor ->
+        fine_in_corridor ~max_expansions ~avoid_used ~exclude scr grid
+          ~corridor ~region ~penalty ~sources ~target
 
 let path_cost grid ~penalty = function
   | [] -> 0

@@ -42,14 +42,80 @@ val search :
   target:Tqec_util.Vec3.t ->
   Tqec_util.Vec3.t list option
 
+(** The fixed congestion penalty of the coarse tile-graph pass.  The
+    coarse corridor choice is a guide (the fine pass re-establishes
+    feasibility and exact costs), so it deliberately does NOT track the
+    negotiation loop's growing penalty: with the penalty pinned, a
+    coarse result is a function of (source tiles, target tile, region,
+    tile summaries) alone, which is what makes corridors cacheable
+    across iterations and shareable between negotiation and cleanup. *)
+val coarse_penalty : int
+
+(** [coarse_corridor scr grid ~region ~sources ~target] runs the coarse
+    tile-graph A* (6-neighbor adjacency; costs from the per-tile
+    congestion summaries {!Grid.tile_congestion} at {!coarse_penalty},
+    fully obstacled tiles impassable) and returns the corridor — the
+    coarse path's tiles plus their in-region axis neighbors, as tile
+    indices in deterministic discovery order — or [None] when the
+    coarse graph offers no path or the target lies outside [region]
+    (clipped to the grid box).
+
+    [exclude] prices the net's own current route out of the tile
+    congestion (per-tile count subtraction of the cells' own +1 usage)
+    — the coarse analogue of the fine pass's own-route bias, and the
+    property that makes the coarse effective input invariant under the
+    net's own rip-up/re-claim.
+
+    Determinism contract for the corridor cache: the result depends
+    only on the ordered deduplicated list of in-region source tiles,
+    the target tile, the (clipped) region, the grid's tile summaries,
+    and the per-tile counts of in-region [exclude] cells — covered by
+    the cache key plus the tile summary generations
+    ({!Grid.region_unchanged_since}) plus the cache's commit-stamp
+    bookkeeping over the net's own route.
+
+    [source_tiles], when given, must be that same ordered deduplicated
+    in-region source-tile list (the cache key's first component); the
+    coarse pass then seeds from it directly instead of re-deriving it
+    from [sources], with a bit-identical search either way.  Callers
+    that have not already computed the list should omit it. *)
+val coarse_corridor :
+  ?exclude:Tqec_util.Vec3.t list ->
+  ?source_tiles:int list ->
+  scratch ->
+  Grid.t ->
+  region:Tqec_util.Box3.t ->
+  sources:Tqec_util.Vec3.t list ->
+  target:Tqec_util.Vec3.t ->
+  int list option
+
+(** [fine_in_corridor scr grid ~corridor ~region ~penalty ~sources
+    ~target] runs the fine cell-level A* restricted to the cells of
+    [corridor] (a {!coarse_corridor} result — freshly computed or
+    replayed from a cache; the path depends only on the corridor's
+    content).  Scratch scales with the corridor volume.  Cost semantics
+    ([penalty], [avoid_used], [exclude], obstacle exemption of sources
+    and target) match {!search}.  [None] when the corridor is
+    infeasible at cell level or the target lies outside it. *)
+val fine_in_corridor :
+  ?max_expansions:int ->
+  ?avoid_used:bool ->
+  ?exclude:Tqec_util.Vec3.t list ->
+  scratch ->
+  Grid.t ->
+  corridor:int list ->
+  region:Tqec_util.Box3.t ->
+  penalty:int ->
+  sources:Tqec_util.Vec3.t list ->
+  target:Tqec_util.Vec3.t ->
+  Tqec_util.Vec3.t list option
+
 (** [search_corridor grid ~region ~penalty ~sources ~target] is the
-    hierarchical variant of {!search} for large regions: a coarse A*
-    over the grid's tile graph (6-neighbor adjacency; costs from the
-    per-tile congestion summaries {!Grid.tile_congestion}, fully
-    obstacled tiles impassable) picks a corridor — the coarse path's
-    tiles plus their axis neighbors — and the fine cell-level search
-    then runs restricted to corridor cells, with scratch sized by the
-    corridor volume instead of the region's bounding volume.
+    hierarchical variant of {!search} for large regions —
+    {!coarse_corridor} composed with {!fine_in_corridor}: the coarse
+    pass picks a corridor and the fine cell-level search then runs
+    restricted to corridor cells, with scratch sized by the corridor
+    volume instead of the region's bounding volume.
 
     Returns [None] when the coarse graph offers no path, when the
     corridor turns out infeasible at cell level, or when the target

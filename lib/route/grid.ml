@@ -51,6 +51,16 @@ type t = {
      O(overused) instead of rescanning the whole x*y*z volume every
      negotiation iteration. *)
   over : (int, unit) Hashtbl.t;
+  (* Per-tile summary generations: [gens.(ti)] is the value of
+     [gen_counter] at the last mutation that changed tile [ti]'s
+     summary-visible state (usage, history, obstacle count, shared
+     mask).  The corridor cache compares a region's tile generations
+     against the counter value recorded when a corridor was computed:
+     all [<= stamp] means no coarse-search input changed.  Generations
+     are a per-grid timeline — a [view] starts a fresh one — so stamps
+     are only meaningful against the grid object that issued them. *)
+  gens : int array;
+  mutable gen_counter : int;
   (* true for [view] results: congestion-cost queries only — the overuse
      table is not carried, so [overused]/[overused_count] must fail
      loudly instead of answering from an empty table *)
@@ -73,8 +83,14 @@ let create ?die box =
     tz;
     tiles = Array.make (tx * ty * tz) None;
     over = Hashtbl.create 64;
+    gens = Array.make (tx * ty * tz) 0;
+    gen_counter = 0;
     view_only = false;
   }
+
+let bump_gen g ti =
+  g.gen_counter <- g.gen_counter + 1;
+  g.gens.(ti) <- g.gen_counter
 
 let box g = g.box
 let die g = g.die
@@ -140,7 +156,8 @@ let set_obstacle g p =
   let t = ensure_tile g ti in
   if Bytes.get t.t_obst ci <> '\001' then begin
     Bytes.set t.t_obst ci '\001';
-    t.t_n_obst <- t.t_n_obst + 1
+    t.t_n_obst <- t.t_n_obst + 1;
+    bump_gen g ti
   end
 
 let set_obstacle_box g b =
@@ -161,6 +178,7 @@ let set_shared g p =
   let ti, ci = tile_cell g p in
   let t = ensure_tile g ti in
   Bytes.set t.t_shared ci '\001';
+  bump_gen g ti;
   (* shared cells have unlimited capacity: whatever their usage, they can
      no longer be overused *)
   Hashtbl.remove g.over (index g p)
@@ -185,6 +203,7 @@ let add_usage g p delta =
   let u = t.t_usage.(ci) + delta in
   t.t_usage.(ci) <- u;
   t.t_sum_usage <- t.t_sum_usage + delta;
+  if delta <> 0 then bump_gen g ti;
   if u < 0 then invalid_arg "Grid.add_usage: negative usage";
   if Bytes.get t.t_shared ci <> '\001' then
     if u > capacity then Hashtbl.replace g.over (index g p) ()
@@ -200,7 +219,8 @@ let add_history g p delta =
   let ti, ci = tile_cell g p in
   let t = ensure_tile g ti in
   t.t_hist.(ci) <- t.t_hist.(ci) + delta;
-  t.t_sum_hist <- t.t_sum_hist + delta
+  t.t_sum_hist <- t.t_sum_hist + delta;
+  if delta <> 0 then bump_gen g ti
 
 let enter_cost_d g ~penalty ~dusage p =
   guard g p "enter_cost";
@@ -255,6 +275,9 @@ let snapshot g =
     g with
     tiles = Array.map (Option.map copy_tile) g.tiles;
     over = Hashtbl.copy g.over;
+    (* the snapshot inherits the source's generation timeline at the
+       snapshot point, then diverges; never bumps the source *)
+    gens = Array.copy g.gens;
   }
 
 (* Unlike [snapshot], a view may be built WHILE [g] is being mutated by
@@ -279,6 +302,12 @@ let view g =
     g with
     tiles = Array.map (Option.map copy_tile) g.tiles;
     over = Hashtbl.create 1;
+    (* fresh timeline: the source's gens array may be mutated while the
+       racy copy runs, so the view starts at zero and is advanced only
+       by its own [patch_cell] fix-ups — stamps taken against a view are
+       valid against that view alone *)
+    gens = Array.make (Array.length g.gens) 0;
+    gen_counter = 0;
     view_only = true;
   }
 
@@ -293,6 +322,7 @@ let patch_cell ~src ~dst p =
       match dst.tiles.(ti) with
       | None -> ()
       | Some d ->
+          if d.t_usage.(ci) <> 0 || d.t_hist.(ci) <> 0 then bump_gen dst ti;
           d.t_sum_usage <- d.t_sum_usage - d.t_usage.(ci);
           d.t_sum_hist <- d.t_sum_hist - d.t_hist.(ci);
           d.t_usage.(ci) <- 0;
@@ -303,8 +333,19 @@ let patch_cell ~src ~dst p =
           (* the racy directory read missed this tile (or the copy caught
              it half-built): re-materialize it wholesale from the now
              quiescent source *)
-          dst.tiles.(ti) <- Some (copy_tile s)
+          dst.tiles.(ti) <- Some (copy_tile s);
+          bump_gen dst ti
       | Some d ->
+          (* bump only when the patch changes what the destination's
+             summaries report: a rip-up + identical reclaim patches the
+             same values back and must NOT invalidate corridors cached
+             against the destination *)
+          if
+            d.t_usage.(ci) <> s.t_usage.(ci)
+            || d.t_hist.(ci) <> s.t_hist.(ci)
+            || d.t_sum_usage <> s.t_sum_usage
+            || d.t_sum_hist <> s.t_sum_hist
+          then bump_gen dst ti;
           d.t_usage.(ci) <- s.t_usage.(ci);
           d.t_hist.(ci) <- s.t_hist.(ci);
           (* summaries are whole-tile state: once every recorded cell of
@@ -359,6 +400,47 @@ let tile_blocked g ti =
   match g.tiles.(ti) with
   | None -> false
   | Some t -> t.t_n_obst >= tile_volume g ti
+
+let tile_free g ti =
+  let vol = tile_volume g ti in
+  match g.tiles.(ti) with
+  | None -> vol
+  | Some t -> max 0 (vol - t.t_n_obst - t.t_sum_usage)
+
+let generation g = g.gen_counter
+
+let tile_generation g ti = g.gens.(ti)
+
+let region_unchanged_since g ~since region =
+  match Box3.inter g.box region with
+  | None -> true
+  | Some r ->
+      let lo = g.box.Box3.lo in
+      let tlx = (r.Box3.lo.Vec3.x - lo.Vec3.x) lsr tile_bits in
+      let tly = (r.Box3.lo.Vec3.y - lo.Vec3.y) lsr tile_bits in
+      let tlz = (r.Box3.lo.Vec3.z - lo.Vec3.z) lsr tile_bits in
+      let thx = (r.Box3.hi.Vec3.x - lo.Vec3.x) lsr tile_bits in
+      let thy = (r.Box3.hi.Vec3.y - lo.Vec3.y) lsr tile_bits in
+      let thz = (r.Box3.hi.Vec3.z - lo.Vec3.z) lsr tile_bits in
+      (* cheap global pre-check: nothing at all changed since the stamp *)
+      g.gen_counter <= since
+      ||
+      let unchanged = ref true in
+      let tx = ref tlx in
+      while !unchanged && !tx <= thx do
+        let ty = ref tly in
+        while !unchanged && !ty <= thy do
+          let base = (((!tx * g.ty) + !ty) * g.tz) + tlz in
+          let tz = ref 0 in
+          while !unchanged && !tz <= thz - tlz do
+            if g.gens.(base + !tz) > since then unchanged := false;
+            incr tz
+          done;
+          incr ty
+        done;
+        incr tx
+      done;
+      !unchanged
 
 (* ------------------------------------------------------------------ *)
 (* Memory accounting for the scale-tier benchmarks.                    *)

@@ -157,6 +157,45 @@ val tile_congestion : t -> int -> int
     an obstacle: the tile is impassable at the coarse level. *)
 val tile_blocked : t -> int -> bool
 
+(** [tile_free g ti] is the tile's free capacity: in-bounds cells minus
+    obstacles minus summed usage, clamped at 0.  The signal the
+    tile-summary-guided region growth reads to expand a search corridor
+    toward under-used volume first. *)
+val tile_free : t -> int -> int
+
+(** {2 Summary generations}
+
+    Every mutation that changes a tile's summary-visible state — usage
+    ({!add_usage} with a non-zero delta), history ({!add_history}),
+    obstacle count ({!set_obstacle} on a previously clear cell), shared
+    mask ({!set_shared}), or a {!patch_cell} that changes the
+    destination — advances a grid-wide counter and stamps it on that
+    tile (and only that tile).  A caller that records {!generation} at
+    compute time can later ask {!region_unchanged_since}: if no tile in
+    the region carries a newer stamp, every summary the computation read
+    is provably unchanged, and the cached result is still exact.
+
+    Generations are a per-grid-object timeline: {!snapshot} copies the
+    source's timeline and then diverges; {!view} starts a fresh one
+    (advanced only by its own patches).  Neither ever bumps the
+    source.  Stamps must only be compared against the grid object that
+    issued them. *)
+
+(** [generation g] is the current value of the grid-wide mutation
+    counter (0 on a fresh grid or view). *)
+val generation : t -> int
+
+(** [tile_generation g ti] is the counter value at the last
+    summary-changing mutation of tile [ti] (0 if never mutated). *)
+val tile_generation : t -> int -> int
+
+(** [region_unchanged_since g ~since region] is true when no tile
+    overlapping [region] (clipped to the grid box) has been
+    summary-mutated after counter value [since].  O(tiles overlapping
+    the region), with an O(1) fast path when the whole grid is
+    unchanged. *)
+val region_unchanged_since : t -> since:int -> Tqec_util.Box3.t -> bool
+
 (** {2 Memory accounting} *)
 
 type mem = {

@@ -12,6 +12,7 @@ type config = {
   region_margin : int;
   jobs : int option;
   corridor_cells : int;
+  corridor_cache : bool;
   debug : bool;
 }
 
@@ -27,6 +28,11 @@ let default_config =
        the hierarchical path never perturbs their bit-identical
        dense-era routes; scale-tier substrates blow past it. *)
     corridor_cells = 1_000_000;
+    (* Reusing coarse corridors across negotiation iterations is pure
+       optimization — every cache hit is provably identical to
+       recomputing (see [route_net]) — so it defaults on; the off
+       switch exists for cross-checking and benchmark baselines. *)
+    corridor_cache = true;
     (* Per-call, never ambient: a long-running server routes many
        requests with different settings, so the debug switch lives in
        the config (the CLI layer defaults it from TQEC_DEBUG). *)
@@ -59,13 +65,167 @@ let dedup_cells cells =
    and score arrays. *)
 let scratch_key = Domain.DLS.new_key Astar.create_scratch
 
+(* ------------------------------------------------------------------ *)
+(* Corridor cache.                                                     *)
+(*                                                                     *)
+(* [Astar.coarse_corridor] is a pure function of: the ordered          *)
+(* deduplicated list of in-region source tiles, the target tile, the   *)
+(* region, and the grid's tile summaries (its congestion penalty is    *)
+(* pinned to [Astar.coarse_penalty], and it ignores [avoid_used] and   *)
+(* [exclude] — both are fine-pass concerns).  The first three form the *)
+(* cache key; the summaries are covered by the grid's tile summary     *)
+(* generations: an entry stamped at generation [s] is replayable iff   *)
+(* no tile overlapping the region was summary-mutated after [s]        *)
+(* ([Grid.region_unchanged_since]).  A hit therefore yields exactly    *)
+(* the corridor a fresh coarse search would compute — routes are       *)
+(* bit-identical with the cache on or off, for any worker count; only  *)
+(* the work saved differs.                                             *)
+(*                                                                     *)
+(* Entries also pin the grid OBJECT they were computed against         *)
+(* (physical equality): generations are a per-grid timeline, so a      *)
+(* stamp taken against the live grid means nothing to the shared       *)
+(* parallel-phase view and vice versa.                                 *)
+(*                                                                     *)
+(* Tables are per-net: a net is routed by exactly one pool task per    *)
+(* iteration, so its table is never touched concurrently; commit       *)
+(* barriers ([Pool.map]/[Pool.await]) order accesses across            *)
+(* iterations.                                                         *)
+(*                                                                     *)
+(* A generation stamp alone would self-invalidate on every reroute:    *)
+(* the net's own claim (+1 along its path) and the rip-up that         *)
+(* precedes the next reroute (-1 along that same path) cancel exactly  *)
+(* in every cell and summary, yet both bump generations.  The cache    *)
+(* therefore reasons about the EFFECTIVE coarse input — grid state     *)
+(* minus the net's own route, which is precisely what                  *)
+(* [Astar.coarse_corridor ~exclude] consumes — and that quantity is    *)
+(* invariant under the net's own rip/claim.                            *)
+(*                                                                     *)
+(* Each entry carries [c_commit]: a generation at which               *)
+(*                                                                     *)
+(*   grid state  -  the net's own route usage  =  the entry's coarse   *)
+(*   effective input                   (per tile, over [key]'s region) *)
+(*                                                                     *)
+(* is known to hold, and [c_excl]: the net's route list (the physical  *)
+(* object stored in [route_all]'s routes table; [[]] when unrouted)    *)
+(* at that moment.  An entry is replayable iff no region tile was      *)
+(* touched after [c_commit] and the caller's [exclude] is physically   *)
+(* the [c_excl] object: nothing at all changed, so the effective       *)
+(* input — and hence the corridor a fresh coarse search would return   *)
+(* — is unchanged.  Routes stay bit-identical with the cache on or     *)
+(* off, for any worker count; only the work saved differs.             *)
+(*                                                                     *)
+(* [route_all] maintains the equation in brackets around every rip-up  *)
+(* and claim of the net: the pre-pass checks the entry is current      *)
+(* (nothing foreign touched the region since [c_commit]); the          *)
+(* post-pass then advances [c_commit] past the mutation and swaps      *)
+(* [c_excl] for the net's new route object — sound because the         *)
+(* mutation changed grid state and own-route usage by the same         *)
+(* amount.  An entry that misses a bracket's pre-check is DELETED:     *)
+(* its route bookkeeping can no longer be trusted, so it could never   *)
+(* certify again anyway, and dropping it keeps the table — and every   *)
+(* later bracket's pre-pass — sized by the live entries instead of     *)
+(* the run's history.  Entries pinned to a different grid object (the  *)
+(* parallel-phase view) can likewise never match a live-grid lookup    *)
+(* again and are dropped by the same post-pass. *)
+type cache_entry = {
+  c_grid : Grid.t;
+  mutable c_commit : int;
+  mutable c_excl : Vec3.t list;
+  mutable c_keep : bool;
+      (* scratch flag carrying the pre-pass verdict of a rip/claim
+         bracket to its post-pass; meaningless outside a bracket *)
+  c_corridor : int list;
+}
+
+type corridor_cache = (int list * int * Box3.t, cache_entry) Hashtbl.t
+
+(* ------------------------------------------------------------------ *)
+(* Tile-summary-guided region growth.                                  *)
+(*                                                                     *)
+(* When a corridor search fails, the window must widen.  The historic  *)
+(* schedule inflated uniformly (margin, then 4*margin, then the whole  *)
+(* grid); on large substrates this wastes most of the added volume on  *)
+(* directions that are full or walled off.  Instead, spend the same    *)
+(* total growth budget directionally: sum the free capacity            *)
+(* ([Grid.tile_free]) of the one-tile slab beyond each of the six      *)
+(* faces and divide the budget proportionally, so the window grows     *)
+(* toward under-used volume first.  Deterministic integer arithmetic   *)
+(* over tile summaries the searching grid already agrees on across     *)
+(* workers — jobs-invariant by the same argument as the searches       *)
+(* themselves.  Returns [None] when every slab is exhausted (callers   *)
+(* fall back to the uniform schedule). *)
+let guided_widen grid ~margin region =
+  let tdx, tdy, tdz = Grid.tile_dims grid in
+  let lo = (Grid.box grid).Box3.lo in
+  let edge = Grid.tile_edge in
+  let rlo = region.Box3.lo and rhi = region.Box3.hi in
+  let tlx = (rlo.Vec3.x - lo.Vec3.x) / edge
+  and tly = (rlo.Vec3.y - lo.Vec3.y) / edge
+  and tlz = (rlo.Vec3.z - lo.Vec3.z) / edge in
+  let thx = min (tdx - 1) ((rhi.Vec3.x - lo.Vec3.x) / edge)
+  and thy = min (tdy - 1) ((rhi.Vec3.y - lo.Vec3.y) / edge)
+  and thz = min (tdz - 1) ((rhi.Vec3.z - lo.Vec3.z) / edge) in
+  let sum_slab x0 x1 y0 y1 z0 z1 =
+    if x0 < 0 || y0 < 0 || z0 < 0 || x1 >= tdx || y1 >= tdy || z1 >= tdz then 0
+    else begin
+      let s = ref 0 in
+      for x = x0 to x1 do
+        for y = y0 to y1 do
+          for z = z0 to z1 do
+            s := !s + Grid.tile_free grid ((((x * tdy) + y) * tdz) + z)
+          done
+        done
+      done;
+      !s
+    end
+  in
+  (* face order: x-, x+, y-, y+, z-, z+ *)
+  let free =
+    [|
+      sum_slab (tlx - 1) (tlx - 1) tly thy tlz thz;
+      sum_slab (thx + 1) (thx + 1) tly thy tlz thz;
+      sum_slab tlx thx (tly - 1) (tly - 1) tlz thz;
+      sum_slab tlx thx (thy + 1) (thy + 1) tlz thz;
+      sum_slab tlx thx tly thy (tlz - 1) (tlz - 1);
+      sum_slab tlx thx tly thy (thz + 1) (thz + 1);
+    |]
+  in
+  let total = Array.fold_left ( + ) 0 free in
+  if total = 0 then None
+  else begin
+    (* same total budget as the uniform step (3*margin more per face
+       past the margin-inflated window), spent proportionally; the
+       integer remainder goes to the freest faces, ties broken by face
+       index — all deterministic *)
+    let budget = 18 * margin in
+    let extra = Array.map (fun f -> budget * f / total) free in
+    let rem = budget - Array.fold_left ( + ) 0 extra in
+    let order = [| 0; 1; 2; 3; 4; 5 |] in
+    Array.sort
+      (fun a b ->
+        match Int.compare free.(b) free.(a) with
+        | 0 -> Int.compare a b
+        | c -> c)
+      order;
+    for i = 0 to rem - 1 do
+      let f = order.(i) in
+      extra.(f) <- extra.(f) + 1
+    done;
+    Some
+      (Box3.make
+         (Vec3.make (rlo.Vec3.x - extra.(0)) (rlo.Vec3.y - extra.(2))
+            (rlo.Vec3.z - extra.(4)))
+         (Vec3.make (rhi.Vec3.x + extra.(1)) (rhi.Vec3.y + extra.(3))
+            (rhi.Vec3.z + extra.(5))))
+  end
+
 (* Route one net as a Steiner tree; returns its cell set (or None when a
    pin is unreachable even with the widest region).  Only reads [grid] —
    in the parallel phase it runs against an immutable shared view, with
    the net's own current route priced out via [exclude] (a -1 usage bias
    inside A*, exactly equivalent to ripping the net up first). *)
 let route_net ?(avoid_used = false) ?(exclude = []) ?(corridor_cells = max_int)
-    grid ~penalty ~margin (n : net) =
+    ?(cache : corridor_cache option) grid ~penalty ~margin (n : net) =
   match dedup_cells n.pins with
   | [] -> Some []
   | first :: rest ->
@@ -75,6 +235,9 @@ let route_net ?(avoid_used = false) ?(exclude = []) ?(corridor_cells = max_int)
         match Box3.inter b grid_box with Some r -> r | None -> grid_box
       in
       let tree = ref [ first ] in
+      (* cache-key scratch, reused across lookups to keep the hot miss
+         path allocation-light *)
+      let key_seen = Hashtbl.create 64 in
       let tree_set = Hashtbl.create 64 in
       Hashtbl.replace tree_set first ();
       let add_cells cells =
@@ -110,17 +273,73 @@ let route_net ?(avoid_used = false) ?(exclude = []) ?(corridor_cells = max_int)
              the tile graph bounds the fine search; if the corridor is
              infeasible at cell level, fall back to the exhaustive
              full-window search so completeness is unchanged. *)
+          (* Hierarchical search with the corridor cache consulted
+             first.  A replayed corridor is exactly what a fresh coarse
+             search would compute (see the [corridor_cache] contract
+             above), so the fine pass — and with it the route — cannot
+             tell a hit from a recomputation. *)
+          let hier_search region =
+            match cache with
+            | None ->
+                Astar.search_corridor ~scratch ~avoid_used ~exclude grid
+                  ~region ~penalty ~sources:!tree ~target:pin
+            | Some tbl -> (
+                Hashtbl.clear key_seen;
+                let tiles = ref [] in
+                List.iter
+                  (fun s ->
+                    if Box3.contains region s then begin
+                      let ti = Grid.tile_index grid s in
+                      if not (Hashtbl.mem key_seen ti) then begin
+                        Hashtbl.add key_seen ti ();
+                        tiles := ti :: !tiles
+                      end
+                    end)
+                  !tree;
+                let key_tiles = List.rev !tiles in
+                let key = (key_tiles, Grid.tile_index grid pin, region) in
+                match Hashtbl.find_opt tbl key with
+                | Some e
+                  when e.c_grid == grid && e.c_commit >= 0
+                       && e.c_excl == exclude
+                       && Grid.region_unchanged_since grid ~since:e.c_commit
+                            region ->
+                    Atomic.incr Counters.cache_hits;
+                    Astar.fine_in_corridor ~avoid_used ~exclude scratch grid
+                      ~corridor:e.c_corridor ~region ~penalty ~sources:!tree
+                      ~target:pin
+                | stale -> (
+                    Atomic.incr Counters.cache_misses;
+                    if stale <> None then Atomic.incr Counters.cache_stale;
+                    let stamp = Grid.generation grid in
+                    match
+                      (* the key's tile list doubles as the coarse seed
+                         list — same derivation, walked once *)
+                      Astar.coarse_corridor ~exclude ~source_tiles:key_tiles
+                        scratch grid ~region ~sources:!tree ~target:pin
+                    with
+                    | None -> None
+                    | Some corridor ->
+                        (* the equation holds right now by construction:
+                           the coarse just consumed grid-minus-[exclude],
+                           and [exclude] is the net's current route *)
+                        Hashtbl.replace tbl key
+                          { c_grid = grid; c_commit = stamp;
+                            c_excl = exclude; c_keep = false;
+                            c_corridor = corridor };
+                        Astar.fine_in_corridor ~avoid_used ~exclude scratch
+                          grid ~corridor ~region ~penalty ~sources:!tree
+                          ~target:pin))
+          in
           let try_region region =
             if Box3.volume region <= corridor_cells then
               Astar.search ~scratch ~avoid_used ~exclude grid ~region ~penalty
                 ~sources:!tree ~target:pin
             else
-              match
-                Astar.search_corridor ~scratch ~avoid_used ~exclude grid
-                  ~region ~penalty ~sources:!tree ~target:pin
-              with
+              match hier_search region with
               | Some path -> Some path
               | None ->
+                  Atomic.incr Counters.flat_fallbacks;
                   Astar.search ~scratch ~avoid_used ~exclude grid ~region
                     ~penalty ~sources:!tree ~target:pin
           in
@@ -129,13 +348,22 @@ let route_net ?(avoid_used = false) ?(exclude = []) ?(corridor_cells = max_int)
              failed one would repeat the identical (and most expensive)
              search, so it is skipped: when the margin-inflated corridor
              already covers the grid, the failed search is final. *)
-          let regions =
-            [
-              clip (Box3.inflate margin corridor);
-              clip (Box3.inflate (4 * margin) corridor);
-              grid_box;
-            ]
+          let r1 = clip (Box3.inflate margin corridor) in
+          (* Middle widening step: windows small enough for the flat
+             search keep the historic uniform schedule (bit-identical
+             routes on paper-suite instances); hierarchical windows
+             grow toward free capacity instead, falling back to the
+             uniform step when every neighboring tile slab is full.
+             The full grid box remains the final fallback either
+             way. *)
+          let r2 =
+            if Box3.volume r1 > corridor_cells then
+              match guided_widen grid ~margin r1 with
+              | Some r -> clip r
+              | None -> clip (Box3.inflate (4 * margin) corridor)
+            else clip (Box3.inflate (4 * margin) corridor)
           in
+          let regions = [ r1; r2; grid_box ] in
           let rec attempt prev = function
             | [] -> None
             | r :: rest ->
@@ -247,6 +475,71 @@ let route_all grid config nets =
       nets
   in
   let route_set = ref nets in
+  (* Corridor-cache tables, one per net, allocated up front: a net is
+     routed by exactly one pool task per iteration, so a task only ever
+     mutates its own net's table, and the outer table is read-only
+     after this point ([Hashtbl.find_opt] from concurrent tasks is
+     safe).  Entries self-invalidate via the grid-object pin and the
+     summary generations — see the [corridor_cache] contract. *)
+  let caches =
+    if config.corridor_cache then begin
+      let t = Hashtbl.create 64 in
+      List.iter (fun n -> Hashtbl.replace t n.net_id (Hashtbl.create 8)) nets;
+      Some t
+    end
+    else None
+  in
+  let cache_of n =
+    match caches with
+    | None -> None
+    | Some t -> Hashtbl.find_opt t n.net_id
+  in
+  (* Rip/claim brackets maintaining the [c_commit]/[c_excl] equation
+     (see the cache contract above).  Each bracket is a pre-pass over
+     the net's live-grid entries, the usage mutation itself, and a
+     post-pass; the grid is quiescent across each bracket (these run
+     only in the serial phases and the serialized batch-commit loop).
+     [excl_after] is the net's route object right after the mutation:
+     [[]] for a rip-up, the claimed cell list for a claim.  Per-entry
+     updates commute, so the tables' iteration order never reaches any
+     output. *)
+  let bracket n excl_after mutate =
+    match cache_of n with
+    | None -> mutate ()
+    | Some tbl ->
+        (* hash-order: per-entry flag/stamp writes are independent of
+           the order entries are visited in *)
+        Hashtbl.iter
+          (fun (_, _, region) e ->
+            if e.c_grid == grid then
+              e.c_keep <-
+                e.c_commit >= 0
+                && Grid.region_unchanged_since grid ~since:e.c_commit region)
+          tbl;
+        mutate ();
+        let now = Grid.generation grid in
+        (* Entries that fail the pre-pass can never certify again (the
+           window moved for good), and entries pinned to a retired view
+           can never match a future lookup's grid — both are deleted
+           rather than poisoned.  A multi-pin net mints fresh keys every
+           iteration as its routed tree changes, so keeping dead entries
+           would grow the table — and with it every later bracket's
+           pre-pass — linearly in iterations. *)
+        let dead = ref [] in
+        (* hash-order: same argument — order-independent per-entry
+           writes; the dead list only feeds unordered removals *)
+        Hashtbl.iter
+          (fun k e ->
+            if e.c_grid == grid && e.c_keep then begin
+              e.c_commit <- now;
+              e.c_excl <- excl_after
+            end
+            else dead := k :: !dead)
+          tbl;
+        List.iter (Hashtbl.remove tbl) !dead
+  in
+  let rip net = bracket net [] (fun () -> rip_up net.net_id) in
+  let claim_net net cells = bracket net cells (fun () -> claim net.net_id cells) in
   (* Snapshot routing can sustain a lock-step oscillation: two symmetric
      nets avoiding each other's stale position swap cells forever, each
      move depositing history on both alternatives equally.  Serial
@@ -286,12 +579,12 @@ let route_all grid config nets =
          free. *)
       Array.iter
         (fun n ->
-          rip_up n.net_id;
+          rip n;
           match
-            route_net ~corridor_cells:config.corridor_cells grid
-              ~penalty:penalty_now ~margin n
+            route_net ~corridor_cells:config.corridor_cells
+              ?cache:(cache_of n) grid ~penalty:penalty_now ~margin n
           with
-          | Some cells -> claim n.net_id cells
+          | Some cells -> claim_net n cells
           | None -> still_unrouted := n.net_id :: !still_unrouted)
         batch
     else begin
@@ -306,8 +599,9 @@ let route_all grid config nets =
              phase below, so it doubles as the frozen view — no copy *)
           Array.map
             (fun n ->
-              route_net ~corridor_cells:config.corridor_cells grid
-                ~exclude:(exclude_of n) ~penalty:penalty_now ~margin n)
+              route_net ~corridor_cells:config.corridor_cells
+                ?cache:(cache_of n) grid ~exclude:(exclude_of n)
+                ~penalty:penalty_now ~margin n)
             batch
         else begin
           let v =
@@ -327,8 +621,9 @@ let route_all grid config nets =
           let excludes = Array.map exclude_of batch in
           Pool.map ~jobs
             (fun (i, n) ->
-              route_net ~corridor_cells:config.corridor_cells v
-                ~exclude:excludes.(i) ~penalty:penalty_now ~margin n)
+              route_net ~corridor_cells:config.corridor_cells
+                ?cache:(cache_of n) v ~exclude:excludes.(i)
+                ~penalty:penalty_now ~margin n)
             (Array.mapi (fun i n -> (i, n)) batch)
         end
       in
@@ -336,9 +631,9 @@ let route_all grid config nets =
          order, decides the trajectory *)
       Array.iteri
         (fun i n ->
-          rip_up n.net_id;
+          rip n;
           match found.(i) with
-          | Some cells -> claim n.net_id cells
+          | Some cells -> claim_net n cells
           | None -> still_unrouted := n.net_id :: !still_unrouted)
         batch
     end;
@@ -411,17 +706,18 @@ let route_all grid config nets =
         | [] -> ()
         | victim :: others -> (
             let old = Hashtbl.find routes victim.net_id in
-            rip_up victim.net_id;
+            rip victim;
             match
               route_net ~avoid_used:true
-                ~corridor_cells:config.corridor_cells grid ~penalty:!penalty
+                ~corridor_cells:config.corridor_cells
+                ?cache:(cache_of victim) grid ~penalty:!penalty
                 ~margin:config.region_margin victim
             with
             | Some cells ->
-                claim victim.net_id cells;
+                claim_net victim cells;
                 progressed := true
             | None ->
-                claim victim.net_id old;
+                claim_net victim old;
                 try_victims others)
       in
       try_victims involved;

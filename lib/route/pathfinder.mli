@@ -40,6 +40,18 @@ type config = {
           bit-identical to the historical dense-grid router.  The
           default (1M cells) exceeds every paper-suite instance;
           [max_int] disables the hierarchical path entirely. *)
+  corridor_cache : bool;
+      (** reuse coarse corridors across negotiation iterations (default
+          [true]).  A per-net cache keyed on (ordered in-region source
+          tiles, target tile, region) replays a stored corridor when
+          the grid's per-tile summary generations prove no coarse-search
+          input changed since it was computed
+          ({!Grid.region_unchanged_since}); the coarse tile-graph A* is
+          then skipped and the fine in-corridor search runs directly.
+          Every hit is provably identical to recomputing, so routes are
+          bit-identical with the cache on or off and for any worker
+          count — [false] exists for cross-checks and benchmark
+          baselines ({!Counters} reports hit/miss/stale rates). *)
   debug : bool;
       (** per-iteration negotiation trace on stderr.  A config field —
           not an ambient environment read — so concurrent callers (a

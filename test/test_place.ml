@@ -736,6 +736,59 @@ let test_placer_partition_cap_above_n_identical () =
     [ base.Placer.width; base.Placer.height; base.Placer.depth ]
     [ capped.Placer.width; capped.Placer.height; capped.Placer.depth ]
 
+(* Auto-partition: with [partition = None] the placer enters the
+   divide-and-conquer path on its own once the node count exceeds
+   [auto_partition], with the threshold as the cap — the trajectory
+   must be bit-identical to requesting that cap explicitly.  A
+   threshold at or above the node count keeps the historical
+   single-die anneal bit for bit, so the default (thousands of nodes)
+   can never perturb paper-suite results. *)
+let place_auto ~auto_partition seed circuit =
+  let icm = Decompose.run (Clifford_t.decompose circuit) in
+  let g = Pd_graph.of_icm icm in
+  ignore (Ishape.run g);
+  let time_sms = Super_module.time_sm_modules g in
+  let in_sm = Hashtbl.create 16 in
+  List.iter (fun (_, ms) -> List.iter (fun m -> Hashtbl.replace in_sm m ()) ms) time_sms;
+  let flipping = Flipping.run ~exclude:(Hashtbl.mem in_sm) g in
+  let dual = Dual_bridge.run g in
+  let fvalue = Fvalue.plan flipping in
+  let config =
+    { Placer.default_config with effort = Placer.Quick; seed;
+      jobs = Some 1; partition = None; auto_partition }
+  in
+  Placer.place ~config g flipping dual fvalue
+
+let test_placer_auto_partition_matches_explicit () =
+  let circuit = one_t_circuit () in
+  let auto = place_auto ~auto_partition:3 5 circuit in
+  let explicit = place_partitioned ~partition:(Some 3) 5 circuit in
+  check Alcotest.bool "node count exceeds the threshold" true
+    (Array.length auto.Placer.node_pos > 3);
+  check Alcotest.bool "same positions" true
+    (auto.Placer.node_pos = explicit.Placer.node_pos);
+  check Alcotest.bool "same rotations" true
+    (auto.Placer.rotated = explicit.Placer.rotated);
+  check
+    Alcotest.(list int)
+    "same extents"
+    [ explicit.Placer.width; explicit.Placer.height; explicit.Placer.depth ]
+    [ auto.Placer.width; auto.Placer.height; auto.Placer.depth ]
+
+let test_placer_auto_partition_threshold_above_n_single_die () =
+  let circuit = one_t_circuit () in
+  let auto = place_auto ~auto_partition:100_000 5 circuit in
+  let base = place_partitioned ~partition:None 5 circuit in
+  check Alcotest.bool "same positions" true
+    (auto.Placer.node_pos = base.Placer.node_pos);
+  check Alcotest.bool "same rotations" true
+    (auto.Placer.rotated = base.Placer.rotated);
+  check
+    Alcotest.(list int)
+    "same extents"
+    [ base.Placer.width; base.Placer.height; base.Placer.depth ]
+    [ auto.Placer.width; auto.Placer.height; auto.Placer.depth ]
+
 (* Partitioned placement is a pure function of (seed, restarts, cap):
    the per-partition anneals fan out over the pool (nested with their
    restart lanes), but seeds are partition-indexed, the stitch order is
@@ -841,6 +894,10 @@ let suites =
           test_placer_partitioned_valid;
         Alcotest.test_case "cap above n identical" `Quick
           test_placer_partition_cap_above_n_identical;
+        Alcotest.test_case "auto-partition matches explicit cap" `Quick
+          test_placer_auto_partition_matches_explicit;
+        Alcotest.test_case "auto-partition threshold above n single-die" `Quick
+          test_placer_auto_partition_threshold_above_n_single_die;
         Alcotest.test_case "partitioned jobs-invariant" `Quick
           test_placer_partitioned_jobs_invariant;
         qtest prop_partition_well_formed;

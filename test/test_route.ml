@@ -199,6 +199,102 @@ let prop_grid_sparse_vs_dense_oracle =
       && Grid.overused g = brute
       && Grid.overused_count g = List.length brute)
 
+(* Generation counters behind the corridor cache: every summary
+   mutation bumps exactly the touched tile's generation — no other
+   tile's, and nothing on pure reads or snapshot/view — and
+   [region_unchanged_since] answers from those stamps.  A random
+   mutation trajectory is checked step by step against an oracle that
+   predicts whether a bump must happen ([add_usage]/[add_history] with
+   a non-zero delta, [set_shared], [set_obstacle] on a clear cell) or
+   must not (zero deltas, repeated obstacles, cost/summary queries). *)
+let prop_grid_generation_tracking =
+  QCheck.Test.make ~name:"tile generations track summary mutations exactly"
+    ~count:40
+    (QCheck.int_range 1 10_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let lo = vec 3 (-5) 2 in
+      let nx = 20 and ny = 11 and nz = 9 in
+      let box = Box3.make lo (vec (3 + nx - 1) (-5 + ny - 1) (2 + nz - 1)) in
+      let g = Grid.create box in
+      let n_tiles = Grid.n_tiles g in
+      let gens () = Array.init n_tiles (Grid.tile_generation g) in
+      let rand_cell () =
+        vec (3 + Rng.int rng nx) (-5 + Rng.int rng ny) (2 + Rng.int rng nz)
+      in
+      let ok = ref true in
+      let expect cond = ok := !ok && cond in
+      for _ = 1 to 200 do
+        let c = rand_cell () in
+        let ti = Grid.tile_index g c in
+        let before = gens () in
+        let stamp = Grid.generation g in
+        let bumps =
+          match Rng.int rng 6 with
+          | 0 ->
+              Grid.set_shared g c;
+              true
+          | 1 ->
+              let newly = not (Grid.is_obstacle g c) in
+              Grid.set_obstacle g c;
+              newly
+          | 2 ->
+              Grid.add_usage g c 0;
+              false
+          | 3 ->
+              Grid.add_history g c (1 + Rng.int rng 3);
+              true
+          | 4 ->
+              ignore (Grid.usage g c);
+              ignore (Grid.enter_cost g ~penalty:3 c);
+              ignore (Grid.tile_congestion g ti);
+              ignore (Grid.tile_free g ti);
+              false
+          | _ ->
+              Grid.add_usage g c (1 + Rng.int rng 2);
+              true
+        in
+        let after = gens () in
+        for t = 0 to n_tiles - 1 do
+          if t <> ti then expect (after.(t) = before.(t))
+        done;
+        expect (if bumps then after.(ti) > before.(ti) else after.(ti) = before.(ti));
+        expect (if bumps then Grid.generation g > stamp else Grid.generation g = stamp);
+        (* the stamp protocol the corridor cache runs on: a region
+           containing the touched cell is invalidated, a region in a
+           different tile is not *)
+        expect (Grid.region_unchanged_since g ~since:stamp (Box3.of_cell c) = not bumps);
+        let far = vec (3 + ((c.Vec3.x - 3 + 16) mod nx)) c.Vec3.y c.Vec3.z in
+        if Grid.tile_index g far <> ti then
+          expect (Grid.region_unchanged_since g ~since:stamp (Box3.of_cell far))
+      done;
+      (* snapshot and view never bump the source; the snapshot inherits
+         the source's timeline at the split, the view starts a fresh
+         zero timeline (stamps taken against a view are valid against
+         that view alone) *)
+      let before = gens () in
+      let stamp = Grid.generation g in
+      let s = Grid.snapshot g in
+      let v = Grid.view g in
+      expect (gens () = before && Grid.generation g = stamp);
+      expect (Grid.generation s = stamp);
+      expect (Grid.generation v = 0 && Grid.region_unchanged_since v ~since:0 box);
+      (* patch_cell bumps the destination's touched tile only when it
+         changes what the summaries report: patching a cell the source
+         just changed invalidates, re-patching the now-equal cell does
+         not (rip-up + identical reclaim must keep corridors cached
+         against the destination valid) *)
+      let c = rand_cell () in
+      Grid.add_usage g c 1;
+      let vstamp = Grid.generation v in
+      Grid.patch_cell ~src:g ~dst:v c;
+      expect (Grid.generation v > vstamp);
+      expect (not (Grid.region_unchanged_since v ~since:vstamp (Box3.of_cell c)));
+      let vstamp = Grid.generation v in
+      Grid.patch_cell ~src:g ~dst:v c;
+      expect (Grid.generation v = vstamp);
+      !ok)
+
 (* Satellite of the sparse-grid PR: the long-documented "views answer
    cost queries only" contract is now enforced instead of silently
    returning an empty overuse set. *)
@@ -803,6 +899,7 @@ let suites =
           test_grid_mem_tracks_touched_tiles;
         qtest prop_grid_overused_incremental;
         qtest prop_grid_sparse_vs_dense_oracle;
+        qtest prop_grid_generation_tracking;
       ] );
     ( "route.astar",
       [
